@@ -1,0 +1,41 @@
+# Convenience targets for the RIPPLE reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench examples results results-paper clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/async/ ./internal/netpeer/ .
+
+# One testing.B benchmark per paper table/figure plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/hotels-skyline
+	$(GO) run ./examples/photo-diversify
+	$(GO) run ./examples/custom-query
+	$(GO) run ./examples/distributed
+
+# Regenerate every figure at laptop scale into results/.
+results:
+	mkdir -p results
+	$(GO) run ./cmd/ripple-bench -scale default | tee results/all.txt
+
+# The published Table 1 configuration (very slow; serious hardware).
+results-paper:
+	mkdir -p results
+	$(GO) run ./cmd/ripple-bench -scale paper | tee results/all-paper.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

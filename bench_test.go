@@ -1,0 +1,91 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// one testing.B benchmark per experiment, at a configuration small enough
+// for `go test -bench=.` to finish in minutes. Reported custom metrics are
+// the paper's two (§7.1): hops/query (latency) and msgs/query (congestion),
+// taken from the first method series of each figure. For full-size tables
+// use cmd/ripple-bench.
+package ripple_test
+
+import (
+	"testing"
+
+	"ripple/internal/bench"
+)
+
+var benchSink *bench.Result
+
+func benchConfig() bench.Config {
+	cfg := bench.Quick()
+	cfg.OverlaySizes = []int{256, 512}
+	cfg.Dims = []int{2, 5}
+	cfg.ResultSizes = []int{10, 50}
+	cfg.Lambdas = []float64{0, 0.5, 1}
+	cfg.DefaultSize = 256
+	cfg.NBASize = 6000
+	cfg.FlickrSize = 4000
+	cfg.SynthSize = 4000
+	cfg.Networks = 1
+	cfg.TopKQueries = 4
+	cfg.SkyQueries = 3
+	cfg.DivQueries = 1
+	cfg.DivMaxIters = 2
+	return cfg
+}
+
+func runFigure(b *testing.B, name string) {
+	b.Helper()
+	r := bench.Find(name)
+	if r == nil {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	cfg := benchConfig()
+	var res *bench.Result
+	for i := 0; i < b.N; i++ {
+		res = r.Run(cfg)
+	}
+	benchSink = res
+	if len(res.Rows) > 0 {
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Latency[0], "hops/query")
+		b.ReportMetric(last.Congestion[0], "msgs/query")
+	}
+}
+
+// BenchmarkLemmas regenerates the §3.2 worst-case latency table (Lemmas 1-3).
+func BenchmarkLemmas(b *testing.B) { runFigure(b, "lemmas") }
+
+// BenchmarkFig4TopKOverlaySize regenerates Figure 4 (top-k vs overlay size).
+func BenchmarkFig4TopKOverlaySize(b *testing.B) { runFigure(b, "fig4") }
+
+// BenchmarkFig5TopKDimensionality regenerates Figure 5 (top-k vs dims).
+func BenchmarkFig5TopKDimensionality(b *testing.B) { runFigure(b, "fig5") }
+
+// BenchmarkFig6TopKResultSize regenerates Figure 6 (top-k vs k).
+func BenchmarkFig6TopKResultSize(b *testing.B) { runFigure(b, "fig6") }
+
+// BenchmarkFig7SkylineOverlaySize regenerates Figure 7 (skyline vs size).
+func BenchmarkFig7SkylineOverlaySize(b *testing.B) { runFigure(b, "fig7") }
+
+// BenchmarkFig8SkylineDimensionality regenerates Figure 8 (skyline vs dims).
+func BenchmarkFig8SkylineDimensionality(b *testing.B) { runFigure(b, "fig8") }
+
+// BenchmarkFig9DiversifyOverlaySize regenerates Figure 9 (k-div vs size).
+func BenchmarkFig9DiversifyOverlaySize(b *testing.B) { runFigure(b, "fig9") }
+
+// BenchmarkFig10DiversifyDimensionality regenerates Figure 10 (k-div vs dims).
+func BenchmarkFig10DiversifyDimensionality(b *testing.B) { runFigure(b, "fig10") }
+
+// BenchmarkFig11DiversifyResultSize regenerates Figure 11 (k-div vs k).
+func BenchmarkFig11DiversifyResultSize(b *testing.B) { runFigure(b, "fig11") }
+
+// BenchmarkFig12DiversifyLambda regenerates Figure 12 (k-div vs λ).
+func BenchmarkFig12DiversifyLambda(b *testing.B) { runFigure(b, "fig12") }
+
+// BenchmarkAblationBorder regenerates the §5.2 border-link ablation.
+func BenchmarkAblationBorder(b *testing.B) { runFigure(b, "ablation-border") }
+
+// BenchmarkAblationOverlay regenerates the MIDAS-vs-CAN substrate ablation.
+func BenchmarkAblationOverlay(b *testing.B) { runFigure(b, "ablation-overlay") }
+
+// BenchmarkChurn regenerates the §7.1 dynamic-topology experiment.
+func BenchmarkChurn(b *testing.B) { runFigure(b, "churn") }

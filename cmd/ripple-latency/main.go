@@ -1,0 +1,20 @@
+// Command ripple-latency prints the worst-case latency of RIPPLE over MIDAS
+// (§3.2, Lemmas 1-3) for a range of ripple parameters, both analytically
+// (the Lemma 3 recurrence) and measured on an actual perfect virtual tree
+// flooded with a never-pruning query — the two columns must agree exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ripple/internal/bench"
+)
+
+func main() {
+	depth := flag.Int("depth", 10, "depth ∆ of the perfect MIDAS virtual tree (2^∆ peers)")
+	flag.Parse()
+	fmt.Println(bench.Lemmas(*depth))
+	fmt.Println("L_r(0,r) interpolates between L_f(0) = ∆ (network diameter) and")
+	fmt.Println("L_s(0) = 2^∆ - 1 (network size), growing as O(∆^(r+1)) = O(log^(r+1) n).")
+}

@@ -1,0 +1,81 @@
+// Command ripple-plan slices a dataset across a MIDAS overlay and writes one
+// JSON config per peer, ready to launch as real processes with ripple-serve:
+//
+//	ripple-plan -size 8 -data tuples.csv -out deploy/
+//	for f in deploy/peer-*.json; do ripple-serve -config $f & done
+//	ripple-serve -call 127.0.0.1:7400 -query topk -k 5
+//
+// Without -data, a synthetic clustered dataset is generated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/netpeer"
+)
+
+func main() {
+	size := flag.Int("size", 8, "number of peers")
+	dims := flag.Int("dims", 0, "dimensionality (required without -data)")
+	data := flag.String("data", "", "CSV dataset (id + normalised coordinates); synthetic if empty")
+	n := flag.Int("n", 10000, "synthetic tuple count when -data is empty")
+	host := flag.String("host", "127.0.0.1", "host for peer addresses")
+	basePort := flag.Int("base-port", 7400, "first peer port")
+	out := flag.String("out", "deploy", "output directory")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var ts []dataset.Tuple
+	switch {
+	case *data != "":
+		f, err := os.Open(*data)
+		if err != nil {
+			fatal(err)
+		}
+		ts, err = dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		if *dims <= 0 {
+			*dims = 3
+		}
+		ts = dataset.Synth(dataset.SynthConfig{N: *n, Dims: *dims, Centers: *n / 20, Seed: *seed})
+	}
+	d := dataset.Dims(ts)
+
+	net := midas.BuildWithData(*size, midas.Options{Dims: d, Seed: *seed}, ts)
+	plans, err := netpeer.Plan(net, *host, *basePort)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for i, fc := range plans {
+		path := filepath.Join(*out, fmt.Sprintf("peer-%03d.json", i))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := netpeer.WriteConfig(f, fc); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("%s  id=%s addr=%s tuples=%d links=%d\n",
+			path, fc.Peer.ID, fc.Addr, len(fc.Peer.Tuples), len(fc.Peer.Links))
+	}
+	fmt.Printf("\n%d peers planned over %d tuples (%d dims); start them with:\n", len(plans), len(ts), d)
+	fmt.Printf("  for f in %s/peer-*.json; do ripple-serve -config $f & done\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ripple-plan:", err)
+	os.Exit(1)
+}

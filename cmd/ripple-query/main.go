@@ -1,0 +1,155 @@
+// Command ripple-query runs rank queries over a user-supplied CSV dataset on
+// a simulated RIPPLE/MIDAS overlay — a self-contained way to try the library
+// on real data.
+//
+// The CSV format is one row per tuple: an integer id column followed by the
+// coordinate columns. With -normalize, raw attribute values are min-max
+// rescaled into [0,1); the optional -invert flag lists comma-separated
+// dimensions whose raw values are better when higher (the engine's
+// convention is lower-is-better).
+//
+// Examples:
+//
+//	ripple-query -data players.csv -normalize -invert 0,1,2 -query topk -k 5
+//	ripple-query -data hotels.csv -query skyline -r slow
+//	ripple-query -data photos.csv -query diversify -k 8 -lambda 0.3
+//	ripple-query -data points.csv -query knn -k 3 -at 0.5,0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ripple"
+)
+
+func main() {
+	data := flag.String("data", "", "CSV file: id column plus coordinates (required)")
+	normalize := flag.Bool("normalize", false, "min-max rescale raw attributes into [0,1)")
+	invert := flag.String("invert", "", "comma-separated dims where higher raw values are better")
+	queryKind := flag.String("query", "topk", "query type: topk | skyline | knn | range | diversify")
+	k := flag.Int("k", 10, "result size for topk/knn/diversify")
+	rFlag := flag.String("r", "fast", "ripple parameter: fast | slow | an integer")
+	peers := flag.Int("peers", 256, "overlay size")
+	seed := flag.Int64("seed", 1, "random seed")
+	lambda := flag.Float64("lambda", 0.5, "diversification relevance/diversity trade-off")
+	at := flag.String("at", "", "query point for knn/range/diversify, e.g. 0.5,0.5 (default: first tuple)")
+	radius := flag.Float64("radius", 0.1, "radius for range queries")
+	flag.Parse()
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "missing -data; see -help")
+		os.Exit(2)
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	ts, err := ripple.ReadCSVRaw(f, *normalize, parseDims(*invert))
+	if err != nil {
+		fatal(err)
+	}
+	if len(ts) == 0 {
+		fatal(fmt.Errorf("no tuples in %s", *data))
+	}
+	dims := len(ts[0].Vec)
+	fmt.Printf("loaded %d tuples (%d dims); building %d-peer MIDAS overlay\n", len(ts), dims, *peers)
+
+	net := ripple.BuildMIDASWithData(*peers, ripple.MIDASOptions{Dims: dims, Seed: *seed, PreferBorder: true}, ts)
+	initiator := net.Peers()[0]
+	r := parseR(*rFlag)
+
+	center := ts[0].Vec
+	if *at != "" {
+		center = parsePoint(*at, dims)
+	}
+
+	switch *queryKind {
+	case "topk":
+		res, stats := ripple.TopK(initiator, ripple.UniformLinear(dims), *k, r)
+		printTuples(res)
+		fmt.Printf("cost: %v\n", &stats)
+	case "skyline":
+		res, stats := ripple.Skyline(initiator, r)
+		printTuples(res)
+		fmt.Printf("cost: %v\n", &stats)
+	case "knn":
+		res, stats := ripple.KNN(initiator, center, *k, ripple.L2, r)
+		printTuples(res)
+		fmt.Printf("cost: %v\n", &stats)
+	case "range":
+		res, stats := ripple.Range(initiator, ripple.RangeBall{Center: center, Radius: *radius, Metric: ripple.L2})
+		printTuples(res)
+		fmt.Printf("cost: %v\n", &stats)
+	case "diversify":
+		q := ripple.NewDiversifyQuery(center, *lambda)
+		res := ripple.Diversify(initiator, q, *k, r, 0)
+		printTuples(res.Set)
+		fmt.Printf("objective: %.4f after %d passes; cost: %v\n", res.Objective, res.Iterations, &res.Stats)
+	default:
+		fatal(fmt.Errorf("unknown query type %q", *queryKind))
+	}
+}
+
+func printTuples(ts []ripple.Tuple) {
+	for i, t := range ts {
+		fmt.Printf("%3d. %v\n", i+1, t)
+	}
+}
+
+func parseR(s string) int {
+	switch s {
+	case "fast":
+		return ripple.Fast
+	case "slow":
+		return ripple.Slow
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		fatal(fmt.Errorf("bad -r value %q", s))
+	}
+	return v
+}
+
+func parseDims(s string) []bool {
+	if s == "" {
+		return nil
+	}
+	var out []bool
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 0 {
+			fatal(fmt.Errorf("bad -invert dim %q", part))
+		}
+		for len(out) <= d {
+			out = append(out, false)
+		}
+		out[d] = true
+	}
+	return out
+}
+
+func parsePoint(s string, dims int) ripple.Point {
+	parts := strings.Split(s, ",")
+	if len(parts) != dims {
+		fatal(fmt.Errorf("-at needs %d coordinates", dims))
+	}
+	p := make(ripple.Point, dims)
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad coordinate %q", part))
+		}
+		p[i] = v
+	}
+	return p
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ripple-query:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command ripple-serve runs one RIPPLE peer as a standalone process (serving
+// the wire protocol on TCP with the built-in query codecs), or acts as a
+// client issuing a query against a running deployment.
+//
+//	ripple-serve -config deploy/peer-000.json        # run one peer
+//	ripple-serve -call 127.0.0.1:7400 -query topk -k 5 -r slow
+//	ripple-serve -call 127.0.0.1:7400 -query skyline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+
+	"ripple/internal/diversify"
+	"ripple/internal/netpeer"
+	"ripple/internal/skyline"
+	"ripple/internal/topk"
+)
+
+func main() {
+	config := flag.String("config", "", "peer config written by ripple-plan (server mode)")
+	call := flag.String("call", "", "peer address to query (client mode)")
+	queryKind := flag.String("query", "topk", "client query type: topk | skyline")
+	k := flag.Int("k", 10, "result size for topk")
+	dims := flag.Int("dims", 0, "data dimensionality (client mode; read from answers if 0)")
+	rFlag := flag.String("r", "fast", "ripple parameter: fast | slow | integer")
+	flag.Parse()
+
+	switch {
+	case *config != "":
+		serve(*config)
+	case *call != "":
+		client(*call, *queryKind, *k, *dims, parseR(*rFlag))
+	default:
+		fmt.Fprintln(os.Stderr, "need -config (server) or -call (client); see -help")
+		os.Exit(2)
+	}
+}
+
+func serve(path string) {
+	fc, err := netpeer.ReadConfigFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	srv := netpeer.NewServer(fc.Peer, topk.WireCodec{}, skyline.WireCodec{}, diversify.WireCodec{})
+	addr, err := srv.Start(fc.Addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("peer %s serving on %s (%d tuples, %d links)\n",
+		fc.Peer.ID, addr, len(fc.Peer.Tuples), len(fc.Peer.Links))
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	fmt.Printf("peer %s stopped\n", fc.Peer.ID)
+}
+
+func client(addr, queryKind string, k, dims, r int) {
+	if dims <= 0 {
+		dims = probeDims(addr)
+	}
+	switch queryKind {
+	case "topk":
+		f := topk.UniformLinear(dims)
+		params, err := (topk.WireCodec{}).EncodeParams(f, k)
+		if err != nil {
+			fatal(err)
+		}
+		answers, stats, err := netpeer.Query(addr, "topk", params, dims, r)
+		if err != nil {
+			fatal(err)
+		}
+		for i, t := range topk.Select(answers, f, k) {
+			fmt.Printf("%3d. %v  score %.4f\n", i+1, t, f.Score(t.Vec))
+		}
+		fmt.Printf("cost: %v\n", &stats)
+	case "skyline":
+		answers, stats, err := netpeer.Query(addr, "skyline", nil, dims, r)
+		if err != nil {
+			fatal(err)
+		}
+		for i, t := range skyline.Compute(answers) {
+			fmt.Printf("%3d. %v\n", i+1, t)
+		}
+		fmt.Printf("cost: %v\n", &stats)
+	default:
+		fatal(fmt.Errorf("client mode supports topk and skyline, not %q", queryKind))
+	}
+}
+
+// probeDims discovers the data dimensionality by asking for one answer.
+func probeDims(addr string) int {
+	for d := 1; d <= 16; d++ {
+		params, err := (topk.WireCodec{}).EncodeParams(topk.UniformLinear(d), 1)
+		if err != nil {
+			continue
+		}
+		answers, _, err := netpeer.Query(addr, "topk", params, d, 0)
+		if err == nil && len(answers) > 0 && len(answers[0].Vec) == d {
+			return d
+		}
+	}
+	fatal(fmt.Errorf("could not determine dimensionality; pass -dims"))
+	return 0
+}
+
+func parseR(s string) int {
+	switch s {
+	case "fast":
+		return 0
+	case "slow":
+		return 1 << 20
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		fatal(fmt.Errorf("bad -r %q", s))
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ripple-serve:", err)
+	os.Exit(1)
+}

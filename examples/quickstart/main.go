@@ -1,0 +1,40 @@
+// Quickstart: build a MIDAS overlay, load the NBA workload, and answer one
+// top-k query with each of RIPPLE's extremes, printing the answers and what
+// they cost the network.
+package main
+
+import (
+	"fmt"
+
+	"ripple"
+)
+
+func main() {
+	// A 1,024-peer overlay indexing the six NBA statistics dimensions;
+	// loading the data first makes the zone layout follow data density.
+	net := ripple.BuildMIDASWithData(1024, ripple.MIDASOptions{Dims: 6, Seed: 1}, ripple.NBA(0, 1))
+
+	f := ripple.UniformLinear(6) // equal-weight "best all-around player"
+	initiator := net.Peers()[42]
+
+	fmt.Println("top-5 all-around players, fast mode (optimises latency):")
+	top, stats := ripple.TopK(initiator, f, 5, ripple.Fast)
+	for i, t := range top {
+		fmt.Printf("  %d. player #%d  score %.3f\n", i+1, t.ID, f.Score(t.Vec))
+	}
+	fmt.Printf("  cost: %v\n\n", &stats)
+
+	fmt.Println("same query, slow mode (optimises communication):")
+	top, stats = ripple.TopK(initiator, f, 5, ripple.Slow)
+	for i, t := range top {
+		fmt.Printf("  %d. player #%d  score %.3f\n", i+1, t.ID, f.Score(t.Vec))
+	}
+	fmt.Printf("  cost: %v\n\n", &stats)
+
+	fmt.Println("same query, ripple r=2 (the tunable middle ground):")
+	top, stats = ripple.TopK(initiator, f, 5, 2)
+	for i, t := range top {
+		fmt.Printf("  %d. player #%d  score %.3f\n", i+1, t.ID, f.Score(t.Vec))
+	}
+	fmt.Printf("  cost: %v\n", &stats)
+}

@@ -1,0 +1,351 @@
+// Package async executes RIPPLE queries on an actor runtime: every peer is a
+// goroutine with an inbox, queries propagate as real messages, and latency is
+// carried on the messages themselves as logical hop clocks. It exists to
+// demonstrate that the paper's recursive pseudocode (Algorithms 1-3) is
+// faithfully realisable as an asynchronous distributed protocol — and the
+// runtime is validated against the structural engine of internal/core: same
+// answers, same message counts, same hop-accurate latencies.
+//
+// One protocol detail the paper leaves implicit becomes explicit here:
+// completion detection. In ripple mode, a slow-phase peer must know when the
+// fast subtree it spawned has delivered *all* of its local states (Algorithm
+// 3, line 7 reads a set). A fast-mode peer cannot know the subtree size in
+// advance, so the runtime performs a convergecast: each fast peer waits for
+// its own children's aggregated states, folds in its own, and reports
+// upstream; the slow ancestor receives one complete batch from the subtree
+// entry peer. Responses stay free in the cost model, matching the lemmas.
+package async
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+)
+
+// Cluster hosts one actor per peer of an overlay snapshot.
+type Cluster struct {
+	actors map[string]*actor
+	wg     sync.WaitGroup
+	insts  int64
+
+	mu       sync.Mutex
+	res      *core.Result
+	answered map[string]bool
+	done     chan struct{}
+}
+
+// queryMsg propagates a query one hop. inst identifies the continuation this
+// delivery creates at the receiver; parentInst is the sender's continuation
+// awaiting the receiver's (or its subtree's) states.
+type queryMsg struct {
+	inst       int64
+	parentInst int64
+	parent     string // where states flow: sender (slow) or convergecast sink
+	global     core.State
+	restrict   overlay.Region
+	r          int
+	time       int // logical hop clock: when this message arrives
+}
+
+// stateMsg carries local states upstream, stamped with the logical time the
+// sender's subtree completed.
+type stateMsg struct {
+	parentInst int64
+	states     []core.State
+	time       int
+}
+
+type actor struct {
+	node    overlay.Node
+	cluster *Cluster
+	inbox   chan interface{}
+	proc    core.Processor
+	conts   map[int64]*continuation
+}
+
+// continuation is the suspended state of Algorithm 3 at a peer between a
+// forward and the matching state response.
+type continuation struct {
+	inst       int64
+	parentInst int64
+	parent     string
+	global     core.State
+	local      core.State
+	wGlobal    core.State
+	links      []overlay.Link
+	next       int
+	restrict   overlay.Region
+	r          int
+	cursor     int // logical time of the slow iteration front
+	// Fast-mode convergecast bookkeeping.
+	pending   int
+	collected []core.State
+	maxChild  int
+}
+
+// NewCluster spins up one actor per node of the overlay, all sharing the
+// given processor. Call Close when finished.
+func NewCluster(net overlay.Network, proc core.Processor) *Cluster {
+	c := &Cluster{actors: make(map[string]*actor)}
+	for _, n := range net.Nodes() {
+		a := &actor{
+			node:    n,
+			cluster: c,
+			inbox:   make(chan interface{}, 1024),
+			proc:    proc,
+			conts:   make(map[int64]*continuation),
+		}
+		c.actors[n.ID()] = a
+	}
+	for _, a := range c.actors {
+		c.wg.Add(1)
+		go a.run()
+	}
+	return c
+}
+
+// Close terminates all actors.
+func (c *Cluster) Close() {
+	for _, a := range c.actors {
+		close(a.inbox)
+	}
+	c.wg.Wait()
+}
+
+// Run processes one query from the given initiator with ripple parameter r
+// and blocks until the whole propagation tree has completed. Clusters run
+// one query at a time.
+func (c *Cluster) Run(initiatorID string, r int) *core.Result {
+	c.mu.Lock()
+	c.res = &core.Result{}
+	c.answered = make(map[string]bool)
+	c.done = make(chan struct{})
+	c.mu.Unlock()
+
+	init := c.actors[initiatorID]
+	if init == nil {
+		panic("async: unknown initiator " + initiatorID)
+	}
+	d := init.node.Zone().Boxes[0].Dims()
+	init.inbox <- queryMsg{
+		inst:     c.nextInst(),
+		parent:   "",
+		global:   init.proc.InitialState(),
+		restrict: overlay.Whole(d),
+		r:        r,
+		time:     0,
+	}
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.res
+}
+
+func (c *Cluster) nextInst() int64 { return atomic.AddInt64(&c.insts, 1) }
+
+func (c *Cluster) send(to string, m interface{}) { c.actors[to].inbox <- m }
+
+func (c *Cluster) recordQuery(peerID string, arriveTime int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.res.Stats.Touch(peerID)
+	if arriveTime > c.res.Stats.Latency {
+		c.res.Stats.Latency = arriveTime
+	}
+}
+
+// recordAnswer registers a peer's local answer; like the structural engine,
+// a peer answers at most once per query even when its zone is delivered in
+// several restriction fragments.
+func (c *Cluster) recordAnswer(peerID string, a []dataset.Tuple) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.answered[peerID] {
+		return
+	}
+	c.answered[peerID] = true
+	if len(a) > 0 {
+		c.res.Stats.AnswerMsgs++
+		c.res.Stats.TuplesSent += len(a)
+		c.res.Answers = append(c.res.Answers, a...)
+	}
+}
+
+func (c *Cluster) recordStates(proc core.Processor, states []core.State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.res.Stats.StateMsgs += len(states)
+	for _, s := range states {
+		c.res.Stats.TuplesSent += proc.StateTuples(s)
+	}
+}
+
+func (c *Cluster) finish() { close(c.done) }
+
+func (a *actor) run() {
+	defer a.cluster.wg.Done()
+	for m := range a.inbox {
+		switch msg := m.(type) {
+		case queryMsg:
+			a.onQuery(msg)
+		case stateMsg:
+			a.onStates(msg)
+		}
+	}
+}
+
+// onQuery is the entry half of Algorithm 3: compute states, then either
+// start the slow iteration (suspending between links) or fan out fast.
+func (a *actor) onQuery(m queryMsg) {
+	a.cluster.recordQuery(a.node.ID(), m.time)
+
+	local := a.proc.LocalState(a.node, m.global)
+	wGlobal := a.proc.GlobalState(a.node, m.global, local)
+
+	k := &continuation{
+		inst:       m.inst,
+		parentInst: m.parentInst,
+		parent:     m.parent,
+		global:     m.global,
+		local:      local,
+		wGlobal:    wGlobal,
+		restrict:   m.restrict,
+		r:          m.r,
+		cursor:     m.time,
+		maxChild:   m.time,
+	}
+	a.conts[k.inst] = k
+
+	if m.r > 0 {
+		k.links = a.sortedLinks()
+		a.advanceSlow(k)
+		return
+	}
+
+	// Fast mode (Algorithm 1 / second loop of Algorithm 3): forward to all
+	// relevant links at once; children owe this peer a convergecast report.
+	k.collected = []core.State{local}
+	for _, l := range a.node.Links() {
+		sub := l.Region.Intersect(m.restrict)
+		if sub.IsEmpty() || !a.proc.LinkRelevant(a.node, sub, wGlobal) {
+			continue
+		}
+		k.pending++
+		a.cluster.send(l.To.ID(), queryMsg{
+			inst:       a.cluster.nextInst(),
+			parentInst: k.inst,
+			parent:     a.node.ID(),
+			global:     wGlobal,
+			restrict:   sub,
+			r:          0,
+			time:       m.time + 1,
+		})
+	}
+	if k.pending == 0 {
+		a.completeFast(k)
+	}
+}
+
+// advanceSlow resumes the slow loop at the next relevant link, or completes
+// the peer's participation.
+func (a *actor) advanceSlow(k *continuation) {
+	for k.next < len(k.links) {
+		l := k.links[k.next]
+		k.next++
+		sub := l.Region.Intersect(k.restrict)
+		if sub.IsEmpty() || !a.proc.LinkRelevant(a.node, sub, k.wGlobal) {
+			continue
+		}
+		a.cluster.send(l.To.ID(), queryMsg{
+			inst:       a.cluster.nextInst(),
+			parentInst: k.inst,
+			parent:     a.node.ID(),
+			global:     k.wGlobal,
+			restrict:   sub,
+			r:          k.r - 1,
+			time:       k.cursor + 1,
+		})
+		return // suspend until the state response arrives
+	}
+	a.completeSlow(k)
+}
+
+// onStates receives a batch of remote local states: the response a slow loop
+// awaits, or a convergecast report in fast mode.
+func (a *actor) onStates(m stateMsg) {
+	k := a.conts[m.parentInst]
+	if k == nil {
+		return
+	}
+
+	if k.r > 0 {
+		// Algorithm 3 lines 7-9: fold the received states in, then continue.
+		// State messages are counted where the paper's slow loop reads them.
+		a.cluster.recordStates(a.proc, m.states)
+		k.local = a.proc.MergeStates(a.node, append([]core.State{k.local}, m.states...))
+		k.wGlobal = a.proc.GlobalState(a.node, k.global, k.local)
+		k.cursor = m.time
+		a.advanceSlow(k)
+		return
+	}
+
+	// Fast-mode convergecast: collect and, when every child has reported,
+	// aggregate upstream.
+	k.collected = append(k.collected, m.states...)
+	if m.time > k.maxChild {
+		k.maxChild = m.time
+	}
+	k.pending--
+	if k.pending == 0 {
+		a.completeFast(k)
+	}
+}
+
+func (a *actor) completeSlow(k *continuation) {
+	delete(a.conts, k.inst)
+	a.cluster.recordAnswer(a.node.ID(), a.proc.LocalAnswer(a.node, k.local))
+	if k.parent == "" {
+		a.cluster.finish()
+		return
+	}
+	a.cluster.send(k.parent, stateMsg{
+		parentInst: k.parentInst,
+		states:     []core.State{k.local},
+		time:       k.cursor,
+	})
+}
+
+func (a *actor) completeFast(k *continuation) {
+	delete(a.conts, k.inst)
+	a.cluster.recordAnswer(a.node.ID(), a.proc.LocalAnswer(a.node, k.local))
+	if k.parent == "" {
+		a.cluster.finish()
+		return
+	}
+	a.cluster.send(k.parent, stateMsg{
+		parentInst: k.parentInst,
+		states:     k.collected,
+		time:       k.maxChild,
+	})
+}
+
+func (a *actor) sortedLinks() []overlay.Link {
+	type ranked struct {
+		link overlay.Link
+		prio float64
+	}
+	rs := make([]ranked, 0, len(a.node.Links()))
+	for _, l := range a.node.Links() {
+		rs = append(rs, ranked{link: l, prio: a.proc.LinkPriority(a.node, l.Region)})
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].prio < rs[j].prio })
+	links := make([]overlay.Link, len(rs))
+	for i, r := range rs {
+		links[i] = r.link
+	}
+	return links
+}

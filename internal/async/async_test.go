@@ -1,0 +1,164 @@
+package async
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripple/internal/baselines/naive"
+	"ripple/internal/can"
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/skyline"
+	"ripple/internal/topk"
+)
+
+// The actor runtime must reproduce the structural engine exactly on
+// single-delivery overlays: same answers, same message counts, same
+// hop-accurate latency, for every ripple parameter.
+func TestAsyncMatchesEngineTopK(t *testing.T) {
+	ts := dataset.NBA(4000, 1)
+	net := midas.Build(96, midas.Options{Dims: 6, Seed: 3})
+	overlay.Load(net, ts)
+	proc := &topk.Processor{F: topk.UniformLinear(6), K: 10}
+	cluster := NewCluster(net, proc)
+	defer cluster.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	for _, r := range []int{0, 1, 3, 1 << 20} {
+		for q := 0; q < 4; q++ {
+			w := net.RandomPeer(rng)
+			sync := core.Run(w, proc, r)
+			asyn := cluster.Run(w.ID(), r)
+
+			if sync.Stats.Latency != asyn.Stats.Latency {
+				t.Fatalf("r=%d: latency sync %d vs async %d", r, sync.Stats.Latency, asyn.Stats.Latency)
+			}
+			if sync.Stats.QueryMsgs != asyn.Stats.QueryMsgs {
+				t.Fatalf("r=%d: query msgs sync %d vs async %d", r, sync.Stats.QueryMsgs, asyn.Stats.QueryMsgs)
+			}
+			if sync.Stats.StateMsgs != asyn.Stats.StateMsgs {
+				t.Fatalf("r=%d: state msgs sync %d vs async %d", r, sync.Stats.StateMsgs, asyn.Stats.StateMsgs)
+			}
+			got := topk.Select(asyn.Answers, proc.F, proc.K)
+			want := topk.Select(sync.Answers, proc.F, proc.K)
+			for i := range want {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("r=%d: answer %d differs", r, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAsyncMatchesEngineSkyline(t *testing.T) {
+	ts := dataset.Synth(dataset.SynthConfig{N: 2500, Dims: 3, Centers: 20, Seed: 7})
+	net := midas.Build(64, midas.Options{Dims: 3, Seed: 9, PreferBorder: true})
+	overlay.Load(net, ts)
+	proc := &skyline.Processor{}
+	cluster := NewCluster(net, proc)
+	defer cluster.Close()
+
+	want := skyline.Compute(ts)
+	for _, r := range []int{0, 2, 1 << 20} {
+		res := cluster.Run(net.Peers()[5].ID(), r)
+		got := skyline.Compute(res.Answers)
+		if len(got) != len(want) {
+			t.Fatalf("r=%d: async skyline %d vs %d", r, len(got), len(want))
+		}
+	}
+}
+
+func TestAsyncBroadcastExactlyOnce(t *testing.T) {
+	net := midas.Build(128, midas.Options{Dims: 3, Seed: 11})
+	overlay.Load(net, dataset.Uniform(400, 3, 2))
+	proc := &naive.Processor{LocalSelect: func(w overlay.Node) []dataset.Tuple { return w.Tuples() }}
+	cluster := NewCluster(net, proc)
+	defer cluster.Close()
+
+	res := cluster.Run(net.Peers()[0].ID(), 0)
+	if res.Stats.QueryMsgs != 128 || res.Stats.MaxPerPeer() != 1 {
+		t.Fatalf("async broadcast: msgs=%d maxPerPeer=%d", res.Stats.QueryMsgs, res.Stats.MaxPerPeer())
+	}
+	if len(res.Answers) != 400 {
+		t.Fatalf("collected %d tuples, want 400", len(res.Answers))
+	}
+}
+
+func TestAsyncLemmaLatencies(t *testing.T) {
+	// On a perfect tree with a never-pruning processor, the actor runtime's
+	// message clocks must reproduce the Lemma 1-3 worst cases exactly.
+	const depth = 6
+	net := midas.BuildPerfect(depth, midas.Options{Dims: 2, Seed: 1})
+	proc := &naive.Processor{LocalSelect: func(w overlay.Node) []dataset.Tuple { return nil }}
+	cluster := NewCluster(net, proc)
+	defer cluster.Close()
+
+	for r := 0; r <= depth; r++ {
+		res := cluster.Run(net.Peers()[0].ID(), r)
+		want := core.RippleWorstLatency(depth, 0, r)
+		if res.Stats.Latency != want {
+			t.Fatalf("r=%d: async latency %d, lemma predicts %d", r, res.Stats.Latency, want)
+		}
+	}
+}
+
+func TestAsyncOverCANFragments(t *testing.T) {
+	// Over CAN a peer can receive several restriction fragments; the runtime
+	// must keep per-delivery continuations and still answer once per peer.
+	ts := dataset.NBA(2000, 4)
+	net := can.Build(48, can.Options{Dims: 6, Seed: 5})
+	overlay.Load(net, ts)
+	proc := &topk.Processor{F: topk.UniformLinear(6), K: 8}
+	cluster := NewCluster(net, proc)
+	defer cluster.Close()
+
+	want := topk.Brute(ts, proc.F, 8)
+	for _, r := range []int{0, 2, 1 << 20} {
+		res := cluster.Run(net.Peers()[0].ID(), r)
+		got := topk.Select(res.Answers, proc.F, 8)
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("r=%d: CAN async answer %d differs", r, i)
+			}
+		}
+	}
+}
+
+func TestAsyncSequentialQueriesReuseCluster(t *testing.T) {
+	ts := dataset.Uniform(500, 2, 3)
+	net := midas.Build(32, midas.Options{Dims: 2, Seed: 13})
+	overlay.Load(net, ts)
+	proc := &topk.Processor{F: topk.UniformLinear(2), K: 5}
+	cluster := NewCluster(net, proc)
+	defer cluster.Close()
+	want := topk.Brute(ts, proc.F, 5)
+	for q := 0; q < 10; q++ {
+		res := cluster.Run(net.Peers()[q%32].ID(), q%3)
+		got := topk.Select(res.Answers, proc.F, 5)
+		if got[0].ID != want[0].ID {
+			t.Fatalf("query %d: wrong best answer", q)
+		}
+	}
+}
+
+func TestAsyncMatchesEngineSkylineStats(t *testing.T) {
+	ts := dataset.NBA(2500, 11)
+	net := midas.BuildWithData(48, midas.Options{Dims: 6, Seed: 15, PreferBorder: true}, ts)
+	proc := &skyline.Processor{}
+	cluster := NewCluster(net, proc)
+	defer cluster.Close()
+	for _, r := range []int{0, 2, 1 << 20} {
+		w := net.Peers()[9]
+		sync := core.Run(w, proc, r)
+		asyn := cluster.Run(w.ID(), r)
+		if sync.Stats.Latency != asyn.Stats.Latency || sync.Stats.QueryMsgs != asyn.Stats.QueryMsgs {
+			t.Fatalf("r=%d: stats diverge: engine (lat %d, msgs %d) vs actors (lat %d, msgs %d)",
+				r, sync.Stats.Latency, sync.Stats.QueryMsgs, asyn.Stats.Latency, asyn.Stats.QueryMsgs)
+		}
+		if len(skyline.Compute(sync.Answers)) != len(skyline.Compute(asyn.Answers)) {
+			t.Fatalf("r=%d: answers diverge", r)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package divbase
+
+import (
+	"math"
+	"testing"
+
+	"ripple/internal/can"
+	"ripple/internal/dataset"
+	"ripple/internal/diversify"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+)
+
+func TestBaselineMatchesOracle(t *testing.T) {
+	ts := dataset.MIRFlickr(1200, 2)
+	net := can.Build(40, can.Options{Dims: 5, Seed: 4})
+	overlay.Load(net, ts)
+	q := diversify.NewQuery(ts[11].Vec, 0.5)
+	oracle := diversify.Greedy(q, 6, diversify.NewBruteSolver(ts, q), diversify.MaxIters)
+	base := Greedy(net, net.Peers()[0], q, 6, diversify.MaxIters)
+	if math.Abs(oracle.Objective-base.Objective) > 1e-9 {
+		t.Fatalf("objectives differ: oracle %v, baseline %v", oracle.Objective, base.Objective)
+	}
+	if len(base.Set) != 6 {
+		t.Fatalf("baseline set size %d", len(base.Set))
+	}
+}
+
+func TestBaselineCostsExceedRipple(t *testing.T) {
+	// The headline claim of §7.2.3: the baseline floods the overlay per step,
+	// so its congestion dwarfs RIPPLE's (which prunes and prioritises).
+	ts := dataset.MIRFlickr(2000, 3)
+	cnet := can.Build(64, can.Options{Dims: 5, Seed: 6})
+	overlay.Load(cnet, ts)
+	mnet := midas.Build(64, midas.Options{Dims: 5, Seed: 6})
+	overlay.Load(mnet, ts)
+	q := diversify.NewQuery(ts[5].Vec, 0.5)
+
+	baseRes := Greedy(cnet, cnet.Peers()[0], q, 5, 3)
+	ripRes := diversify.Greedy(q, 5, diversify.NewRippleSolver(mnet.Peers()[0], q, 1<<20), 3)
+	if ripRes.Stats.Congestion() >= baseRes.Stats.Congestion() {
+		t.Fatalf("ripple-slow congestion %v not below baseline %v",
+			ripRes.Stats.Congestion(), baseRes.Stats.Congestion())
+	}
+}
+
+func TestSolverRespectsThreshold(t *testing.T) {
+	ts := dataset.Uniform(300, 2, 8)
+	net := can.Build(16, can.Options{Dims: 2, Seed: 2})
+	overlay.Load(net, ts)
+	q := diversify.NewQuery(ts[0].Vec, 0.5)
+	solver := NewSolver(net.Peers()[0], q)
+	got, _ := solver(dataset.Sample(ts, 3, 1), map[uint64]bool{}, -5)
+	if got != nil {
+		t.Fatalf("impossible threshold returned %v", got)
+	}
+}

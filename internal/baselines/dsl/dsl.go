@@ -1,0 +1,162 @@
+// Package dsl implements DSL (Wu et al., "Parallelizing skyline queries for
+// scalable distribution", EDBT 2006), the paper's CAN-based skyline
+// competitor (§2.2). The query is routed to the peer owning the origin of
+// the data space, which roots a multicast wavefront: each peer merges the
+// partial skylines received from its lower neighbours with its local skyline
+// and forwards the result across its upper faces, skipping neighbours whose
+// entire zone is dominated (they cannot contribute). Peers whose zones
+// cannot dominate each other proceed in parallel.
+//
+// Faithful simplification (see DESIGN.md): a peer processes at its earliest
+// receive time with the partial skylines accumulated by then, instead of
+// blocking on every predecessor; pruning stays conservative, so the answer is
+// still the exact skyline while costs reflect the wavefront's hop structure.
+package dsl
+
+import (
+	"container/heap"
+
+	"ripple/internal/can"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/sim"
+	"ripple/internal/skyline"
+)
+
+// Run processes a full-space skyline query initiated at from. It returns the
+// exact skyline and the cost statistics (latency in hops, congestion as
+// query messages processed).
+func Run(net *can.Network, from *can.Peer) ([]dataset.Tuple, sim.Stats) {
+	var stats sim.Stats
+	dims := net.Dims()
+	origin := geom.Origin(dims)
+
+	// Phase 1: greedy-route the query from the initiator to the peer whose
+	// zone contains the origin (the root of the multicast hierarchy).
+	root, hops := routeToPoint(from, origin, &stats)
+
+	// Phase 2: the wavefront. Peers are processed in receive-time order;
+	// deliveries carry the sender's accumulated partial skyline.
+	type inbox struct {
+		time  int
+		state []dataset.Tuple
+		seen  bool
+	}
+	boxes := map[*can.Peer]*inbox{root: {time: hops}}
+	pq := &peerQueue{{peer: root, time: hops}}
+	heap.Init(pq)
+
+	var answers []dataset.Tuple
+	maxTime := hops
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(queued)
+		ib := boxes[item.peer]
+		if ib.seen || item.time > ib.time {
+			continue // stale queue entry
+		}
+		ib.seen = true
+		stats.Touch(item.peer.ID())
+		if ib.time > maxTime {
+			maxTime = ib.time
+		}
+
+		local := skyline.Compute(item.peer.Tuples())
+		merged := skyline.Merge(ib.state, local)
+		// The peer's contribution: its local tuples surviving the merge.
+		localIDs := make(map[uint64]bool, len(local))
+		for _, t := range local {
+			localIDs[t.ID] = true
+		}
+		contributed := 0
+		for _, t := range merged {
+			if localIDs[t.ID] {
+				answers = append(answers, t)
+				contributed++
+			}
+		}
+		if contributed > 0 {
+			stats.AnswerMsgs++
+			stats.TuplesSent += contributed
+		}
+
+		// Forward across every upper face to neighbours that can still hold
+		// skyline tuples.
+		for dim := 0; dim < dims; dim++ {
+			for _, nb := range item.peer.FaceNeighbors(dim, +1) {
+				if dominatedZone(merged, nb.Rect()) {
+					continue
+				}
+				nib := boxes[nb]
+				if nib == nil {
+					nib = &inbox{time: ib.time + 1}
+					boxes[nb] = nib
+				}
+				if nib.seen {
+					continue
+				}
+				if ib.time+1 < nib.time {
+					nib.time = ib.time + 1
+				}
+				nib.state = skyline.Merge(nib.state, merged)
+				stats.StateMsgs++
+				stats.TuplesSent += len(merged)
+				heap.Push(pq, queued{peer: nb, time: nib.time})
+			}
+		}
+	}
+	stats.Latency = maxTime
+	return skyline.Compute(answers), stats
+}
+
+// dominatedZone reports whether any skyline point dominates the whole zone.
+func dominatedZone(sky []dataset.Tuple, zone geom.Rect) bool {
+	for _, s := range sky {
+		if geom.DominatesRect(s.Vec, zone) {
+			return true
+		}
+	}
+	return false
+}
+
+// routeToPoint greedily forwards toward the peer owning p, one abutting zone
+// at a time (CAN routing), charging one hop and one processed message per
+// relay. Returns the owner and the hop count.
+func routeToPoint(from *can.Peer, p geom.Point, stats *sim.Stats) (*can.Peer, int) {
+	cur := from
+	hops := 0
+	for !cur.Rect().Contains(p) {
+		best := cur
+		bestDist := geom.L2.MinDist(p, cur.Rect())
+		for _, nb := range cur.Neighbors() {
+			if d := geom.L2.MinDist(p, nb.Rect()); d < bestDist {
+				best, bestDist = nb, d
+			}
+		}
+		if best == cur {
+			panic("dsl: CAN routing stuck")
+		}
+		stats.Touch(cur.ID())
+		cur = best
+		hops++
+	}
+	return cur, hops
+}
+
+type queued struct {
+	peer *can.Peer
+	time int
+}
+
+type peerQueue []queued
+
+func (q peerQueue) Len() int            { return len(q) }
+func (q peerQueue) Less(i, j int) bool  { return q[i].time < q[j].time }
+func (q peerQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *peerQueue) Push(x interface{}) { *q = append(*q, x.(queued)) }
+func (q *peerQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

@@ -1,0 +1,65 @@
+package dsl
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripple/internal/can"
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+	"ripple/internal/skyline"
+)
+
+func TestDSLComputesExactSkyline(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		ts := dataset.Synth(dataset.SynthConfig{N: 2000, Dims: 3, Centers: 25, Seed: seed})
+		want := skyline.Compute(ts)
+		net := can.Build(60, can.Options{Dims: 3, Seed: seed + 100})
+		overlay.Load(net, ts)
+		rng := rand.New(rand.NewSource(seed))
+		for q := 0; q < 4; q++ {
+			got, stats := Run(net, net.RandomPeer(rng))
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: skyline size %d, want %d", seed, len(got), len(want))
+			}
+			ids := map[uint64]bool{}
+			for _, x := range got {
+				ids[x.ID] = true
+			}
+			for _, x := range want {
+				if !ids[x.ID] {
+					t.Fatalf("seed %d: missing skyline tuple %v", seed, x)
+				}
+			}
+			if stats.Latency <= 0 && net.Size() > 1 {
+				t.Fatalf("seed %d: zero latency on %d-peer overlay", seed, net.Size())
+			}
+		}
+	}
+}
+
+func TestDSLPrunesDominatedRegions(t *testing.T) {
+	// With clustered low-dimensional data, much of the grid is dominated and
+	// must not be processed.
+	ts := dataset.Synth(dataset.SynthConfig{N: 3000, Dims: 2, Centers: 10, Seed: 3})
+	net := can.Build(200, can.Options{Dims: 2, Seed: 8})
+	overlay.Load(net, ts)
+	_, stats := Run(net, net.Peers()[0])
+	if stats.QueryMsgs >= 200 {
+		t.Fatalf("DSL processed %d messages on 200 peers; pruning ineffective", stats.QueryMsgs)
+	}
+}
+
+func TestDSLOnSinglePeer(t *testing.T) {
+	ts := dataset.Uniform(100, 2, 1)
+	net := can.Build(1, can.Options{Dims: 2, Seed: 1})
+	overlay.Load(net, ts)
+	got, stats := Run(net, net.Peers()[0])
+	want := skyline.Compute(ts)
+	if len(got) != len(want) {
+		t.Fatalf("singleton DSL: %d vs %d", len(got), len(want))
+	}
+	if stats.Latency != 0 {
+		t.Fatalf("singleton latency = %d", stats.Latency)
+	}
+}

@@ -1,0 +1,57 @@
+// Package naive implements the strawman of the paper's introduction:
+// broadcast the query to the entire network, have every peer return its
+// locally qualifying tuples, and derive the answer at the initiator. Latency
+// equals the network diameter (optimal) but every peer is reached and no
+// remote pruning is possible. It doubles as the reference "reach everybody
+// exactly once" processor for engine tests and ablation benchmarks.
+package naive
+
+import (
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+)
+
+// Processor broadcasts a query with no state and no pruning. LocalSelect
+// extracts each peer's locally qualifying tuples (for a top-k query, its
+// local top-k; for a skyline query, its local skyline).
+type Processor struct {
+	LocalSelect func(w overlay.Node) []dataset.Tuple
+}
+
+var _ core.Processor = (*Processor)(nil)
+
+// InitialState implements core.Processor.
+func (p *Processor) InitialState() core.State { return nil }
+
+// StateTuples implements core.Processor.
+func (p *Processor) StateTuples(core.State) int { return 0 }
+
+// LocalState implements core.Processor.
+func (p *Processor) LocalState(w overlay.Node, global core.State) core.State { return nil }
+
+// GlobalState implements core.Processor.
+func (p *Processor) GlobalState(w overlay.Node, global, local core.State) core.State { return nil }
+
+// MergeStates implements core.Processor.
+func (p *Processor) MergeStates(w overlay.Node, states []core.State) core.State { return nil }
+
+// LinkRelevant implements core.Processor: naive processing never prunes.
+func (p *Processor) LinkRelevant(w overlay.Node, region overlay.Region, global core.State) bool {
+	return true
+}
+
+// LinkPriority implements core.Processor: order is immaterial.
+func (p *Processor) LinkPriority(w overlay.Node, region overlay.Region) float64 { return 0 }
+
+// LocalAnswer implements core.Processor.
+func (p *Processor) LocalAnswer(w overlay.Node, local core.State) []dataset.Tuple {
+	return p.LocalSelect(w)
+}
+
+// Broadcast floods the query from the initiator (always in fast mode — the
+// strawman has no use for slow iteration) and returns the collected tuples
+// plus costs.
+func Broadcast(initiator overlay.Node, localSelect func(w overlay.Node) []dataset.Tuple) *core.Result {
+	return core.Run(initiator, &Processor{LocalSelect: localSelect}, 0)
+}

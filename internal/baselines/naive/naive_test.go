@@ -1,0 +1,66 @@
+package naive
+
+import (
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/skyline"
+	"ripple/internal/topk"
+)
+
+func TestBroadcastTopK(t *testing.T) {
+	// The strawman from §1: every peer ships its local top-k; the initiator
+	// merges. Latency optimal, congestion = n.
+	ts := dataset.NBA(3000, 1)
+	n := midas.Build(64, midas.Options{Dims: 6, Seed: 2})
+	overlay.Load(n, ts)
+	f := topk.UniformLinear(6)
+	res := Broadcast(n.Peers()[0], func(w overlay.Node) []dataset.Tuple {
+		return topk.Brute(w.Tuples(), f, 10)
+	})
+	got := topk.Select(res.Answers, f, 10)
+	want := topk.Brute(ts, f, 10)
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("naive top-k wrong at rank %d", i)
+		}
+	}
+	if res.Stats.QueryMsgs != 64 {
+		t.Fatalf("congestion %d, want n=64", res.Stats.QueryMsgs)
+	}
+	if res.Stats.Latency > n.MaxDepth() {
+		t.Fatalf("latency %d above diameter %d", res.Stats.Latency, n.MaxDepth())
+	}
+}
+
+func TestBroadcastSkyline(t *testing.T) {
+	ts := dataset.Uniform(2000, 3, 4)
+	n := midas.Build(32, midas.Options{Dims: 3, Seed: 5})
+	overlay.Load(n, ts)
+	res := Broadcast(n.Peers()[0], func(w overlay.Node) []dataset.Tuple {
+		return skyline.Compute(w.Tuples())
+	})
+	got := skyline.Compute(res.Answers)
+	want := skyline.Compute(ts)
+	if len(got) != len(want) {
+		t.Fatalf("naive skyline %d vs %d", len(got), len(want))
+	}
+}
+
+func TestProcessorStatelessContract(t *testing.T) {
+	p := &Processor{LocalSelect: func(w overlay.Node) []dataset.Tuple { return nil }}
+	if p.InitialState() != nil || p.StateTuples(nil) != 0 {
+		t.Fatal("naive state must be empty")
+	}
+	if p.LocalState(nil, nil) != nil || p.GlobalState(nil, nil, nil) != nil || p.MergeStates(nil, nil) != nil {
+		t.Fatal("naive states must stay nil")
+	}
+	if !p.LinkRelevant(nil, overlay.Region{}, nil) {
+		t.Fatal("naive never prunes")
+	}
+	if p.LinkPriority(nil, overlay.Region{}) != 0 {
+		t.Fatal("naive priority must be constant")
+	}
+}

@@ -1,0 +1,175 @@
+// Package ssp implements SSP — Skyline Space Partitioning (Wang et al.,
+// ICDE 2007) — the paper's BATON-based skyline competitor (§2.2). The
+// multidimensional data space is mapped onto BATON's one-dimensional keyspace
+// with a Z-curve. Processing starts at the peer responsible for the region
+// containing the origin of the data space; it computes its local skyline,
+// selects the most dominating point to refine the search space, prunes the
+// peers whose entire (Z-interval) region is dominated, and queries the
+// remaining peers in parallel via BATON routing, merging their local skyline
+// sets into the global answer.
+package ssp
+
+import (
+	"math"
+
+	"ripple/internal/baton"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/sim"
+	"ripple/internal/skyline"
+	"ripple/internal/zorder"
+)
+
+// System couples a BATON overlay with the Z-curve that linearises the data
+// domain onto its keyspace.
+type System struct {
+	Net   *baton.Network
+	Curve zorder.Curve
+}
+
+// Key maps a data point to its (normalised) BATON key.
+func (s *System) Key(p geom.Point) float64 {
+	return float64(s.Curve.Encode(p)) / float64(s.Curve.MaxKey()+1)
+}
+
+// Build creates a system of size peers for d-dimensional data, with range
+// boundaries balanced for the given tuples (nil for a uniform partition),
+// and loads the tuples.
+func Build(size, d int, ts []dataset.Tuple) *System {
+	s := &System{Curve: zorder.New(d)}
+	var bounds []float64
+	if len(ts) > 0 {
+		keys := make([]float64, len(ts))
+		for i, t := range ts {
+			keys[i] = float64(s.Curve.Encode(t.Vec)) / float64(s.Curve.MaxKey()+1)
+		}
+		bounds = baton.EqualCountBounds(keys, size)
+	}
+	s.Net = baton.Build(size, bounds)
+	for _, t := range ts {
+		s.Net.Insert(s.Key(t.Vec), t)
+	}
+	return s
+}
+
+// zRange returns the inclusive Z-key interval a peer's key range covers, and
+// whether it is non-empty.
+func (s *System) zRange(p *baton.Peer) (lo, hi uint64, ok bool) {
+	rlo, rhi := p.Range()
+	scale := float64(s.Curve.MaxKey() + 1)
+	loF := math.Ceil(rlo * scale)
+	hiF := math.Ceil(rhi*scale) - 1
+	if hiF < loF {
+		return 0, 0, false
+	}
+	return uint64(loF), uint64(hiF), true
+}
+
+// regionBoxes returns the axis-parallel boxes a peer's Z-interval decomposes
+// into — the geometric region the peer is responsible for.
+func (s *System) regionBoxes(p *baton.Peer) []geom.Rect {
+	lo, hi, ok := s.zRange(p)
+	if !ok {
+		return nil
+	}
+	return s.Curve.Boxes(lo, hi)
+}
+
+// Run processes a full-space skyline query initiated at from, returning the
+// exact skyline and the costs. Latency counts the route to the origin peer
+// plus the longest parallel route to a queried peer; congestion counts every
+// routed message processed along the way.
+func Run(s *System, from *baton.Peer) ([]dataset.Tuple, sim.Stats) {
+	var stats sim.Stats
+
+	// Route the query to the peer owning the origin of the data space.
+	originPeer := s.Net.Owner(0)
+	stats.Touch(from.ID())
+	path := from.Route(0)
+	for _, q := range path {
+		stats.Touch(q.ID())
+	}
+	baseLatency := len(path)
+
+	// The origin peer computes its local skyline and the most dominating
+	// point, which defines the pruned search space.
+	localSky := skyline.Compute(originPeer.Tuples())
+	var pStar *geom.Point
+	bestSum := math.Inf(1)
+	for _, t := range localSky {
+		sum := 0.0
+		for _, v := range t.Vec {
+			sum += v
+		}
+		if sum < bestSum {
+			bestSum = sum
+			v := t.Vec
+			pStar = &v
+		}
+	}
+
+	answers := append([]dataset.Tuple(nil), localSky...)
+
+	// Query every unpruned peer in parallel via BATON routing.
+	maxRoute := 0
+	for _, w := range s.Net.Peers() {
+		if w == originPeer {
+			continue
+		}
+		if !s.peerRelevant(w, pStar) {
+			continue
+		}
+		lo, _ := w.Range()
+		route := originPeer.Route(lo)
+		for _, q := range route {
+			stats.Touch(q.ID())
+		}
+		if len(route) > maxRoute {
+			maxRoute = len(route)
+		}
+		// The queried peer returns its local skyline, filtered by p*.
+		var contrib []dataset.Tuple
+		for _, t := range skyline.Compute(w.Tuples()) {
+			if pStar == nil || !pStar.Dominates(t.Vec) {
+				contrib = append(contrib, t)
+			}
+		}
+		if len(contrib) > 0 {
+			stats.AnswerMsgs++
+			stats.TuplesSent += len(contrib)
+			answers = append(answers, contrib...)
+		}
+	}
+
+	stats.Latency = baseLatency + maxRoute
+	return skyline.Compute(answers), stats
+}
+
+// peerRelevant reports whether the peer's region can still contain skyline
+// tuples given the most dominating point. SSP reasons about a peer's region
+// through the bounding box of its Z-interval — the source of the Z-curve
+// false positives the paper attributes to it ("more false positive skyline
+// tuples are considered and network routing becomes less effective"): a
+// Z-interval's bounding box is much larger than the cells it actually
+// covers, so many irrelevant peers survive the prune.
+func (s *System) peerRelevant(w *baton.Peer, pStar *geom.Point) bool {
+	boxes := s.regionBoxes(w)
+	if len(boxes) == 0 {
+		return len(w.Tuples()) > 0 // degenerate range; be safe
+	}
+	if pStar == nil {
+		return true
+	}
+	bbox := boxes[0].Clone()
+	for _, b := range boxes[1:] {
+		for j := range bbox.Lo {
+			if b.Lo[j] < bbox.Lo[j] {
+				bbox.Lo[j] = b.Lo[j]
+			}
+			if b.Hi[j] > bbox.Hi[j] {
+				bbox.Hi[j] = b.Hi[j]
+			}
+		}
+	}
+	return !pStar.Dominates(bbox.Lo)
+}

@@ -1,0 +1,81 @@
+package ssp
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/skyline"
+)
+
+func TestSSPComputesExactSkyline(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		ts := dataset.Synth(dataset.SynthConfig{N: 2000, Dims: 3, Centers: 25, Seed: seed})
+		want := skyline.Compute(ts)
+		sys := Build(48, 3, ts)
+		rng := rand.New(rand.NewSource(seed))
+		for q := 0; q < 4; q++ {
+			from := sys.Net.Peers()[rng.Intn(sys.Net.Size())]
+			got, stats := Run(sys, from)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d: skyline size %d, want %d", seed, len(got), len(want))
+			}
+			ids := map[uint64]bool{}
+			for _, x := range got {
+				ids[x.ID] = true
+			}
+			for _, x := range want {
+				if !ids[x.ID] {
+					t.Fatalf("seed %d: missing tuple %v", seed, x)
+				}
+			}
+			if stats.QueryMsgs == 0 {
+				t.Fatal("no messages recorded")
+			}
+		}
+	}
+}
+
+func TestSSPLoadsAllTuples(t *testing.T) {
+	ts := dataset.Uniform(1000, 4, 7)
+	sys := Build(32, 4, ts)
+	total := 0
+	for _, w := range sys.Net.Peers() {
+		total += len(w.Tuples())
+	}
+	if total != 1000 {
+		t.Fatalf("loaded %d tuples, want 1000", total)
+	}
+	// Equal-count bounds: no peer grossly overloaded.
+	for _, w := range sys.Net.Peers() {
+		if len(w.Tuples()) > 1000/32*5 {
+			t.Fatalf("peer %s holds %d tuples; balancing failed", w.ID(), len(w.Tuples()))
+		}
+	}
+}
+
+func TestSSPPrunesPeers(t *testing.T) {
+	ts := dataset.Synth(dataset.SynthConfig{N: 4000, Dims: 2, Centers: 8, Seed: 5})
+	sys := Build(128, 2, ts)
+	_, stats := Run(sys, sys.Net.Peers()[0])
+	// Congestion counts relays too, but the number of *distinct* peers doing
+	// any work must stay below the full population when pruning bites.
+	if stats.PeersReached() >= 128 {
+		t.Fatalf("SSP touched all %d peers; pruning ineffective", stats.PeersReached())
+	}
+}
+
+func TestZRangeRoundTrip(t *testing.T) {
+	ts := dataset.Uniform(500, 2, 9)
+	sys := Build(16, 2, ts)
+	// Every stored tuple's Z-key must fall inside its host's Z-range.
+	for _, w := range sys.Net.Peers() {
+		lo, hi, ok := sys.zRange(w)
+		for _, tp := range w.Tuples() {
+			z := sys.Curve.Encode(tp.Vec)
+			if !ok || z < lo || z > hi {
+				t.Fatalf("tuple z=%d outside host range [%d,%d] ok=%v", z, lo, hi, ok)
+			}
+		}
+	}
+}

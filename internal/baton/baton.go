@@ -1,0 +1,237 @@
+// Package baton implements the BATON overlay (Jagadish, Ooi, Vu — VLDB 2005):
+// a BAlanced Tree Overlay Network in which every node of a balanced binary
+// tree is a peer responsible for a contiguous range of a one-dimensional
+// keyspace (in-order traversal yields key order). Besides parent/child and
+// adjacent (in-order neighbour) links, each peer keeps left and right routing
+// tables pointing to same-level peers at distances 2^j, giving O(log n)
+// routing. BATON hosts the paper's SSP skyline competitor, which maps
+// multidimensional data onto the keyspace with a Z-curve.
+package baton
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"ripple/internal/dataset"
+)
+
+// Network is a simulated BATON overlay with a fixed peer population laid out
+// as a complete binary tree (heap order, last level filled left to right).
+type Network struct {
+	peers  []*Peer   // heap order; index 0 is the root
+	byRank []*Peer   // in-order rank -> peer
+	bounds []float64 // len(peers)+1 ascending range boundaries over [0,1)
+}
+
+// Peer is a BATON participant: one node of the balanced tree.
+type Peer struct {
+	net    *Network
+	idx    int // heap index
+	rank   int // in-order rank
+	tuples []dataset.Tuple
+}
+
+// Build creates a network of size peers partitioning [0,1) at the given
+// boundaries (bounds must be ascending with bounds[0] = 0, bounds[size] = 1;
+// pass nil for a uniform partition). Range r — [bounds[r], bounds[r+1]) —
+// goes to the peer with in-order rank r, so key order equals in-order
+// traversal order, BATON's defining property.
+func Build(size int, bounds []float64) *Network {
+	if size <= 0 {
+		panic("baton: non-positive size")
+	}
+	if bounds == nil {
+		bounds = make([]float64, size+1)
+		for i := range bounds {
+			bounds[i] = float64(i) / float64(size)
+		}
+	}
+	if len(bounds) != size+1 {
+		panic(fmt.Sprintf("baton: %d bounds for %d peers", len(bounds), size))
+	}
+	n := &Network{bounds: bounds}
+	n.peers = make([]*Peer, size)
+	for i := range n.peers {
+		n.peers[i] = &Peer{net: n, idx: i}
+	}
+	n.byRank = make([]*Peer, size)
+	rank := 0
+	var inorder func(idx int)
+	inorder = func(idx int) {
+		if idx >= size {
+			return
+		}
+		inorder(2*idx + 1)
+		n.peers[idx].rank = rank
+		n.byRank[rank] = n.peers[idx]
+		rank++
+		inorder(2*idx + 2)
+	}
+	inorder(0)
+	return n
+}
+
+// EqualCountBounds derives range boundaries that split the given keys (not
+// necessarily sorted) into size ranges of near-equal cardinality — the load
+// balance BATON's rotations maintain.
+func EqualCountBounds(keys []float64, size int) []float64 {
+	sorted := append([]float64(nil), keys...)
+	sort.Float64s(sorted)
+	bounds := make([]float64, size+1)
+	bounds[size] = 1
+	for r := 1; r < size; r++ {
+		i := r * len(sorted) / size
+		if i < len(sorted) {
+			bounds[r] = sorted[i]
+		} else {
+			bounds[r] = 1
+		}
+	}
+	// Guard against duplicate keys collapsing a range; enforce monotonicity.
+	for r := 1; r <= size; r++ {
+		if bounds[r] < bounds[r-1] {
+			bounds[r] = bounds[r-1]
+		}
+	}
+	return bounds
+}
+
+// Size returns the number of peers.
+func (n *Network) Size() int { return len(n.peers) }
+
+// Peers returns all peers in heap order.
+func (n *Network) Peers() []*Peer { return n.peers }
+
+// ByRank returns the peer with the given in-order rank.
+func (n *Network) ByRank(r int) *Peer { return n.byRank[r] }
+
+// Owner returns the peer responsible for key.
+func (n *Network) Owner(key float64) *Peer {
+	r := sort.SearchFloat64s(n.bounds, key)
+	// SearchFloat64s finds the first bound >= key; range r-1 = [b[r-1], b[r])
+	// contains key unless key equals the bound exactly.
+	if r < len(n.bounds) && n.bounds[r] == key {
+		r++
+	}
+	r--
+	if r < 0 {
+		r = 0
+	}
+	if r >= len(n.byRank) {
+		r = len(n.byRank) - 1
+	}
+	return n.byRank[r]
+}
+
+// Insert stores a tuple at the owner of the given 1-d key.
+func (n *Network) Insert(key float64, t dataset.Tuple) {
+	w := n.Owner(key)
+	w.tuples = append(w.tuples, t)
+}
+
+// ID identifies the peer.
+func (p *Peer) ID() string { return fmt.Sprintf("baton-%d", p.idx) }
+
+// Rank returns the peer's in-order rank.
+func (p *Peer) Rank() int { return p.rank }
+
+// Range returns the peer's key range [lo, hi).
+func (p *Peer) Range() (lo, hi float64) {
+	return p.net.bounds[p.rank], p.net.bounds[p.rank+1]
+}
+
+// Tuples returns the peer's stored tuples.
+func (p *Peer) Tuples() []dataset.Tuple { return p.tuples }
+
+// Level returns the peer's tree level (root = 0).
+func (p *Peer) Level() int { return bits.Len(uint(p.idx+1)) - 1 }
+
+// Links returns the peer's BATON links: parent, children, the two adjacent
+// (in-order) peers, and the left/right routing tables (same-level peers at
+// distances 2^j).
+func (p *Peer) Links() []*Peer {
+	n := p.net
+	size := len(n.peers)
+	var out []*Peer
+	add := func(idx int) {
+		if idx >= 0 && idx < size && idx != p.idx {
+			out = append(out, n.peers[idx])
+		}
+	}
+	if p.idx > 0 {
+		add((p.idx - 1) / 2)
+	}
+	add(2*p.idx + 1)
+	add(2*p.idx + 2)
+	// Adjacent links by in-order rank.
+	if p.rank > 0 {
+		out = append(out, n.byRank[p.rank-1])
+	}
+	if p.rank+1 < size {
+		out = append(out, n.byRank[p.rank+1])
+	}
+	// Routing tables: same level, positions ±2^j.
+	level := p.Level()
+	levelStart := 1<<uint(level) - 1
+	pos := p.idx - levelStart
+	levelSize := 1 << uint(level)
+	for j := 0; ; j++ {
+		d := 1 << uint(j)
+		if d >= levelSize && j > 0 {
+			break
+		}
+		if pos-d >= 0 {
+			add(levelStart + pos - d)
+		}
+		if pos+d < levelSize {
+			add(levelStart + pos + d)
+		}
+		if d >= levelSize {
+			break
+		}
+	}
+	// Deduplicate while preserving order.
+	seen := make(map[int]bool, len(out))
+	uniq := out[:0]
+	for _, q := range out {
+		if !seen[q.idx] {
+			seen[q.idx] = true
+			uniq = append(uniq, q)
+		}
+	}
+	return uniq
+}
+
+// Route returns the peers traversed (excluding the start, including the
+// destination) to reach the owner of key from p, using greedy in-order-rank
+// routing over BATON's links. Adjacent links guarantee strict progress, and
+// the routing tables provide the exponential jumps that make the expected
+// path length O(log n).
+func (p *Peer) Route(key float64) []*Peer {
+	target := p.net.Owner(key).rank
+	var path []*Peer
+	cur := p
+	for cur.rank != target {
+		best := cur
+		bestDist := absInt(cur.rank - target)
+		for _, q := range cur.Links() {
+			if d := absInt(q.rank - target); d < bestDist {
+				best, bestDist = q, d
+			}
+		}
+		if best == cur {
+			panic("baton: routing stuck (adjacent links must always progress)")
+		}
+		cur = best
+		path = append(path, cur)
+	}
+	return path
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

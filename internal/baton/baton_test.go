@@ -1,0 +1,126 @@
+package baton
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ripple/internal/dataset"
+)
+
+func TestInOrderRanksMatchRanges(t *testing.T) {
+	n := Build(13, nil)
+	// In-order traversal must yield strictly increasing, contiguous ranges.
+	prevHi := 0.0
+	for r := 0; r < n.Size(); r++ {
+		lo, hi := n.ByRank(r).Range()
+		if lo != prevHi {
+			t.Fatalf("rank %d: range starts at %v, want %v", r, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("rank %d: empty range [%v,%v)", r, lo, hi)
+		}
+		prevHi = hi
+	}
+	if prevHi != 1 {
+		t.Fatalf("ranges end at %v, want 1", prevHi)
+	}
+}
+
+func TestInOrderIsBSTProperty(t *testing.T) {
+	// Every peer's rank must exceed all ranks in its left subtree and precede
+	// all in its right subtree (spot-checked via children).
+	n := Build(100, nil)
+	for _, p := range n.Peers() {
+		if li := 2*p.idx + 1; li < n.Size() && n.Peers()[li].rank >= p.rank {
+			t.Fatalf("left child rank %d >= parent rank %d", n.Peers()[li].rank, p.rank)
+		}
+		if ri := 2*p.idx + 2; ri < n.Size() && n.Peers()[ri].rank <= p.rank {
+			t.Fatalf("right child rank %d <= parent rank %d", n.Peers()[ri].rank, p.rank)
+		}
+	}
+}
+
+func TestOwnerAndInsert(t *testing.T) {
+	n := Build(16, nil)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		key := rng.Float64()
+		w := n.Owner(key)
+		lo, hi := w.Range()
+		if key < lo || key >= hi {
+			t.Fatalf("Owner(%v) has range [%v,%v)", key, lo, hi)
+		}
+	}
+	n.Insert(0.5, dataset.Tuple{ID: 1})
+	w := n.Owner(0.5)
+	if len(w.Tuples()) != 1 {
+		t.Fatal("insert did not land at owner")
+	}
+}
+
+func TestEqualCountBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]float64, 10000)
+	for i := range keys {
+		keys[i] = math.Pow(rng.Float64(), 3) // heavily skewed
+	}
+	const size = 32
+	bounds := EqualCountBounds(keys, size)
+	n := Build(size, bounds)
+	counts := make([]int, size)
+	for _, k := range keys {
+		counts[n.Owner(k).rank]++
+	}
+	for r, c := range counts {
+		if c < len(keys)/size/3 || c > len(keys)/size*3 {
+			t.Fatalf("rank %d holds %d keys; want near %d", r, c, len(keys)/size)
+		}
+	}
+}
+
+func TestLinksSymmetryOfAdjacency(t *testing.T) {
+	n := Build(50, nil)
+	for _, p := range n.Peers() {
+		for _, q := range p.Links() {
+			if q == p {
+				t.Fatal("self link")
+			}
+		}
+	}
+}
+
+func TestRouteReachesOwnerLogarithmically(t *testing.T) {
+	for _, size := range []int{1, 2, 37, 512, 4096} {
+		n := Build(size, nil)
+		rng := rand.New(rand.NewSource(int64(size)))
+		maxHops := 0
+		for i := 0; i < 100; i++ {
+			from := n.Peers()[rng.Intn(size)]
+			key := rng.Float64()
+			path := from.Route(key)
+			if len(path) > 0 && path[len(path)-1] != n.Owner(key) {
+				t.Fatalf("route ended at %s, owner is %s", path[len(path)-1].ID(), n.Owner(key).ID())
+			}
+			if len(path) == 0 && from != n.Owner(key) {
+				t.Fatal("empty path but not at owner")
+			}
+			if len(path) > maxHops {
+				maxHops = len(path)
+			}
+		}
+		bound := 6 * (1 + intLog2(size))
+		if maxHops > bound {
+			t.Fatalf("size %d: max route %d hops exceeds %d", size, maxHops, bound)
+		}
+	}
+}
+
+func intLog2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

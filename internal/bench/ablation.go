@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"math/rand"
+
+	"ripple/internal/can"
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+	"ripple/internal/topk"
+)
+
+// runPoint issues top-k queries over a MIDAS and a CAN overlay built on the
+// same dataset, folding results into aggs (midas-fast, midas-slow, can-fast,
+// can-slow).
+func runPoint(cfg Config, size int, ts []dataset.Tuple, seed int64, aggs []sim.Aggregate) {
+	dims := dataset.Dims(ts)
+	mnet := midas.BuildWithData(size, midas.Options{Dims: dims, Seed: seed}, ts)
+	cnet := can.Build(size, can.Options{Dims: dims, Seed: seed})
+	overlay.Load(cnet, ts)
+	f := topk.UniformLinear(dims)
+	slowR := 1 << 20
+	rng := rand.New(rand.NewSource(seed + 3))
+	for q := 0; q < cfg.TopKQueries; q++ {
+		idx := rng.Intn(size)
+		_, st := topk.Run(mnet.Peers()[idx], f, cfg.DefaultK, 0)
+		aggs[0].Observe(&st)
+		_, st = topk.Run(mnet.Peers()[idx], f, cfg.DefaultK, slowR)
+		aggs[1].Observe(&st)
+		_, st = topk.Run(cnet.Peers()[idx], f, cfg.DefaultK, 0)
+		aggs[2].Observe(&st)
+		_, st = topk.Run(cnet.Peers()[idx], f, cfg.DefaultK, slowR)
+		aggs[3].Observe(&st)
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/sim"
+	"ripple/internal/topk"
+)
+
+// Churn reproduces the paper's dynamic-topology protocol (§7.1): an
+// *increasing stage* in which peers continuously join (measurements taken at
+// each doubling) followed by a *decreasing stage* in which peers continuously
+// leave — the paper reports the increasing stage and notes the decreasing
+// one is analogous; this experiment produces both. Top-k queries run at both
+// RIPPLE extremes against the same live network, with all tuples staying
+// reachable throughout.
+func Churn(cfg Config) *Result {
+	res := &Result{
+		Fig:    "Churn",
+		Title:  fmt.Sprintf("top-k under churn: increasing then decreasing stage (NBA, k=%d)", cfg.DefaultK),
+		XLabel: "stage",
+		Series: []string{"fast", "slow"},
+	}
+	sizes := cfg.OverlaySizes
+	lo, hi := sizes[0], sizes[len(sizes)-1]
+
+	ts := dataset.NBA(cfg.NBASize, cfg.Seed)
+	net := midas.BuildWithData(lo, midas.Options{Dims: 6, Seed: cfg.Seed}, ts)
+	f := topk.UniformLinear(6)
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+
+	measure := func(stage string) {
+		aggs := make([]sim.Aggregate, 2)
+		for q := 0; q < cfg.TopKQueries; q++ {
+			w := net.RandomPeer(rng)
+			_, st := topk.Run(w, f, cfg.DefaultK, 0)
+			aggs[0].Observe(&st)
+			_, st = topk.Run(w, f, cfg.DefaultK, 1<<20)
+			aggs[1].Observe(&st)
+		}
+		res.AddRow(stage, aggs)
+	}
+
+	// Increasing stage: joins only.
+	measure(fmt.Sprintf("up/%d", net.Size()))
+	for net.Size() < hi {
+		target := net.Size() * 2
+		for net.Size() < target {
+			net.Join()
+		}
+		measure(fmt.Sprintf("up/%d", net.Size()))
+	}
+	// Decreasing stage: departures only, halving back down.
+	for net.Size() > lo {
+		target := net.Size() / 2
+		for net.Size() > target {
+			net.Leave(net.RandomPeer(rng))
+		}
+		measure(fmt.Sprintf("down/%d", net.Size()))
+	}
+	return res
+}

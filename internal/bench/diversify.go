@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ripple/internal/baselines/divbase"
+	"ripple/internal/can"
+	"ripple/internal/dataset"
+	"ripple/internal/diversify"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+)
+
+var divSeriesNames = []string{"ripple-fast", "ripple-slow", "baseline(can)"}
+
+// divSweep runs one k-diversification experiment point across the three
+// methods of Figures 9-12. Every method answers the same full greedy query
+// (the paper's fairness rule), so the aggregates compare pure cost.
+func divSweep(cfg Config, size, dims, k int, lambda float64, gen func(seed int64) []dataset.Tuple, salt int64) []sim.Aggregate {
+	aggs := make([]sim.Aggregate, len(divSeriesNames))
+	for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
+		seed := cfg.Seed + salt*1000 + int64(netIdx)
+		ts := gen(seed)
+
+		mnet := midas.BuildWithData(size, midas.Options{Dims: dims, Seed: seed}, ts)
+		slowR := mnet.MaxDepth()
+
+		cnet := can.Build(size, can.Options{Dims: dims, Seed: seed})
+		overlay.Load(cnet, ts)
+
+		rng := rand.New(rand.NewSource(seed + 13))
+		for qi := 0; qi < cfg.DivQueries; qi++ {
+			q := diversify.NewQuery(ts[rng.Intn(len(ts))].Vec, lambda)
+			idx := rng.Intn(size)
+
+			fast := diversify.Greedy(q, k, diversify.NewRippleSolver(mnet.Peers()[idx], q, 0), cfg.DivMaxIters)
+			aggs[0].Observe(&fast.Stats)
+			slow := diversify.Greedy(q, k, diversify.NewRippleSolver(mnet.Peers()[idx], q, slowR), cfg.DivMaxIters)
+			aggs[1].Observe(&slow.Stats)
+			base := divbase.Greedy(cnet, cnet.Peers()[idx], q, k, cfg.DivMaxIters)
+			aggs[2].Observe(&base.Stats)
+		}
+	}
+	return aggs
+}
+
+// Fig9 regenerates Figure 9: diversification vs overlay size (MIRFLICKR).
+func Fig9(cfg Config) *Result {
+	res := &Result{
+		Fig: "Figure 9", Title: fmt.Sprintf("k-diversification vs overlay size (MIRFLICKR, k=%d, λ=%.1f)", cfg.DefaultK, cfg.DefaultLambda),
+		XLabel: "size", Series: divSeriesNames,
+	}
+	gen := func(seed int64) []dataset.Tuple { return dataset.MIRFlickr(cfg.FlickrSize, seed) }
+	for _, size := range cfg.OverlaySizes {
+		res.AddRow(fmt.Sprint(size), divSweep(cfg, size, 5, cfg.DefaultK, cfg.DefaultLambda, gen, 9))
+	}
+	return res
+}
+
+// Fig10 regenerates Figure 10: diversification vs dimensionality (SYNTH).
+func Fig10(cfg Config) *Result {
+	res := &Result{
+		Fig: "Figure 10", Title: fmt.Sprintf("k-diversification vs dimensionality (SYNTH, size=%d, k=%d)", cfg.DimsSweepSize, cfg.DefaultK),
+		XLabel: "dims", Series: divSeriesNames,
+	}
+	for _, d := range cfg.Dims {
+		d := d
+		gen := func(seed int64) []dataset.Tuple {
+			return dataset.Synth(dataset.SynthConfig{N: cfg.SynthSize, Dims: d, Centers: cfg.SynthSize / 20, Skew: 0.1, Seed: seed})
+		}
+		res.AddRow(fmt.Sprint(d), divSweep(cfg, cfg.DimsSweepSize, d, cfg.DefaultK, cfg.DefaultLambda, gen, 10))
+	}
+	return res
+}
+
+// Fig11 regenerates Figure 11: diversification vs result size (MIRFLICKR).
+func Fig11(cfg Config) *Result {
+	res := &Result{
+		Fig: "Figure 11", Title: fmt.Sprintf("k-diversification vs result size (MIRFLICKR, size=%d)", cfg.DefaultSize),
+		XLabel: "k", Series: divSeriesNames,
+	}
+	gen := func(seed int64) []dataset.Tuple { return dataset.MIRFlickr(cfg.FlickrSize, seed) }
+	for _, k := range cfg.ResultSizes {
+		res.AddRow(fmt.Sprint(k), divSweep(cfg, cfg.DefaultSize, 5, k, cfg.DefaultLambda, gen, 11))
+	}
+	return res
+}
+
+// Fig12 regenerates Figure 12: diversification vs the relevance/diversity
+// trade-off λ (MIRFLICKR).
+func Fig12(cfg Config) *Result {
+	res := &Result{
+		Fig: "Figure 12", Title: fmt.Sprintf("k-diversification vs rel/div trade-off (MIRFLICKR, size=%d, k=%d)", cfg.DefaultSize, cfg.DefaultK),
+		XLabel: "lambda", Series: divSeriesNames,
+	}
+	gen := func(seed int64) []dataset.Tuple { return dataset.MIRFlickr(cfg.FlickrSize, seed) }
+	for _, l := range cfg.Lambdas {
+		res.AddRow(fmt.Sprintf("%.1f", l), divSweep(cfg, cfg.DefaultSize, 5, cfg.DefaultK, l, gen, 12))
+	}
+	return res
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV exports a figure's data points for external plotting: one row per
+// x value, with a latency and a congestion column per series.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{r.XLabel}
+	for _, s := range r.Series {
+		header = append(header, s+"_latency")
+	}
+	for _, s := range r.Series {
+		header = append(header, s+"_congestion")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("bench: csv write: %w", err)
+	}
+	for _, row := range r.Rows {
+		rec := []string{row.X}
+		for _, v := range row.Latency {
+			rec = append(rec, fmt.Sprintf("%.3f", v))
+		}
+		for _, v := range row.Congestion {
+			rec = append(rec, fmt.Sprintf("%.3f", v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: csv write: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+
+	"ripple/internal/baselines/naive"
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+)
+
+// Lemmas validates §3.2 empirically: on a perfect MIDAS tree of depth ∆ with
+// a never-pruning query, measured latency must equal the analytic worst case
+// for every ripple parameter. The result table has one row per r, with the
+// analytic value as the "latency" column and the measured value as the
+// "congestion" column slot repurposed via a second series.
+func Lemmas(depth int) *Result {
+	res := &Result{
+		Fig:    "Lemmas 1-3",
+		Title:  fmt.Sprintf("worst-case latency on a perfect MIDAS tree, ∆=%d (%d peers)", depth, 1<<uint(depth)),
+		XLabel: "r",
+		Series: []string{"analytic", "measured"},
+	}
+	n := midas.BuildPerfect(depth, midas.Options{Dims: 2, Seed: 1})
+	p := &naive.Processor{LocalSelect: func(w overlay.Node) []dataset.Tuple { return nil }}
+	for r := 0; r <= depth; r++ {
+		analytic := core.RippleWorstLatency(depth, 0, r)
+		run := core.Run(n.Peers()[0], p, r)
+		var a, m sim.Aggregate
+		a.Observe(&sim.Stats{Latency: analytic})
+		m.Observe(&run.Stats)
+		res.AddRow(fmt.Sprint(r), []sim.Aggregate{a, m})
+	}
+	return res
+}
+
+// AblationOverlay contrasts RIPPLE top-k over MIDAS with RIPPLE top-k over
+// CAN: the same framework on two substrates, isolating what the
+// polylogarithmic MIDAS topology buys.
+func AblationOverlay(cfg Config) *Result {
+	res := &Result{
+		Fig:    "Ablation B",
+		Title:  fmt.Sprintf("RIPPLE top-k substrate comparison (NBA, k=%d)", cfg.DefaultK),
+		XLabel: "size",
+		Series: []string{"midas-fast", "midas-slow", "can-fast", "can-slow"},
+	}
+	for _, size := range cfg.OverlaySizes {
+		aggs := make([]sim.Aggregate, 4)
+		for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
+			seed := cfg.Seed + 800 + int64(netIdx)
+			ts := dataset.NBA(cfg.NBASize, seed)
+			runPoint(cfg, size, ts, seed, aggs)
+		}
+		res.AddRow(fmt.Sprint(size), aggs)
+	}
+	return res
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ripple/internal/baselines/dsl"
+	"ripple/internal/baselines/ssp"
+	"ripple/internal/can"
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+	"ripple/internal/skyline"
+)
+
+var skylineSeriesNames = []string{"ripple-fast", "ripple-slow", "dsl(can)", "ssp(baton)"}
+
+// skylineSweep runs one skyline experiment point across the four methods of
+// Figures 7-8. The MIDAS overlays enable the §5.2 border-link optimisation,
+// as in the paper's showcased configuration.
+func skylineSweep(cfg Config, size, dims int, gen func(seed int64) []dataset.Tuple, salt int64) []sim.Aggregate {
+	aggs := make([]sim.Aggregate, len(skylineSeriesNames))
+	for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
+		seed := cfg.Seed + salt*1000 + int64(netIdx)
+		ts := gen(seed)
+
+		mnet := midas.BuildWithData(size, midas.Options{Dims: dims, Seed: seed, PreferBorder: true}, ts)
+		slowR := mnet.MaxDepth()
+
+		cnet := can.Build(size, can.Options{Dims: dims, Seed: seed})
+		overlay.Load(cnet, ts)
+
+		snet := ssp.Build(size, dims, ts)
+
+		rng := rand.New(rand.NewSource(seed + 11))
+		for q := 0; q < cfg.SkyQueries; q++ {
+			idx := rng.Intn(size)
+			_, stFast := skyline.Run(mnet.Peers()[idx], 0)
+			aggs[0].Observe(&stFast)
+			_, stSlow := skyline.Run(mnet.Peers()[idx], slowR)
+			aggs[1].Observe(&stSlow)
+			_, stDSL := dsl.Run(cnet, cnet.Peers()[idx])
+			aggs[2].Observe(&stDSL)
+			_, stSSP := ssp.Run(snet, snet.Net.Peers()[idx])
+			aggs[3].Observe(&stSSP)
+		}
+	}
+	return aggs
+}
+
+// Fig7 regenerates Figure 7: skyline computation vs overlay size (NBA).
+func Fig7(cfg Config) *Result {
+	res := &Result{
+		Fig: "Figure 7", Title: "skyline vs overlay size (NBA, d=6)",
+		XLabel: "size", Series: skylineSeriesNames,
+	}
+	gen := func(seed int64) []dataset.Tuple { return dataset.NBA(cfg.NBASize, seed) }
+	for _, size := range cfg.OverlaySizes {
+		res.AddRow(fmt.Sprint(size), skylineSweep(cfg, size, 6, gen, 7))
+	}
+	return res
+}
+
+// Fig8 regenerates Figure 8: skyline computation vs dimensionality (SYNTH).
+func Fig8(cfg Config) *Result {
+	res := &Result{
+		Fig: "Figure 8", Title: fmt.Sprintf("skyline vs dimensionality (SYNTH, size=%d)", cfg.DimsSweepSize),
+		XLabel: "dims", Series: skylineSeriesNames,
+	}
+	for _, d := range cfg.Dims {
+		d := d
+		gen := func(seed int64) []dataset.Tuple {
+			return dataset.Synth(dataset.SynthConfig{N: cfg.SynthSize, Dims: d, Centers: cfg.SynthSize / 20, Skew: 0.1, Seed: seed})
+		}
+		res.AddRow(fmt.Sprint(d), skylineSweep(cfg, cfg.DimsSweepSize, d, gen, 8))
+	}
+	return res
+}
+
+// AblationBorder contrasts skyline processing on MIDAS with and without the
+// §5.2 border-pattern link optimisation — the design choice DESIGN.md calls
+// out for ablation.
+func AblationBorder(cfg Config) *Result {
+	res := &Result{
+		Fig: "Ablation A", Title: fmt.Sprintf("skyline on MIDAS, §5.2 border links on/off (SYNTH, d=%d, size=%d)", cfg.DefaultDims, cfg.DefaultSize),
+		XLabel: "mode", Series: []string{"plain", "border-opt"},
+	}
+	for _, mode := range []string{"fast", "slow"} {
+		aggs := make([]sim.Aggregate, 2)
+		for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
+			seed := cfg.Seed + 900 + int64(netIdx)
+			ts := dataset.Synth(dataset.SynthConfig{N: cfg.SynthSize, Dims: cfg.DefaultDims, Centers: cfg.SynthSize / 20, Skew: 0.1, Seed: seed})
+			plain := midas.BuildWithData(cfg.DefaultSize, midas.Options{Dims: cfg.DefaultDims, Seed: seed}, ts)
+			optim := midas.BuildWithData(cfg.DefaultSize, midas.Options{Dims: cfg.DefaultDims, Seed: seed, PreferBorder: true}, ts)
+			rng := rand.New(rand.NewSource(seed))
+			for q := 0; q < cfg.SkyQueries; q++ {
+				idx := rng.Intn(cfg.DefaultSize)
+				r := 0
+				if mode == "slow" {
+					r = plain.MaxDepth()
+				}
+				_, stPlain := skyline.Run(plain.Peers()[idx], r)
+				aggs[0].Observe(&stPlain)
+				_, stOpt := skyline.Run(optim.Peers()[idx], r)
+				aggs[1].Observe(&stOpt)
+			}
+		}
+		res.AddRow(mode, aggs)
+	}
+	return res
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ripple/internal/sim"
+)
+
+// Result is one regenerated figure: a latency table and a congestion table
+// over the same x-axis and method series.
+type Result struct {
+	Fig    string // "Figure 4", "Lemmas", ...
+	Title  string
+	XLabel string
+	Series []string
+	Rows   []Row
+}
+
+// Row is one x-axis point with per-series metric values (parallel to
+// Result.Series).
+type Row struct {
+	X          string
+	Latency    []float64
+	Congestion []float64
+}
+
+// AddRow appends a row built from per-series aggregates.
+func (r *Result) AddRow(x string, aggs []sim.Aggregate) {
+	row := Row{X: x}
+	for _, a := range aggs {
+		row.Latency = append(row.Latency, a.MeanLatency)
+		row.Congestion = append(row.Congestion, a.MeanCongestion)
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// String renders the figure as two aligned text tables, mirroring the (a)
+// latency and (b) congestion panels of the paper's figures.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", r.Fig, r.Title)
+	b.WriteString(r.panel("(a) latency (hops)", func(row Row) []float64 { return row.Latency }))
+	b.WriteString(r.panel("(b) congestion (messages/query)", func(row Row) []float64 { return row.Congestion }))
+	return b.String()
+}
+
+func (r *Result) panel(caption string, pick func(Row) []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s\n", caption)
+	w := 14
+	fmt.Fprintf(&b, "  %-10s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%*s", w, s)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s", row.X)
+		for _, v := range pick(row) {
+			fmt.Fprintf(&b, "%*.1f", w, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Value returns the metric for a given row/series, for assertions in tests.
+func (r *Result) Value(rowIdx int, series string, congestion bool) float64 {
+	for i, s := range r.Series {
+		if s == series {
+			if congestion {
+				return r.Rows[rowIdx].Congestion[i]
+			}
+			return r.Rows[rowIdx].Latency[i]
+		}
+	}
+	panic("bench: unknown series " + series)
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/sim"
+	"ripple/internal/topk"
+)
+
+// rippleSeries is the paper's four ripple parameter settings for top-k
+// figures: the extremes and two intermediate values.
+var rippleSeriesNames = []string{"r=0", "r=D/3", "r=2D/3", "r=D"}
+
+func rippleValues(delta int) []int {
+	return []int{0, delta / 3, 2 * delta / 3, delta}
+}
+
+// topkSweep runs one top-k experiment point: build Networks overlays with the
+// given size/dims/data generator, issue TopKQueries top-k queries per overlay
+// from random initiators, one run per ripple setting.
+func topkSweep(cfg Config, size, dims, k int, gen func(seed int64) []dataset.Tuple, salt int64) []sim.Aggregate {
+	aggs := make([]sim.Aggregate, len(rippleSeriesNames))
+	for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
+		seed := cfg.Seed + salt*1000 + int64(netIdx)
+		n := midas.BuildWithData(size, midas.Options{Dims: dims, Seed: seed}, gen(seed))
+		f := topk.UniformLinear(dims)
+		rs := rippleValues(n.MaxDepth())
+		rng := rand.New(rand.NewSource(seed + 7))
+		for q := 0; q < cfg.TopKQueries; q++ {
+			w := n.RandomPeer(rng)
+			for i, r := range rs {
+				_, st := topk.Run(w, f, k, r)
+				aggs[i].Observe(&st)
+			}
+		}
+	}
+	return aggs
+}
+
+// Fig4 regenerates Figure 4: top-k performance vs overlay size (NBA).
+func Fig4(cfg Config) *Result {
+	res := &Result{
+		Fig: "Figure 4", Title: fmt.Sprintf("top-k vs overlay size (NBA, d=6, k=%d)", cfg.DefaultK),
+		XLabel: "size", Series: rippleSeriesNames,
+	}
+	gen := func(seed int64) []dataset.Tuple { return dataset.NBA(cfg.NBASize, seed) }
+	for _, size := range cfg.OverlaySizes {
+		res.AddRow(fmt.Sprint(size), topkSweep(cfg, size, 6, cfg.DefaultK, gen, 4))
+	}
+	return res
+}
+
+// Fig5 regenerates Figure 5: top-k performance vs dimensionality (SYNTH).
+func Fig5(cfg Config) *Result {
+	res := &Result{
+		Fig: "Figure 5", Title: fmt.Sprintf("top-k vs dimensionality (SYNTH, size=%d, k=%d)", cfg.DimsSweepSize, cfg.DefaultK),
+		XLabel: "dims", Series: rippleSeriesNames,
+	}
+	for _, d := range cfg.Dims {
+		d := d
+		gen := func(seed int64) []dataset.Tuple {
+			return dataset.Synth(dataset.SynthConfig{N: cfg.SynthSize, Dims: d, Centers: cfg.SynthSize / 20, Skew: 0.1, Seed: seed})
+		}
+		res.AddRow(fmt.Sprint(d), topkSweep(cfg, cfg.DimsSweepSize, d, cfg.DefaultK, gen, 5))
+	}
+	return res
+}
+
+// Fig6 regenerates Figure 6: top-k performance vs result size k (NBA).
+func Fig6(cfg Config) *Result {
+	res := &Result{
+		Fig: "Figure 6", Title: fmt.Sprintf("top-k vs result size (NBA, size=%d)", cfg.DefaultSize),
+		XLabel: "k", Series: rippleSeriesNames,
+	}
+	gen := func(seed int64) []dataset.Tuple { return dataset.NBA(cfg.NBASize, seed) }
+	for _, k := range cfg.ResultSizes {
+		res.AddRow(fmt.Sprint(k), topkSweep(cfg, cfg.DefaultSize, 6, k, gen, 6))
+	}
+	return res
+}

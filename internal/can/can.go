@@ -1,0 +1,403 @@
+// Package can implements the CAN overlay (Ratnasamy et al., SIGCOMM 2001):
+// the d-dimensional domain is partitioned into rectangular zones, one per
+// peer, and two peers are neighbours when their zones abut — they share a
+// (d−1)-dimensional face. CAN hosts the paper's DSL skyline competitor and
+// the adapted baseline diversification method, and doubles as a second
+// RIPPLE substrate for ablation studies.
+//
+// For RIPPLE, each peer's links are its face neighbours and their regions
+// form an exact box partition of the domain minus the zone: the "staircase"
+// slabs per dimension/side, refined among the neighbours of each face by
+// clamp-preimages (see DESIGN.md §6; this replaces the paper's pyramidal
+// frustums with equal-coverage boxes so every bound is exact).
+package can
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+)
+
+// Options configures a CAN network.
+type Options struct {
+	Dims int
+	Seed int64
+}
+
+// Network is a simulated CAN overlay. Zones are tracked as the leaves of the
+// binary split history, which makes point location O(log n) and keeps
+// departures simple (buddy merges), while neighbour sets are derived from the
+// tree on demand.
+type Network struct {
+	opts  Options
+	root  *node
+	rng   *rand.Rand
+	count int
+	seq   int // monotone peer id counter, never reused across churn
+}
+
+type node struct {
+	parent      *node
+	left, right *node
+	rect        geom.Rect
+	splitDim    int
+	splitVal    float64
+	peer        *Peer
+	size        int
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// Peer is a CAN overlay participant.
+type Peer struct {
+	net    *Network
+	leaf   *node
+	seq    int // stable identifier
+	tuples []dataset.Tuple
+}
+
+// New creates a network of one peer owning the whole domain.
+func New(opts Options) *Network {
+	if opts.Dims <= 0 {
+		panic("can: non-positive dimensionality")
+	}
+	n := &Network{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	root := &node{rect: geom.UnitCube(opts.Dims), size: 1}
+	root.peer = &Peer{net: n, leaf: root, seq: 0}
+	n.root = root
+	n.count = 1
+	return n
+}
+
+// Build grows a network to the given size via successive joins.
+func Build(size int, opts Options) *Network {
+	n := New(opts)
+	for n.count < size {
+		n.Join()
+	}
+	return n
+}
+
+// Dims implements overlay.Network.
+func (n *Network) Dims() int { return n.opts.Dims }
+
+// Size implements overlay.Network.
+func (n *Network) Size() int { return n.count }
+
+// Nodes implements overlay.Network.
+func (n *Network) Nodes() []overlay.Node {
+	out := make([]overlay.Node, 0, n.count)
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.isLeaf() {
+			out = append(out, nd.peer)
+			return
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(n.root)
+	return out
+}
+
+// Peers returns all peers in leaf order.
+func (n *Network) Peers() []*Peer {
+	nodes := n.Nodes()
+	out := make([]*Peer, len(nodes))
+	for i, w := range nodes {
+		out[i] = w.(*Peer)
+	}
+	return out
+}
+
+// Locate implements overlay.Network.
+func (n *Network) Locate(p geom.Point) overlay.Node { return n.locatePeer(p) }
+
+func (n *Network) locatePeer(p geom.Point) *Peer {
+	nd := n.root
+	for !nd.isLeaf() {
+		if p[nd.splitDim] < nd.splitVal {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.peer
+}
+
+// Insert implements overlay.Network.
+func (n *Network) Insert(t dataset.Tuple) {
+	w := n.locatePeer(t.Vec)
+	w.tuples = append(w.tuples, t)
+}
+
+// RandomPeer returns a uniformly random peer.
+func (n *Network) RandomPeer(rng *rand.Rand) *Peer {
+	nd := n.root
+	for !nd.isLeaf() {
+		if rng.Intn(nd.size) < nd.left.size {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.peer
+}
+
+// Join adds a peer the CAN way: the newcomer picks a uniformly random point
+// of the domain and splits the zone that contains it (zone choice is thus
+// volume-weighted, as in the original protocol). Zones split cyclically by
+// dimension, falling back to the widest side for degenerate extents.
+func (n *Network) Join() *Peer {
+	p := make(geom.Point, n.opts.Dims)
+	for i := range p {
+		p[i] = n.rng.Float64()
+	}
+	target := n.locatePeer(p).leaf
+
+	dim := nodeDepth(target) % n.opts.Dims
+	if target.rect.Extent(dim) <= 0 {
+		dim = target.rect.WidestDim()
+	}
+	mid := (target.rect.Lo[dim] + target.rect.Hi[dim]) / 2
+	loRect, hiRect := target.rect.Split(dim, mid)
+
+	oldPeer := target.peer
+	newPeer := &Peer{net: n, seq: n.nextSeq()}
+	left := &node{parent: target, rect: loRect, size: 1}
+	right := &node{parent: target, rect: hiRect, size: 1}
+	if n.rng.Intn(2) == 0 {
+		left.peer, right.peer = oldPeer, newPeer
+	} else {
+		left.peer, right.peer = newPeer, oldPeer
+	}
+	left.peer.leaf = left
+	right.peer.leaf = right
+	target.peer = nil
+	target.left, target.right = left, right
+	target.splitDim, target.splitVal = dim, mid
+
+	old := oldPeer.tuples
+	oldPeer.tuples, newPeer.tuples = nil, nil
+	for _, t := range old {
+		host := left.peer
+		if right.rect.Contains(t.Vec) {
+			host = right.peer
+		}
+		host.tuples = append(host.tuples, t)
+	}
+
+	n.count++
+	for nd := target; nd != nil; nd = nd.parent {
+		nd.size = nd.left.size + nd.right.size
+	}
+	return newPeer
+}
+
+func (n *Network) nextSeq() int {
+	n.seq++
+	return n.seq
+}
+
+// Leave removes a peer via the buddy protocol: if its split sibling is a
+// leaf, the sibling absorbs the merged zone; otherwise the deepest leaf pair
+// of the sibling subtree merges and the freed peer takes over the zone.
+func (n *Network) Leave(p *Peer) {
+	if n.count == 1 {
+		panic("can: cannot remove the last peer")
+	}
+	leaf := p.leaf
+	parent := leaf.parent
+	sib := parent.left
+	if sib == leaf {
+		sib = parent.right
+	}
+	if sib.isLeaf() {
+		survivor := sib.peer
+		survivor.tuples = append(survivor.tuples, p.tuples...)
+		parent.peer = survivor
+		parent.left, parent.right = nil, nil
+		survivor.leaf = parent
+		n.count--
+		p.leaf, p.tuples = nil, nil
+		for nd := parent; nd != nil; nd = nd.parent {
+			if !nd.isLeaf() {
+				nd.size = nd.left.size + nd.right.size
+			} else {
+				nd.size = 1
+			}
+		}
+		return
+	}
+	q := deepestLeafPair(sib)
+	keeper, donor := q.left.peer, q.right.peer
+	keeper.tuples = append(keeper.tuples, donor.tuples...)
+	q.peer = keeper
+	q.left, q.right = nil, nil
+	keeper.leaf = q
+	donor.tuples = p.tuples
+	donor.leaf = leaf
+	leaf.peer = donor
+	n.count--
+	p.leaf, p.tuples = nil, nil
+	for nd := q; nd != nil; nd = nd.parent {
+		if nd.isLeaf() {
+			nd.size = 1
+		} else {
+			nd.size = nd.left.size + nd.right.size
+		}
+	}
+}
+
+func deepestLeafPair(sub *node) *node {
+	var best *node
+	bestDepth := -1
+	var walk func(nd *node, d int)
+	walk = func(nd *node, d int) {
+		if nd.isLeaf() {
+			return
+		}
+		if nd.left.isLeaf() && nd.right.isLeaf() && d > bestDepth {
+			best, bestDepth = nd, d
+		}
+		walk(nd.left, d+1)
+		walk(nd.right, d+1)
+	}
+	walk(sub, 0)
+	return best
+}
+
+func nodeDepth(nd *node) int {
+	d := 0
+	for p := nd.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// ID implements overlay.Node.
+func (p *Peer) ID() string { return fmt.Sprintf("can-%d", p.seq) }
+
+// Zone implements overlay.Node.
+func (p *Peer) Zone() overlay.Region { return overlay.FromRect(p.leaf.rect) }
+
+// Rect returns the peer's zone rectangle.
+func (p *Peer) Rect() geom.Rect { return p.leaf.rect }
+
+// Tuples implements overlay.Node.
+func (p *Peer) Tuples() []dataset.Tuple { return p.tuples }
+
+// FaceNeighbors returns the peers whose zones abut the given face of p's
+// zone (side = -1 for the lower face along dim, +1 for the upper face).
+func (p *Peer) FaceNeighbors(dim, side int) []*Peer {
+	z := p.leaf.rect
+	var plane float64
+	if side < 0 {
+		if z.Lo[dim] <= 0 {
+			return nil
+		}
+		plane = z.Lo[dim]
+	} else {
+		if z.Hi[dim] >= 1 {
+			return nil
+		}
+		plane = z.Hi[dim]
+	}
+	var out []*Peer
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		r := nd.rect
+		// Prune subtrees that cannot touch the face plane or z's span.
+		if r.Lo[dim] > plane || r.Hi[dim] < plane {
+			return
+		}
+		for j := range r.Lo {
+			if j == dim {
+				continue
+			}
+			if r.Lo[j] >= z.Hi[j] || r.Hi[j] <= z.Lo[j] {
+				return
+			}
+		}
+		if nd.isLeaf() {
+			if nd.peer == p {
+				return
+			}
+			ok := side < 0 && nd.rect.Hi[dim] == plane || side > 0 && nd.rect.Lo[dim] == plane
+			if ok {
+				out = append(out, nd.peer)
+			}
+			return
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(p.net.root)
+	return out
+}
+
+// Neighbors returns all of p's CAN neighbours (zones sharing a face).
+func (p *Peer) Neighbors() []*Peer {
+	var out []*Peer
+	for dim := 0; dim < p.net.opts.Dims; dim++ {
+		out = append(out, p.FaceNeighbors(dim, -1)...)
+		out = append(out, p.FaceNeighbors(dim, +1)...)
+	}
+	return out
+}
+
+// Links implements overlay.Node with the exact staircase box partition: the
+// slab of dimension i (zone-span in dims < i, beyond the zone along i, whole
+// domain in dims > i) is divided among the face-i neighbours by extending
+// each neighbour's face portion to the slab boundaries where it touches the
+// zone's edges.
+func (p *Peer) Links() []overlay.Link {
+	z := p.leaf.rect
+	d := p.net.opts.Dims
+	var links []overlay.Link
+	for dim := 0; dim < d; dim++ {
+		for _, side := range []int{-1, +1} {
+			for _, nb := range p.FaceNeighbors(dim, side) {
+				nz := nb.leaf.rect
+				lo, hi := make(geom.Point, d), make(geom.Point, d)
+				for j := 0; j < d; j++ {
+					switch {
+					case j == dim && side < 0:
+						lo[j], hi[j] = 0, z.Lo[dim]
+					case j == dim:
+						lo[j], hi[j] = z.Hi[dim], 1
+					default:
+						a := nz.Lo[j]
+						if a < z.Lo[j] {
+							a = z.Lo[j]
+						}
+						b := nz.Hi[j]
+						if b > z.Hi[j] {
+							b = z.Hi[j]
+						}
+						// Extend portions touching the zone edge to the slab
+						// boundary: dims before the slab dimension stay within
+						// the zone span, later dims stretch to the domain.
+						if j > dim {
+							if a == z.Lo[j] {
+								a = 0
+							}
+							if b == z.Hi[j] {
+								b = 1
+							}
+						}
+						lo[j], hi[j] = a, b
+					}
+				}
+				links = append(links, overlay.Link{
+					To:     nb,
+					Region: overlay.FromRect(geom.Rect{Lo: lo, Hi: hi}),
+				})
+			}
+		}
+	}
+	return links
+}

@@ -1,0 +1,147 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripple/internal/baselines/naive"
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+func TestBuildInvariants(t *testing.T) {
+	for _, size := range []int{1, 2, 7, 64, 200} {
+		n := Build(size, Options{Dims: 3, Seed: int64(size)})
+		if n.Size() != size {
+			t.Fatalf("size = %d, want %d", n.Size(), size)
+		}
+		if err := overlay.CheckInvariants(n, 200, 2); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestNeighborsAreSymmetricAndAbutting(t *testing.T) {
+	n := Build(80, Options{Dims: 2, Seed: 4})
+	for _, w := range n.Peers() {
+		for _, nb := range w.Neighbors() {
+			if nb == w {
+				t.Fatal("peer neighbours itself")
+			}
+			// Abutment: touching along exactly one dimension, positive
+			// overlap elsewhere.
+			touch, overlap := 0, 0
+			for j := 0; j < 2; j++ {
+				a, b := w.Rect(), nb.Rect()
+				switch {
+				case a.Hi[j] == b.Lo[j] || b.Hi[j] == a.Lo[j]:
+					touch++
+				case a.Lo[j] < b.Hi[j] && b.Lo[j] < a.Hi[j]:
+					overlap++
+				}
+			}
+			if touch < 1 || touch+overlap != 2 {
+				t.Fatalf("zones %v and %v do not abut", w.Rect(), nb.Rect())
+			}
+			// Symmetry.
+			back := false
+			for _, x := range nb.Neighbors() {
+				if x == w {
+					back = true
+					break
+				}
+			}
+			if !back {
+				t.Fatalf("neighbour relation not symmetric for %s / %s", w.ID(), nb.ID())
+			}
+		}
+	}
+}
+
+func TestBroadcastCoversEveryPeerAndAnswersOnce(t *testing.T) {
+	// Over CAN the restriction areas deliver every *point* of the domain
+	// exactly once: each peer is reached (possibly via several disjoint zone
+	// fragments) and contributes its local answer exactly once.
+	for _, size := range []int{1, 2, 13, 100} {
+		n := Build(size, Options{Dims: 3, Seed: int64(size) + 7})
+		overlay.Load(n, dataset.Uniform(300, 3, int64(size)))
+		res := naive.Broadcast(n.Peers()[0], func(w overlay.Node) []dataset.Tuple { return w.Tuples() })
+		if res.Stats.PeersReached() != size {
+			t.Fatalf("size %d: reached %d peers, want all", size, res.Stats.PeersReached())
+		}
+		if len(res.Answers) != 300 {
+			t.Fatalf("size %d: collected %d tuples, want each exactly once (300)", size, len(res.Answers))
+		}
+	}
+}
+
+func TestTopKOverCAN(t *testing.T) {
+	// RIPPLE is overlay-generic: the full top-k stack must work over CAN.
+	ts := dataset.NBA(2000, 5)
+	n := Build(40, Options{Dims: 6, Seed: 3})
+	overlay.Load(n, ts)
+	f := topk.UniformLinear(6)
+	want := topk.Brute(ts, f, 10)
+	for _, r := range []int{0, 2, 1 << 20} {
+		got, stats := topk.Run(n.Peers()[0], f, 10, r)
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("r=%d: result %d = %v, want %v", r, i, got[i], want[i])
+			}
+		}
+		if stats.MaxPerPeer() != 1 {
+			t.Fatalf("r=%d: duplicate delivery over CAN", r)
+		}
+	}
+}
+
+func TestChurnKeepsInvariants(t *testing.T) {
+	n := Build(30, Options{Dims: 2, Seed: 9})
+	overlay.Load(n, dataset.Uniform(200, 2, 4))
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		if rng.Intn(2) == 0 && n.Size() > 2 {
+			peers := n.Peers()
+			n.Leave(peers[rng.Intn(len(peers))])
+		} else {
+			n.Join()
+		}
+	}
+	if err := overlay.CheckInvariants(n, 150, 8); err != nil {
+		t.Fatalf("after churn: %v", err)
+	}
+	total := 0
+	for _, w := range n.Peers() {
+		total += len(w.Tuples())
+	}
+	if total != 200 {
+		t.Fatalf("churn lost tuples: %d/200", total)
+	}
+	ids := map[string]bool{}
+	for _, w := range n.Peers() {
+		if ids[w.ID()] {
+			t.Fatalf("duplicate peer id %s after churn", w.ID())
+		}
+		ids[w.ID()] = true
+	}
+}
+
+func TestVolumeWeightedJoin(t *testing.T) {
+	// CAN picks zones by random point, so large zones split more often; after
+	// many joins zone volumes should be fairly balanced (max/min not insane).
+	n := Build(256, Options{Dims: 2, Seed: 12})
+	minV, maxV := 1.0, 0.0
+	for _, w := range n.Peers() {
+		v := w.Rect().Volume()
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV/minV > 64 {
+		t.Fatalf("zone volume ratio %v too skewed for volume-weighted joins", maxV/minV)
+	}
+}

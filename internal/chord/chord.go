@@ -1,0 +1,208 @@
+// Package chord implements the Chord overlay (Stoica et al.): peers sit at
+// positions of the unit ring [0,1), each owning the arc from its key to its
+// successor's key, with finger links at exponentially increasing distances.
+// The paper uses Chord to illustrate that RIPPLE is overlay-generic (§3.1):
+// the region of the i-th finger is the arc stretching from the beginning of
+// that finger's zone to the beginning of the next finger's zone, which — as a
+// union of at most two half-open intervals after unwrapping — fits the
+// repository's box-union Region type directly.
+package chord
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+)
+
+// Network is a simulated Chord ring over the one-dimensional unit domain.
+type Network struct {
+	peers []*Peer // sorted by key
+	rng   *rand.Rand
+	seq   int
+}
+
+// Peer is a Chord participant at a fixed ring position.
+type Peer struct {
+	net    *Network
+	key    float64
+	seq    int
+	tuples []dataset.Tuple
+}
+
+// Build creates a ring of size peers at uniformly random positions.
+func Build(size int, seed int64) *Network {
+	n := &Network{rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < size; i++ {
+		n.Join()
+	}
+	return n
+}
+
+// Join adds a peer at a fresh random ring position. Tuples of the split arc
+// move to the newcomer as in the Chord protocol.
+func (n *Network) Join() *Peer {
+	key := n.rng.Float64()
+	for _, p := range n.peers {
+		if p.key == key { // vanishingly unlikely; keep keys distinct
+			key = math.Nextafter(key, 1)
+		}
+	}
+	p := &Peer{net: n, key: key, seq: n.seq}
+	n.seq++
+	idx := sort.Search(len(n.peers), func(i int) bool { return n.peers[i].key >= key })
+	n.peers = append(n.peers, nil)
+	copy(n.peers[idx+1:], n.peers[idx:])
+	n.peers[idx] = p
+	// The predecessor previously owned the newcomer's arc; hand over tuples.
+	if len(n.peers) > 1 {
+		pred := n.peers[(idx-1+len(n.peers))%len(n.peers)]
+		var keep, give []dataset.Tuple
+		for _, t := range pred.tuples {
+			if p.Zone().Contains(t.Vec) {
+				give = append(give, t)
+			} else {
+				keep = append(keep, t)
+			}
+		}
+		pred.tuples, p.tuples = keep, give
+	}
+	return p
+}
+
+// Leave removes a peer, handing its tuples to the predecessor (which absorbs
+// the arc).
+func (n *Network) Leave(p *Peer) {
+	if len(n.peers) == 1 {
+		panic("chord: cannot remove the last peer")
+	}
+	idx := n.indexOf(p)
+	pred := n.peers[(idx-1+len(n.peers))%len(n.peers)]
+	pred.tuples = append(pred.tuples, p.tuples...)
+	n.peers = append(n.peers[:idx], n.peers[idx+1:]...)
+	p.tuples = nil
+}
+
+func (n *Network) indexOf(p *Peer) int {
+	idx := sort.Search(len(n.peers), func(i int) bool { return n.peers[i].key >= p.key })
+	return idx
+}
+
+// Dims implements overlay.Network: Chord indexes a one-dimensional domain.
+func (n *Network) Dims() int { return 1 }
+
+// Size implements overlay.Network.
+func (n *Network) Size() int { return len(n.peers) }
+
+// Nodes implements overlay.Network.
+func (n *Network) Nodes() []overlay.Node {
+	out := make([]overlay.Node, len(n.peers))
+	for i, p := range n.peers {
+		out[i] = p
+	}
+	return out
+}
+
+// Peers returns the ring in key order.
+func (n *Network) Peers() []*Peer { return n.peers }
+
+// Locate implements overlay.Network: the owner of point p is the last peer
+// whose key does not exceed it (wrapping below the first peer).
+func (n *Network) Locate(p geom.Point) overlay.Node { return n.owner(p[0]) }
+
+func (n *Network) owner(k float64) *Peer {
+	idx := sort.Search(len(n.peers), func(i int) bool { return n.peers[i].key > k })
+	if idx == 0 {
+		return n.peers[len(n.peers)-1] // wrap: arc of the last peer
+	}
+	return n.peers[idx-1]
+}
+
+// Insert implements overlay.Network.
+func (n *Network) Insert(t dataset.Tuple) {
+	w := n.owner(t.Vec[0])
+	w.tuples = append(w.tuples, t)
+}
+
+// RandomPeer returns a uniformly random peer.
+func (n *Network) RandomPeer(rng *rand.Rand) *Peer {
+	return n.peers[rng.Intn(len(n.peers))]
+}
+
+// ID implements overlay.Node.
+func (p *Peer) ID() string { return fmt.Sprintf("chord-%d@%.6f", p.seq, p.key) }
+
+// Tuples implements overlay.Node.
+func (p *Peer) Tuples() []dataset.Tuple { return p.tuples }
+
+// successor returns the next peer clockwise.
+func (p *Peer) successor() *Peer {
+	n := p.net
+	idx := n.indexOf(p)
+	return n.peers[(idx+1)%len(n.peers)]
+}
+
+// Zone implements overlay.Node: the arc [key, successor.key), which wraps
+// into two intervals for the last peer on the ring.
+func (p *Peer) Zone() overlay.Region { return arc(p.key, p.successor().key) }
+
+// arc renders the ring interval [from, to) as a union of boxes, splitting at
+// the origin when it wraps. from == to denotes the full ring.
+func arc(from, to float64) overlay.Region {
+	switch {
+	case from < to:
+		return overlay.FromRect(geom.Rect{Lo: geom.Point{from}, Hi: geom.Point{to}})
+	default:
+		return overlay.Region{Boxes: []geom.Rect{
+			{Lo: geom.Point{from}, Hi: geom.Point{1}},
+			{Lo: geom.Point{0}, Hi: geom.Point{to}},
+		}}
+	}
+}
+
+// Links implements overlay.Node: the successor plus the finger peers at
+// ring distances 2^-i, deduplicated; the region of each link is the arc from
+// the beginning of its zone to the beginning of the next link's zone (the
+// last region ends at this peer's own key), exactly the paper's Chord region
+// construction. Together the regions cover the ring minus the peer's zone.
+func (p *Peer) Links() []overlay.Link {
+	n := p.net
+	if len(n.peers) == 1 {
+		return nil
+	}
+	targets := map[*Peer]bool{p.successor(): true}
+	m := int(math.Ceil(math.Log2(float64(len(n.peers))))) + 1
+	for i := 1; i <= m; i++ {
+		t := math.Mod(p.key+math.Pow(2, -float64(i)), 1)
+		f := n.owner(t)
+		if f != p {
+			targets[f] = true
+		}
+	}
+	// Order fingers by clockwise distance of their zone start from the end
+	// of p's own zone.
+	succKey := p.successor().key
+	type entry struct {
+		peer *Peer
+		dist float64
+	}
+	entries := make([]entry, 0, len(targets))
+	for f := range targets {
+		entries = append(entries, entry{peer: f, dist: math.Mod(f.key-succKey+1, 1)})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].dist < entries[j].dist })
+
+	links := make([]overlay.Link, len(entries))
+	for i, e := range entries {
+		endKey := p.key // last region stretches to the peer's own zone
+		if i+1 < len(entries) {
+			endKey = entries[i+1].peer.key
+		}
+		links[i] = overlay.Link{To: e.peer, Region: arc(e.peer.key, endKey)}
+	}
+	return links
+}

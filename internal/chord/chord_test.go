@@ -1,0 +1,96 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripple/internal/baselines/naive"
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+func TestBuildInvariants(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 50, 150} {
+		n := Build(size, int64(size))
+		if err := overlay.CheckInvariants(n, 300, 5); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestBroadcastCoverage(t *testing.T) {
+	for _, size := range []int{2, 9, 64} {
+		n := Build(size, int64(size)+3)
+		overlay.Load(n, dataset.Uniform(100, 1, 2))
+		res := naive.Broadcast(n.Peers()[0], func(w overlay.Node) []dataset.Tuple { return w.Tuples() })
+		if res.Stats.PeersReached() != size {
+			t.Fatalf("size %d: reached %d peers", size, res.Stats.PeersReached())
+		}
+		if len(res.Answers) != 100 {
+			t.Fatalf("size %d: %d answers, want 100 exactly once", size, len(res.Answers))
+		}
+	}
+}
+
+func TestBroadcastLatencyLogarithmic(t *testing.T) {
+	n := Build(512, 7)
+	res := naive.Broadcast(n.Peers()[0], func(w overlay.Node) []dataset.Tuple { return nil })
+	// Chord fingers give O(log n) flooding depth; allow generous slack.
+	if res.Stats.Latency > 4*10 {
+		t.Fatalf("broadcast latency %d too high for 512-peer Chord", res.Stats.Latency)
+	}
+}
+
+func TestTopKOverChord(t *testing.T) {
+	// Generic RIPPLE over a 1-d Chord ring: rank tuples by their key.
+	ts := dataset.Uniform(1000, 1, 9)
+	n := Build(32, 11)
+	overlay.Load(n, ts)
+	f := topk.UniformLinear(1)
+	want := topk.Brute(ts, f, 10)
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range []int{0, 2, 1 << 20} {
+		got, _ := topk.Run(n.RandomPeer(rng), f, 10, r)
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("r=%d: result %d = %v, want %v", r, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestChurn(t *testing.T) {
+	n := Build(20, 13)
+	overlay.Load(n, dataset.Uniform(150, 1, 5))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		if rng.Intn(2) == 0 && n.Size() > 2 {
+			n.Leave(n.RandomPeer(rng))
+		} else {
+			n.Join()
+		}
+	}
+	if err := overlay.CheckInvariants(n, 200, 9); err != nil {
+		t.Fatalf("after churn: %v", err)
+	}
+	total := 0
+	for _, w := range n.Peers() {
+		total += len(w.Tuples())
+	}
+	if total != 150 {
+		t.Fatalf("churn lost tuples: %d/150", total)
+	}
+}
+
+func TestOwnerWraps(t *testing.T) {
+	n := Build(5, 17)
+	first := n.Peers()[0]
+	// A key below the first peer belongs to the last peer's wrapping arc.
+	if first.key > 0 {
+		w := n.owner(first.key / 2)
+		if w != n.Peers()[len(n.Peers())-1] {
+			t.Fatalf("wrap-around ownership broken")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+// Analytic worst-case latency formulas for RIPPLE over MIDAS (§3.2). With ∆
+// the depth of the MIDAS virtual k-d tree and δ the depth of the subtree a
+// query is restricted to, the paper proves:
+//
+//	Lemma 1 (fast):  L_f(δ) = ∆ − δ
+//	Lemma 2 (slow):  L_s(δ) = 2^(∆−δ) − 1
+//	Lemma 3 (ripple): L_r(δ, r) = 1 + L_r(δ+1, r) + L_r(δ+1, r−1),
+//	                 L_r(δ, 0) = ∆ − δ,  L_r(∆, r) = 0
+//
+// These are exposed so that the benchmark harness and tests can compare the
+// engine's measured worst-case hop counts against the theory.
+
+// FastWorstLatency returns L_f(δ) for a MIDAS tree of depth delta_ (∆).
+func FastWorstLatency(deltaMax, delta int) int {
+	if delta >= deltaMax {
+		return 0
+	}
+	return deltaMax - delta
+}
+
+// SlowWorstLatency returns L_s(δ) = 2^(∆−δ) − 1.
+func SlowWorstLatency(deltaMax, delta int) int {
+	if delta >= deltaMax {
+		return 0
+	}
+	return (1 << uint(deltaMax-delta)) - 1
+}
+
+// RippleWorstLatency evaluates the Lemma 3 recurrence L_r(δ, r) exactly via
+// dynamic programming.
+func RippleWorstLatency(deltaMax, delta, r int) int {
+	if delta >= deltaMax {
+		return 0
+	}
+	if r <= 0 {
+		return FastWorstLatency(deltaMax, delta)
+	}
+	if r > deltaMax {
+		r = deltaMax // deeper r never changes the value (degenerates to slow)
+	}
+	// table[d][k] = L_r(d, k)
+	table := make([][]int, deltaMax+1)
+	for d := deltaMax; d >= 0; d-- {
+		table[d] = make([]int, r+1)
+		for k := 0; k <= r; k++ {
+			switch {
+			case d == deltaMax:
+				table[d][k] = 0
+			case k == 0:
+				table[d][k] = deltaMax - d
+			default:
+				table[d][k] = 1 + table[d+1][k] + table[d+1][k-1]
+			}
+		}
+	}
+	return table[delta][r]
+}

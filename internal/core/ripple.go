@@ -1,0 +1,217 @@
+// Package core implements the RIPPLE framework itself (§3 of the paper): the
+// generic fast / slow / ripple(r) template algorithms that propagate a rank
+// query through a structured overlay using per-link regions, restriction
+// areas and query-processing state.
+//
+// A query type (top-k, skyline, k-diversification, ...) plugs into the
+// template by implementing Processor, the Go rendering of the paper's six
+// abstract functions:
+//
+//	computeLocalState    -> Processor.LocalState
+//	computeGlobalState   -> Processor.GlobalState
+//	updateLocalState     -> Processor.MergeStates
+//	isLinkRelevant       -> Processor.LinkRelevant
+//	comp                 -> Processor.LinkPriority (priority score, lower first)
+//	computeLocalAnswer   -> Processor.LocalAnswer
+//
+// Latency is accounted structurally in hops, matching the paper's Lemmas 1-3:
+// one hop per forwarded query message; parallel fan-out (fast mode) takes the
+// maximum over branches, sequential iteration (slow mode) sums; responses are
+// not charged to latency but are counted as messages.
+package core
+
+import (
+	"sort"
+
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+)
+
+// State is the query-processing state exchanged between peers. Its concrete
+// type is owned by the Processor; the engine only moves it around.
+type State interface{}
+
+// Processor instantiates RIPPLE for one query type. A Processor value is
+// created per query and may carry the query parameters (scoring function, k,
+// query point, ...).
+type Processor interface {
+	// LocalState computes the peer's local state from its stored tuples and
+	// the received global state (computeLocalState).
+	LocalState(w overlay.Node, global State) State
+	// GlobalState combines the received global state with the peer's current
+	// local state (computeGlobalState).
+	GlobalState(w overlay.Node, global, local State) State
+	// MergeStates folds a set of received remote local states into the
+	// peer's local state (updateLocalState). The first element is always the
+	// peer's own current local state.
+	MergeStates(w overlay.Node, states []State) State
+	// LinkRelevant decides whether the part `region` of the domain (already
+	// intersected with the restriction area) can contribute answer tuples
+	// given the peer's global state (the content half of isLinkRelevant; the
+	// engine itself performs the restriction-overlap half).
+	LinkRelevant(w overlay.Node, region overlay.Region, global State) bool
+	// LinkPriority orders links for slow-mode iteration (comp): links with a
+	// smaller priority value are visited first.
+	LinkPriority(w overlay.Node, region overlay.Region) float64
+	// LocalAnswer extracts the peer's qualifying tuples from its final local
+	// state (computeLocalAnswer).
+	LocalAnswer(w overlay.Node, local State) []dataset.Tuple
+	// InitialState is the neutral global state the initiator starts from.
+	InitialState() State
+	// StateTuples reports how many tuples a state message carries, for the
+	// communication-overhead accounting.
+	StateTuples(s State) int
+}
+
+// Result is the outcome of running a query: the union of all local answers
+// (the initiator post-processes it per query type) and the cost statistics.
+type Result struct {
+	Answers []dataset.Tuple
+	Stats   sim.Stats
+}
+
+// Mode names the three template algorithms.
+type Mode int
+
+const (
+	// Fast is Algorithm 1: forward to all relevant links at once (r = 0).
+	Fast Mode = iota
+	// Slow is Algorithm 2: one link at a time, folding back states (r = ∆).
+	Slow
+	// Ripple is Algorithm 3 with an explicit r parameter.
+	Ripple
+)
+
+// Run executes query processing from the given initiator with ripple
+// parameter r. r = 0 yields the fast algorithm; r >= the maximum number of
+// links of any peer yields the slow algorithm (the paper's two extremes).
+func Run(initiator overlay.Node, p Processor, r int) *Result {
+	e := &executor{p: p, res: &Result{}, answered: make(map[string]bool)}
+	d := dimsOf(initiator)
+	_, latency := e.exec(initiator, p.InitialState(), overlay.Whole(d), r)
+	e.res.Stats.Latency = latency
+	return e.res
+}
+
+// RunMode is a convenience wrapper selecting r from a Mode: Fast -> 0,
+// Slow -> effectively infinite.
+func RunMode(initiator overlay.Node, p Processor, m Mode) *Result {
+	switch m {
+	case Fast:
+		return Run(initiator, p, 0)
+	case Slow:
+		return Run(initiator, p, int(^uint(0)>>1)) // never decays to fast
+	default:
+		panic("core: RunMode needs an explicit r; use Run")
+	}
+}
+
+func dimsOf(w overlay.Node) int {
+	z := w.Zone()
+	if len(z.Boxes) == 0 {
+		panic("core: initiator has an empty zone")
+	}
+	return z.Boxes[0].Dims()
+}
+
+type executor struct {
+	p        Processor
+	res      *Result
+	answered map[string]bool
+}
+
+// exec is the per-peer template of Algorithm 3. It returns the local states
+// that flow to this call's sender — the peer's own final local state, plus,
+// when the peer ran in fast mode, the states of its whole fast subtree (which
+// the paper sends directly to the nearest slow ancestor u) — together with
+// the subtree latency in hops.
+func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r int) (states []State, latency int) {
+	e.res.Stats.Touch(w.ID())
+
+	local := e.p.LocalState(w, global)
+	wGlobal := e.p.GlobalState(w, global, local)
+
+	if r > 0 {
+		// Slow phase (first loop of Algorithm 3): visit links in priority
+		// order, waiting for each link's states before deciding the next.
+		links := e.sortedLinks(w)
+		for _, l := range links {
+			sub := l.Region.Intersect(restrict)
+			if sub.IsEmpty() {
+				continue
+			}
+			if !e.p.LinkRelevant(w, sub, wGlobal) {
+				continue
+			}
+			remote, lat := e.exec(l.To, wGlobal, sub, r-1)
+			latency += 1 + lat
+			e.res.Stats.StateMsgs += len(remote)
+			for _, s := range remote {
+				e.res.Stats.TuplesSent += e.p.StateTuples(s)
+			}
+			local = e.p.MergeStates(w, append([]State{local}, remote...))
+			wGlobal = e.p.GlobalState(w, global, local)
+		}
+		e.emitAnswer(w, local)
+		return []State{local}, latency
+	}
+
+	// Fast phase (second loop of Algorithm 3 / Algorithm 1): forward to all
+	// relevant links at once; descendants keep r = 0 and report their local
+	// states to this subtree's slow ancestor (returned up the call chain).
+	states = append(states, nil) // placeholder for w's own state (kept first)
+	maxLat := 0
+	for _, l := range w.Links() {
+		sub := l.Region.Intersect(restrict)
+		if sub.IsEmpty() {
+			continue
+		}
+		if !e.p.LinkRelevant(w, sub, wGlobal) {
+			continue
+		}
+		remote, lat := e.exec(l.To, wGlobal, sub, 0)
+		if lat+1 > maxLat {
+			maxLat = lat + 1
+		}
+		states = append(states, remote...)
+	}
+	states[0] = local
+	e.emitAnswer(w, local)
+	return states, maxLat
+}
+
+// emitAnswer sends the peer's local answer to the initiator. A peer answers
+// at most once per query: over overlays whose link regions cover only part of
+// a neighbour's zone (CAN), a peer can legitimately receive several disjoint
+// restriction fragments — every later fragment is processed and forwarded,
+// but the local answer has already been sent.
+func (e *executor) emitAnswer(w overlay.Node, local State) {
+	if e.answered[w.ID()] {
+		return
+	}
+	e.answered[w.ID()] = true
+	a := e.p.LocalAnswer(w, local)
+	if len(a) > 0 {
+		e.res.Stats.AnswerMsgs++
+		e.res.Stats.TuplesSent += len(a)
+		e.res.Answers = append(e.res.Answers, a...)
+	}
+}
+
+func (e *executor) sortedLinks(w overlay.Node) []overlay.Link {
+	type ranked struct {
+		link overlay.Link
+		prio float64
+	}
+	rs := make([]ranked, 0, len(w.Links()))
+	for _, l := range w.Links() {
+		rs = append(rs, ranked{link: l, prio: e.p.LinkPriority(w, l.Region)})
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].prio < rs[j].prio })
+	links := make([]overlay.Link, len(rs))
+	for i, r := range rs {
+		links[i] = r.link
+	}
+	return links
+}

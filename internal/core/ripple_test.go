@@ -1,0 +1,259 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ripple/internal/baselines/naive"
+	"ripple/internal/chord"
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+func allTuples(w overlay.Node) []dataset.Tuple { return w.Tuples() }
+
+func TestBroadcastReachesEveryPeerExactlyOnce(t *testing.T) {
+	for _, size := range []int{1, 2, 5, 33, 256} {
+		n := midas.Build(size, midas.Options{Dims: 3, Seed: int64(size)})
+		overlay.Load(n, dataset.Uniform(200, 3, 7))
+		res := naive.Broadcast(n.Peers()[0], allTuples)
+		if res.Stats.QueryMsgs != size {
+			t.Fatalf("size %d: %d query messages, want %d", size, res.Stats.QueryMsgs, size)
+		}
+		if res.Stats.PeersReached() != size {
+			t.Fatalf("size %d: reached %d peers, want %d", size, res.Stats.PeersReached(), size)
+		}
+		if res.Stats.MaxPerPeer() != 1 {
+			t.Fatalf("size %d: duplicate delivery (max per peer %d)", size, res.Stats.MaxPerPeer())
+		}
+		if len(res.Answers) != 200 {
+			t.Fatalf("size %d: collected %d tuples, want 200", size, len(res.Answers))
+		}
+	}
+}
+
+func TestSlowBroadcastVisitsSequentially(t *testing.T) {
+	// With no pruning, slow mode contacts one peer after another: latency is
+	// exactly n-1 forwards.
+	n := midas.Build(50, midas.Options{Dims: 2, Seed: 1})
+	p := &naive.Processor{LocalSelect: allTuples}
+	res := core.RunMode(n.Peers()[3], p, core.Slow)
+	if res.Stats.Latency != 49 {
+		t.Fatalf("slow broadcast latency = %d, want 49", res.Stats.Latency)
+	}
+	if res.Stats.QueryMsgs != 50 {
+		t.Fatalf("slow broadcast msgs = %d, want 50", res.Stats.QueryMsgs)
+	}
+}
+
+func TestFastLatencyBoundedByDepth(t *testing.T) {
+	n := midas.Build(300, midas.Options{Dims: 3, Seed: 5})
+	depth := n.MaxDepth()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30; i++ {
+		res := naive.Broadcast(n.RandomPeer(rng), allTuples)
+		if res.Stats.Latency > depth {
+			t.Fatalf("fast latency %d exceeds diameter %d", res.Stats.Latency, depth)
+		}
+	}
+}
+
+// TestLemmaLatenciesOnPerfectTree validates the engine's hop accounting
+// against the exact worst-case formulas of §3.2. On a perfect MIDAS tree with
+// a never-pruning processor, every link is followed, so measured latency must
+// EQUAL L_f(0), L_s(0) and the L_r(0, r) recurrence.
+func TestLemmaLatenciesOnPerfectTree(t *testing.T) {
+	const depth = 7 // 128 peers
+	n := midas.BuildPerfect(depth, midas.Options{Dims: 2, Seed: 3})
+	if n.Size() != 1<<depth {
+		t.Fatalf("perfect build size = %d", n.Size())
+	}
+	if n.MaxDepth() != depth {
+		t.Fatalf("perfect build depth = %d, want %d", n.MaxDepth(), depth)
+	}
+	p := &naive.Processor{LocalSelect: func(w overlay.Node) []dataset.Tuple { return nil }}
+	initiator := n.Peers()[0]
+	for r := 0; r <= depth+1; r++ {
+		res := core.Run(initiator, p, r)
+		want := core.RippleWorstLatency(depth, 0, r)
+		if res.Stats.Latency != want {
+			t.Fatalf("r=%d: measured latency %d, lemma predicts %d", r, res.Stats.Latency, want)
+		}
+	}
+	// The extremes must match Lemmas 1 and 2.
+	if got := core.RippleWorstLatency(depth, 0, 0); got != core.FastWorstLatency(depth, 0) {
+		t.Fatalf("L_r(0,0) = %d != L_f(0) = %d", got, core.FastWorstLatency(depth, 0))
+	}
+	if got := core.RippleWorstLatency(depth, 0, depth); got != core.SlowWorstLatency(depth, 0) {
+		t.Fatalf("L_r(0,∆) = %d != L_s(0) = %d", got, core.SlowWorstLatency(depth, 0))
+	}
+}
+
+func TestLemmaClosedForms(t *testing.T) {
+	// The paper solves the recurrence analytically for r = 1 as
+	// L_r(δ,1) = (∆−δ)²/2 + (∆−δ)/2; check the DP against it. (The paper's
+	// printed polynomials for r = 2, 3 do NOT satisfy its own Lemma 3
+	// recurrence — expanding L_r(δ,2) = Σ(1 + L_r(ℓ,1)) yields x³/6 + 5x/6,
+	// an erratum recorded in EXPERIMENTS.md — so we verify the recurrence's
+	// true expansion instead.)
+	for delta := 0; delta <= 10; delta++ {
+		for dMax := delta; dMax <= 12; dMax++ {
+			x := float64(dMax - delta)
+			want1 := x*x/2 + x/2
+			if got := float64(core.RippleWorstLatency(dMax, delta, 1)); got != want1 {
+				t.Fatalf("L_r(%d,1) over ∆=%d: got %v, want %v", delta, dMax, got, want1)
+			}
+			want2 := x*x*x/6 + 5*x/6
+			if got := float64(core.RippleWorstLatency(dMax, delta, 2)); math.Abs(got-want2) > 1e-9 {
+				t.Fatalf("L_r(%d,2) over ∆=%d: got %v, want %v", delta, dMax, got, want2)
+			}
+		}
+	}
+}
+
+func TestRippleLatencyMonotoneInR(t *testing.T) {
+	const depth = 6
+	n := midas.BuildPerfect(depth, midas.Options{Dims: 3, Seed: 8})
+	p := &naive.Processor{LocalSelect: func(w overlay.Node) []dataset.Tuple { return nil }}
+	prev := -1
+	for r := 0; r <= depth; r++ {
+		res := core.Run(n.Peers()[0], p, r)
+		if res.Stats.Latency < prev {
+			t.Fatalf("latency decreased from %d to %d at r=%d", prev, res.Stats.Latency, r)
+		}
+		prev = res.Stats.Latency
+	}
+}
+
+func TestTopKCorrectAcrossModes(t *testing.T) {
+	ts := dataset.NBA(3000, 1)
+	n := midas.Build(64, midas.Options{Dims: 6, Seed: 10})
+	overlay.Load(n, ts)
+	f := topk.UniformLinear(6)
+	want := topk.Brute(ts, f, 10)
+	rng := rand.New(rand.NewSource(4))
+	for _, r := range []int{0, 1, 2, 4, 1 << 20} {
+		for q := 0; q < 5; q++ {
+			got, stats := topk.Run(n.RandomPeer(rng), f, 10, r)
+			if len(got) != 10 {
+				t.Fatalf("r=%d: got %d results", r, len(got))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("r=%d query %d: result %d = %v, want %v", r, q, i, got[i], want[i])
+				}
+			}
+			if stats.MaxPerPeer() != 1 {
+				t.Fatalf("r=%d: duplicate query delivery", r)
+			}
+		}
+	}
+}
+
+func TestTopKPeakScorer(t *testing.T) {
+	ts := dataset.Uniform(2000, 3, 6)
+	n := midas.Build(48, midas.Options{Dims: 3, Seed: 12})
+	overlay.Load(n, ts)
+	f := topk.Peak{Center: []float64{0.7, 0.2, 0.5}, Sharpness: 8}
+	want := topk.Brute(ts, f, 5)
+	got, _ := topk.Run(n.Peers()[0], f, 5, 2)
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("peak scorer result %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTopKSlowCheaperThanFast(t *testing.T) {
+	// The paper's central trade-off: slow should touch fewer peers than fast,
+	// fast should answer in fewer hops than slow (averaged over queries).
+	ts := dataset.NBA(5000, 2)
+	n := midas.Build(128, midas.Options{Dims: 6, Seed: 14})
+	overlay.Load(n, ts)
+	f := topk.UniformLinear(6)
+	rng := rand.New(rand.NewSource(9))
+	var fastLat, slowLat, fastCong, slowCong float64
+	const q = 20
+	for i := 0; i < q; i++ {
+		w := n.RandomPeer(rng)
+		_, sf := topk.Run(w, f, 10, 0)
+		_, ss := topk.Run(w, f, 10, 1<<20)
+		fastLat += float64(sf.Latency)
+		slowLat += float64(ss.Latency)
+		fastCong += sf.Congestion()
+		slowCong += ss.Congestion()
+	}
+	if fastLat >= slowLat {
+		t.Fatalf("mean fast latency %v not below slow %v", fastLat/q, slowLat/q)
+	}
+	if slowCong >= fastCong {
+		t.Fatalf("mean slow congestion %v not below fast %v", slowCong/q, fastCong/q)
+	}
+}
+
+func TestTopKOnSinglePeer(t *testing.T) {
+	n := midas.Build(1, midas.Options{Dims: 2, Seed: 6})
+	ts := dataset.Uniform(50, 2, 5)
+	overlay.Load(n, ts)
+	f := topk.UniformLinear(2)
+	got, stats := topk.Run(n.Peers()[0], f, 3, 0)
+	want := topk.Brute(ts, f, 3)
+	if len(got) != 3 || got[0].ID != want[0].ID {
+		t.Fatalf("single-peer topk wrong: %v vs %v", got, want)
+	}
+	if stats.Latency != 0 || stats.QueryMsgs != 1 {
+		t.Fatalf("single-peer costs: %+v", stats)
+	}
+}
+
+func TestTopKLargerThanDataset(t *testing.T) {
+	n := midas.Build(16, midas.Options{Dims: 2, Seed: 7})
+	ts := dataset.Uniform(10, 2, 5)
+	overlay.Load(n, ts)
+	f := topk.UniformLinear(2)
+	got, _ := topk.Run(n.Peers()[0], f, 50, 3)
+	if len(got) != 10 {
+		t.Fatalf("k > |D| should return all %d tuples, got %d", 10, len(got))
+	}
+}
+
+func TestRippleOverChordAllModes(t *testing.T) {
+	// Overlay-genericity at the engine level: ripple(r) must stay correct and
+	// exactly-once over Chord's arc regions for every r.
+	ring := chord.Build(40, 3)
+	ts := dataset.Uniform(600, 1, 9)
+	overlay.Load(ring, ts)
+	f := topk.UniformLinear(1)
+	want := topk.Brute(ts, f, 7)
+	for _, r := range []int{0, 1, 2, 5, 1 << 20} {
+		got, stats := topk.Run(ring.Peers()[11], f, 7, r)
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("r=%d: rank %d mismatch", r, i)
+			}
+		}
+		if stats.MaxPerPeer() > 2 {
+			t.Fatalf("r=%d: a peer processed %d fragments", r, stats.MaxPerPeer())
+		}
+	}
+}
+
+func TestRunModeAndPanics(t *testing.T) {
+	n := midas.Build(8, midas.Options{Dims: 2, Seed: 2})
+	overlay.Load(n, dataset.Uniform(40, 2, 1))
+	p := &naive.Processor{LocalSelect: allTuples}
+	fast := core.RunMode(n.Peers()[0], p, core.Fast)
+	if fast.Stats.QueryMsgs != 8 {
+		t.Fatalf("fast mode msgs = %d", fast.Stats.QueryMsgs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunMode(Ripple) must demand an explicit r")
+		}
+	}()
+	core.RunMode(n.Peers()[0], p, core.Ripple)
+}

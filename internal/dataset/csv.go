@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV loads tuples from CSV: one row per tuple, first column the tuple
+// ID, remaining columns the coordinates. Coordinates must already be
+// normalised to [0,1) (see ReadRawCSV / Normalize for raw data). A header
+// row is detected by a non-numeric first field and skipped.
+func ReadCSV(r io.Reader) ([]Tuple, error) {
+	return readCSV(r, false)
+}
+
+// ReadRawCSV loads tuples whose coordinates are raw attribute values (any
+// finite float); callers normally follow with Normalize.
+func ReadRawCSV(r io.Reader) ([]Tuple, error) {
+	return readCSV(r, true)
+}
+
+func readCSV(r io.Reader, allowRaw bool) ([]Tuple, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out []Tuple
+	dims := -1
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv read: %w", err)
+		}
+		line++
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("dataset: csv line %d: need id plus at least one coordinate", line)
+		}
+		id, err := strconv.ParseUint(rec[0], 10, 64)
+		if err != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("dataset: csv line %d: bad id %q", line, rec[0])
+		}
+		if dims == -1 {
+			dims = len(rec) - 1
+		} else if len(rec)-1 != dims {
+			return nil, fmt.Errorf("dataset: csv line %d: %d coordinates, want %d", line, len(rec)-1, dims)
+		}
+		vec := make([]float64, dims)
+		for i := 0; i < dims; i++ {
+			v, err := strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d: bad coordinate %q", line, rec[i+1])
+			}
+			if !allowRaw && (v < 0 || v >= 1) {
+				return nil, fmt.Errorf("dataset: csv line %d: coordinate %v outside [0,1); normalise first", line, v)
+			}
+			vec[i] = v
+		}
+		out = append(out, Tuple{ID: id, Vec: vec})
+	}
+	return out, nil
+}
+
+// WriteCSV writes tuples in the format ReadCSV accepts, with a header.
+func WriteCSV(w io.Writer, ts []Tuple) error {
+	cw := csv.NewWriter(w)
+	d := Dims(ts)
+	header := make([]string, d+1)
+	header[0] = "id"
+	for i := 0; i < d; i++ {
+		header[i+1] = fmt.Sprintf("x%d", i)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: csv write: %w", err)
+	}
+	rec := make([]string, d+1)
+	for _, t := range ts {
+		rec[0] = strconv.FormatUint(t.ID, 10)
+		for i, v := range t.Vec {
+			rec[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: csv write: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Normalize min-max rescales raw-valued tuples into [0,1)^d in place (the
+// paper's attribute normalisation), with an optional per-dimension invert
+// mask for attributes where higher raw values are better (the repository
+// convention is lower-is-better).
+func Normalize(ts []Tuple, invert []bool) {
+	normalizeMinMax(ts)
+	if invert == nil {
+		return
+	}
+	for _, t := range ts {
+		for j, inv := range invert {
+			if inv && j < len(t.Vec) {
+				t.Vec[j] = clamp01(1 - t.Vec[j])
+			}
+		}
+	}
+}

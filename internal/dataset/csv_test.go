@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ts := Uniform(200, 4, 1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("round trip size %d, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if got[i].ID != ts[i].ID || !got[i].Vec.Equal(ts[i].Vec) {
+			t.Fatalf("tuple %d: %v != %v", i, got[i], ts[i])
+		}
+	}
+}
+
+func TestReadCSVHeaderDetection(t *testing.T) {
+	in := "id,x0,x1\n1,0.5,0.25\n2,0.1,0.9\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[1].Vec[1] != 0.9 {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"short row":       "1\n",
+		"bad id mid-file": "1,0.5\nxx,0.5\n",
+		"bad coord":       "1,zz\n",
+		"out of range":    "1,1.5\n",
+		"ragged dims":     "1,0.5,0.5\n2,0.5\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestNormalizeWithInvert(t *testing.T) {
+	ts := []Tuple{
+		{ID: 1, Vec: []float64{10, 5}},
+		{ID: 2, Vec: []float64{20, 15}},
+		{ID: 3, Vec: []float64{30, 10}},
+	}
+	Normalize(ts, []bool{false, true})
+	// Dim 0: min-max to [0,1); dim 1 inverted: raw max (15) becomes best (0).
+	if ts[0].Vec[0] != 0 {
+		t.Fatalf("dim0 min should normalise to 0, got %v", ts[0].Vec[0])
+	}
+	if ts[1].Vec[1] > 1e-12 {
+		t.Fatalf("dim1 raw max should invert to ~0, got %v", ts[1].Vec[1])
+	}
+	if ts[0].Vec[1] <= ts[2].Vec[1] {
+		t.Fatal("inversion order wrong")
+	}
+}

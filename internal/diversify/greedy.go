@@ -1,0 +1,136 @@
+package diversify
+
+import (
+	"math"
+	"sort"
+
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+)
+
+// SingleSolver answers one single-tuple diversification query: the best
+// eligible tuple outside base/exclude whose φ score is below tau, or nil.
+// Both the RIPPLE-based method and the CAN baseline implement this signature
+// and share the greedy driver below, which realises the paper's fairness rule
+// ("we force both heuristic diversification algorithms to produce the same
+// result at each step" — §7.1): identical solvers yield identical iterates,
+// so the metrics compare cost only.
+type SingleSolver func(base []dataset.Tuple, exclude map[uint64]bool, tau float64) (*dataset.Tuple, sim.Stats)
+
+// NewRippleSolver returns the RIPPLE-based SingleSolver: every single-tuple
+// query is processed from the given initiator with ripple parameter r.
+func NewRippleSolver(initiator overlay.Node, q Query, r int) SingleSolver {
+	return func(base []dataset.Tuple, exclude map[uint64]bool, tau float64) (*dataset.Tuple, sim.Stats) {
+		return RunSingle(initiator, q, base, exclude, tau, r)
+	}
+}
+
+// NewBruteSolver returns a centralized oracle SingleSolver over a full tuple
+// slice (zero network cost); tests use it to check solver-agnostic greedy
+// behaviour and the baseline-fairness rule.
+func NewBruteSolver(ts []dataset.Tuple, q Query) SingleSolver {
+	return func(base []dataset.Tuple, exclude map[uint64]bool, tau float64) (*dataset.Tuple, sim.Stats) {
+		return BruteSingle(ts, q, base, exclude, tau), sim.Stats{}
+	}
+}
+
+// GreedyResult is the outcome of a full k-diversification query.
+type GreedyResult struct {
+	Set        []dataset.Tuple
+	Objective  float64
+	Iterations int
+	Stats      sim.Stats
+}
+
+// MaxIters is the paper's MAX_ITERS bound on improvement passes.
+const MaxIters = 10
+
+// Greedy answers the k-diversification query (Algorithms 22-23): initialise
+// O by solving k single-tuple queries greedily, then repeatedly swap one
+// member for the best outside tuple while the objective improves.
+//
+// The threshold passed to the solver for candidate t_i is the exact pruning
+// bound τ_i = f_best − f(O∖{t_i}) (with f_best the best objective seen so
+// far), which is what Algorithm 23's lines 6/8 approximate: any returned
+// candidate is then a guaranteed improvement (see DESIGN.md §6).
+func Greedy(q Query, k int, solve SingleSolver, maxIters int) GreedyResult {
+	if maxIters <= 0 {
+		maxIters = MaxIters
+	}
+	var res GreedyResult
+
+	// Initialisation: k greedy single-tuple insertions (the paper's more
+	// elaborate initialise variant).
+	exclude := make(map[uint64]bool)
+	var O []dataset.Tuple
+	for len(O) < k {
+		t, stats := solve(O, exclude, math.Inf(1))
+		res.Stats.Add(&stats)
+		if t == nil {
+			break // fewer than k tuples in the network
+		}
+		O = append(O, *t)
+		exclude[t.ID] = true
+	}
+
+	fBest := q.Objective(O)
+	for iter := 0; iter < maxIters && len(O) == k && k > 0; iter++ {
+		res.Iterations++
+		improved, newO, newF := q.improvePass(O, fBest, solve, &res.Stats)
+		if !improved {
+			break
+		}
+		O, fBest = newO, newF
+	}
+	res.Set, res.Objective = O, fBest
+	return res
+}
+
+// improvePass is Algorithm 23 (div-improve): examine each member of O in
+// descending φ order and search the network for a replacement that improves
+// the objective beyond the best set seen so far.
+func (q Query) improvePass(O []dataset.Tuple, fBest float64, solve SingleSolver, stats *sim.Stats) (bool, []dataset.Tuple, float64) {
+	type scored struct {
+		idx int
+		phi float64
+	}
+	order := make([]scored, len(O))
+	for i := range O {
+		order[i] = scored{idx: i, phi: q.Phi(O[i].Vec, without(O, i))}
+	}
+	// Descending φ: the member whose removal leaves the best set goes first.
+	sort.Slice(order, func(a, b int) bool { return order[a].phi > order[b].phi })
+
+	exclude := make(map[uint64]bool, len(O))
+	for _, t := range O {
+		exclude[t.ID] = true
+	}
+
+	var tin *dataset.Tuple
+	tout := -1
+	for _, s := range order {
+		base := without(O, s.idx)
+		tau := fBest - q.Objective(base)
+		cand, st := solve(base, exclude, tau)
+		stats.Add(&st)
+		if cand == nil {
+			continue
+		}
+		if f := q.Objective(append(append([]dataset.Tuple(nil), base...), *cand)); f < fBest {
+			fBest, tin, tout = f, cand, s.idx
+		}
+	}
+	if tin == nil {
+		return false, O, fBest
+	}
+	newO := append(without(O, tout), *tin)
+	return true, newO, fBest
+}
+
+func without(O []dataset.Tuple, i int) []dataset.Tuple {
+	out := make([]dataset.Tuple, 0, len(O)-1)
+	out = append(out, O[:i]...)
+	out = append(out, O[i+1:]...)
+	return out
+}

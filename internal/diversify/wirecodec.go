@@ -1,0 +1,90 @@
+package diversify
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+)
+
+// WireCodec serialises single-tuple diversification queries and states for
+// networked peers; it implements the wire.Codec interface. The query carries
+// the query point, λ, the metric names, the base set O, the exclusion list
+// and the initial threshold; states are the φ threshold.
+type WireCodec struct{}
+
+type wireParams struct {
+	Q       geom.Point
+	Lambda  float64
+	Dr, Dv  string // "L1" | "L2"
+	Base    []dataset.Tuple
+	Exclude []uint64
+	Tau0    float64
+}
+
+// Name implements wire.Codec.
+func (WireCodec) Name() string { return "diversify" }
+
+// EncodeParams builds the wire descriptor for one single-tuple query.
+func (WireCodec) EncodeParams(q Query, base []dataset.Tuple, exclude map[uint64]bool, tau0 float64) ([]byte, error) {
+	p := wireParams{Q: q.Q, Lambda: q.Lambda, Dr: q.Dr.Name(), Dv: q.Dv.Name(), Base: base, Tau0: tau0}
+	for id := range exclude {
+		p.Exclude = append(p.Exclude, id)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// NewProcessor implements wire.Codec.
+func (WireCodec) NewProcessor(params []byte) (core.Processor, error) {
+	var p wireParams
+	if err := gob.NewDecoder(bytes.NewReader(params)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("diversify: decode params: %w", err)
+	}
+	metric := func(name string) geom.Metric {
+		if name == "L2" {
+			return geom.L2
+		}
+		return geom.L1
+	}
+	exclude := make(map[uint64]bool, len(p.Exclude))
+	for _, id := range p.Exclude {
+		exclude[id] = true
+	}
+	return &Processor{
+		Query:   Query{Q: p.Q, Lambda: p.Lambda, Dr: metric(p.Dr), Dv: metric(p.Dv)},
+		Base:    p.Base,
+		Exclude: exclude,
+		Tau0:    p.Tau0,
+	}, nil
+}
+
+// EncodeState implements wire.Codec: the φ threshold.
+func (WireCodec) EncodeState(s core.State) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(float64(s.(state))); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState implements wire.Codec. Empty input yields +Inf (note that the
+// networked caller should pass the real Tau0 through the params, since the
+// engine-side initial state comes from the processor).
+func (WireCodec) DecodeState(b []byte) (core.State, error) {
+	if len(b) == 0 {
+		return state(math.Inf(1)), nil
+	}
+	var v float64
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		return nil, fmt.Errorf("diversify: decode state: %w", err)
+	}
+	return state(v), nil
+}

@@ -1,0 +1,267 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pt(vs ...float64) Point { return Point(vs) }
+
+func TestPointDominates(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{pt(0, 0), pt(1, 1), true},
+		{pt(0, 1), pt(1, 1), true},
+		{pt(1, 1), pt(1, 1), false}, // equal points do not dominate
+		{pt(1, 0), pt(0, 1), false}, // incomparable
+		{pt(0, 1), pt(1, 0), false},
+		{pt(2, 2), pt(1, 1), false},
+		{pt(0, 0, 0), pt(0, 0), false}, // dimension mismatch
+	}
+	for _, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.want {
+			t.Errorf("%v.Dominates(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDominanceIsStrictPartialOrder(t *testing.T) {
+	// Irreflexivity and antisymmetry on random points; transitivity on
+	// random chains.
+	rng := rand.New(rand.NewSource(7))
+	randPt := func() Point {
+		p := make(Point, 3)
+		// Small discrete grid so that ties and dominance both occur often.
+		for i := range p {
+			p[i] = float64(rng.Intn(4))
+		}
+		return p
+	}
+	for i := 0; i < 2000; i++ {
+		a, b, c := randPt(), randPt(), randPt()
+		if a.Dominates(a) {
+			t.Fatalf("irreflexivity violated for %v", a)
+		}
+		if a.Dominates(b) && b.Dominates(a) {
+			t.Fatalf("antisymmetry violated for %v, %v", a, b)
+		}
+		if a.Dominates(b) && b.Dominates(c) && !a.Dominates(c) {
+			t.Fatalf("transitivity violated for %v, %v, %v", a, b, c)
+		}
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Lo: pt(0, 0), Hi: pt(1, 1)}
+	if !r.Contains(pt(0, 0)) {
+		t.Error("lower corner must be inside (half-open)")
+	}
+	if r.Contains(pt(1, 1)) {
+		t.Error("upper corner must be outside (half-open)")
+	}
+	if r.Contains(pt(0.5, 1)) {
+		t.Error("upper face must be outside")
+	}
+	if !r.Contains(pt(0.999, 0)) {
+		t.Error("interior point missing")
+	}
+}
+
+func TestRectSplitPartitions(t *testing.T) {
+	r := UnitCube(3)
+	lo, hi := r.Split(1, 0.25)
+	if lo.Overlaps(hi) {
+		t.Fatal("split halves overlap")
+	}
+	if got := lo.Volume() + hi.Volume(); math.Abs(got-r.Volume()) > 1e-12 {
+		t.Fatalf("split volumes %v do not sum to parent %v", got, r.Volume())
+	}
+	// Every point is in exactly one half.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		p := pt(rng.Float64(), rng.Float64(), rng.Float64())
+		inLo, inHi := lo.Contains(p), hi.Contains(p)
+		if inLo == inHi {
+			t.Fatalf("point %v in lo=%v hi=%v; want exactly one", p, inLo, inHi)
+		}
+	}
+}
+
+func TestRectSplitPanicsOnDegenerate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for split at boundary")
+		}
+	}()
+	UnitCube(2).Split(0, 0)
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{Lo: pt(0, 0), Hi: pt(0.6, 0.6)}
+	b := Rect{Lo: pt(0.4, 0.4), Hi: pt(1, 1)}
+	got := a.Intersect(b)
+	want := Rect{Lo: pt(0.4, 0.4), Hi: pt(0.6, 0.6)}
+	if !got.Equal(want) {
+		t.Fatalf("intersect = %v, want %v", got, want)
+	}
+	c := Rect{Lo: pt(0.7, 0), Hi: pt(1, 0.3)}
+	if !a.Intersect(c).IsEmpty() {
+		t.Fatal("disjoint boxes should intersect to empty")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("Overlaps must agree with empty intersection")
+	}
+}
+
+func TestDominatesRect(t *testing.T) {
+	r := Rect{Lo: pt(0.5, 0.5), Hi: pt(1, 1)}
+	if !DominatesRect(pt(0.1, 0.1), r) {
+		t.Error("point below Lo must dominate the box")
+	}
+	if DominatesRect(pt(0.5, 0.5), r) {
+		t.Error("Lo itself does not dominate the box (contains Lo)")
+	}
+	if DominatesRect(pt(0.1, 0.9), r) {
+		t.Error("incomparable point must not dominate the box")
+	}
+}
+
+func TestMetricDistances(t *testing.T) {
+	a, b := pt(0, 0), pt(3, 4)
+	if got := L1.Dist(a, b); got != 7 {
+		t.Errorf("L1 = %v, want 7", got)
+	}
+	if got := L2.Dist(a, b); got != 5 {
+		t.Errorf("L2 = %v, want 5", got)
+	}
+}
+
+func TestMinMaxDist(t *testing.T) {
+	r := Rect{Lo: pt(1, 1), Hi: pt(2, 2)}
+	// Point inside: MinDist 0.
+	if got := L2.MinDist(pt(1.5, 1.5), r); got != 0 {
+		t.Errorf("inside MinDist = %v, want 0", got)
+	}
+	// Point left of the box.
+	if got := L2.MinDist(pt(0, 1.5), r); got != 1 {
+		t.Errorf("MinDist = %v, want 1", got)
+	}
+	if got := L2.MaxDist(pt(0, 1.5), r); math.Abs(got-math.Hypot(2, 0.5)) > 1e-12 {
+		t.Errorf("MaxDist = %v, want %v", got, math.Hypot(2, 0.5))
+	}
+}
+
+// Property: for random boxes and points, MinDist <= Dist(p, x) <= MaxDist for
+// any x inside the box — the contract the pruning bounds rely on.
+func TestMinMaxDistBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	for _, m := range []Metric{L1, L2, LpMetric{P: 3}} {
+		m := m
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			d := 1 + r.Intn(5)
+			lo, hi := make(Point, d), make(Point, d)
+			for i := 0; i < d; i++ {
+				a, b := r.Float64(), r.Float64()
+				lo[i], hi[i] = math.Min(a, b), math.Max(a, b)+1e-9
+			}
+			box := Rect{Lo: lo, Hi: hi}
+			p := make(Point, d)
+			for i := range p {
+				p[i] = r.Float64()*3 - 1
+			}
+			x := Lerp(lo, hi, r.Float64()) // a point inside the box
+			dist := m.Dist(p, x)
+			return m.MinDist(p, box) <= dist+1e-9 && dist <= m.MaxDist(p, box)+1e-9
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	r := Rect{Lo: pt(0, 0), Hi: pt(1, 1)}
+	got := r.Clamp(pt(-1, 0.5))
+	if !got.Equal(pt(0, 0.5)) {
+		t.Fatalf("clamp = %v", got)
+	}
+}
+
+func TestCorner(t *testing.T) {
+	r := Rect{Lo: pt(0, 0), Hi: pt(1, 2)}
+	if !r.Corner(0).Equal(pt(0, 0)) || !r.Corner(3).Equal(pt(1, 2)) || !r.Corner(1).Equal(pt(1, 0)) {
+		t.Fatal("corner enumeration wrong")
+	}
+}
+
+func TestWidestDim(t *testing.T) {
+	r := Rect{Lo: pt(0, 0, 0), Hi: pt(0.2, 0.9, 0.5)}
+	if got := r.WidestDim(); got != 1 {
+		t.Fatalf("WidestDim = %d, want 1", got)
+	}
+}
+
+func TestVolumeAndExtent(t *testing.T) {
+	r := Rect{Lo: pt(0, 0), Hi: pt(0.5, 0.25)}
+	if got := r.Volume(); math.Abs(got-0.125) > 1e-12 {
+		t.Fatalf("Volume = %v", got)
+	}
+	if got := r.Extent(1); got != 0.25 {
+		t.Fatalf("Extent = %v", got)
+	}
+	empty := Rect{Lo: pt(1, 1), Hi: pt(0, 0)}
+	if empty.Volume() != 0 || !empty.IsEmpty() {
+		t.Fatal("empty box should have zero volume")
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	p := pt(0.25, 0.5)
+	q := p.Clone()
+	q[0] = 0.9
+	if p[0] != 0.25 {
+		t.Fatal("Clone must not share storage")
+	}
+	if p.Dims() != 2 || !p.Equal(pt(0.25, 0.5)) || p.Equal(pt(0.25)) {
+		t.Fatal("Dims/Equal broken")
+	}
+	if !Origin(3).Equal(pt(0, 0, 0)) {
+		t.Fatal("Origin broken")
+	}
+	if got := Lerp(pt(0, 0), pt(1, 2), 0.5); !got.Equal(pt(0.5, 1)) {
+		t.Fatalf("Lerp = %v", got)
+	}
+	if s := p.String(); s != "(0.2500, 0.5000)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	r := Rect{Lo: pt(0, 0), Hi: pt(1, 0.5)}
+	if !r.Center().Equal(pt(0.5, 0.25)) {
+		t.Fatalf("Center = %v", r.Center())
+	}
+	c := r.Clone()
+	c.Lo[0] = 0.9
+	if r.Lo[0] != 0 {
+		t.Fatal("Clone must not share storage")
+	}
+	if !r.ContainsRect(Rect{Lo: pt(0.1, 0.1), Hi: pt(0.2, 0.2)}) {
+		t.Fatal("ContainsRect broken")
+	}
+	if r.ContainsRect(UnitCube(2)) {
+		t.Fatal("ContainsRect must reject larger boxes")
+	}
+	if r.String() == "" {
+		t.Fatal("String empty")
+	}
+	if L1.Name() != "L1" || L2.Name() != "L2" || (LpMetric{P: 3}).Name() != "L3" {
+		t.Fatal("metric names wrong")
+	}
+}

@@ -1,0 +1,94 @@
+package geom
+
+import "math"
+
+// Metric is a distance function between points together with the box bounds
+// RIPPLE needs for pruning: the minimum and maximum distance between a point
+// and any point of a box. The paper uses L1 for the MIRFLICKR diversification
+// workload and Euclidean distance for link ordering; both are Minkowski
+// metrics, so a single implementation parameterised by the exponent covers
+// every use in the repository.
+type Metric interface {
+	// Dist returns the distance between a and b.
+	Dist(a, b Point) float64
+	// MinDist returns min over x in r of Dist(p, x).
+	MinDist(p Point, r Rect) float64
+	// MaxDist returns max over x in r of Dist(p, x).
+	MaxDist(p Point, r Rect) float64
+	// Name identifies the metric in reports ("L1", "L2", ...).
+	Name() string
+}
+
+// LpMetric is the Minkowski metric of order P >= 1.
+type LpMetric struct{ P float64 }
+
+var (
+	// L1 is the Manhattan metric used for MIRFLICKR relevance/diversity.
+	L1 Metric = LpMetric{P: 1}
+	// L2 is the Euclidean metric.
+	L2 Metric = LpMetric{P: 2}
+)
+
+// Name implements Metric.
+func (m LpMetric) Name() string {
+	switch m.P {
+	case 1:
+		return "L1"
+	case 2:
+		return "L2"
+	default:
+		return "L" + formatP(m.P)
+	}
+}
+
+func formatP(p float64) string {
+	if p == math.Trunc(p) {
+		return string('0' + byte(int(p)%10))
+	}
+	return "p"
+}
+
+// Dist implements Metric.
+func (m LpMetric) Dist(a, b Point) float64 {
+	switch m.P {
+	case 1:
+		s := 0.0
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	case 2:
+		s := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	default:
+		s := 0.0
+		for i := range a {
+			s += math.Pow(math.Abs(a[i]-b[i]), m.P)
+		}
+		return math.Pow(s, 1/m.P)
+	}
+}
+
+// MinDist implements Metric. The closest point of a box to p is p clamped
+// into the box, for every Minkowski order.
+func (m LpMetric) MinDist(p Point, r Rect) float64 {
+	return m.Dist(p, r.Clamp(p))
+}
+
+// MaxDist implements Metric. The farthest point of a box from p is, per
+// dimension, whichever of the two faces is farther.
+func (m LpMetric) MaxDist(p Point, r Rect) float64 {
+	far := make(Point, len(p))
+	for i := range p {
+		if p[i]-r.Lo[i] > r.Hi[i]-p[i] {
+			far[i] = r.Lo[i]
+		} else {
+			far[i] = r.Hi[i]
+		}
+	}
+	return m.Dist(p, far)
+}

@@ -1,0 +1,99 @@
+// Package geom provides the geometric primitives used throughout the RIPPLE
+// reproduction: points, axis-parallel boxes (hyper-rectangles), Pareto
+// dominance tests, and Minkowski (Lp) distance metrics together with the
+// point-to-box distance bounds that power RIPPLE's region pruning.
+//
+// All query domains in this repository are normalised to the unit hypercube
+// [0,1]^d, and, following the paper's convention for skyline queries, lower
+// attribute values are always considered better.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a location in d-dimensional space. Points are treated as immutable
+// by every function in this module; callers that need to mutate a point
+// should Clone it first.
+type Point []float64
+
+// Clone returns an independent copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Dims returns the dimensionality of p.
+func (p Point) Dims() int { return len(p) }
+
+// Equal reports whether p and q have identical coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders p as "(x0, x1, ...)" with four significant decimals.
+func (p Point) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range p {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4f", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Dominates reports whether p dominates q under the "lower is better"
+// convention: p is no worse than q on every dimension and strictly better on
+// at least one. Points of mismatched dimensionality never dominate each other.
+func (p Point) Dominates(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	strict := false
+	for i := range p {
+		switch {
+		case p[i] > q[i]:
+			return false
+		case p[i] < q[i]:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Origin returns the d-dimensional origin, the best possible point under the
+// skyline convention.
+func Origin(d int) Point { return make(Point, d) }
+
+// Lerp linearly interpolates between a and b: result = a + t*(b-a).
+func Lerp(a, b Point, t float64) Point {
+	p := make(Point, len(a))
+	for i := range a {
+		p[i] = a[i] + t*(b[i]-a[i])
+	}
+	return p
+}
+
+// Clamp returns the point of r closest to p coordinate-wise, i.e. p clamped
+// into the box r.
+func (r Rect) Clamp(p Point) Point {
+	q := make(Point, len(p))
+	for i := range p {
+		q[i] = math.Max(r.Lo[i], math.Min(r.Hi[i], p[i]))
+	}
+	return q
+}

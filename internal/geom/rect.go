@@ -1,0 +1,162 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is a half-open axis-parallel box [Lo, Hi): a point p lies inside when
+// Lo[i] <= p[i] < Hi[i] on every dimension i. Half-open boxes let a set of
+// boxes partition the domain without double-counting boundary points, which
+// is exactly the property RIPPLE's exactly-once delivery guarantee rests on.
+//
+// The sole exception to half-openness is the upper domain boundary: a box
+// whose Hi[i] equals the domain maximum also contains points with
+// p[i] == Hi[i]; this is handled by the overlay layer, which always works in
+// [0,1]^d and places keys strictly inside the open cube.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// UnitCube returns the d-dimensional unit hypercube [0,1)^d.
+func UnitCube(d int) Rect {
+	return Rect{Lo: make(Point, d), Hi: ones(d)}
+}
+
+func ones(d int) Point {
+	p := make(Point, d)
+	for i := range p {
+		p[i] = 1
+	}
+	return p
+}
+
+// Dims returns the dimensionality of r.
+func (r Rect) Dims() int { return len(r.Lo) }
+
+// Clone returns a deep copy of r.
+func (r Rect) Clone() Rect { return Rect{Lo: r.Lo.Clone(), Hi: r.Hi.Clone()} }
+
+// IsEmpty reports whether r contains no point, i.e. Lo[i] >= Hi[i] on some
+// dimension.
+func (r Rect) IsEmpty() bool {
+	for i := range r.Lo {
+		if r.Lo[i] >= r.Hi[i] {
+			return true
+		}
+	}
+	return len(r.Lo) == 0
+}
+
+// Contains reports whether p lies inside the half-open box r.
+func (r Rect) Contains(p Point) bool {
+	if len(p) != len(r.Lo) {
+		return false
+	}
+	for i := range p {
+		if p[i] < r.Lo[i] || p[i] >= r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsRect reports whether s is entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	for i := range r.Lo {
+		if s.Lo[i] < r.Lo[i] || s.Hi[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether r and s are the same box.
+func (r Rect) Equal(s Rect) bool { return r.Lo.Equal(s.Lo) && r.Hi.Equal(s.Hi) }
+
+// Intersect returns the intersection of r and s. The result may be empty;
+// test with IsEmpty.
+func (r Rect) Intersect(s Rect) Rect {
+	lo := make(Point, len(r.Lo))
+	hi := make(Point, len(r.Hi))
+	for i := range lo {
+		lo[i] = math.Max(r.Lo[i], s.Lo[i])
+		hi[i] = math.Min(r.Hi[i], s.Hi[i])
+	}
+	return Rect{Lo: lo, Hi: hi}
+}
+
+// Overlaps reports whether r and s share at least one point.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).IsEmpty() }
+
+// Split cuts r at value v along dimension dim and returns the lower and upper
+// halves. It panics when v lies outside the open interval (Lo[dim], Hi[dim]),
+// since such a split would create an empty box and break the zone-partition
+// invariant of the overlays.
+func (r Rect) Split(dim int, v float64) (lo, hi Rect) {
+	if v <= r.Lo[dim] || v >= r.Hi[dim] {
+		panic(fmt.Sprintf("geom: split value %v outside rect dim %d (%v, %v)", v, dim, r.Lo[dim], r.Hi[dim]))
+	}
+	lo, hi = r.Clone(), r.Clone()
+	lo.Hi[dim] = v
+	hi.Lo[dim] = v
+	return lo, hi
+}
+
+// Center returns the centroid of r.
+func (r Rect) Center() Point {
+	c := make(Point, len(r.Lo))
+	for i := range c {
+		c[i] = (r.Lo[i] + r.Hi[i]) / 2
+	}
+	return c
+}
+
+// Volume returns the d-dimensional volume of r (zero when empty).
+func (r Rect) Volume() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	v := 1.0
+	for i := range r.Lo {
+		v *= r.Hi[i] - r.Lo[i]
+	}
+	return v
+}
+
+// Extent returns the side length of r along dimension dim.
+func (r Rect) Extent(dim int) float64 { return r.Hi[dim] - r.Lo[dim] }
+
+// WidestDim returns the dimension along which r is widest.
+func (r Rect) WidestDim() int {
+	best, bestExt := 0, math.Inf(-1)
+	for i := range r.Lo {
+		if e := r.Extent(i); e > bestExt {
+			best, bestExt = i, e
+		}
+	}
+	return best
+}
+
+// DominatesRect reports whether point s dominates every possible point of
+// region r. Because r.Lo is the best (Pareto-minimal) point of r, s dominates
+// the whole box exactly when it dominates r.Lo.
+func DominatesRect(s Point, r Rect) bool { return s.Dominates(r.Lo) }
+
+// Corner returns the corner of r selected by mask: bit i of mask chooses the
+// high (1) or low (0) side along dimension i. Used for evaluating bounds of
+// multilinear functions over boxes.
+func (r Rect) Corner(mask uint) Point {
+	c := make(Point, len(r.Lo))
+	for i := range c {
+		if mask&(1<<uint(i)) != 0 {
+			c[i] = r.Hi[i]
+		} else {
+			c[i] = r.Lo[i]
+		}
+	}
+	return c
+}
+
+// String renders r as "[lo -> hi]".
+func (r Rect) String() string { return fmt.Sprintf("[%v -> %v]", r.Lo, r.Hi) }

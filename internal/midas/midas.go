@@ -1,0 +1,637 @@
+// Package midas implements the MIDAS overlay (Tsatsanifos et al.,
+// GeoInformatica 2013), the distributed multidimensional index RIPPLE is
+// showcased on (§2.3 of the paper). Peers are the leaves of a virtual k-d
+// tree over the unit domain; a peer's zone is its leaf rectangle, its binary
+// identifier is its root-to-leaf path, and its i-th link points to some peer
+// inside the sibling subtree rooted at depth i. The expected tree depth — and
+// hence the overlay diameter — is O(log n).
+//
+// The package also implements the paper's §5.2 structural optimisation for
+// skyline processing: when Options.PreferBorder is set, links target peers
+// whose identifiers match the border patterns p_j (zones touching the lower
+// domain boundary on every dimension except at most one), realising the
+// back-link re-assignment rule of the join protocol.
+package midas
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+)
+
+// SplitPolicy selects the dimension a zone is split along when a peer joins.
+type SplitPolicy int
+
+const (
+	// SplitAlternate cycles through dimensions by tree depth (depth mod d),
+	// the layout assumed by the §5.2 border patterns (Figure 2).
+	SplitAlternate SplitPolicy = iota
+	// SplitWidest splits the longest side, keeping zones close to cubical.
+	SplitWidest
+)
+
+// Options configures a MIDAS network.
+type Options struct {
+	// Dims is the dimensionality of the indexed domain.
+	Dims int
+	// Seed drives all randomised choices (join targets, zone sides).
+	Seed int64
+	// PreferBorder enables the §5.2 link optimisation.
+	PreferBorder bool
+	// Split selects the split-dimension policy (default SplitAlternate).
+	Split SplitPolicy
+}
+
+// Network is a simulated MIDAS overlay.
+type Network struct {
+	opts  Options
+	root  *node
+	rng   *rand.Rand
+	count int
+}
+
+// node is a virtual k-d tree node; leaves carry peers.
+type node struct {
+	parent      *node
+	left, right *node
+	rect        geom.Rect
+	splitDim    int
+	splitVal    float64
+	peer        *Peer // non-nil iff leaf
+	size        int   // number of leaves in this subtree
+	load        int   // number of tuples stored in this subtree
+	border      *node // the most-border leaf in this subtree (see borderBetter)
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// Peer is a MIDAS overlay participant (a leaf of the virtual tree).
+type Peer struct {
+	net    *Network
+	leaf   *node
+	tuples []dataset.Tuple
+}
+
+// New creates a network of a single peer owning the whole domain.
+func New(opts Options) *Network {
+	if opts.Dims <= 0 {
+		panic("midas: non-positive dimensionality")
+	}
+	n := &Network{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	root := &node{rect: geom.UnitCube(opts.Dims), size: 1}
+	p := &Peer{net: n, leaf: root}
+	root.peer = p
+	n.root = root
+	n.count = 1
+	n.refreshBorderUp(root)
+	return n
+}
+
+// Build grows a network to size peers via successive random joins.
+func Build(size int, opts Options) *Network {
+	n := New(opts)
+	for n.count < size {
+		n.Join()
+	}
+	return n
+}
+
+// BuildWithData loads the tuples into a single-peer network first and then
+// grows it, so every join splits a data-bearing zone at the median of its
+// tuples — MIDAS's load-adaptive behaviour, under which zone density follows
+// data density and empty border areas stay coarse. This is the constructor
+// the benchmark harness uses.
+func BuildWithData(size int, opts Options, ts []dataset.Tuple) *Network {
+	n := New(opts)
+	for _, t := range ts {
+		n.Insert(t)
+	}
+	for n.count < size {
+		n.Join()
+	}
+	return n
+}
+
+// BuildPerfect grows a perfectly balanced network of 2^depth peers by
+// splitting every leaf once per round. In the resulting virtual tree every
+// peer sits at depth ∆ = depth and has exactly ∆ links, the setting the
+// worst-case latency lemmas (§3.2) are stated in.
+func BuildPerfect(depth int, opts Options) *Network {
+	n := New(opts)
+	for d := 0; d < depth; d++ {
+		for _, p := range n.Peers() {
+			n.JoinAt(p)
+		}
+	}
+	return n
+}
+
+// Dims implements overlay.Network.
+func (n *Network) Dims() int { return n.opts.Dims }
+
+// Size implements overlay.Network.
+func (n *Network) Size() int { return n.count }
+
+// MaxDepth returns the depth ∆ of the virtual tree (the overlay diameter and
+// the maximum number of links of any peer).
+func (n *Network) MaxDepth() int {
+	var walk func(nd *node, d int) int
+	walk = func(nd *node, d int) int {
+		if nd.isLeaf() {
+			return d
+		}
+		l, r := walk(nd.left, d+1), walk(nd.right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	return walk(n.root, 0)
+}
+
+// Nodes implements overlay.Network.
+func (n *Network) Nodes() []overlay.Node {
+	out := make([]overlay.Node, 0, n.count)
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd.isLeaf() {
+			out = append(out, nd.peer)
+			return
+		}
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(n.root)
+	return out
+}
+
+// Peers returns all peers in left-to-right leaf order.
+func (n *Network) Peers() []*Peer {
+	nodes := n.Nodes()
+	out := make([]*Peer, len(nodes))
+	for i, w := range nodes {
+		out[i] = w.(*Peer)
+	}
+	return out
+}
+
+// Locate implements overlay.Network.
+func (n *Network) Locate(p geom.Point) overlay.Node { return n.locatePeer(p) }
+
+func (n *Network) locatePeer(p geom.Point) *Peer {
+	nd := n.root
+	for !nd.isLeaf() {
+		if p[nd.splitDim] < nd.splitVal {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.peer
+}
+
+// Insert implements overlay.Network.
+func (n *Network) Insert(t dataset.Tuple) {
+	w := n.locatePeer(t.Vec)
+	w.tuples = append(w.tuples, t)
+	for nd := w.leaf; nd != nil; nd = nd.parent {
+		nd.load++
+	}
+}
+
+// RandomPeer returns a uniformly random peer, used to pick query initiators.
+func (n *Network) RandomPeer(rng *rand.Rand) *Peer {
+	nd := n.root
+	for !nd.isLeaf() {
+		if rng.Intn(nd.size) < nd.left.size {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.peer
+}
+
+// Join adds a new peer. On a data-bearing network the split target is chosen
+// with probability proportional to stored tuples (MIDAS splits where load
+// is), so zone granularity follows data density; on an empty network the
+// target is a uniformly random peer. Unsplittable sliver zones are retried
+// elsewhere. Returns the new peer.
+func (n *Network) Join() *Peer {
+	for attempt := 0; attempt < 64; attempt++ {
+		if w := n.tryJoinAt(n.loadWeightedPeer()); w != nil {
+			return w
+		}
+	}
+	for _, p := range n.Peers() { // last resort: any splittable zone
+		if w := n.tryJoinAt(p); w != nil {
+			return w
+		}
+	}
+	panic("midas: no splittable zone in the network")
+}
+
+// loadWeightedPeer samples a peer with probability proportional to its
+// stored tuples, falling back to uniform when the network holds no data.
+func (n *Network) loadWeightedPeer() *Peer {
+	if n.root.load == 0 {
+		return n.RandomPeer(n.rng)
+	}
+	nd := n.root
+	for !nd.isLeaf() {
+		if nd.load == 0 {
+			// Empty subtree reached via rounding; fall back to size.
+			if n.rng.Intn(nd.size) < nd.left.size {
+				nd = nd.left
+			} else {
+				nd = nd.right
+			}
+			continue
+		}
+		if n.rng.Intn(nd.load) < nd.left.load {
+			nd = nd.left
+		} else {
+			nd = nd.right
+		}
+	}
+	return nd.peer
+}
+
+// JoinAt adds a new peer by splitting the zone of a specific existing peer.
+// Exposed for building networks of controlled shape (e.g. the perfect trees
+// used to validate the worst-case latency lemmas). Panics when the zone is
+// too small to split (a float-degenerate sliver); Join retries elsewhere.
+func (n *Network) JoinAt(at *Peer) *Peer {
+	w := n.tryJoinAt(at)
+	if w == nil {
+		panic("midas: zone not splittable")
+	}
+	return w
+}
+
+// tryJoinAt splits at's zone, returning nil when no dimension admits a split
+// value strictly inside the zone (possible for slivers created by data
+// clamped onto the domain boundary).
+func (n *Network) tryJoinAt(at *Peer) *Peer {
+	target := at.leaf
+
+	dim, mid, ok := n.chooseSplit(target)
+	if !ok {
+		return nil
+	}
+	loRect, hiRect := target.rect.Split(dim, mid)
+
+	oldPeer := target.peer
+	newPeer := &Peer{net: n}
+	left := &node{parent: target, rect: loRect, size: 1}
+	right := &node{parent: target, rect: hiRect, size: 1}
+	if n.rng.Intn(2) == 0 {
+		left.peer, right.peer = oldPeer, newPeer
+	} else {
+		left.peer, right.peer = newPeer, oldPeer
+	}
+	left.peer.leaf = left
+	right.peer.leaf = right
+
+	target.peer = nil
+	target.left, target.right = left, right
+	target.splitDim, target.splitVal = dim, mid
+
+	// Redistribute the split zone's tuples by containment.
+	old := oldPeer.tuples
+	oldPeer.tuples, newPeer.tuples = nil, nil
+	for _, t := range old {
+		host := left.peer
+		if right.rect.Contains(t.Vec) {
+			host = right.peer
+		}
+		host.tuples = append(host.tuples, t)
+	}
+
+	left.load, right.load = len(left.peer.tuples), len(right.peer.tuples)
+	n.count++
+	n.refreshSizeUp(target)
+	n.refreshBorderLeaf(left)
+	n.refreshBorderLeaf(right)
+	n.refreshBorderUp(target)
+	return newPeer
+}
+
+// chooseSplit picks the dimension and value a zone splits at: the preferred
+// dimension (by policy) first, then any other, using the median of the
+// zone's tuples when it holds data (MIDAS's load-balancing split) and the
+// midpoint otherwise. Returns ok=false when no dimension admits a value
+// strictly inside the zone — midpoints of float-degenerate intervals can
+// round onto the boundary, so every candidate is validated.
+func (n *Network) chooseSplit(target *node) (int, float64, bool) {
+	preferred := target.rect.WidestDim()
+	if n.opts.Split == SplitAlternate {
+		preferred = nodeDepth(target) % n.opts.Dims
+		if target.rect.Extent(preferred) <= 0 {
+			preferred = target.rect.WidestDim()
+		}
+	}
+	dims := []int{preferred}
+	for d := 0; d < n.opts.Dims; d++ {
+		if d != preferred {
+			dims = append(dims, d)
+		}
+	}
+	for _, dim := range dims {
+		if v, ok := n.splitValue(target, dim); ok {
+			return dim, v, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (n *Network) splitValue(target *node, dim int) (float64, bool) {
+	lo, hi := target.rect.Lo[dim], target.rect.Hi[dim]
+	valid := func(v float64) bool { return v > lo && v < hi }
+	ts := target.peer.tuples
+	if len(ts) >= 2 {
+		vals := make([]float64, len(ts))
+		for i, t := range ts {
+			vals[i] = t.Vec[dim]
+		}
+		sort.Float64s(vals)
+		if med := vals[len(vals)/2]; valid(med) {
+			return med, true
+		}
+	}
+	if mid := (lo + hi) / 2; valid(mid) {
+		return mid, true
+	}
+	return 0, false
+}
+
+// Leave removes peer p from the network, keeping the structure a valid k-d
+// tree. If p's sibling is a leaf, the sibling absorbs the merged zone. If the
+// sibling subtree is internal, the deepest leaf pair inside it is merged and
+// the freed peer takes over p's zone and tuples (the standard k-d-tree DHT
+// departure protocol).
+func (n *Network) Leave(p *Peer) {
+	if n.count == 1 {
+		panic("midas: cannot remove the last peer")
+	}
+	leaf := p.leaf
+	parent := leaf.parent
+	sib := parent.left
+	if sib == leaf {
+		sib = parent.right
+	}
+
+	if sib.isLeaf() {
+		// Sibling absorbs parent's whole rectangle and both tuple sets.
+		survivor := sib.peer
+		survivor.tuples = append(survivor.tuples, p.tuples...)
+		parent.peer = survivor
+		parent.left, parent.right = nil, nil
+		survivor.leaf = parent
+		n.count--
+		p.leaf, p.tuples = nil, nil
+		n.refreshSizeUp(parent)
+		n.refreshBorderUp(parent)
+		return
+	}
+
+	// Merge the deepest leaf pair inside the sibling subtree; the freed peer
+	// becomes the new owner of the departing peer's zone.
+	q := deepestLeafPair(sib)
+	keeper, donor := q.left.peer, q.right.peer
+	keeper.tuples = append(keeper.tuples, donor.tuples...)
+	q.peer = keeper
+	q.left, q.right = nil, nil
+	keeper.leaf = q
+
+	donor.tuples = p.tuples
+	donor.leaf = leaf
+	leaf.peer = donor
+
+	n.count--
+	p.leaf, p.tuples = nil, nil
+	n.refreshSizeUp(q)
+	n.refreshBorderUp(q)
+	n.refreshBorderUp(leaf)
+}
+
+// deepestLeafPair returns the deepest internal node of sub whose children are
+// both leaves (one always exists in a finite binary tree).
+func deepestLeafPair(sub *node) *node {
+	var best *node
+	bestDepth := -1
+	var walk func(nd *node, d int)
+	walk = func(nd *node, d int) {
+		if nd.isLeaf() {
+			return
+		}
+		if nd.left.isLeaf() && nd.right.isLeaf() && d > bestDepth {
+			best, bestDepth = nd, d
+		}
+		walk(nd.left, d+1)
+		walk(nd.right, d+1)
+	}
+	walk(sub, 0)
+	return best
+}
+
+func (n *Network) refreshSizeUp(nd *node) {
+	for ; nd != nil; nd = nd.parent {
+		if nd.isLeaf() {
+			nd.size = 1
+			nd.load = len(nd.peer.tuples)
+		} else {
+			nd.size = nd.left.size + nd.right.size
+			nd.load = nd.left.load + nd.right.load
+		}
+	}
+}
+
+// isBorderLeaf reports whether a zone matches one of the §5.2 border
+// patterns p_j: it touches the lower domain boundary on every dimension
+// except at most one.
+func isBorderLeaf(rect geom.Rect) bool {
+	off := 0
+	for i := range rect.Lo {
+		if rect.Lo[i] > 0 {
+			off++
+			if off > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// borderKey orders leaves by how close their zone sits to the lower domain
+// boundaries: first by the number of dimensions off the boundary, then by the
+// L1 norm of the lower corner. The §5.2 patterns p_j are exactly the leaves
+// with off-dimension count <= 1, so preferring the minimal key generalises
+// the paper's rule (a pattern leaf always wins over a non-pattern one) while
+// still selecting the most-border peer in subtrees that contain no pattern
+// leaf.
+func borderKey(rect geom.Rect) (off int, sum float64) {
+	for i := range rect.Lo {
+		if rect.Lo[i] > 0 {
+			off++
+		}
+		sum += rect.Lo[i]
+	}
+	return off, sum
+}
+
+func borderBetter(a, b *node) *node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	ao, as := borderKey(a.rect)
+	bo, bs := borderKey(b.rect)
+	if ao != bo {
+		if ao < bo {
+			return a
+		}
+		return b
+	}
+	if as <= bs {
+		return a
+	}
+	return b
+}
+
+func (n *Network) refreshBorderLeaf(nd *node) { nd.border = nd }
+
+func (n *Network) refreshBorderUp(nd *node) {
+	for ; nd != nil; nd = nd.parent {
+		if nd.isLeaf() {
+			n.refreshBorderLeaf(nd)
+		} else {
+			nd.border = borderBetter(nd.left.border, nd.right.border)
+		}
+	}
+}
+
+func nodeDepth(nd *node) int {
+	d := 0
+	for p := nd.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// ID implements overlay.Node: the binary root-to-leaf path of the peer.
+func (p *Peer) ID() string {
+	var bits []byte
+	for nd := p.leaf; nd.parent != nil; nd = nd.parent {
+		if nd.parent.left == nd {
+			bits = append(bits, '0')
+		} else {
+			bits = append(bits, '1')
+		}
+	}
+	for i, j := 0, len(bits)-1; i < j; i, j = i+1, j-1 {
+		bits[i], bits[j] = bits[j], bits[i]
+	}
+	return string(bits)
+}
+
+// Depth returns the peer's depth in the virtual tree (= its number of links).
+func (p *Peer) Depth() int { return nodeDepth(p.leaf) }
+
+// Zone implements overlay.Node.
+func (p *Peer) Zone() overlay.Region { return overlay.FromRect(p.leaf.rect) }
+
+// Rect returns the peer's zone rectangle.
+func (p *Peer) Rect() geom.Rect { return p.leaf.rect }
+
+// Tuples implements overlay.Node.
+func (p *Peer) Tuples() []dataset.Tuple { return p.tuples }
+
+// Links implements overlay.Node: link i targets a peer inside the sibling
+// subtree rooted at depth i+1 of the peer's path, and its region is that
+// subtree's rectangle — a partition of the domain minus the peer's zone.
+func (p *Peer) Links() []overlay.Link {
+	// Collect the root-to-leaf path.
+	var path []*node
+	for nd := p.leaf; nd != nil; nd = nd.parent {
+		path = append(path, nd)
+	}
+	// path is leaf..root; traverse from root down.
+	var links []overlay.Link
+	callerSalt := hashString(p.ID())
+	for i := len(path) - 1; i > 0; i-- {
+		cur, child := path[i], path[i-1]
+		sib := cur.left
+		if sib == child {
+			sib = cur.right
+		}
+		rep := p.net.representative(sib, callerSalt+uint64(i)*0x9e3779b97f4a7c15)
+		links = append(links, overlay.Link{To: rep, Region: overlay.FromRect(sib.rect)})
+	}
+	return links
+}
+
+// representative picks the peer a link targets inside a sibling subtree.
+// With PreferBorder set and a border-pattern peer present, that peer is
+// chosen (the §5.2 policy); otherwise a pseudo-random descent keyed by the
+// calling peer makes the choice stable across queries yet varied across
+// peers, matching MIDAS's freedom in link establishment.
+func (n *Network) representative(sub *node, salt uint64) *Peer {
+	if n.opts.PreferBorder && sub.border != nil {
+		return sub.border.peer
+	}
+	h := splitmix64(salt)
+	bits := 64
+	for !sub.isLeaf() {
+		if bits == 0 {
+			h = splitmix64(h)
+			bits = 64
+		}
+		if h&1 == 0 {
+			sub = sub.left
+		} else {
+			sub = sub.right
+		}
+		h >>= 1
+		bits--
+	}
+	return sub.peer
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// String renders the virtual tree for demos (Figure 1 style).
+func (n *Network) String() string {
+	var b strings.Builder
+	var walk func(nd *node, indent string)
+	walk = func(nd *node, indent string) {
+		if nd.isLeaf() {
+			fmt.Fprintf(&b, "%s- peer %q zone %v (%d tuples)\n", indent, nd.peer.ID(), nd.rect, len(nd.peer.tuples))
+			return
+		}
+		fmt.Fprintf(&b, "%s* split dim %d @ %.4f\n", indent, nd.splitDim, nd.splitVal)
+		walk(nd.left, indent+"  ")
+		walk(nd.right, indent+"  ")
+	}
+	walk(n.root, "")
+	return b.String()
+}

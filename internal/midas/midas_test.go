@@ -1,0 +1,346 @@
+package midas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+)
+
+func TestBuildInvariants(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 17, 128} {
+		n := Build(size, Options{Dims: 3, Seed: int64(size)})
+		if n.Size() != size {
+			t.Fatalf("size = %d, want %d", n.Size(), size)
+		}
+		if err := overlay.CheckInvariants(n, 200, 1); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestTuplePlacement(t *testing.T) {
+	n := Build(64, Options{Dims: 4, Seed: 9})
+	ts := dataset.Uniform(500, 4, 3)
+	overlay.Load(n, ts)
+	total := 0
+	for _, w := range n.Peers() {
+		total += len(w.Tuples())
+		for _, tp := range w.Tuples() {
+			if !w.Zone().Contains(tp.Vec) {
+				t.Fatalf("tuple %v misplaced at %s", tp, w.ID())
+			}
+		}
+	}
+	if total != 500 {
+		t.Fatalf("stored %d tuples, want 500", total)
+	}
+}
+
+func TestIDsMatchPaths(t *testing.T) {
+	n := Build(32, Options{Dims: 2, Seed: 4})
+	seen := map[string]bool{}
+	for _, w := range n.Peers() {
+		id := w.ID()
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+		if len(id) != w.Depth() {
+			t.Fatalf("id %q length != depth %d", id, w.Depth())
+		}
+		// The id must locate the peer when followed from the root.
+		nd := n.root
+		for _, b := range id {
+			if b == '0' {
+				nd = nd.left
+			} else {
+				nd = nd.right
+			}
+		}
+		if nd.peer != w {
+			t.Fatalf("id %q does not lead back to peer", id)
+		}
+	}
+}
+
+func TestLinksStructure(t *testing.T) {
+	n := Build(100, Options{Dims: 3, Seed: 11})
+	for _, w := range n.Peers() {
+		links := w.Links()
+		if len(links) != w.Depth() {
+			t.Fatalf("peer %s: %d links, want depth %d", w.ID(), len(links), w.Depth())
+		}
+		for i, l := range links {
+			// Link i's region is the sibling subtree at depth i+1: its id
+			// prefix differs from w's in exactly the (i+1)-th bit.
+			to := l.To.(*Peer)
+			wantPrefix := w.ID()[:i] + flip(w.ID()[i])
+			if got := to.ID()[:i+1]; got != wantPrefix {
+				t.Fatalf("peer %s link %d: target prefix %q, want %q", w.ID(), i, got, wantPrefix)
+			}
+			if !l.Region.Contains(to.Rect().Center()) {
+				t.Fatalf("peer %s link %d: target zone outside region", w.ID(), i)
+			}
+		}
+	}
+}
+
+func flip(b byte) string {
+	if b == '0' {
+		return "1"
+	}
+	return "0"
+}
+
+func TestLinksStableAcrossCalls(t *testing.T) {
+	n := Build(64, Options{Dims: 2, Seed: 2})
+	w := n.Peers()[7]
+	a, b := w.Links(), w.Links()
+	for i := range a {
+		if a[i].To.ID() != b[i].To.ID() {
+			t.Fatalf("link %d target changed between calls: %s vs %s", i, a[i].To.ID(), b[i].To.ID())
+		}
+	}
+}
+
+func TestChurnInvariants(t *testing.T) {
+	n := Build(40, Options{Dims: 3, Seed: 21})
+	overlay.Load(n, dataset.Uniform(300, 3, 8))
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 60; round++ {
+		if rng.Intn(2) == 0 && n.Size() > 2 {
+			peers := n.Peers()
+			n.Leave(peers[rng.Intn(len(peers))])
+		} else {
+			n.Join()
+		}
+	}
+	if err := overlay.CheckInvariants(n, 150, 3); err != nil {
+		t.Fatalf("after churn: %v", err)
+	}
+	// No tuple may be lost under churn.
+	total := 0
+	for _, w := range n.Peers() {
+		total += len(w.Tuples())
+	}
+	if total != 300 {
+		t.Fatalf("churn lost tuples: have %d, want 300", total)
+	}
+}
+
+func TestDecreasingStageToMinimum(t *testing.T) {
+	n := Build(64, Options{Dims: 2, Seed: 13})
+	overlay.Load(n, dataset.Uniform(100, 2, 1))
+	rng := rand.New(rand.NewSource(2))
+	for n.Size() > 1 {
+		peers := n.Peers()
+		n.Leave(peers[rng.Intn(len(peers))])
+	}
+	w := n.Peers()[0]
+	if !w.Rect().Equal(geom.UnitCube(2)) {
+		t.Fatalf("last peer zone %v, want unit cube", w.Rect())
+	}
+	if len(w.Tuples()) != 100 {
+		t.Fatalf("last peer holds %d tuples, want all 100", len(w.Tuples()))
+	}
+}
+
+func TestLeaveLastPeerPanics(t *testing.T) {
+	n := New(Options{Dims: 2, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic removing last peer")
+		}
+	}()
+	n.Leave(n.Peers()[0])
+}
+
+func TestBorderLeafDetection(t *testing.T) {
+	cube := geom.UnitCube(2)
+	lo, hi := cube.Split(0, 0.5)
+	if !isBorderLeaf(lo) || !isBorderLeaf(hi) {
+		t.Fatal("after one split both halves touch the border in >= d-1 dims")
+	}
+	_, upper := hi.Split(1, 0.5)
+	if isBorderLeaf(upper) {
+		t.Fatalf("zone %v is off both lower borders, must not match", upper)
+	}
+}
+
+func TestBorderPatternEquivalence(t *testing.T) {
+	// Under alternating splits, the geometric border test must coincide with
+	// the paper's id patterns p_j (bit i is 0 whenever i mod D != j).
+	n := Build(200, Options{Dims: 2, Seed: 33, Split: SplitAlternate})
+	for _, w := range n.Peers() {
+		id := w.ID()
+		want := false
+		for j := 0; j < 2 && !want; j++ {
+			ok := true
+			for i := 0; i < len(id); i++ {
+				if i%2 != j && id[i] == '1' {
+					ok = false
+					break
+				}
+			}
+			want = want || ok
+		}
+		if got := isBorderLeaf(w.Rect()); got != want {
+			t.Fatalf("peer %s: geometric border=%v, pattern border=%v", id, got, want)
+		}
+	}
+}
+
+func TestPreferBorderTargetsBorderPeers(t *testing.T) {
+	n := Build(300, Options{Dims: 2, Seed: 17, PreferBorder: true})
+	// Every link whose sibling subtree contains a border peer must target one.
+	for _, w := range n.Peers() {
+		for i, l := range w.Links() {
+			to := l.To.(*Peer)
+			if isBorderLeaf(to.Rect()) {
+				continue
+			}
+			// Target is not a border peer: the region must contain none.
+			for _, other := range n.Peers() {
+				if isBorderLeaf(other.Rect()) && l.Region.Contains(other.Rect().Center()) {
+					t.Fatalf("peer %s link %d targets non-border %s although border peer %s is in region",
+						w.ID(), i, to.ID(), other.ID())
+				}
+			}
+		}
+	}
+}
+
+func TestMaxDepthBound(t *testing.T) {
+	n := Build(1024, Options{Dims: 5, Seed: 3})
+	depth := n.MaxDepth()
+	// Random binary insertion gives expected depth O(log n); allow slack.
+	if depth < 10 || depth > 40 {
+		t.Fatalf("unexpected depth %d for 1024 peers", depth)
+	}
+}
+
+func TestRandomPeerUniformish(t *testing.T) {
+	n := Build(8, Options{Dims: 2, Seed: 19})
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	for i := 0; i < 8000; i++ {
+		counts[n.RandomPeer(rng).ID()]++
+	}
+	for id, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("peer %s sampled %d/8000 times; expected near 1000", id, c)
+		}
+	}
+	if len(counts) != 8 {
+		t.Fatalf("only %d distinct peers sampled", len(counts))
+	}
+}
+
+func TestBuildWithDataBalancesLoad(t *testing.T) {
+	// Data-adaptive construction: splits follow tuples, so per-peer load is
+	// near-balanced even for clustered data, and invariants still hold.
+	ts := dataset.Synth(dataset.SynthConfig{N: 8000, Dims: 3, Centers: 5, Spread: 0.02, Seed: 9})
+	n := BuildWithData(128, Options{Dims: 3, Seed: 4}, ts)
+	if err := overlay.CheckInvariants(n, 150, 6); err != nil {
+		t.Fatal(err)
+	}
+	total, maxLoad := 0, 0
+	for _, w := range n.Peers() {
+		total += len(w.Tuples())
+		if len(w.Tuples()) > maxLoad {
+			maxLoad = len(w.Tuples())
+		}
+	}
+	if total != 8000 {
+		t.Fatalf("lost tuples: %d/8000", total)
+	}
+	mean := 8000 / 128
+	if maxLoad > 12*mean {
+		t.Fatalf("max load %d vs mean %d: data-adaptive splits ineffective", maxLoad, mean)
+	}
+	// Contrast: volume-uniform construction on the same clustered data is
+	// badly skewed.
+	u := Build(128, Options{Dims: 3, Seed: 4})
+	overlay.Load(u, ts)
+	uMax := 0
+	for _, w := range u.Peers() {
+		if len(w.Tuples()) > uMax {
+			uMax = len(w.Tuples())
+		}
+	}
+	if maxLoad >= uMax {
+		t.Fatalf("adaptive max load %d not below uniform %d", maxLoad, uMax)
+	}
+}
+
+func TestInsertMaintainsSubtreeLoads(t *testing.T) {
+	ts := dataset.Uniform(500, 2, 3)
+	n := BuildWithData(16, Options{Dims: 2, Seed: 2}, ts)
+	n.Insert(dataset.Tuple{ID: 9999, Vec: []float64{0.25, 0.75}})
+	// Root load must equal the total stored tuples.
+	sum := 0
+	for _, w := range n.Peers() {
+		sum += len(w.Tuples())
+	}
+	if sum != 501 || n.root.load != 501 {
+		t.Fatalf("loads inconsistent: peers %d, root %d", sum, n.root.load)
+	}
+}
+
+func TestChurnMaintainsLoads(t *testing.T) {
+	ts := dataset.Uniform(400, 2, 7)
+	n := BuildWithData(32, Options{Dims: 2, Seed: 8}, ts)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 40; i++ {
+		if rng.Intn(2) == 0 && n.Size() > 2 {
+			peers := n.Peers()
+			n.Leave(peers[rng.Intn(len(peers))])
+		} else {
+			n.Join()
+		}
+	}
+	if n.root.load != 400 {
+		t.Fatalf("root load %d after churn, want 400", n.root.load)
+	}
+	var walk func(nd *node) int
+	walk = func(nd *node) int {
+		if nd.isLeaf() {
+			if nd.load != len(nd.peer.tuples) {
+				t.Fatalf("leaf load %d != %d tuples", nd.load, len(nd.peer.tuples))
+			}
+			return nd.load
+		}
+		want := walk(nd.left) + walk(nd.right)
+		if nd.load != want {
+			t.Fatalf("internal load %d != children sum %d", nd.load, want)
+		}
+		return nd.load
+	}
+	walk(n.root)
+}
+
+func TestJoinSurvivesBoundaryClampedData(t *testing.T) {
+	// Regression: data mass clamped onto the domain boundary creates
+	// float-degenerate slivers whose midpoint rounds onto the zone edge;
+	// joins must route around them instead of panicking.
+	edge := math.Nextafter(1, 0)
+	var ts []dataset.Tuple
+	for i := 0; i < 2000; i++ {
+		ts = append(ts, dataset.Tuple{ID: uint64(i), Vec: geom.Point{edge, edge}})
+	}
+	// A handful of interior tuples so some zones stay splittable.
+	for i := 2000; i < 2050; i++ {
+		ts = append(ts, dataset.Tuple{ID: uint64(i), Vec: geom.Point{0.3, 0.6}})
+	}
+	n := BuildWithData(64, Options{Dims: 2, Seed: 5}, ts)
+	if n.Size() != 64 {
+		t.Fatalf("size = %d", n.Size())
+	}
+	if err := overlay.CheckInvariants(n, 100, 2); err != nil {
+		t.Fatal(err)
+	}
+}

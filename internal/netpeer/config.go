@@ -1,0 +1,74 @@
+package netpeer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"ripple/internal/overlay"
+)
+
+// FileConfig is the on-disk description of one peer process: where it
+// listens plus its share of the overlay. Written by `ripple-plan`, consumed
+// by `ripple-serve`, so a deployment can run as real separate processes.
+type FileConfig struct {
+	Addr string `json:"addr"`
+	Dims int    `json:"dims"`
+	Peer Config `json:"peer"`
+}
+
+// WriteConfig serialises a peer config as JSON.
+func WriteConfig(w io.Writer, fc *FileConfig) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fc); err != nil {
+		return fmt.Errorf("netpeer: write config: %w", err)
+	}
+	return nil
+}
+
+// ReadConfig parses a peer config.
+func ReadConfig(r io.Reader) (*FileConfig, error) {
+	var fc FileConfig
+	if err := json.NewDecoder(r).Decode(&fc); err != nil {
+		return nil, fmt.Errorf("netpeer: read config: %w", err)
+	}
+	if fc.Addr == "" || fc.Peer.ID == "" || fc.Dims <= 0 {
+		return nil, fmt.Errorf("netpeer: config missing addr, peer id or dims")
+	}
+	return &fc, nil
+}
+
+// ReadConfigFile loads a peer config from disk.
+func ReadConfigFile(path string) (*FileConfig, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadConfig(f)
+}
+
+// Plan slices an overlay snapshot into per-peer file configs with
+// pre-assigned addresses: host:basePort, host:basePort+1, ... in node order.
+func Plan(net_ overlay.Network, host string, basePort int) ([]*FileConfig, error) {
+	nodes := net_.Nodes()
+	addrs := make(map[string]string, len(nodes))
+	for i, n := range nodes {
+		addrs[n.ID()] = fmt.Sprintf("%s:%d", host, basePort+i)
+	}
+	out := make([]*FileConfig, len(nodes))
+	for i, n := range nodes {
+		var links []LinkSpec
+		for _, l := range n.Links() {
+			links = append(links, LinkSpec{Addr: addrs[l.To.ID()], Region: l.Region})
+		}
+		out[i] = &FileConfig{
+			Addr: addrs[n.ID()],
+			Dims: net_.Dims(),
+			Peer: Config{ID: n.ID(), Zone: n.Zone(), Tuples: n.Tuples(), Links: links},
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,388 @@
+// Package netpeer runs RIPPLE peers as real network servers: each peer
+// listens on a TCP address, holds its zone, tuples, and links (neighbour
+// addresses with their regions), and processes wire.Call messages by
+// executing its slice of Algorithm 3 — forwarding sub-calls to neighbour
+// servers over TCP and aggregating their replies. It turns the simulated
+// library into a deployable system: the exact protocol the in-process
+// engines model, over actual sockets.
+//
+// The RPC realisation folds the paper's three upstream flows (state to the
+// parent, answers to the initiator, fast-mode convergecast) into the reply
+// chain; contents and cost accounting are identical, and hop clocks carried
+// on the messages reproduce the engine's latency model.
+package netpeer
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+	"ripple/internal/wire"
+)
+
+// LinkSpec is a neighbour as seen on the network: its address and the region
+// of the domain this peer delegates to it.
+type LinkSpec struct {
+	Addr   string
+	Region overlay.Region
+}
+
+// Config describes one peer's share of the overlay.
+type Config struct {
+	ID     string
+	Zone   overlay.Region
+	Tuples []dataset.Tuple
+	Links  []LinkSpec
+}
+
+// Server is a RIPPLE peer process.
+type Server struct {
+	mu     sync.RWMutex
+	cfg    Config
+	codecs map[string]wire.Codec
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewServer creates a peer server supporting the given query codecs.
+func NewServer(cfg Config, codecs ...wire.Codec) *Server {
+	m := make(map[string]wire.Codec, len(codecs))
+	for _, c := range codecs {
+		m[c.Name()] = c
+	}
+	return &Server{cfg: cfg, codecs: m, closed: make(chan struct{})}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
+// until Close. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("netpeer %s: %w", s.cfg.ID, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// SetLinks installs the peer's neighbour table (done after all servers of a
+// deployment have bound their addresses).
+func (s *Server) SetLinks(links []LinkSpec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.Links = links
+}
+
+// Close stops serving.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		var call wire.Call
+		if err := wire.ReadMessage(conn, &call); err != nil {
+			return // EOF or broken peer; drop the connection
+		}
+		reply := s.safeProcess(&call)
+		if err := wire.WriteMessage(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// safeProcess shields the server from malformed calls (wrong dimensionality,
+// bad payloads): a peer answers with an empty reply rather than crashing.
+func (s *Server) safeProcess(call *wire.Call) (reply *wire.Reply) {
+	defer func() {
+		if recover() != nil {
+			reply = &wire.Reply{}
+		}
+	}()
+	reply, err := s.process(call)
+	if err != nil {
+		reply = &wire.Reply{}
+	}
+	return reply
+}
+
+// node adapts the peer's local share to the engine's Node interface.
+type node struct{ cfg *Config }
+
+func (n node) ID() string              { return n.cfg.ID }
+func (n node) Zone() overlay.Region    { return n.cfg.Zone }
+func (n node) Links() []overlay.Link   { return nil } // links live in LinkSpec form
+func (n node) Tuples() []dataset.Tuple { return n.cfg.Tuples }
+
+// process executes this peer's slice of Algorithm 3 for one delivery.
+func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
+	s.mu.RLock()
+	cfg := s.cfg
+	s.mu.RUnlock()
+
+	codec := s.codecs[call.QueryType]
+	if codec == nil {
+		return nil, fmt.Errorf("netpeer %s: unknown query type %q", cfg.ID, call.QueryType)
+	}
+	proc, err := codec.NewProcessor(call.Params)
+	if err != nil {
+		return nil, err
+	}
+	var global core.State
+	if len(call.Global) == 0 {
+		global = proc.InitialState() // the query's own neutral state
+	} else {
+		global, err = codec.DecodeState(call.Global)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	w := node{cfg: &cfg}
+	local := proc.LocalState(w, global)
+	wGlobal := proc.GlobalState(w, global, local)
+
+	reply := &wire.Reply{QueryMsgs: 1, Peers: []string{cfg.ID}}
+
+	if call.R > 0 {
+		// Slow phase: one link at a time in priority order, folding each
+		// link's states back in before deciding the next.
+		links := sortLinks(cfg.Links, proc, w)
+		cursor := call.Hops
+		for _, l := range links {
+			sub := l.Region.Intersect(call.Restrict)
+			if sub.IsEmpty() || !proc.LinkRelevant(w, sub, wGlobal) {
+				continue
+			}
+			encGlobal, err := codec.EncodeState(wGlobal)
+			if err != nil {
+				return nil, err
+			}
+			childReply, err := s.callPeer(l.Addr, &wire.Call{
+				QueryType: call.QueryType,
+				Params:    call.Params,
+				Global:    encGlobal,
+				Restrict:  sub,
+				R:         call.R - 1,
+				Hops:      cursor + 1,
+			})
+			if err != nil {
+				continue // unreachable neighbour: skip, stay available
+			}
+			states := []core.State{local}
+			for _, sb := range childReply.States {
+				st, err := codec.DecodeState(sb)
+				if err != nil {
+					return nil, err
+				}
+				states = append(states, st)
+				reply.StateMsgs++
+				reply.TuplesSent += proc.StateTuples(st)
+			}
+			local = proc.MergeStates(w, states)
+			wGlobal = proc.GlobalState(w, global, local)
+			cursor = childReply.Completion
+			absorbChild(reply, childReply)
+		}
+		finishReply(reply, codec, proc, w, local, cursor)
+		return reply, nil
+	}
+
+	// Fast phase: all relevant links at once, children called concurrently;
+	// their replies are the convergecast.
+	type out struct {
+		reply *wire.Reply
+		err   error
+	}
+	var calls []chan out
+	encGlobal, err := codec.EncodeState(wGlobal)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range cfg.Links {
+		sub := l.Region.Intersect(call.Restrict)
+		if sub.IsEmpty() || !proc.LinkRelevant(w, sub, wGlobal) {
+			continue
+		}
+		ch := make(chan out, 1)
+		calls = append(calls, ch)
+		go func(addr string, sub overlay.Region) {
+			r, err := s.callPeer(addr, &wire.Call{
+				QueryType: call.QueryType,
+				Params:    call.Params,
+				Global:    encGlobal,
+				Restrict:  sub,
+				R:         0,
+				Hops:      call.Hops + 1,
+			})
+			ch <- out{reply: r, err: err}
+		}(l.Addr, sub)
+	}
+	completion := call.Hops
+	var childStates [][]byte
+	for _, ch := range calls {
+		o := <-ch
+		if o.err != nil {
+			continue
+		}
+		childStates = append(childStates, o.reply.States...)
+		if o.reply.Completion > completion {
+			completion = o.reply.Completion
+		}
+		absorbChild(reply, o.reply)
+	}
+	finishReply(reply, codec, proc, w, local, completion)
+	reply.States = append(reply.States, childStates...)
+	return reply, nil
+}
+
+// finishReply attaches this peer's own state, answer and completion time.
+func finishReply(reply *wire.Reply, codec wire.Codec, proc core.Processor, w node, local core.State, completion int) {
+	enc, err := codec.EncodeState(local)
+	if err == nil {
+		reply.States = append([][]byte{enc}, reply.States...)
+	}
+	if a := proc.LocalAnswer(w, local); len(a) > 0 {
+		reply.Answers = append(a, reply.Answers...)
+		reply.TuplesSent += len(a)
+	}
+	reply.Completion = completion
+}
+
+// absorbChild folds a child subtree's answers and counters into the reply.
+func absorbChild(reply, child *wire.Reply) {
+	reply.Answers = append(reply.Answers, child.Answers...)
+	reply.QueryMsgs += child.QueryMsgs
+	reply.StateMsgs += child.StateMsgs
+	reply.TuplesSent += child.TuplesSent
+	reply.Peers = append(reply.Peers, child.Peers...)
+}
+
+// callPeer performs one RPC over a fresh TCP connection.
+func (s *Server) callPeer(addr string, call *wire.Call) (*wire.Reply, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := wire.WriteMessage(conn, call); err != nil {
+		return nil, err
+	}
+	var reply wire.Reply
+	if err := wire.ReadMessage(conn, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+func sortLinks(links []LinkSpec, proc core.Processor, w node) []LinkSpec {
+	type ranked struct {
+		link LinkSpec
+		prio float64
+	}
+	rs := make([]ranked, len(links))
+	for i, l := range links {
+		rs[i] = ranked{link: l, prio: proc.LinkPriority(w, l.Region)}
+	}
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].prio < rs[j].prio })
+	out := make([]LinkSpec, len(rs))
+	for i, r := range rs {
+		out[i] = r.link
+	}
+	return out
+}
+
+// Query runs a query against a deployment from the peer at addr, returning
+// the collected answers and cost statistics reconstructed from the reply.
+func Query(addr, queryType string, params []byte, dims, r int) ([]dataset.Tuple, sim.Stats, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, sim.Stats{}, err
+	}
+	defer conn.Close()
+	call := &wire.Call{
+		QueryType: queryType,
+		Params:    params,
+		Restrict:  overlay.Whole(dims),
+		R:         r,
+		Hops:      0,
+	}
+	if err := wire.WriteMessage(conn, call); err != nil {
+		return nil, sim.Stats{}, err
+	}
+	var reply wire.Reply
+	if err := wire.ReadMessage(conn, &reply); err != nil {
+		return nil, sim.Stats{}, err
+	}
+	var stats sim.Stats
+	for _, p := range reply.Peers {
+		stats.Touch(p)
+	}
+	stats.Latency = reply.Completion
+	stats.StateMsgs = reply.StateMsgs
+	stats.TuplesSent = reply.TuplesSent
+	return reply.Answers, stats, nil
+}
+
+// Deploy starts one server per peer of an overlay snapshot on loopback TCP,
+// wiring link addresses, and returns the servers plus an id->address map.
+// Callers must Close every server.
+func Deploy(net_ overlay.Network, codecs ...wire.Codec) ([]*Server, map[string]string, error) {
+	nodes := net_.Nodes()
+	servers := make([]*Server, len(nodes))
+	addrs := make(map[string]string, len(nodes))
+	for i, n := range nodes {
+		srv := NewServer(Config{ID: n.ID(), Zone: n.Zone(), Tuples: n.Tuples()}, codecs...)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			for _, s := range servers[:i] {
+				s.Close()
+			}
+			return nil, nil, err
+		}
+		servers[i] = srv
+		addrs[n.ID()] = addr
+	}
+	for i, n := range nodes {
+		var links []LinkSpec
+		for _, l := range n.Links() {
+			links = append(links, LinkSpec{Addr: addrs[l.To.ID()], Region: l.Region})
+		}
+		servers[i].SetLinks(links)
+	}
+	return servers, addrs, nil
+}

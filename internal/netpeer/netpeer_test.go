@@ -1,0 +1,265 @@
+package netpeer
+
+import (
+	"bytes"
+	"testing"
+
+	"math"
+
+	"ripple/internal/dataset"
+	"ripple/internal/diversify"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/skyline"
+	"ripple/internal/topk"
+)
+
+func deployMIDAS(t *testing.T, size int, ts []dataset.Tuple, dims int) ([]*Server, map[string]string) {
+	t.Helper()
+	net := midas.Build(size, midas.Options{Dims: dims, Seed: 7})
+	overlay.Load(net, ts)
+	servers, addrs, err := Deploy(net, topk.WireCodec{}, skyline.WireCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	return servers, addrs
+}
+
+func TestTopKOverTCP(t *testing.T) {
+	ts := dataset.NBA(3000, 2)
+	servers, _ := deployMIDAS(t, 24, ts, 6)
+
+	f := topk.UniformLinear(6)
+	params, err := topk.WireCodec{}.EncodeParams(f, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := topk.Brute(ts, f, 10)
+	for _, r := range []int{0, 2, 1 << 20} {
+		answers, stats, err := Query(servers[3].Addr(), "topk", params, 6, r)
+		if err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		got := topk.Select(answers, f, 10)
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("r=%d: rank %d = %v, want %v", r, i, got[i], want[i])
+			}
+		}
+		if stats.PeersReached() == 0 || stats.Latency < 0 {
+			t.Fatalf("r=%d: bogus stats %+v", r, stats)
+		}
+	}
+}
+
+func TestSkylineOverTCP(t *testing.T) {
+	ts := dataset.Synth(dataset.SynthConfig{N: 1500, Dims: 3, Centers: 15, Seed: 3})
+	servers, _ := deployMIDAS(t, 16, ts, 3)
+
+	want := skyline.Compute(ts)
+	for _, r := range []int{0, 1 << 20} {
+		answers, _, err := Query(servers[0].Addr(), "skyline", nil, 3, r)
+		if err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+		got := skyline.Compute(answers)
+		if len(got) != len(want) {
+			t.Fatalf("r=%d: skyline %d vs %d", r, len(got), len(want))
+		}
+	}
+}
+
+func TestTCPCostsMatchEngine(t *testing.T) {
+	// The networked protocol must reproduce the structural engine's costs:
+	// same peers touched and the same hop-clock latency.
+	ts := dataset.NBA(2000, 5)
+	net := midas.Build(20, midas.Options{Dims: 6, Seed: 11})
+	overlay.Load(net, ts)
+	servers, addrs, err := Deploy(net, topk.WireCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	f := topk.UniformLinear(6)
+	params, _ := topk.WireCodec{}.EncodeParams(f, 5)
+	proc := &topk.Processor{F: f, K: 5}
+	for _, r := range []int{0, 1, 1 << 20} {
+		w := net.Peers()[4]
+		_, engineStats := topk.Run(w, f, 5, r)
+		_, tcpStats, err := Query(addrs[w.ID()], "topk", params, 6, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if engineStats.Latency != tcpStats.Latency {
+			t.Fatalf("r=%d: latency engine %d vs tcp %d", r, engineStats.Latency, tcpStats.Latency)
+		}
+		if engineStats.QueryMsgs != tcpStats.QueryMsgs {
+			t.Fatalf("r=%d: msgs engine %d vs tcp %d", r, engineStats.QueryMsgs, tcpStats.QueryMsgs)
+		}
+	}
+	_ = proc
+}
+
+func TestUnknownQueryTypeYieldsEmptyReply(t *testing.T) {
+	ts := dataset.Uniform(100, 2, 1)
+	servers, _ := deployMIDAS(t, 4, ts, 2)
+	answers, stats, err := Query(servers[0].Addr(), "nope", nil, 2, 0)
+	if err != nil {
+		t.Fatalf("transport error: %v", err)
+	}
+	if len(answers) != 0 || stats.PeersReached() != 0 {
+		t.Fatalf("unknown query type must yield an empty reply, got %d answers", len(answers))
+	}
+}
+
+func TestDiversifySingleOverTCP(t *testing.T) {
+	ts := dataset.MIRFlickr(1200, 9)
+	net := midas.Build(16, midas.Options{Dims: 5, Seed: 19})
+	overlay.Load(net, ts)
+	servers, _, err := Deploy(net, diversify.WireCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	q := diversify.NewQuery(ts[4].Vec, 0.5)
+	base := dataset.Sample(ts, 3, 2)
+	exclude := map[uint64]bool{}
+	for _, b := range base {
+		exclude[b.ID] = true
+	}
+	params, err := (diversify.WireCodec{}).EncodeParams(q, base, exclude, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := diversify.BruteSingle(ts, q, base, exclude, math.Inf(1))
+	for _, r := range []int{0, 1 << 20} {
+		answers, _, err := Query(servers[0].Addr(), "diversify", params, 5, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var best *dataset.Tuple
+		bestScore := math.Inf(1)
+		for i := range answers {
+			s := q.Phi(answers[i].Vec, base)
+			if s < bestScore || (s == bestScore && best != nil && answers[i].ID < best.ID) {
+				best, bestScore = &answers[i], s
+			}
+		}
+		if best == nil || want == nil {
+			t.Fatalf("r=%d: nil result", r)
+		}
+		if best.ID != want.ID && math.Abs(q.Phi(best.Vec, base)-q.Phi(want.Vec, base)) > 1e-12 {
+			t.Fatalf("r=%d: TCP single-tuple answer %v, want %v", r, best, want)
+		}
+	}
+}
+
+func TestFileConfigRoundTrip(t *testing.T) {
+	ts := dataset.Uniform(100, 2, 6)
+	net := midas.Build(4, midas.Options{Dims: 2, Seed: 3})
+	overlay.Load(net, ts)
+	plans, err := Plan(net, "127.0.0.1", 7900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 4 {
+		t.Fatalf("%d plans", len(plans))
+	}
+	total := 0
+	for _, fc := range plans {
+		var buf bytes.Buffer
+		if err := WriteConfig(&buf, fc); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadConfig(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Peer.ID != fc.Peer.ID || got.Addr != fc.Addr || got.Dims != 2 {
+			t.Fatalf("round trip lost identity: %+v", got)
+		}
+		if len(got.Peer.Links) != len(fc.Peer.Links) {
+			t.Fatal("links lost")
+		}
+		total += len(got.Peer.Tuples)
+	}
+	if total != 100 {
+		t.Fatalf("tuples across configs = %d, want 100", total)
+	}
+	if _, err := ReadConfig(bytes.NewReader([]byte("{}"))); err == nil {
+		t.Fatal("incomplete config must be rejected")
+	}
+}
+
+func TestServerSurvivesMalformedCall(t *testing.T) {
+	ts := dataset.Uniform(50, 2, 2)
+	servers, _ := deployMIDAS(t, 2, ts, 2)
+	// Query with the wrong dimensionality: the peer must answer (empty)
+	// rather than crash, and remain usable afterwards.
+	params, _ := (topk.WireCodec{}).EncodeParams(topk.UniformLinear(5), 3)
+	_, _, err := Query(servers[0].Addr(), "topk", params, 5, 0)
+	if err != nil {
+		t.Fatalf("malformed call broke transport: %v", err)
+	}
+	good, _ := (topk.WireCodec{}).EncodeParams(topk.UniformLinear(2), 3)
+	answers, _, err := Query(servers[0].Addr(), "topk", good, 2, 0)
+	if err != nil || len(answers) == 0 {
+		t.Fatalf("server unusable after malformed call: %v", err)
+	}
+}
+
+func TestQuerySurvivesDeadPeers(t *testing.T) {
+	// Failure injection: kill a third of the deployment, then query. The
+	// protocol must still terminate and return the answers held by reachable
+	// peers (a peer skips unreachable neighbours rather than failing).
+	ts := dataset.NBA(3000, 8)
+	net := midas.Build(24, midas.Options{Dims: 6, Seed: 21})
+	overlay.Load(net, ts)
+	servers, _, err := Deploy(net, topk.WireCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers[8:] {
+			s.Close()
+		}
+	}()
+	for _, s := range servers[:8] {
+		s.Close() // a third of the overlay goes dark
+	}
+
+	f := topk.UniformLinear(6)
+	params, _ := (topk.WireCodec{}).EncodeParams(f, 10)
+	for _, r := range []int{0, 1 << 20} {
+		answers, stats, err := Query(servers[12].Addr(), "topk", params, 6, r)
+		if err != nil {
+			t.Fatalf("r=%d: query failed outright: %v", r, err)
+		}
+		if stats.PeersReached() == 0 {
+			t.Fatalf("r=%d: nothing processed", r)
+		}
+		if stats.PeersReached() > 16 {
+			t.Fatalf("r=%d: reached %d peers with 8 dead", r, stats.PeersReached())
+		}
+		// Answers must be a subset of the true data and internally consistent.
+		got := topk.Select(answers, f, 10)
+		if len(got) == 0 {
+			t.Fatalf("r=%d: no answers from surviving peers", r)
+		}
+	}
+}

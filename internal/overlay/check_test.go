@@ -1,0 +1,137 @@
+package overlay
+
+import (
+	"strings"
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+)
+
+// stubNode / stubNet let the checker's failure branches be triggered
+// deliberately.
+type stubNode struct {
+	id     string
+	zone   Region
+	links  []Link
+	tuples []dataset.Tuple
+}
+
+func (s *stubNode) ID() string              { return s.id }
+func (s *stubNode) Zone() Region            { return s.zone }
+func (s *stubNode) Links() []Link           { return s.links }
+func (s *stubNode) Tuples() []dataset.Tuple { return s.tuples }
+
+type stubNet struct {
+	nodes []*stubNode
+	dims  int
+}
+
+func (n *stubNet) Dims() int { return n.dims }
+func (n *stubNet) Size() int { return len(n.nodes) }
+func (n *stubNet) Nodes() []Node {
+	out := make([]Node, len(n.nodes))
+	for i, s := range n.nodes {
+		out[i] = s
+	}
+	return out
+}
+func (n *stubNet) Locate(p geom.Point) Node {
+	for _, s := range n.nodes {
+		if s.zone.Contains(p) {
+			return s
+		}
+	}
+	return n.nodes[0]
+}
+func (n *stubNet) Insert(t dataset.Tuple) {}
+
+func twoPeerNet() *stubNet {
+	left := geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{0.5, 1}}
+	right := geom.Rect{Lo: geom.Point{0.5, 0}, Hi: geom.Point{1, 1}}
+	a := &stubNode{id: "a", zone: FromRect(left)}
+	b := &stubNode{id: "b", zone: FromRect(right)}
+	a.links = []Link{{To: b, Region: FromRect(right)}}
+	b.links = []Link{{To: a, Region: FromRect(left)}}
+	return &stubNet{nodes: []*stubNode{a, b}, dims: 2}
+}
+
+func TestCheckInvariantsPasses(t *testing.T) {
+	if err := CheckInvariants(twoPeerNet(), 200, 1); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+}
+
+func expectError(t *testing.T, net Network, substr string) {
+	t.Helper()
+	err := CheckInvariants(net, 200, 1)
+	if err == nil {
+		t.Fatalf("expected error containing %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not mention %q", err, substr)
+	}
+}
+
+func TestCheckDetectsZoneGap(t *testing.T) {
+	net := twoPeerNet()
+	net.nodes[1].zone = FromRect(geom.Rect{Lo: geom.Point{0.6, 0}, Hi: geom.Point{1, 1}})
+	expectError(t, net, "no peer's zone")
+}
+
+func TestCheckDetectsZoneOverlap(t *testing.T) {
+	net := twoPeerNet()
+	net.nodes[1].zone = FromRect(geom.Rect{Lo: geom.Point{0.4, 0}, Hi: geom.Point{1, 1}})
+	expectError(t, net, "zones of both")
+}
+
+func TestCheckDetectsMisplacedTuple(t *testing.T) {
+	net := twoPeerNet()
+	net.nodes[0].tuples = []dataset.Tuple{{ID: 1, Vec: geom.Point{0.9, 0.5}}}
+	expectError(t, net, "stored at")
+}
+
+func TestCheckDetectsBadLinkPartition(t *testing.T) {
+	net := twoPeerNet()
+	// a's link region now overlaps a's own zone: double coverage.
+	net.nodes[0].links[0].Region = FromRect(geom.Rect{Lo: geom.Point{0.25, 0}, Hi: geom.Point{1, 1}})
+	expectError(t, net, "covered")
+}
+
+func TestCheckDetectsDisjointLinkRegion(t *testing.T) {
+	net := twoPeerNet()
+	// Swap regions so each link's region is disjoint from its target's zone,
+	// while per-peer coverage still holds.
+	a, b := net.nodes[0], net.nodes[1]
+	a.links[0].To = a
+	_ = b
+	expectError(t, net, "disjoint from neighbour")
+}
+
+func TestCheckDetectsSizeMismatch(t *testing.T) {
+	net := twoPeerNet()
+	net.dims = 2
+	bad := &badSizeNet{net}
+	expectError(t, bad, "Size()")
+}
+
+type badSizeNet struct{ *stubNet }
+
+func (b *badSizeNet) Size() int { return 99 }
+
+func TestLoadInserts(t *testing.T) {
+	net := twoPeerNet()
+	count := 0
+	counting := &countingNet{stubNet: net, count: &count}
+	Load(counting, dataset.Uniform(10, 2, 1))
+	if count != 10 {
+		t.Fatalf("Load inserted %d, want 10", count)
+	}
+}
+
+type countingNet struct {
+	*stubNet
+	count *int
+}
+
+func (c *countingNet) Insert(t dataset.Tuple) { *c.count++ }

@@ -1,0 +1,129 @@
+// Package overlay defines the abstraction RIPPLE requires from a structured
+// peer-to-peer network (§3.1 of the paper): peers expose their zone, their
+// local tuples, and a list of links, each link annotated with the *region* of
+// the domain it is responsible for from this peer's viewpoint. The regions of
+// a peer's links must partition the domain minus the peer's own zone — this
+// is the property that makes RIPPLE's restriction areas deliver a query to
+// every peer exactly once.
+//
+// Regions are represented as finite unions of axis-parallel half-open boxes,
+// which covers all overlays in this repository exactly: MIDAS regions are
+// single k-d-tree rectangles, CAN regions are staircase boxes, and Chord
+// regions are ring arcs (at most two boxes after unwrapping).
+package overlay
+
+import (
+	"strings"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+)
+
+// Region is a finite union of pairwise-disjoint half-open boxes.
+type Region struct {
+	Boxes []geom.Rect
+}
+
+// FromRect wraps a single box as a region.
+func FromRect(r geom.Rect) Region { return Region{Boxes: []geom.Rect{r}} }
+
+// Whole returns the region covering the entire d-dimensional unit domain.
+func Whole(d int) Region { return FromRect(geom.UnitCube(d)) }
+
+// IsEmpty reports whether the region contains no point.
+func (r Region) IsEmpty() bool {
+	for _, b := range r.Boxes {
+		if !b.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether p lies in the region.
+func (r Region) Contains(p geom.Point) bool {
+	for _, b := range r.Boxes {
+		if b.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersect returns the intersection of two regions, dropping empty boxes.
+func (r Region) Intersect(s Region) Region {
+	var out []geom.Rect
+	for _, a := range r.Boxes {
+		for _, b := range s.Boxes {
+			if c := a.Intersect(b); !c.IsEmpty() {
+				out = append(out, c)
+			}
+		}
+	}
+	return Region{Boxes: out}
+}
+
+// IntersectRect intersects the region with a single box.
+func (r Region) IntersectRect(b geom.Rect) Region {
+	return r.Intersect(FromRect(b))
+}
+
+// Volume returns the total volume of the region (boxes assumed disjoint).
+func (r Region) Volume() float64 {
+	v := 0.0
+	for _, b := range r.Boxes {
+		v += b.Volume()
+	}
+	return v
+}
+
+// String renders the region's boxes.
+func (r Region) String() string {
+	parts := make([]string, len(r.Boxes))
+	for i, b := range r.Boxes {
+		parts[i] = b.String()
+	}
+	return "{" + strings.Join(parts, " u ") + "}"
+}
+
+// Link is a neighbour pointer annotated with the region of the domain this
+// peer delegates to that neighbour.
+type Link struct {
+	To     Node
+	Region Region
+}
+
+// Node is a peer as seen by the RIPPLE engine.
+type Node interface {
+	// ID identifies the peer uniquely within its network.
+	ID() string
+	// Zone is the part of the domain whose tuples this peer stores.
+	Zone() Region
+	// Links returns the peer's neighbours with their regions. The regions
+	// must partition the domain minus the peer's zone.
+	Links() []Link
+	// Tuples returns the peer's locally stored tuples.
+	Tuples() []dataset.Tuple
+}
+
+// Network is a structured overlay hosting tuples.
+type Network interface {
+	// Dims is the dimensionality of the indexed domain.
+	Dims() int
+	// Size is the current number of peers.
+	Size() int
+	// Nodes enumerates all peers (simulation-only global view, used by the
+	// harness to pick initiators and by invariant checks).
+	Nodes() []Node
+	// Locate returns the peer whose zone contains p.
+	Locate(p geom.Point) Node
+	// Insert stores a tuple at the peer responsible for its key.
+	Insert(t dataset.Tuple)
+}
+
+// Load inserts every tuple of ts into the network.
+func Load(n Network, ts []dataset.Tuple) {
+	for _, t := range ts {
+		n.Insert(t)
+	}
+}

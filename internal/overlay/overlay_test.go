@@ -1,0 +1,70 @@
+package overlay
+
+import (
+	"testing"
+
+	"ripple/internal/geom"
+)
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Boxes: []geom.Rect{
+		box2(0, 0, 0.5, 0.5),
+		box2(0.5, 0.5, 1, 1),
+	}}
+	if !r.Contains(geom.Point{0.25, 0.25}) || !r.Contains(geom.Point{0.75, 0.75}) {
+		t.Fatal("points in member boxes must be contained")
+	}
+	if r.Contains(geom.Point{0.25, 0.75}) {
+		t.Fatal("point outside all boxes reported contained")
+	}
+}
+
+func box2(a, b, c, d float64) geom.Rect {
+	return geom.Rect{Lo: geom.Point{a, b}, Hi: geom.Point{c, d}}
+}
+
+func TestRegionIntersect(t *testing.T) {
+	a := Region{Boxes: []geom.Rect{box2(0, 0, 0.6, 1)}}
+	b := Region{Boxes: []geom.Rect{box2(0.4, 0, 1, 0.5), box2(0.8, 0.5, 1, 1)}}
+	got := a.Intersect(b)
+	if len(got.Boxes) != 1 {
+		t.Fatalf("intersection has %d boxes, want 1 (second is disjoint)", len(got.Boxes))
+	}
+	if !got.Boxes[0].Equal(box2(0.4, 0, 0.6, 0.5)) {
+		t.Fatalf("intersection box = %v", got.Boxes[0])
+	}
+	if !a.Intersect(Region{}).IsEmpty() {
+		t.Fatal("intersection with empty region must be empty")
+	}
+}
+
+func TestRegionIntersectRectAndVolume(t *testing.T) {
+	r := Whole(2)
+	half := r.IntersectRect(box2(0, 0, 0.5, 1))
+	if v := half.Volume(); v != 0.5 {
+		t.Fatalf("half volume = %v", v)
+	}
+	if Whole(3).Volume() != 1 {
+		t.Fatal("whole volume != 1")
+	}
+}
+
+func TestRegionIsEmpty(t *testing.T) {
+	if !(Region{}).IsEmpty() {
+		t.Fatal("no boxes must be empty")
+	}
+	degenerate := Region{Boxes: []geom.Rect{box2(0.5, 0.5, 0.5, 1)}}
+	if !degenerate.IsEmpty() {
+		t.Fatal("degenerate box must be empty")
+	}
+	if FromRect(box2(0, 0, 1, 1)).IsEmpty() {
+		t.Fatal("unit box must not be empty")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	s := Whole(1).String()
+	if s == "" || s == "{}" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,119 @@
+// Package rangeq processes range queries through the RIPPLE engine. The
+// paper's introduction contrasts rank queries with range queries — "all
+// objects within a particular range, say within distance r around a given
+// point" — whose search area is explicit in the query. Under RIPPLE that
+// explicitness collapses the whole framework to a single rule: a link is
+// relevant exactly when its (restricted) region intersects the query shape,
+// and no state needs to flow at all. The package exists both as a useful
+// query type and as the minimal worked example of extending the framework.
+package rangeq
+
+import (
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+)
+
+// Shape is a query area: it must decide point membership and whether it
+// intersects a box (the pruning primitive).
+type Shape interface {
+	Contains(p geom.Point) bool
+	IntersectsRect(r geom.Rect) bool
+}
+
+// Box is an axis-parallel range query.
+type Box struct {
+	Rect geom.Rect
+}
+
+// Contains implements Shape.
+func (b Box) Contains(p geom.Point) bool { return b.Rect.Contains(p) }
+
+// IntersectsRect implements Shape.
+func (b Box) IntersectsRect(r geom.Rect) bool { return b.Rect.Overlaps(r) }
+
+// Ball is a distance range query: all tuples within Radius of Center.
+type Ball struct {
+	Center geom.Point
+	Radius float64
+	Metric geom.Metric
+}
+
+// Contains implements Shape.
+func (b Ball) Contains(p geom.Point) bool {
+	return b.Metric.Dist(b.Center, p) <= b.Radius
+}
+
+// IntersectsRect implements Shape.
+func (b Ball) IntersectsRect(r geom.Rect) bool {
+	return b.Metric.MinDist(b.Center, r) <= b.Radius
+}
+
+// Processor plugs a range query into the RIPPLE engine. There is no state;
+// relevance is pure geometry.
+type Processor struct {
+	Area Shape
+}
+
+var _ core.Processor = (*Processor)(nil)
+
+// InitialState implements core.Processor.
+func (p *Processor) InitialState() core.State { return nil }
+
+// StateTuples implements core.Processor.
+func (p *Processor) StateTuples(core.State) int { return 0 }
+
+// LocalState implements core.Processor.
+func (p *Processor) LocalState(w overlay.Node, global core.State) core.State { return nil }
+
+// GlobalState implements core.Processor.
+func (p *Processor) GlobalState(w overlay.Node, global, local core.State) core.State { return nil }
+
+// MergeStates implements core.Processor.
+func (p *Processor) MergeStates(w overlay.Node, states []core.State) core.State { return nil }
+
+// LinkRelevant implements core.Processor: forward only into regions that
+// intersect the query area.
+func (p *Processor) LinkRelevant(w overlay.Node, region overlay.Region, global core.State) bool {
+	for _, b := range region.Boxes {
+		if p.Area.IntersectsRect(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkPriority implements core.Processor: all relevant links are equal — a
+// range query gains nothing from sequencing, so callers should use r = 0.
+func (p *Processor) LinkPriority(w overlay.Node, region overlay.Region) float64 { return 0 }
+
+// LocalAnswer implements core.Processor.
+func (p *Processor) LocalAnswer(w overlay.Node, local core.State) []dataset.Tuple {
+	var out []dataset.Tuple
+	for _, t := range w.Tuples() {
+		if p.Area.Contains(t.Vec) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Run answers a range query from the given initiator (fast mode; range
+// queries have explicit search areas, so slow sequencing has no benefit).
+func Run(initiator overlay.Node, area Shape) ([]dataset.Tuple, sim.Stats) {
+	res := core.Run(initiator, &Processor{Area: area}, 0)
+	return res.Answers, res.Stats
+}
+
+// Brute is the centralized oracle.
+func Brute(ts []dataset.Tuple, area Shape) []dataset.Tuple {
+	var out []dataset.Tuple
+	for _, t := range ts {
+		if area.Contains(t.Vec) {
+			out = append(out, t)
+		}
+	}
+	return out
+}

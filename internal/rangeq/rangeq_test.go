@@ -1,0 +1,75 @@
+package rangeq
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+)
+
+func TestBoxRangeMatchesBrute(t *testing.T) {
+	ts := dataset.Uniform(3000, 3, 1)
+	net := midas.Build(64, midas.Options{Dims: 3, Seed: 2})
+	overlay.Load(net, ts)
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 10; q++ {
+		lo := geom.Point{rng.Float64() * 0.7, rng.Float64() * 0.7, rng.Float64() * 0.7}
+		hi := geom.Point{lo[0] + 0.3, lo[1] + 0.3, lo[2] + 0.3}
+		area := Box{Rect: geom.Rect{Lo: lo, Hi: hi}}
+		got, stats := Run(net.RandomPeer(rng), area)
+		want := Brute(ts, area)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", q, len(got), len(want))
+		}
+		if stats.MaxPerPeer() != 1 {
+			t.Fatal("duplicate delivery")
+		}
+	}
+}
+
+func TestBallRangeMatchesBrute(t *testing.T) {
+	ts := dataset.Synth(dataset.SynthConfig{N: 2500, Dims: 2, Centers: 12, Seed: 4})
+	net := midas.Build(48, midas.Options{Dims: 2, Seed: 5})
+	overlay.Load(net, ts)
+	rng := rand.New(rand.NewSource(6))
+	for q := 0; q < 10; q++ {
+		area := Ball{
+			Center: geom.Point{rng.Float64(), rng.Float64()},
+			Radius: 0.05 + rng.Float64()*0.2,
+			Metric: geom.L2,
+		}
+		got, _ := Run(net.RandomPeer(rng), area)
+		want := Brute(ts, area)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestRangePrunesPeers(t *testing.T) {
+	// A small query area must not touch the whole overlay — the explicit
+	// search area is exactly what makes range queries easy (paper §1).
+	ts := dataset.Uniform(3000, 2, 7)
+	net := midas.Build(256, midas.Options{Dims: 2, Seed: 8})
+	overlay.Load(net, ts)
+	area := Ball{Center: geom.Point{0.5, 0.5}, Radius: 0.05, Metric: geom.L2}
+	_, stats := Run(net.Peers()[0], area)
+	if stats.QueryMsgs > 256/4 {
+		t.Fatalf("small-range query touched %d peers of 256", stats.QueryMsgs)
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	ts := dataset.Uniform(500, 2, 9)
+	net := midas.Build(16, midas.Options{Dims: 2, Seed: 10})
+	overlay.Load(net, ts)
+	area := Box{Rect: geom.Rect{Lo: geom.Point{0.95, 0.95}, Hi: geom.Point{0.96, 0.96}}}
+	got, _ := Run(net.Peers()[0], area)
+	want := Brute(ts, area)
+	if len(got) != len(want) {
+		t.Fatalf("tiny range: %d vs %d", len(got), len(want))
+	}
+}

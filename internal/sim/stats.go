@@ -1,0 +1,159 @@
+// Package sim provides the measurement kernel of the RIPPLE reproduction:
+// per-query cost accounting (latency in hops, messages, congestion, tuples
+// transferred) and aggregation across query batches, mirroring the metrics of
+// the paper's experimental evaluation (§7.1).
+//
+// The paper evaluates RIPPLE in a simulated overlay, charging one hop per
+// forwarded query message; fast-mode fan-out proceeds in parallel (latency is
+// the maximum over branches) whereas slow-mode iteration is sequential
+// (latency is the sum over iterations). Query engines in this repository
+// perform that structural accounting and record the results here.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats accumulates the cost of processing a single query.
+type Stats struct {
+	// Latency is the number of hops until the last peer receives the query,
+	// under the paper's accounting (responses are not charged to latency).
+	Latency int
+	// QueryMsgs counts query messages processed by peers, including the
+	// initiator's own processing. With n uniformly issued queries, the
+	// average number of queries processed per peer equals this value, so it
+	// is exactly the paper's "congestion" metric on a per-query basis.
+	QueryMsgs int
+	// StateMsgs counts local-state responses sent upstream (slow/ripple).
+	StateMsgs int
+	// AnswerMsgs counts local-answer messages sent to the initiator.
+	AnswerMsgs int
+	// TuplesSent counts tuples shipped over the network in states/answers,
+	// the paper's communication-overhead notion.
+	TuplesSent int
+
+	reached map[string]int
+}
+
+// Touch records that the peer with the given id processed one query message.
+func (s *Stats) Touch(peerID string) {
+	if s.reached == nil {
+		s.reached = make(map[string]int)
+	}
+	s.reached[peerID]++
+	s.QueryMsgs++
+}
+
+// PeersReached returns the number of distinct peers that processed the query.
+func (s *Stats) PeersReached() int { return len(s.reached) }
+
+// MaxPerPeer returns the largest number of times any single peer processed
+// the query; values above 1 indicate duplicate delivery, which RIPPLE's
+// restriction areas are meant to prevent.
+func (s *Stats) MaxPerPeer() int {
+	max := 0
+	for _, c := range s.reached {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Congestion returns the per-query congestion contribution (see QueryMsgs).
+func (s *Stats) Congestion() float64 { return float64(s.QueryMsgs) }
+
+// Messages returns the total number of messages of any kind.
+func (s *Stats) Messages() int { return s.QueryMsgs + s.StateMsgs + s.AnswerMsgs }
+
+// Add folds the costs of another query phase into s, taking the sequential
+// composition of latencies (other ran after s). Used by multi-round
+// algorithms such as the greedy diversification driver, where each round's
+// hops add up.
+func (s *Stats) Add(other *Stats) {
+	s.Latency += other.Latency
+	s.StateMsgs += other.StateMsgs
+	s.AnswerMsgs += other.AnswerMsgs
+	s.TuplesSent += other.TuplesSent
+	s.QueryMsgs += other.QueryMsgs
+	for id, c := range other.reached {
+		if s.reached == nil {
+			s.reached = make(map[string]int)
+		}
+		s.reached[id] += c
+	}
+}
+
+// String summarises s for logs and demos.
+func (s *Stats) String() string {
+	return fmt.Sprintf("latency=%d hops, congestion=%d msgs, peers=%d, tuples=%d",
+		s.Latency, s.QueryMsgs, s.PeersReached(), s.TuplesSent)
+}
+
+// Aggregate summarises a batch of per-query Stats, as every figure of the
+// paper reports averages over large query batches.
+type Aggregate struct {
+	N               int
+	MeanLatency     float64
+	MaxLatency      int
+	MeanCongestion  float64
+	MeanMessages    float64
+	MeanTuplesSent  float64
+	MeanPeersUnique float64
+
+	latencies []int
+}
+
+// Observe folds one query's stats into the aggregate.
+func (a *Aggregate) Observe(s *Stats) {
+	a.N++
+	n := float64(a.N)
+	a.MeanLatency += (float64(s.Latency) - a.MeanLatency) / n
+	a.MeanCongestion += (s.Congestion() - a.MeanCongestion) / n
+	a.MeanMessages += (float64(s.Messages()) - a.MeanMessages) / n
+	a.MeanTuplesSent += (float64(s.TuplesSent) - a.MeanTuplesSent) / n
+	a.MeanPeersUnique += (float64(s.PeersReached()) - a.MeanPeersUnique) / n
+	if s.Latency > a.MaxLatency {
+		a.MaxLatency = s.Latency
+	}
+	a.latencies = append(a.latencies, s.Latency)
+}
+
+// Merge combines two aggregates (e.g. the same experiment run over several
+// independently grown networks).
+func (a *Aggregate) Merge(b Aggregate) {
+	if b.N == 0 {
+		return
+	}
+	total := a.N + b.N
+	wa, wb := float64(a.N)/float64(total), float64(b.N)/float64(total)
+	a.MeanLatency = a.MeanLatency*wa + b.MeanLatency*wb
+	a.MeanCongestion = a.MeanCongestion*wa + b.MeanCongestion*wb
+	a.MeanMessages = a.MeanMessages*wa + b.MeanMessages*wb
+	a.MeanTuplesSent = a.MeanTuplesSent*wa + b.MeanTuplesSent*wb
+	a.MeanPeersUnique = a.MeanPeersUnique*wa + b.MeanPeersUnique*wb
+	if b.MaxLatency > a.MaxLatency {
+		a.MaxLatency = b.MaxLatency
+	}
+	a.N = total
+	a.latencies = append(a.latencies, b.latencies...)
+}
+
+// PercentileLatency returns the q-quantile (q in [0,1]) of observed latencies.
+func (a *Aggregate) PercentileLatency(q float64) int {
+	if len(a.latencies) == 0 {
+		return 0
+	}
+	ls := make([]int, len(a.latencies))
+	copy(ls, a.latencies)
+	sort.Ints(ls)
+	idx := int(q * float64(len(ls)-1))
+	return ls[idx]
+}
+
+// String renders the aggregate in the format used by the benchmark tables.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("n=%d latency=%.1f (max %d) congestion=%.1f tuples=%.1f",
+		a.N, a.MeanLatency, a.MaxLatency, a.MeanCongestion, a.MeanTuplesSent)
+}

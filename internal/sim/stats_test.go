@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStatsTouchAndCongestion(t *testing.T) {
+	var s Stats
+	s.Touch("a")
+	s.Touch("b")
+	s.Touch("a")
+	if s.QueryMsgs != 3 {
+		t.Fatalf("QueryMsgs = %d, want 3", s.QueryMsgs)
+	}
+	if s.PeersReached() != 2 {
+		t.Fatalf("PeersReached = %d, want 2", s.PeersReached())
+	}
+	if s.MaxPerPeer() != 2 {
+		t.Fatalf("MaxPerPeer = %d, want 2", s.MaxPerPeer())
+	}
+	if s.Congestion() != 3 {
+		t.Fatalf("Congestion = %v, want 3", s.Congestion())
+	}
+}
+
+func TestStatsAddSequentialComposition(t *testing.T) {
+	a := &Stats{Latency: 5, StateMsgs: 2, TuplesSent: 10}
+	a.Touch("x")
+	b := &Stats{Latency: 7, AnswerMsgs: 3, TuplesSent: 4}
+	b.Touch("x")
+	b.Touch("y")
+	a.Add(b)
+	if a.Latency != 12 {
+		t.Fatalf("Latency = %d, want 12 (sequential rounds add)", a.Latency)
+	}
+	if a.QueryMsgs != 3 || a.PeersReached() != 2 {
+		t.Fatalf("merge wrong: msgs=%d peers=%d", a.QueryMsgs, a.PeersReached())
+	}
+	if a.TuplesSent != 14 || a.StateMsgs != 2 || a.AnswerMsgs != 3 {
+		t.Fatalf("counter merge wrong: %+v", a)
+	}
+	if a.Messages() != 3+2+3 {
+		t.Fatalf("Messages = %d", a.Messages())
+	}
+}
+
+func TestAggregateObserve(t *testing.T) {
+	var agg Aggregate
+	for _, l := range []int{2, 4, 6} {
+		s := &Stats{Latency: l, TuplesSent: l}
+		s.Touch("p")
+		agg.Observe(s)
+	}
+	if agg.N != 3 {
+		t.Fatalf("N = %d", agg.N)
+	}
+	if math.Abs(agg.MeanLatency-4) > 1e-9 {
+		t.Fatalf("MeanLatency = %v, want 4", agg.MeanLatency)
+	}
+	if agg.MaxLatency != 6 {
+		t.Fatalf("MaxLatency = %d, want 6", agg.MaxLatency)
+	}
+	if math.Abs(agg.MeanCongestion-1) > 1e-9 {
+		t.Fatalf("MeanCongestion = %v, want 1", agg.MeanCongestion)
+	}
+}
+
+func TestAggregateMerge(t *testing.T) {
+	var a, b Aggregate
+	for _, l := range []int{2, 2} {
+		a.Observe(&Stats{Latency: l})
+	}
+	for _, l := range []int{8, 8, 8, 8, 8, 8} {
+		b.Observe(&Stats{Latency: l})
+	}
+	a.Merge(b)
+	if a.N != 8 {
+		t.Fatalf("N = %d", a.N)
+	}
+	// Weighted mean: (2*2 + 6*8)/8 = 6.5
+	if math.Abs(a.MeanLatency-6.5) > 1e-9 {
+		t.Fatalf("MeanLatency = %v, want 6.5", a.MeanLatency)
+	}
+	if a.MaxLatency != 8 {
+		t.Fatalf("MaxLatency = %d", a.MaxLatency)
+	}
+	var empty Aggregate
+	before := a
+	a.Merge(empty)
+	if a.N != before.N || a.MeanLatency != before.MeanLatency {
+		t.Fatal("merging an empty aggregate must be a no-op")
+	}
+}
+
+func TestPercentileLatency(t *testing.T) {
+	var a Aggregate
+	for i := 1; i <= 100; i++ {
+		a.Observe(&Stats{Latency: i})
+	}
+	if got := a.PercentileLatency(0); got != 1 {
+		t.Fatalf("p0 = %d", got)
+	}
+	if got := a.PercentileLatency(1); got != 100 {
+		t.Fatalf("p100 = %d", got)
+	}
+	if got := a.PercentileLatency(0.5); got < 49 || got > 52 {
+		t.Fatalf("p50 = %d", got)
+	}
+	var empty Aggregate
+	if empty.PercentileLatency(0.5) != 0 {
+		t.Fatal("empty aggregate percentile should be 0")
+	}
+}

@@ -1,0 +1,265 @@
+// Package skyline instantiates RIPPLE for skyline queries (§5 of the paper,
+// Algorithms 10-15). The query is empty; the RIPPLE state is a partial
+// skyline (a set of mutually non-dominated tuples). A link is pruned when a
+// state tuple dominates its entire region, and links are prioritised by the
+// minimum distance of their region to the origin — the region closest to the
+// domain's best corner is explored first.
+//
+// Lower attribute values are better throughout.
+package skyline
+
+import (
+	"sort"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+)
+
+// Compute returns the skyline of ts: every tuple not dominated by another.
+// Deterministic: ties and duplicates resolve by ascending tuple ID. The
+// sort-filter-scan implementation is O(n log n + n·s) with s the skyline
+// size, adequate for per-peer local sets and initiator-side merges.
+func Compute(ts []dataset.Tuple) []dataset.Tuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	sorted := make([]dataset.Tuple, len(ts))
+	copy(sorted, ts)
+	sort.Slice(sorted, func(i, j int) bool {
+		si, sj := coordSum(sorted[i].Vec), coordSum(sorted[j].Vec)
+		if si != sj {
+			return si < sj
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	var sky []dataset.Tuple
+	seen := make(map[uint64]bool)
+	for _, t := range sorted {
+		if seen[t.ID] {
+			continue
+		}
+		dominated := false
+		for _, s := range sky {
+			// A tuple later in coordinate-sum order can never dominate an
+			// earlier one, so a single forward pass suffices.
+			if s.Vec.Dominates(t.Vec) || s.Vec.Equal(t.Vec) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, t)
+			seen[t.ID] = true
+		}
+	}
+	return sky
+}
+
+// Merge folds additional tuples into an existing skyline (whose members are
+// already mutually non-dominated) and returns the skyline of the union. It
+// costs O(|add|·|sky|) instead of recomputing from scratch, which is what
+// keeps repeated state merges affordable when skylines are large.
+func Merge(sky, add []dataset.Tuple) []dataset.Tuple {
+	if len(add) == 0 {
+		return sky
+	}
+	if len(sky) == 0 {
+		return Compute(add)
+	}
+	out := append([]dataset.Tuple(nil), sky...)
+	seen := make(map[uint64]bool, len(sky)+len(add))
+	for _, s := range sky {
+		seen[s.ID] = true
+	}
+	for _, t := range Compute(add) {
+		if seen[t.ID] {
+			continue
+		}
+		dominated := false
+		for _, s := range out {
+			if s.Vec.Dominates(t.Vec) || (s.Vec.Equal(t.Vec) && s.ID < t.ID) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		keep := out[:0]
+		for _, s := range out {
+			if t.Vec.Dominates(s.Vec) || (t.Vec.Equal(s.Vec) && t.ID < s.ID) {
+				delete(seen, s.ID)
+				continue
+			}
+			keep = append(keep, s)
+		}
+		out = append(keep, t)
+		seen[t.ID] = true
+	}
+	return out
+}
+
+func coordSum(p geom.Point) float64 {
+	s := 0.0
+	for _, v := range p {
+		s += v
+	}
+	return s
+}
+
+// Processor is the RIPPLE plug-in for skyline queries. Its state is a
+// partial skyline represented as a tuple slice. A non-nil Constraint
+// restricts the query to tuples inside the given box (the constrained
+// skyline variant that DSL is originally defined for): only constrained
+// tuples participate, and only overlay regions intersecting the constraint
+// are searched.
+type Processor struct {
+	Constraint *geom.Rect
+}
+
+// constrainedTuples filters a peer's tuples by the constraint box.
+func (p *Processor) constrainedTuples(w overlay.Node) []dataset.Tuple {
+	if p.Constraint == nil {
+		return w.Tuples()
+	}
+	var out []dataset.Tuple
+	for _, t := range w.Tuples() {
+		if p.Constraint.Contains(t.Vec) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+var _ core.Processor = (*Processor)(nil)
+
+type state []dataset.Tuple
+
+// InitialState implements core.Processor.
+func (p *Processor) InitialState() core.State { return state(nil) }
+
+// StateTuples implements core.Processor.
+func (p *Processor) StateTuples(s core.State) int { return len(s.(state)) }
+
+// LocalState implements computeLocalState (Algorithm 10): the local skyline,
+// restricted to the tuples that survive against the received global state.
+func (p *Processor) LocalState(w overlay.Node, global core.State) core.State {
+	localSky := Compute(p.constrainedTuples(w))
+	merged := Merge(global.(state), localSky)
+	inMerged := idSet(merged)
+	var out state
+	for _, t := range localSky {
+		if inMerged[t.ID] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// GlobalState implements computeGlobalState (Algorithm 11).
+func (p *Processor) GlobalState(w overlay.Node, global, local core.State) core.State {
+	return state(Merge(global.(state), local.(state)))
+}
+
+// MergeStates implements updateLocalState (Algorithm 13).
+func (p *Processor) MergeStates(w overlay.Node, states []core.State) core.State {
+	var acc []dataset.Tuple
+	for i, s := range states {
+		if i == 0 {
+			acc = Compute(s.(state))
+			continue
+		}
+		acc = Merge(acc, s.(state))
+	}
+	return state(acc)
+}
+
+// LinkRelevant implements the content half of isLinkRelevant (Algorithm 14):
+// the region is worth visiting unless some state tuple dominates all of it.
+func (p *Processor) LinkRelevant(w overlay.Node, region overlay.Region, global core.State) bool {
+	for _, b := range region.Boxes {
+		if p.Constraint != nil {
+			b = b.Intersect(*p.Constraint)
+			if b.IsEmpty() {
+				continue
+			}
+		}
+		dominated := false
+		for _, s := range global.(state) {
+			if geom.DominatesRect(s.Vec, b) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkPriority implements comp (Algorithm 15): d⁻(region, origin) — with a
+// constraint, distance to the constraint's best corner.
+func (p *Processor) LinkPriority(w overlay.Node, region overlay.Region) float64 {
+	origin := geom.Origin(len(region.Boxes[0].Lo))
+	if p.Constraint != nil {
+		origin = p.Constraint.Lo
+	}
+	best := geom.L2.MinDist(origin, region.Boxes[0])
+	for _, b := range region.Boxes[1:] {
+		if d := geom.L2.MinDist(origin, b); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// LocalAnswer implements computeLocalAnswer (Algorithm 12): the tuples of the
+// final local state that are stored at this peer.
+func (p *Processor) LocalAnswer(w overlay.Node, local core.State) []dataset.Tuple {
+	localIDs := idSet(w.Tuples())
+	var out []dataset.Tuple
+	for _, t := range local.(state) {
+		if localIDs[t.ID] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func idSet(ts []dataset.Tuple) map[uint64]bool {
+	m := make(map[uint64]bool, len(ts))
+	for _, t := range ts {
+		m[t.ID] = true
+	}
+	return m
+}
+
+// Run processes a skyline query from the given initiator with ripple
+// parameter r. The initiator merges the collected local answers into the
+// exact global skyline.
+func Run(initiator overlay.Node, r int) ([]dataset.Tuple, sim.Stats) {
+	res := core.Run(initiator, &Processor{}, r)
+	return Compute(res.Answers), res.Stats
+}
+
+// RunConstrained processes a constrained skyline query: the skyline of the
+// tuples inside the given box.
+func RunConstrained(initiator overlay.Node, constraint geom.Rect, r int) ([]dataset.Tuple, sim.Stats) {
+	res := core.Run(initiator, &Processor{Constraint: &constraint}, r)
+	return Compute(res.Answers), res.Stats
+}
+
+// ComputeConstrained is the centralized constrained-skyline oracle.
+func ComputeConstrained(ts []dataset.Tuple, constraint geom.Rect) []dataset.Tuple {
+	var in []dataset.Tuple
+	for _, t := range ts {
+		if constraint.Contains(t.Vec) {
+			in = append(in, t)
+		}
+	}
+	return Compute(in)
+}

@@ -1,0 +1,263 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+)
+
+// bruteSkyline is an O(n^2) oracle independent of Compute's implementation.
+func bruteSkyline(ts []dataset.Tuple) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for i, t := range ts {
+		dominated := false
+		for j, s := range ts {
+			if i == j {
+				continue
+			}
+			if s.Vec.Dominates(t.Vec) || (s.Vec.Equal(t.Vec) && s.ID < t.ID) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out[t.ID] = true
+		}
+	}
+	return out
+}
+
+func TestComputeMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		ts := dataset.Uniform(400, 3, seed)
+		got := Compute(ts)
+		want := bruteSkyline(ts)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: skyline size %d, want %d", seed, len(got), len(want))
+		}
+		for _, s := range got {
+			if !want[s.ID] {
+				t.Fatalf("seed %d: tuple %v wrongly in skyline", seed, s)
+			}
+		}
+	}
+}
+
+func TestComputeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		d := 2 + rng.Intn(3)
+		ts := dataset.Uniform(n, d, seed)
+		sky := Compute(ts)
+		inSky := make(map[uint64]bool)
+		// No skyline member dominates another.
+		for i, a := range sky {
+			inSky[a.ID] = true
+			for j, b := range sky {
+				if i != j && a.Vec.Dominates(b.Vec) {
+					return false
+				}
+			}
+		}
+		// Every excluded tuple is dominated by (or coordinate-equal to) a
+		// skyline member.
+		for _, t := range ts {
+			if inSky[t.ID] {
+				continue
+			}
+			covered := false
+			for _, s := range sky {
+				if s.Vec.Dominates(t.Vec) || s.Vec.Equal(t.Vec) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeEdgeCases(t *testing.T) {
+	if got := Compute(nil); got != nil {
+		t.Fatalf("empty skyline = %v", got)
+	}
+	one := []dataset.Tuple{{ID: 1, Vec: geom.Point{0.5, 0.5}}}
+	if got := Compute(one); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("singleton skyline = %v", got)
+	}
+	// Duplicates keep the lowest ID.
+	dup := []dataset.Tuple{
+		{ID: 9, Vec: geom.Point{0.3, 0.3}},
+		{ID: 2, Vec: geom.Point{0.3, 0.3}},
+	}
+	if got := Compute(dup); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("duplicate handling = %v", got)
+	}
+}
+
+func buildLoaded(t *testing.T, size, dims int, ts []dataset.Tuple, opts midas.Options) *midas.Network {
+	t.Helper()
+	opts.Dims = dims
+	n := midas.Build(size, opts)
+	overlay.Load(n, ts)
+	return n
+}
+
+func TestDistributedSkylineCorrectAcrossModes(t *testing.T) {
+	ts := dataset.NBA(2000, 3)
+	want := Compute(ts)
+	n := buildLoaded(t, 64, 6, ts, midas.Options{Seed: 5})
+	rng := rand.New(rand.NewSource(8))
+	for _, r := range []int{0, 1, 3, 1 << 20} {
+		for q := 0; q < 4; q++ {
+			got, stats := Run(n.RandomPeer(rng), r)
+			if !sameIDs(got, want) {
+				t.Fatalf("r=%d: skyline mismatch: got %d tuples, want %d", r, len(got), len(want))
+			}
+			if stats.MaxPerPeer() != 1 {
+				t.Fatalf("r=%d: duplicate delivery", r)
+			}
+		}
+	}
+}
+
+func TestDistributedSkylineWithBorderOptimisation(t *testing.T) {
+	ts := dataset.Synth(dataset.SynthConfig{N: 3000, Dims: 4, Centers: 30, Seed: 2})
+	want := Compute(ts)
+	plain := buildLoaded(t, 96, 4, ts, midas.Options{Seed: 7})
+	optim := buildLoaded(t, 96, 4, ts, midas.Options{Seed: 7, PreferBorder: true})
+	rng := rand.New(rand.NewSource(3))
+	for q := 0; q < 5; q++ {
+		i := rng.Intn(96)
+		gotPlain, _ := Run(plain.Peers()[i], 0)
+		gotOptim, _ := Run(optim.Peers()[i], 0)
+		if !sameIDs(gotPlain, want) || !sameIDs(gotOptim, want) {
+			t.Fatalf("border optimisation changed the answer")
+		}
+	}
+}
+
+func TestSkylinePrunesPeers(t *testing.T) {
+	// On clustered data the skyline search must not touch every peer.
+	ts := dataset.Synth(dataset.SynthConfig{N: 4000, Dims: 2, Centers: 15, Seed: 4})
+	n := buildLoaded(t, 256, 2, ts, midas.Options{Seed: 11})
+	_, stats := Run(n.Peers()[0], 1<<20)
+	if stats.QueryMsgs >= 256 {
+		t.Fatalf("slow skyline touched %d peers out of 256; pruning ineffective", stats.QueryMsgs)
+	}
+}
+
+func TestSkylineEmptyNetwork(t *testing.T) {
+	n := midas.Build(8, midas.Options{Dims: 2, Seed: 1})
+	got, stats := Run(n.Peers()[0], 0)
+	if len(got) != 0 {
+		t.Fatalf("skyline of empty data = %v", got)
+	}
+	if stats.QueryMsgs == 0 {
+		t.Fatal("initiator must still process the query")
+	}
+}
+
+func sameIDs(a, b []dataset.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[uint64]bool, len(a))
+	for _, t := range a {
+		m[t.ID] = true
+	}
+	for _, t := range b {
+		if !m[t.ID] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge must agree with recomputing the skyline of the union.
+func TestMergeEquivalentToCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		a := dataset.Uniform(1+rng.Intn(200), 3, int64(trial))
+		b := dataset.Uniform(1+rng.Intn(200), 3, int64(trial)+1000)
+		// Give b distinct IDs.
+		for i := range b {
+			b[i].ID += 1 << 20
+		}
+		merged := Merge(Compute(a), b)
+		want := Compute(append(append([]dataset.Tuple(nil), a...), b...))
+		if !sameIDs(merged, want) {
+			t.Fatalf("trial %d: Merge %d tuples, Compute %d", trial, len(merged), len(want))
+		}
+	}
+	if got := Merge(nil, nil); got != nil {
+		t.Fatal("empty merge")
+	}
+}
+
+func TestConstrainedSkyline(t *testing.T) {
+	ts := dataset.Uniform(4000, 3, 21)
+	n := buildLoaded(t, 128, 3, ts, midas.Options{Seed: 22})
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 6; trial++ {
+		lo := geom.Point{0.2 + rng.Float64()*0.3, 0.2 + rng.Float64()*0.3, 0.2 + rng.Float64()*0.3}
+		box := geom.Rect{Lo: lo, Hi: geom.Point{lo[0] + 0.35, lo[1] + 0.35, lo[2] + 0.35}}
+		want := ComputeConstrained(ts, box)
+		for _, r := range []int{0, 1 << 20} {
+			got, stats := RunConstrained(n.RandomPeer(rng), box, r)
+			if !sameIDs(got, want) {
+				t.Fatalf("trial %d r=%d: constrained skyline %d vs %d", trial, r, len(got), len(want))
+			}
+			// A constrained query must search far less than the full space.
+			if stats.QueryMsgs >= 128 {
+				t.Fatalf("trial %d r=%d: constrained query touched every peer", trial, r)
+			}
+		}
+	}
+}
+
+func TestWireCodecInPackage(t *testing.T) {
+	c := WireCodec{}
+	if c.Name() != "skyline" {
+		t.Fatal("codec name")
+	}
+	box := geom.Rect{Lo: geom.Point{0.1, 0.1}, Hi: geom.Point{0.6, 0.6}}
+	params, err := c.EncodeParams(&box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := c.NewProcessor(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.(*Processor).Constraint; got == nil || !got.Equal(box) {
+		t.Fatalf("constraint lost: %v", got)
+	}
+	ts := []dataset.Tuple{{ID: 1, Vec: geom.Point{0.2, 0.2}}}
+	enc, err := c.EncodeState(state(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.DecodeState(enc)
+	if err != nil || len(st.(state)) != 1 || st.(state)[0].ID != 1 {
+		t.Fatalf("state round trip: %v %v", st, err)
+	}
+	if _, err := c.DecodeState([]byte("junk")); err == nil {
+		t.Fatal("junk state must error")
+	}
+	if _, err := c.NewProcessor([]byte("junk")); err == nil {
+		t.Fatal("junk params must error")
+	}
+}

@@ -1,0 +1,66 @@
+package skyline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+)
+
+// WireCodec serialises skyline queries and states for networked peers; it
+// implements the wire.Codec interface. A full-space skyline query carries no
+// parameters; a constrained query carries its constraint box. States are
+// partial skylines (tuple sets).
+type WireCodec struct{}
+
+// Name implements wire.Codec.
+func (WireCodec) Name() string { return "skyline" }
+
+// EncodeParams returns the query descriptor: nil for a full-space skyline,
+// the encoded box for a constrained one.
+func (WireCodec) EncodeParams(constraint *geom.Rect) ([]byte, error) {
+	if constraint == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(*constraint); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// NewProcessor implements wire.Codec.
+func (WireCodec) NewProcessor(params []byte) (core.Processor, error) {
+	if len(params) == 0 {
+		return &Processor{}, nil
+	}
+	var box geom.Rect
+	if err := gob.NewDecoder(bytes.NewReader(params)).Decode(&box); err != nil {
+		return nil, fmt.Errorf("skyline: decode constraint: %w", err)
+	}
+	return &Processor{Constraint: &box}, nil
+}
+
+// EncodeState implements wire.Codec.
+func (WireCodec) EncodeState(s core.State) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode([]dataset.Tuple(s.(state))); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState implements wire.Codec. Empty input yields the neutral state.
+func (WireCodec) DecodeState(b []byte) (core.State, error) {
+	if len(b) == 0 {
+		return state(nil), nil
+	}
+	var ts []dataset.Tuple
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&ts); err != nil {
+		return nil, fmt.Errorf("skyline: decode state: %w", err)
+	}
+	return state(ts), nil
+}

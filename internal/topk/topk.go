@@ -1,0 +1,261 @@
+// Package topk instantiates RIPPLE for top-k queries (§4 of the paper,
+// Algorithms 4-9). The query carries a unimodal scoring function f and the
+// result size k; the RIPPLE state is the pair (m, τ) asserting that m tuples
+// with score at least τ have already been located. Link pruning uses f⁺, an
+// upper bound of f over a region.
+package topk
+
+import (
+	"math"
+	"sort"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+)
+
+// Scorer is the paper's unimodal scoring function f together with the upper
+// bound f⁺ over an axis-parallel box that RIPPLE's pruning requires. Higher
+// scores are better.
+type Scorer interface {
+	// Score evaluates f at a point.
+	Score(p geom.Point) float64
+	// UpperBound returns f⁺(r): an upper bound of Score over the box r.
+	UpperBound(r geom.Rect) float64
+}
+
+// Linear scores a tuple by the weighted sum of its attribute "goodness"
+// (attributes follow the repository convention that lower raw values are
+// better): f(x) = Σ w_i (1 − x_i). Weights must be non-negative; f is then
+// monotone, hence unimodal, and f⁺ over a box is attained at its Lo corner.
+type Linear struct {
+	Weights []float64
+}
+
+// UniformLinear returns a Linear scorer with d equal weights.
+func UniformLinear(d int) Linear {
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = 1
+	}
+	return Linear{Weights: w}
+}
+
+// Score implements Scorer.
+func (l Linear) Score(p geom.Point) float64 {
+	s := 0.0
+	for i, w := range l.Weights {
+		s += w * (1 - p[i])
+	}
+	return s
+}
+
+// UpperBound implements Scorer.
+func (l Linear) UpperBound(r geom.Rect) float64 { return l.Score(r.Lo) }
+
+// Peak is a non-monotone unimodal scorer with its maximum at Center:
+// f(x) = exp(−Sharpness · ‖x − Center‖²). It exercises RIPPLE's support for
+// general unimodal functions (the paper only requires a unique local
+// maximum). f⁺ over a box is f at the point of the box closest to Center.
+type Peak struct {
+	Center    geom.Point
+	Sharpness float64
+}
+
+// Score implements Scorer.
+func (g Peak) Score(p geom.Point) float64 {
+	d := geom.L2.Dist(p, g.Center)
+	return math.Exp(-g.Sharpness * d * d)
+}
+
+// UpperBound implements Scorer.
+func (g Peak) UpperBound(r geom.Rect) float64 { return g.Score(r.Clamp(g.Center)) }
+
+// Nearest scores tuples by proximity to a query point: f(x) = −dist(x, q),
+// making k-nearest-neighbour search a top-k rank query. f⁺ over a box is the
+// negated minimum distance of the box to the query point.
+type Nearest struct {
+	Center geom.Point
+	Metric geom.Metric
+}
+
+// Score implements Scorer.
+func (n Nearest) Score(p geom.Point) float64 { return -n.Metric.Dist(n.Center, p) }
+
+// UpperBound implements Scorer.
+func (n Nearest) UpperBound(r geom.Rect) float64 { return -n.Metric.MinDist(n.Center, r) }
+
+// state is the paper's abstract top-k state (m, τ): m tuples with score at
+// least τ are known. The neutral state is (0, +Inf).
+type state struct {
+	m   int
+	tau float64
+}
+
+// Processor is the RIPPLE plug-in for top-k queries.
+type Processor struct {
+	F Scorer
+	K int
+}
+
+var _ core.Processor = (*Processor)(nil)
+
+// InitialState implements core.Processor.
+func (p *Processor) InitialState() core.State { return state{m: 0, tau: math.Inf(1)} }
+
+// StateTuples implements core.Processor: top-k states carry only (m, τ).
+func (p *Processor) StateTuples(core.State) int { return 0 }
+
+// regionBound is f⁺ over a union-of-boxes region.
+func (p *Processor) regionBound(r overlay.Region) float64 {
+	best := math.Inf(-1)
+	for _, b := range r.Boxes {
+		if u := p.F.UpperBound(b); u > best {
+			best = u
+		}
+	}
+	return best
+}
+
+// LocalState implements computeLocalState (Algorithm 4): gather up to K local
+// tuples scoring above the global threshold, topping up with lower-ranked
+// tuples while the global count is still short of K.
+func (p *Processor) LocalState(w overlay.Node, global core.State) core.State {
+	g := global.(state)
+	scores := localScores(w, p.F)
+
+	above := 0
+	for _, s := range scores {
+		if s > g.tau && above < p.K {
+			above++
+		}
+	}
+	take := above
+	if g.m+above < p.K {
+		take += min(p.K-g.m-above, len(scores)-above)
+	}
+	if take == 0 {
+		return state{m: 0, tau: math.Inf(1)}
+	}
+	return state{m: take, tau: scores[take-1]}
+}
+
+// GlobalState implements computeGlobalState. Algorithm 5 as printed
+// aggregates to (mG+mL, min(τG, τL)), under which the threshold can never
+// rise along a fast-mode forwarding path and r=0 degenerates to a full
+// broadcast — contradicting the paper's own Figure 4(b). We therefore apply
+// the Algorithm 7 combine to the pair: the highest threshold guaranteed to
+// be met by at least K tuples. This is sound (both inputs are sound claims)
+// and strictly tighter; when fewer than K tuples are known it reduces to the
+// printed aggregate. See DESIGN.md §6.
+func (p *Processor) GlobalState(w overlay.Node, global, local core.State) core.State {
+	return p.MergeStates(w, []core.State{global, local})
+}
+
+// MergeStates implements updateLocalState (Algorithm 7): find the highest
+// threshold guaranteed to be exceeded by at least K tuples.
+func (p *Processor) MergeStates(w overlay.Node, states []core.State) core.State {
+	ss := make([]state, len(states))
+	for i, s := range states {
+		ss[i] = s.(state)
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].tau > ss[j].tau })
+	merged := state{m: 0, tau: math.Inf(1)}
+	for _, s := range ss {
+		if s.m == 0 {
+			continue
+		}
+		merged.m += s.m
+		merged.tau = s.tau
+		if merged.m >= p.K {
+			break
+		}
+	}
+	return merged
+}
+
+// LinkRelevant implements the content half of isLinkRelevant (Algorithm 8).
+func (p *Processor) LinkRelevant(w overlay.Node, region overlay.Region, global core.State) bool {
+	g := global.(state)
+	return g.m < p.K || p.regionBound(region) >= g.tau
+}
+
+// LinkPriority implements comp (Algorithm 9): regions with higher f⁺ first.
+func (p *Processor) LinkPriority(w overlay.Node, region overlay.Region) float64 {
+	return -p.regionBound(region)
+}
+
+// LocalAnswer implements computeLocalAnswer (Algorithm 6): all local tuples
+// scoring at least the final local threshold. (The paper says "better than";
+// we use >= so the threshold tuple itself is never dropped.)
+func (p *Processor) LocalAnswer(w overlay.Node, local core.State) []dataset.Tuple {
+	l := local.(state)
+	if l.m == 0 {
+		return nil
+	}
+	var out []dataset.Tuple
+	for _, t := range w.Tuples() {
+		if p.F.Score(t.Vec) >= l.tau {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// localScores returns the peer's tuple scores sorted descending.
+func localScores(w overlay.Node, f Scorer) []float64 {
+	ts := w.Tuples()
+	scores := make([]float64, len(ts))
+	for i, t := range ts {
+		scores[i] = f.Score(t.Vec)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	return scores
+}
+
+// Run processes a top-k query from the given initiator with ripple parameter
+// r, returning the exact top-k set (ties broken by tuple ID) and the cost.
+func Run(initiator overlay.Node, f Scorer, k, r int) ([]dataset.Tuple, sim.Stats) {
+	res := core.Run(initiator, &Processor{F: f, K: k}, r)
+	return Select(res.Answers, f, k), res.Stats
+}
+
+// Select extracts the top-k tuples from a candidate set: the initiator's
+// final merge step. Ties are broken by ascending tuple ID and duplicate IDs
+// are dropped, so the result is deterministic.
+func Select(candidates []dataset.Tuple, f Scorer, k int) []dataset.Tuple {
+	seen := make(map[uint64]bool, len(candidates))
+	uniq := candidates[:0:0]
+	for _, t := range candidates {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			uniq = append(uniq, t)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		si, sj := f.Score(uniq[i].Vec), f.Score(uniq[j].Vec)
+		if si != sj {
+			return si > sj
+		}
+		return uniq[i].ID < uniq[j].ID
+	})
+	if len(uniq) > k {
+		uniq = uniq[:k]
+	}
+	return uniq
+}
+
+// Brute computes the exact top-k over a full tuple slice; the reference
+// answer used by tests and the harness's sanity checks.
+func Brute(ts []dataset.Tuple, f Scorer, k int) []dataset.Tuple {
+	return Select(append([]dataset.Tuple(nil), ts...), f, k)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,265 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+)
+
+func TestLinearScorer(t *testing.T) {
+	f := Linear{Weights: []float64{2, 1}}
+	if got := f.Score(geom.Point{0, 0}); got != 3 {
+		t.Fatalf("Score(origin) = %v, want 3", got)
+	}
+	if got := f.Score(geom.Point{1, 1}); got != 0 {
+		t.Fatalf("Score(ones) = %v, want 0", got)
+	}
+	r := geom.Rect{Lo: geom.Point{0.25, 0.5}, Hi: geom.Point{1, 1}}
+	if got := f.UpperBound(r); got != 2*0.75+0.5 {
+		t.Fatalf("UpperBound = %v", got)
+	}
+}
+
+func TestPeakScorer(t *testing.T) {
+	f := Peak{Center: geom.Point{0.5, 0.5}, Sharpness: 4}
+	if got := f.Score(geom.Point{0.5, 0.5}); got != 1 {
+		t.Fatalf("peak score = %v, want 1", got)
+	}
+	if f.Score(geom.Point{0, 0}) >= f.Score(geom.Point{0.4, 0.4}) {
+		t.Fatal("peak must decrease with distance")
+	}
+	// Upper bound over a box containing the peak is exactly 1.
+	r := geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{1, 1}}
+	if got := f.UpperBound(r); got != 1 {
+		t.Fatalf("UpperBound over containing box = %v", got)
+	}
+}
+
+// f⁺ must upper-bound the score at every point of the box, for both scorers.
+func TestUpperBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(4)
+		lo, hi := make(geom.Point, d), make(geom.Point, d)
+		for i := 0; i < d; i++ {
+			a, b := rng.Float64(), rng.Float64()
+			lo[i], hi[i] = math.Min(a, b), math.Max(a, b)+1e-9
+		}
+		box := geom.Rect{Lo: lo, Hi: hi}
+		w := make([]float64, d)
+		c := make(geom.Point, d)
+		for i := range w {
+			w[i] = rng.Float64() * 3
+			c[i] = rng.Float64()
+		}
+		scorers := []Scorer{Linear{Weights: w}, Peak{Center: c, Sharpness: 1 + rng.Float64()*10}}
+		for _, s := range scorers {
+			ub := s.UpperBound(box)
+			for i := 0; i < 25; i++ {
+				p := geom.Lerp(lo, hi, rng.Float64())
+				for j := range p {
+					p[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+				}
+				if s.Score(p) > ub+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeStatesPicksHighestGuaranteedThreshold(t *testing.T) {
+	p := &Processor{F: UniformLinear(2), K: 5}
+	states := []core.State{
+		state{m: 2, tau: 0.9},
+		state{m: 2, tau: 0.8},
+		state{m: 2, tau: 0.5},
+		state{m: 10, tau: 0.1},
+	}
+	got := p.MergeStates(nil, states).(state)
+	// 2+2 < 5, 2+2+2 >= 5 -> threshold 0.5 with m=6.
+	if got.m != 6 || got.tau != 0.5 {
+		t.Fatalf("merged = %+v, want m=6 tau=0.5", got)
+	}
+}
+
+func TestMergeStatesUnderflow(t *testing.T) {
+	p := &Processor{F: UniformLinear(2), K: 100}
+	states := []core.State{state{m: 3, tau: 0.9}, state{m: 2, tau: 0.4}}
+	got := p.MergeStates(nil, states).(state)
+	if got.m != 5 || got.tau != 0.4 {
+		t.Fatalf("underflow merge = %+v, want m=5 tau=0.4", got)
+	}
+	empty := p.MergeStates(nil, []core.State{p.InitialState()}).(state)
+	if empty.m != 0 || !math.IsInf(empty.tau, 1) {
+		t.Fatalf("neutral merge = %+v", empty)
+	}
+}
+
+func TestSelectDeduplicatesAndBreaksTies(t *testing.T) {
+	f := UniformLinear(1)
+	ts := []dataset.Tuple{
+		{ID: 3, Vec: geom.Point{0.2}},
+		{ID: 3, Vec: geom.Point{0.2}}, // duplicate ID must collapse
+		{ID: 1, Vec: geom.Point{0.5}},
+		{ID: 2, Vec: geom.Point{0.5}}, // tie with ID 1: lower ID first
+		{ID: 4, Vec: geom.Point{0.9}},
+	}
+	got := Select(ts, f, 3)
+	wantIDs := []uint64{3, 1, 2}
+	if len(got) != 3 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i, w := range wantIDs {
+		if got[i].ID != w {
+			t.Fatalf("result %d = %d, want %d", i, got[i].ID, w)
+		}
+	}
+}
+
+func TestBruteMatchesManualSort(t *testing.T) {
+	ts := dataset.Uniform(200, 3, 9)
+	f := UniformLinear(3)
+	got := Brute(ts, f, 20)
+	scores := make([]float64, len(ts))
+	for i, tp := range ts {
+		scores[i] = f.Score(tp.Vec)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	for i, tp := range got {
+		if math.Abs(f.Score(tp.Vec)-scores[i]) > 1e-12 {
+			t.Fatalf("rank %d score %v, want %v", i, f.Score(tp.Vec), scores[i])
+		}
+	}
+}
+
+// stubNode lets processor methods be exercised directly.
+type stubNode struct {
+	tuples []dataset.Tuple
+}
+
+func (s *stubNode) ID() string              { return "stub" }
+func (s *stubNode) Zone() overlay.Region    { return overlay.Whole(2) }
+func (s *stubNode) Links() []overlay.Link   { return nil }
+func (s *stubNode) Tuples() []dataset.Tuple { return s.tuples }
+
+func tupleAt(id uint64, vs ...float64) dataset.Tuple {
+	return dataset.Tuple{ID: id, Vec: geom.Point(vs)}
+}
+
+func TestLocalStateBranches(t *testing.T) {
+	f := UniformLinear(2)
+	p := &Processor{F: f, K: 2}
+	w := &stubNode{tuples: []dataset.Tuple{
+		tupleAt(1, 0.1, 0.1), // score 1.8
+		tupleAt(2, 0.3, 0.3), // score 1.4
+		tupleAt(3, 0.8, 0.8), // score 0.4
+	}}
+
+	// Neutral global: take the 2 best local tuples (top-up branch).
+	s := p.LocalState(w, p.InitialState()).(state)
+	if s.m != 2 || math.Abs(s.tau-1.4) > 1e-12 {
+		t.Fatalf("neutral local state = %+v", s)
+	}
+
+	// Global already has 2 tuples above 1.0: only local tuples scoring above
+	// that threshold count (one of them: score 1.8; 1.4 is above 1.0 too).
+	s = p.LocalState(w, state{m: 2, tau: 1.0}).(state)
+	if s.m != 2 || math.Abs(s.tau-1.4) > 1e-12 {
+		t.Fatalf("above-threshold state = %+v", s)
+	}
+
+	// Very high global threshold with enough tuples: nothing qualifies.
+	s = p.LocalState(w, state{m: 5, tau: 3.9}).(state)
+	if s.m != 0 || !math.IsInf(s.tau, 1) {
+		t.Fatalf("empty-contribution state = %+v", s)
+	}
+
+	// Empty peer contributes the neutral state.
+	s = p.LocalState(&stubNode{}, p.InitialState()).(state)
+	if s.m != 0 || !math.IsInf(s.tau, 1) {
+		t.Fatalf("empty peer state = %+v", s)
+	}
+}
+
+func TestLinkRelevantAndPriority(t *testing.T) {
+	f := UniformLinear(2)
+	p := &Processor{F: f, K: 3}
+	good := overlay.FromRect(geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{0.5, 0.5}}) // f+ = 2
+	bad := overlay.FromRect(geom.Rect{Lo: geom.Point{0.8, 0.8}, Hi: geom.Point{1, 1}})  // f+ = 0.4
+
+	// Below k tuples known: everything is relevant.
+	if !p.LinkRelevant(nil, bad, state{m: 1, tau: 1.9}) {
+		t.Fatal("short of k: link must be relevant")
+	}
+	// At k: only regions beating the threshold remain relevant.
+	if p.LinkRelevant(nil, bad, state{m: 3, tau: 1.0}) {
+		t.Fatal("dominated region must be pruned")
+	}
+	if !p.LinkRelevant(nil, good, state{m: 3, tau: 1.0}) {
+		t.Fatal("promising region wrongly pruned")
+	}
+	if p.LinkPriority(nil, good) >= p.LinkPriority(nil, bad) {
+		t.Fatal("better region must sort first (lower priority value)")
+	}
+}
+
+func TestLocalAnswerThreshold(t *testing.T) {
+	f := UniformLinear(2)
+	p := &Processor{F: f, K: 2}
+	w := &stubNode{tuples: []dataset.Tuple{
+		tupleAt(1, 0.1, 0.1), // 1.8
+		tupleAt(2, 0.3, 0.3), // 1.4
+		tupleAt(3, 0.8, 0.8), // 0.4
+	}}
+	got := p.LocalAnswer(w, state{m: 2, tau: 1.4})
+	if len(got) != 2 {
+		t.Fatalf("answer size %d, want 2 (>= tau keeps the threshold tuple)", len(got))
+	}
+	if p.LocalAnswer(w, state{m: 0, tau: math.Inf(1)}) != nil {
+		t.Fatal("neutral state must answer nothing")
+	}
+	if p.StateTuples(state{m: 5, tau: 1}) != 0 {
+		t.Fatal("top-k states carry no tuples")
+	}
+}
+
+func TestWireCodecInPackage(t *testing.T) {
+	c := WireCodec{}
+	if c.Name() != "topk" {
+		t.Fatal("codec name")
+	}
+	params, err := c.EncodeParams(UniformLinear(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := c.NewProcessor(params)
+	if err != nil || proc.(*Processor).K != 3 {
+		t.Fatalf("NewProcessor: %v", err)
+	}
+	if _, err := c.NewProcessor([]byte("garbage")); err == nil {
+		t.Fatal("garbage params must error")
+	}
+	if _, err := c.DecodeState([]byte("garbage")); err == nil {
+		t.Fatal("garbage state must error")
+	}
+	enc, err := c.EncodeState(state{m: 4, tau: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.DecodeState(enc)
+	if err != nil || st.(state).m != 4 || st.(state).tau != 1.5 {
+		t.Fatalf("state round trip: %v %v", st, err)
+	}
+}

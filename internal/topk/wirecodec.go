@@ -1,0 +1,101 @@
+package topk
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"ripple/internal/core"
+	"ripple/internal/geom"
+)
+
+// WireCodec serialises top-k queries and states for networked peers; it
+// implements the wire.Codec interface. Supported scorers: Linear, Peak and
+// Nearest (L1 or L2).
+type WireCodec struct{}
+
+// wireParams is the on-wire query descriptor.
+type wireParams struct {
+	K       int
+	Kind    string // "linear" | "peak" | "nearest"
+	Weights []float64
+	Center  geom.Point
+	Sharp   float64
+	Metric  string // "L1" | "L2" (nearest only)
+}
+
+// Name implements wire.Codec.
+func (WireCodec) Name() string { return "topk" }
+
+// EncodeParams builds the wire descriptor for a query.
+func (WireCodec) EncodeParams(f Scorer, k int) ([]byte, error) {
+	p := wireParams{K: k}
+	switch s := f.(type) {
+	case Linear:
+		p.Kind, p.Weights = "linear", s.Weights
+	case Peak:
+		p.Kind, p.Center, p.Sharp = "peak", s.Center, s.Sharpness
+	case Nearest:
+		p.Kind, p.Center, p.Metric = "nearest", s.Center, s.Metric.Name()
+	default:
+		return nil, fmt.Errorf("topk: scorer %T not wire-encodable", f)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// NewProcessor implements wire.Codec.
+func (WireCodec) NewProcessor(params []byte) (core.Processor, error) {
+	var p wireParams
+	if err := gob.NewDecoder(bytes.NewReader(params)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("topk: decode params: %w", err)
+	}
+	var f Scorer
+	switch p.Kind {
+	case "linear":
+		f = Linear{Weights: p.Weights}
+	case "peak":
+		f = Peak{Center: p.Center, Sharpness: p.Sharp}
+	case "nearest":
+		m := geom.Metric(geom.L2)
+		if p.Metric == "L1" {
+			m = geom.L1
+		}
+		f = Nearest{Center: p.Center, Metric: m}
+	default:
+		return nil, fmt.Errorf("topk: unknown scorer kind %q", p.Kind)
+	}
+	return &Processor{F: f, K: p.K}, nil
+}
+
+// EncodeState implements wire.Codec: the (m, τ) pair.
+func (WireCodec) EncodeState(s core.State) ([]byte, error) {
+	st := s.(state)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(struct {
+		M   int
+		Tau float64
+	}{st.m, st.tau}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState implements wire.Codec. Empty input yields the neutral state.
+func (WireCodec) DecodeState(b []byte) (core.State, error) {
+	if len(b) == 0 {
+		return state{m: 0, tau: math.Inf(1)}, nil
+	}
+	var st struct {
+		M   int
+		Tau float64
+	}
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("topk: decode state: %w", err)
+	}
+	return state{m: st.M, tau: st.Tau}, nil
+}

@@ -1,0 +1,117 @@
+// Package wire defines the message format RIPPLE peers exchange when they
+// run over a real transport (see internal/netpeer): a length-prefixed gob
+// envelope carrying the query descriptor, the propagated global state, the
+// restriction area and the ripple parameter downstream, and local states,
+// answer tuples and cost counters upstream.
+//
+// Query-type specifics (parameters and state payloads) are opaque byte
+// blobs produced by a per-type Codec, so new query types plug into the wire
+// protocol the same way they plug into the engine.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+)
+
+// Codec serialises one query type's parameters and states.
+type Codec interface {
+	// Name identifies the query type on the wire ("topk", "skyline", ...).
+	Name() string
+	// NewProcessor decodes query parameters into an engine plug-in.
+	NewProcessor(params []byte) (core.Processor, error)
+	// EncodeState / DecodeState serialise the query type's state payloads.
+	EncodeState(s core.State) ([]byte, error)
+	DecodeState(b []byte) (core.State, error)
+}
+
+// Call is the downstream message: "process this query within this area".
+type Call struct {
+	QueryType string
+	Params    []byte
+	Global    []byte
+	Restrict  overlay.Region
+	R         int
+	Hops      int // logical arrival time of this message
+}
+
+// Reply is the upstream message: the local states of the processed subtree,
+// the answer tuples collected for the initiator, and cost counters.
+type Reply struct {
+	States     [][]byte
+	Answers    []dataset.Tuple
+	Completion int // logical completion time of the subtree
+	QueryMsgs  int
+	StateMsgs  int
+	TuplesSent int
+	Peers      []string // peers reached in the subtree (congestion audit)
+}
+
+func init() {
+	gob.Register(geom.Point{})
+	gob.Register(geom.Rect{})
+	gob.Register(overlay.Region{})
+	gob.Register(dataset.Tuple{})
+}
+
+// WriteMessage frames and writes a gob-encoded message.
+func WriteMessage(w io.Writer, msg interface{}) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	var size [4]byte
+	binary.BigEndian.PutUint32(size[:], uint32(buf.Len()))
+	if _, err := w.Write(size[:]); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// MaxFrame bounds a single message; queries and states are small, answers
+// are bounded by the data a peer holds.
+const MaxFrame = 64 << 20
+
+// ReadMessage reads one framed message into msg.
+func ReadMessage(r io.Reader, msg interface{}) error {
+	var size [4]byte
+	if _, err := io.ReadFull(r, size[:]); err != nil {
+		return err // io.EOF signals a cleanly closed connection
+	}
+	n := binary.BigEndian.Uint32(size[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("wire: read body: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(msg); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}
+
+// gobEncode/gobDecode are helpers for codec payloads.
+func gobEncode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(b []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}

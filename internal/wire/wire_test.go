@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/diversify"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+	"ripple/internal/skyline"
+	"ripple/internal/topk"
+)
+
+// Compile-time checks: the query packages implement the wire codec contract.
+var (
+	_ Codec = topk.WireCodec{}
+	_ Codec = skyline.WireCodec{}
+	_ Codec = diversify.WireCodec{}
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	call := &Call{
+		QueryType: "topk",
+		Params:    []byte{1, 2, 3},
+		Global:    []byte{4, 5},
+		Restrict:  overlay.Whole(3),
+		R:         7,
+		Hops:      2,
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, call); err != nil {
+		t.Fatal(err)
+	}
+	var got Call
+	if err := ReadMessage(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.QueryType != "topk" || got.R != 7 || got.Hops != 2 || len(got.Params) != 3 {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+	if !got.Restrict.Contains(geom.Point{0.5, 0.5, 0.5}) {
+		t.Fatal("region lost in transit")
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	reply := &Reply{
+		States:     [][]byte{{1}, {2, 3}},
+		Answers:    []dataset.Tuple{{ID: 9, Vec: geom.Point{0.1, 0.2}}},
+		Completion: 5,
+		QueryMsgs:  11,
+		Peers:      []string{"a", "b"},
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, reply); err != nil {
+		t.Fatal(err)
+	}
+	var got Reply
+	if err := ReadMessage(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Completion != 5 || got.QueryMsgs != 11 || len(got.States) != 2 || got.Answers[0].ID != 9 {
+		t.Fatalf("reply round trip lost fields: %+v", got)
+	}
+}
+
+func TestReadMessageEOF(t *testing.T) {
+	var got Call
+	if err := ReadMessage(strings.NewReader(""), &got); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadMessageOversizeFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	var got Call
+	err := ReadMessage(bytes.NewReader(hdr[:]), &got)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversize frame: err = %v", err)
+	}
+}
+
+func TestReadMessageTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.WriteString("short")
+	var got Call
+	if err := ReadMessage(&buf, &got); err == nil {
+		t.Fatal("truncated body must error")
+	}
+}
+
+func TestTopKCodecRoundTrip(t *testing.T) {
+	c := topk.WireCodec{}
+	for _, f := range []topk.Scorer{
+		topk.UniformLinear(3),
+		topk.Peak{Center: geom.Point{0.2, 0.3, 0.4}, Sharpness: 5},
+		topk.Nearest{Center: geom.Point{0.5, 0.5, 0.5}, Metric: geom.L1},
+	} {
+		params, err := c.EncodeParams(f, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc, err := c.NewProcessor(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := proc.(*topk.Processor)
+		if tp.K != 4 {
+			t.Fatalf("K lost: %d", tp.K)
+		}
+		p := geom.Point{0.25, 0.5, 0.75}
+		if math.Abs(tp.F.Score(p)-f.Score(p)) > 1e-12 {
+			t.Fatalf("scorer %T changed on the wire", f)
+		}
+	}
+	// Neutral state on empty bytes.
+	st, err := c.DecodeState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := c.EncodeState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.DecodeState(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc2, _ := c.EncodeState(st2); !bytes.Equal(enc, enc2) {
+		t.Fatal("state round trip unstable")
+	}
+}
+
+func TestDiversifyCodecRoundTrip(t *testing.T) {
+	c := diversify.WireCodec{}
+	q := diversify.NewQuery(geom.Point{0.2, 0.8}, 0.4)
+	base := []dataset.Tuple{{ID: 5, Vec: geom.Point{0.1, 0.1}}}
+	params, err := c.EncodeParams(q, base, map[uint64]bool{5: true, 9: true}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := c.NewProcessor(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := proc.(*diversify.Processor)
+	if dp.Query.Lambda != 0.4 || len(dp.Base) != 1 || !dp.Exclude[9] || dp.Tau0 != 0.25 {
+		t.Fatalf("params lost on the wire: %+v", dp)
+	}
+	st, err := c.DecodeState(nil)
+	if err != nil || !math.IsInf(float64(0)+mustFloat(c, st), 1) {
+		t.Fatalf("neutral diversify state: %v %v", st, err)
+	}
+}
+
+func mustFloat(c diversify.WireCodec, s interface{}) float64 {
+	b, err := c.EncodeState(s)
+	if err != nil {
+		panic(err)
+	}
+	st, err := c.DecodeState(b)
+	if err != nil {
+		panic(err)
+	}
+	b2, _ := c.EncodeState(st)
+	if string(b) != string(b2) {
+		panic("unstable state round trip")
+	}
+	var v float64
+	// decode the gob float directly for the assertion
+	if err := gobDecodeForTest(b, &v); err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestSkylineCodecRoundTrip(t *testing.T) {
+	c := skyline.WireCodec{}
+	proc, err := c.NewProcessor(nil)
+	if err != nil || proc == nil {
+		t.Fatalf("NewProcessor: %v", err)
+	}
+	st, err := c.DecodeState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := proc.StateTuples(st); n != 0 {
+		t.Fatalf("neutral skyline state has %d tuples", n)
+	}
+}
+
+func gobDecodeForTest(b []byte, v interface{}) error { return gobDecode(b, v) }

@@ -1,0 +1,168 @@
+// Package zorder implements the Z-order (Morton) space-filling curve used by
+// the SSP baseline to map multidimensional keys onto BATON's one-dimensional
+// keyspace, exactly as Wang et al. do in the paper's competitor (§2.2).
+//
+// Besides encode/decode it provides the canonical decomposition of a Z-key
+// interval into aligned blocks. Because bits are interleaved round-robin,
+// every aligned binary block of the curve corresponds to an axis-parallel box
+// of the domain, so an interval of Z-keys (a BATON peer's zone) can be turned
+// into O(bits) boxes on which dominance pruning is exact.
+package zorder
+
+import (
+	"fmt"
+
+	"ripple/internal/geom"
+)
+
+// Curve is a Z-order curve over [0,1)^Dims with Bits bits of resolution per
+// dimension. Total key width is Dims*Bits bits and must fit in 62 bits.
+type Curve struct {
+	Dims int
+	Bits int
+}
+
+// New returns a curve for d dimensions with the maximum per-dimension
+// resolution that keeps the total key width at 62 bits or below (capped at 20
+// bits per dimension, which is far below float64 noise for unit-cube data).
+func New(d int) Curve {
+	if d <= 0 {
+		panic("zorder: non-positive dimensionality")
+	}
+	bits := 62 / d
+	if bits > 20 {
+		bits = 20
+	}
+	if bits == 0 {
+		panic(fmt.Sprintf("zorder: dimensionality %d too large", d))
+	}
+	return Curve{Dims: d, Bits: bits}
+}
+
+// TotalBits returns the key width in bits.
+func (c Curve) TotalBits() int { return c.Dims * c.Bits }
+
+// MaxKey returns the largest representable key.
+func (c Curve) MaxKey() uint64 { return (uint64(1) << uint(c.TotalBits())) - 1 }
+
+// cellCoord quantises a coordinate in [0,1) to a Bits-bit cell index.
+func (c Curve) cellCoord(v float64) uint64 {
+	n := uint64(1) << uint(c.Bits)
+	if v <= 0 {
+		return 0
+	}
+	x := uint64(v * float64(n))
+	if x >= n {
+		x = n - 1
+	}
+	return x
+}
+
+// Encode maps a point of [0,1)^Dims to its Z-order key. Bit t of the key,
+// counted from the most significant end of the TotalBits-wide key, carries
+// bit (Bits-1 - t/Dims) of dimension t%Dims.
+func (c Curve) Encode(p geom.Point) uint64 {
+	if len(p) != c.Dims {
+		panic(fmt.Sprintf("zorder: point dim %d, curve dim %d", len(p), c.Dims))
+	}
+	coords := make([]uint64, c.Dims)
+	for i, v := range p {
+		coords[i] = c.cellCoord(v)
+	}
+	var key uint64
+	for level := c.Bits - 1; level >= 0; level-- {
+		for d := 0; d < c.Dims; d++ {
+			key = key<<1 | (coords[d]>>uint(level))&1
+		}
+	}
+	return key
+}
+
+// Decode returns the lower corner of the cell addressed by key.
+func (c Curve) Decode(key uint64) geom.Point {
+	coords := make([]uint64, c.Dims)
+	t := 0
+	for level := c.Bits - 1; level >= 0; level-- {
+		for d := 0; d < c.Dims; d++ {
+			bit := (key >> uint(c.TotalBits()-1-t)) & 1
+			coords[d] |= bit << uint(level)
+			t++
+		}
+	}
+	p := make(geom.Point, c.Dims)
+	scale := 1 / float64(uint64(1)<<uint(c.Bits))
+	for i, x := range coords {
+		p[i] = float64(x) * scale
+	}
+	return p
+}
+
+// Block is an aligned binary block of the curve: the FreeBits lowest key bits
+// range freely while the rest are fixed to those of Start (whose low FreeBits
+// bits are zero). Every Block corresponds to an axis-parallel box.
+type Block struct {
+	Start    uint64
+	FreeBits int
+}
+
+// Size returns the number of keys covered by b.
+func (b Block) Size() uint64 { return uint64(1) << uint(b.FreeBits) }
+
+// Rect returns the axis-parallel box of the domain covered by b on curve c.
+func (c Curve) Rect(b Block) geom.Rect {
+	// Dimension d owns key bit positions (from the MSB) t with t%Dims == d;
+	// the lowest FreeBits positions (from the LSB) are free. Count, per
+	// dimension, how many of its bits are free: bit position from LSB is
+	// bLSB = TotalBits-1-t, so dimension d's free bit count is the number of
+	// bLSB in [0, FreeBits) with (TotalBits-1-bLSB)%Dims == d.
+	free := make([]int, c.Dims)
+	for bLSB := 0; bLSB < b.FreeBits; bLSB++ {
+		d := (c.TotalBits() - 1 - bLSB) % c.Dims
+		free[d]++
+	}
+	lo := c.Decode(b.Start)
+	hi := make(geom.Point, c.Dims)
+	cell := 1 / float64(uint64(1)<<uint(c.Bits))
+	for d := 0; d < c.Dims; d++ {
+		hi[d] = lo[d] + float64(uint64(1)<<uint(free[d]))*cell
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// Decompose covers the inclusive key interval [lo, hi] with the minimal set
+// of aligned blocks (at most 2*TotalBits of them), in increasing key order.
+func (c Curve) Decompose(lo, hi uint64) []Block {
+	if hi > c.MaxKey() {
+		hi = c.MaxKey()
+	}
+	if lo > hi {
+		return nil
+	}
+	var out []Block
+	c.cover(lo, hi, 0, c.TotalBits(), &out)
+	return out
+}
+
+func (c Curve) cover(lo, hi, start uint64, freeBits int, out *[]Block) {
+	end := start + (uint64(1) << uint(freeBits)) - 1 // inclusive
+	if end < lo || start > hi {
+		return
+	}
+	if lo <= start && end <= hi {
+		*out = append(*out, Block{Start: start, FreeBits: freeBits})
+		return
+	}
+	half := uint64(1) << uint(freeBits-1)
+	c.cover(lo, hi, start, freeBits-1, out)
+	c.cover(lo, hi, start+half, freeBits-1, out)
+}
+
+// Boxes converts a Z-key interval to the boxes of its canonical blocks.
+func (c Curve) Boxes(lo, hi uint64) []geom.Rect {
+	blocks := c.Decompose(lo, hi)
+	boxes := make([]geom.Rect, len(blocks))
+	for i, b := range blocks {
+		boxes[i] = c.Rect(b)
+	}
+	return boxes
+}

@@ -1,0 +1,163 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/geom"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 5, 10} {
+		c := New(d)
+		rng := rand.New(rand.NewSource(int64(d)))
+		for i := 0; i < 200; i++ {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			key := c.Encode(p)
+			q := c.Decode(key)
+			// Decoded point is the cell's lower corner; re-encoding must give
+			// the same key, and every coordinate must be within one cell.
+			if got := c.Encode(q); got != key {
+				t.Fatalf("d=%d: re-encode %v -> %d, want %d", d, q, got, key)
+			}
+			cell := 1 / float64(uint64(1)<<uint(c.Bits))
+			for j := range p {
+				if p[j] < q[j] || p[j] >= q[j]+cell {
+					t.Fatalf("d=%d: coord %d of %v not in cell [%v,%v)", d, j, p, q[j], q[j]+cell)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeMonotoneAlongDiagonal(t *testing.T) {
+	// Along the main diagonal the Z-curve is strictly increasing.
+	c := New(2)
+	prev := uint64(0)
+	for i := 1; i < 100; i++ {
+		v := float64(i) / 100
+		key := c.Encode(geom.Point{v, v})
+		if key < prev {
+			t.Fatalf("diagonal key decreased at %v", v)
+		}
+		prev = key
+	}
+}
+
+func TestKnown2DOrder(t *testing.T) {
+	// With 1 bit per dim the 2-d Z curve visits quadrants in the order
+	// (0,0)=0, (0,1)=1, (1,0)=2, (1,1)=3 when dim0 contributes the MSB.
+	c := Curve{Dims: 2, Bits: 1}
+	got := []uint64{
+		c.Encode(geom.Point{0.1, 0.1}),
+		c.Encode(geom.Point{0.1, 0.9}),
+		c.Encode(geom.Point{0.9, 0.1}),
+		c.Encode(geom.Point{0.9, 0.9}),
+	}
+	want := []uint64{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("quadrant %d: key %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecomposeCoversExactly(t *testing.T) {
+	c := Curve{Dims: 2, Bits: 4} // 256 keys, exhaustive checking feasible
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		a := rng.Uint64() % 256
+		b := rng.Uint64() % 256
+		if a > b {
+			a, b = b, a
+		}
+		blocks := c.Decompose(a, b)
+		covered := make(map[uint64]int)
+		for _, blk := range blocks {
+			if blk.Start%blk.Size() != 0 {
+				t.Fatalf("block %+v not aligned", blk)
+			}
+			for k := blk.Start; k < blk.Start+blk.Size(); k++ {
+				covered[k]++
+			}
+		}
+		for k := uint64(0); k < 256; k++ {
+			want := 0
+			if k >= a && k <= b {
+				want = 1
+			}
+			if covered[k] != want {
+				t.Fatalf("interval [%d,%d]: key %d covered %d times, want %d", a, b, k, covered[k], want)
+			}
+		}
+	}
+}
+
+func TestDecomposeBlockCount(t *testing.T) {
+	c := New(3)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		a := rng.Uint64() % c.MaxKey()
+		b := a + rng.Uint64()%(c.MaxKey()-a)
+		blocks := c.Decompose(a, b)
+		if len(blocks) > 2*c.TotalBits() {
+			t.Fatalf("decomposition of [%d,%d] uses %d blocks, want <= %d", a, b, len(blocks), 2*c.TotalBits())
+		}
+	}
+}
+
+// Property: a block's box contains exactly the decoded cells of the keys in
+// the block, i.e. Z-intervals map to geometry consistently.
+func TestBlockRectProperty(t *testing.T) {
+	c := Curve{Dims: 3, Bits: 3}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		free := rng.Intn(c.TotalBits() + 1)
+		size := uint64(1) << uint(free)
+		start := (rng.Uint64() % (c.MaxKey() + 1)) / size * size
+		blk := Block{Start: start, FreeBits: free}
+		box := c.Rect(blk)
+		// All keys in the block decode to points inside the box.
+		for k := blk.Start; k < blk.Start+blk.Size(); k++ {
+			if !box.Contains(c.Decode(k)) {
+				return false
+			}
+		}
+		// Volume of box equals (#cells in block) x cell volume.
+		cellVol := 1.0
+		for i := 0; i < c.Dims; i++ {
+			cellVol /= float64(uint64(1) << uint(c.Bits))
+		}
+		want := float64(blk.Size()) * cellVol
+		diff := box.Volume() - want
+		return diff < 1e-12 && diff > -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxesDisjoint(t *testing.T) {
+	c := Curve{Dims: 2, Bits: 5}
+	boxes := c.Boxes(100, 700)
+	for i := range boxes {
+		for j := i + 1; j < len(boxes); j++ {
+			if boxes[i].Overlaps(boxes[j]) {
+				t.Fatalf("boxes %d and %d overlap: %v %v", i, j, boxes[i], boxes[j])
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}

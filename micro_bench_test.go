@@ -1,0 +1,84 @@
+// Micro-benchmarks of the library's hot paths: overlay construction, point
+// location, per-query engine cost at each extreme, and the centralized
+// primitives used inside peers.
+package ripple_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripple"
+	"ripple/internal/skyline"
+)
+
+func BenchmarkMIDASBuild1K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net := ripple.BuildMIDAS(1024, ripple.MIDASOptions{Dims: 5, Seed: int64(i)})
+		if net.Size() != 1024 {
+			b.Fatal("bad size")
+		}
+	}
+}
+
+func BenchmarkMIDASLocate(b *testing.B) {
+	net := ripple.BuildMIDAS(4096, ripple.MIDASOptions{Dims: 5, Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]ripple.Point, 256)
+	for i := range pts {
+		pts[i] = ripple.Point{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Locate(pts[i%len(pts)])
+	}
+}
+
+func benchTopKQuery(b *testing.B, r int) {
+	b.Helper()
+	ts := ripple.NBA(0, 1)
+	net := ripple.BuildMIDAS(1024, ripple.MIDASOptions{Dims: 6, Seed: 1})
+	ripple.Load(net, ts)
+	f := ripple.UniformLinear(6)
+	peers := net.Peers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ripple.TopK(peers[i%len(peers)], f, 10, r)
+	}
+}
+
+func BenchmarkTopKQueryFast(b *testing.B) { benchTopKQuery(b, ripple.Fast) }
+func BenchmarkTopKQuerySlow(b *testing.B) { benchTopKQuery(b, ripple.Slow) }
+
+func BenchmarkSkylineQuerySlow(b *testing.B) {
+	ts := ripple.NBA(0, 2)
+	net := ripple.BuildMIDAS(512, ripple.MIDASOptions{Dims: 6, Seed: 2, PreferBorder: true})
+	ripple.Load(net, ts)
+	peers := net.Peers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ripple.Skyline(peers[i%len(peers)], ripple.Slow)
+	}
+}
+
+func BenchmarkSkylineCompute(b *testing.B) {
+	ts := ripple.Synth(ripple.SynthConfig{N: 5000, Dims: 4, Centers: 100, Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skyline.Compute(ts)
+	}
+}
+
+func BenchmarkDiversifySingleFast(b *testing.B) {
+	ts := ripple.MIRFlickr(10000, 4)
+	net := ripple.BuildMIDAS(512, ripple.MIDASOptions{Dims: 5, Seed: 4})
+	ripple.Load(net, ts)
+	q := ripple.NewDiversifyQuery(ts[9].Vec, 0.5)
+	peers := net.Peers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ripple.Diversify(peers[i%len(peers)], q, 5, ripple.Fast, 1)
+		if len(res.Set) != 5 {
+			b.Fatal("bad result")
+		}
+	}
+}
