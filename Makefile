@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench examples results results-paper clean
+.PHONY: all build test race test-race verify bench examples results results-paper clean
 
 all: build test
 
@@ -13,8 +13,16 @@ build:
 test:
 	$(GO) test ./...
 
+# Race-detect the concurrency hot spots only (fast).
 race:
 	$(GO) test -race ./internal/async/ ./internal/netpeer/ .
+
+# Race-detect everything; part of the verify flow.
+test-race:
+	$(GO) test -race ./...
+
+# The full pre-merge gate: build + vet + tests + full race sweep.
+verify: build test test-race
 
 # One testing.B benchmark per paper table/figure plus micro-benchmarks.
 bench:

@@ -35,6 +35,7 @@ func main() {
 	resultSizes := flag.String("result-sizes", "", "override: comma-separated k values for Figures 6/11")
 	dims := flag.String("dims", "", "override: comma-separated dimensionalities for Figures 5/8/10")
 	synthSize := flag.Int("synth-size", 0, "override: SYNTH dataset cardinality")
+	faultRates := flag.String("fault-rates", "", "override: comma-separated drop probabilities for churn-faults")
 	flag.Parse()
 
 	var cfg bench.Config
@@ -64,6 +65,9 @@ func main() {
 	}
 	if *synthSize > 0 {
 		cfg.SynthSize = *synthSize
+	}
+	if *faultRates != "" {
+		cfg.FaultRates = parseFloats(*faultRates, "-fault-rates")
 	}
 
 	if *list {
@@ -105,6 +109,19 @@ func parseInts(csv, flagName string) []int {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || v <= 0 {
 			fmt.Fprintf(os.Stderr, "bad %s entry %q\n", flagName, part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(csv, flagName string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 0 || v > 1 {
+			fmt.Fprintf(os.Stderr, "bad %s entry %q (want probabilities in [0,1])\n", flagName, part)
 			os.Exit(2)
 		}
 		out = append(out, v)

@@ -14,39 +14,67 @@ import (
 	"os/signal"
 	"strconv"
 	"syscall"
+	"time"
 
 	"ripple/internal/diversify"
+	"ripple/internal/faults"
 	"ripple/internal/netpeer"
 	"ripple/internal/skyline"
 	"ripple/internal/topk"
 )
 
 func main() {
+	def := netpeer.DefaultOptions()
 	config := flag.String("config", "", "peer config written by ripple-plan (server mode)")
 	call := flag.String("call", "", "peer address to query (client mode)")
 	queryKind := flag.String("query", "topk", "client query type: topk | skyline")
 	k := flag.Int("k", 10, "result size for topk")
 	dims := flag.Int("dims", 0, "data dimensionality (client mode; read from answers if 0)")
 	rFlag := flag.String("r", "fast", "ripple parameter: fast | slow | integer")
+	callTimeout := flag.Duration("call-timeout", def.CallTimeout, "end-to-end deadline per peer RPC (and for the client call)")
+	dialTimeout := flag.Duration("dial-timeout", def.DialTimeout, "server mode: TCP connect deadline per peer dial")
+	retries := flag.Int("retries", def.Retry.MaxRetries, "server mode: retransmissions per failed peer RPC")
+	faultDrop := flag.Float64("fault-drop", 0, "server mode: injected per-RPC drop probability (testing)")
+	faultCrash := flag.Float64("fault-crash", 0, "server mode: injected perform-then-lose-reply probability (testing)")
+	faultDelayRate := flag.Float64("fault-delay-rate", 0, "server mode: injected per-RPC delay probability (testing)")
+	faultDelay := flag.Duration("fault-delay", 50*time.Millisecond, "server mode: duration of an injected delay")
+	faultSeed := flag.Int64("fault-seed", 1, "server mode: fault-injection seed (decisions are deterministic per link)")
 	flag.Parse()
+
+	opts := def
+	opts.CallTimeout = *callTimeout
+	opts.DialTimeout = *dialTimeout
+	opts.Retry.MaxRetries = *retries
+	if *faultDrop > 0 || *faultCrash > 0 || *faultDelayRate > 0 {
+		opts.Faults = faults.New(faults.Config{
+			Seed:      *faultSeed,
+			DropRate:  *faultDrop,
+			CrashRate: *faultCrash,
+			DelayRate: *faultDelayRate,
+			Delay:     *faultDelay,
+		})
+	}
 
 	switch {
 	case *config != "":
-		serve(*config)
+		serve(*config, opts)
 	case *call != "":
-		client(*call, *queryKind, *k, *dims, parseR(*rFlag))
+		client(*call, *queryKind, *k, *dims, parseR(*rFlag), *callTimeout)
 	default:
 		fmt.Fprintln(os.Stderr, "need -config (server) or -call (client); see -help")
 		os.Exit(2)
 	}
 }
 
-func serve(path string) {
+func serve(path string, opts netpeer.Options) {
 	fc, err := netpeer.ReadConfigFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	srv := netpeer.NewServer(fc.Peer, topk.WireCodec{}, skyline.WireCodec{}, diversify.WireCodec{})
+	srv := netpeer.NewServerOpts(fc.Peer, opts, topk.WireCodec{}, skyline.WireCodec{}, diversify.WireCodec{})
+	if opts.Faults.Enabled() {
+		fmt.Printf("fault injection armed: %+v\n", opts.Faults.Config())
+	}
 	addr, err := srv.Start(fc.Addr)
 	if err != nil {
 		fatal(err)
@@ -60,7 +88,7 @@ func serve(path string) {
 	fmt.Printf("peer %s stopped\n", fc.Peer.ID)
 }
 
-func client(addr, queryKind string, k, dims, r int) {
+func client(addr, queryKind string, k, dims, r int, timeout time.Duration) {
 	if dims <= 0 {
 		dims = probeDims(addr)
 	}
@@ -71,25 +99,39 @@ func client(addr, queryKind string, k, dims, r int) {
 		if err != nil {
 			fatal(err)
 		}
-		answers, stats, err := netpeer.Query(addr, "topk", params, dims, r)
+		res, err := netpeer.QueryDetailed(addr, "topk", params, dims, r, timeout)
 		if err != nil {
 			fatal(err)
 		}
-		for i, t := range topk.Select(answers, f, k) {
+		for i, t := range topk.Select(res.Answers, f, k) {
 			fmt.Printf("%3d. %v  score %.4f\n", i+1, t, f.Score(t.Vec))
 		}
-		fmt.Printf("cost: %v\n", &stats)
+		report(res)
 	case "skyline":
-		answers, stats, err := netpeer.Query(addr, "skyline", nil, dims, r)
+		res, err := netpeer.QueryDetailed(addr, "skyline", nil, dims, r, timeout)
 		if err != nil {
 			fatal(err)
 		}
-		for i, t := range skyline.Compute(answers) {
+		for i, t := range skyline.Compute(res.Answers) {
 			fmt.Printf("%3d. %v\n", i+1, t)
 		}
-		fmt.Printf("cost: %v\n", &stats)
+		report(res)
 	default:
 		fatal(fmt.Errorf("client mode supports topk and skyline, not %q", queryKind))
+	}
+}
+
+// report prints the query cost and, for a degraded answer, which parts of the
+// data space went unanswered.
+func report(res *netpeer.QueryResult) {
+	fmt.Printf("cost: %v\n", &res.Stats)
+	if !res.Partial {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "WARNING: answer is PARTIAL — %d region(s) of the data space were lost to peer failures:\n",
+		len(res.FailedRegions))
+	for _, reg := range res.FailedRegions {
+		fmt.Fprintf(os.Stderr, "  lost %v\n", reg)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"ripple/internal/core"
 	"ripple/internal/dataset"
+	"ripple/internal/faults"
 	"ripple/internal/overlay"
 )
 
@@ -31,6 +32,7 @@ type Cluster struct {
 	actors map[string]*actor
 	wg     sync.WaitGroup
 	insts  int64
+	inj    *faults.Injector
 
 	mu       sync.Mutex
 	res      *core.Result
@@ -90,7 +92,18 @@ type continuation struct {
 // NewCluster spins up one actor per node of the overlay, all sharing the
 // given processor. Call Close when finished.
 func NewCluster(net overlay.Network, proc core.Processor) *Cluster {
-	c := &Cluster{actors: make(map[string]*actor)}
+	return NewClusterInjected(net, proc, nil)
+}
+
+// NewClusterInjected is NewCluster under fault injection: every actor-to-
+// actor delivery consults the injector with the same deterministic decision
+// function the structural engine uses, so an injected cluster reproduces
+// core.RunInjected exactly — same surviving answers, same lost regions, same
+// hop clocks. A dropped (or crashed) delivery prunes the subtree and records
+// the lost restriction region; a delayed one adds Config.DelayHops to the
+// message's arrival time. A nil injector behaves like NewCluster.
+func NewClusterInjected(net overlay.Network, proc core.Processor, inj *faults.Injector) *Cluster {
+	c := &Cluster{actors: make(map[string]*actor), inj: inj}
 	for _, n := range net.Nodes() {
 		a := &actor{
 			node:    n,
@@ -186,6 +199,25 @@ func (c *Cluster) recordStates(proc core.Processor, states []core.State) {
 
 func (c *Cluster) finish() { close(c.done) }
 
+// traverse consults the injector for a delivery from -> to covering the
+// restriction region sub. A lost delivery (drop or crash) records the failed
+// region and returns ok=false; a delayed one returns the extra hops charged.
+func (c *Cluster) traverse(from, to string, sub overlay.Region) (extraHops int, ok bool) {
+	switch c.inj.Decide(from, to, 0) {
+	case faults.Drop, faults.Crash:
+		c.mu.Lock()
+		c.res.Stats.RPCFailures++
+		c.res.Stats.Partial = true
+		c.res.Partial = true
+		c.res.FailedRegions = append(c.res.FailedRegions, sub)
+		c.mu.Unlock()
+		return 0, false
+	case faults.Delay:
+		return c.inj.Config().DelayHops, true
+	}
+	return 0, true
+}
+
 func (a *actor) run() {
 	defer a.cluster.wg.Done()
 	for m := range a.inbox {
@@ -234,6 +266,10 @@ func (a *actor) onQuery(m queryMsg) {
 		if sub.IsEmpty() || !a.proc.LinkRelevant(a.node, sub, wGlobal) {
 			continue
 		}
+		extra, ok := a.cluster.traverse(a.node.ID(), l.To.ID(), sub)
+		if !ok {
+			continue // lost delivery: the subtree never joins the convergecast
+		}
 		k.pending++
 		a.cluster.send(l.To.ID(), queryMsg{
 			inst:       a.cluster.nextInst(),
@@ -242,7 +278,7 @@ func (a *actor) onQuery(m queryMsg) {
 			global:     wGlobal,
 			restrict:   sub,
 			r:          0,
-			time:       m.time + 1,
+			time:       m.time + 1 + extra,
 		})
 	}
 	if k.pending == 0 {
@@ -260,6 +296,10 @@ func (a *actor) advanceSlow(k *continuation) {
 		if sub.IsEmpty() || !a.proc.LinkRelevant(a.node, sub, k.wGlobal) {
 			continue
 		}
+		extra, ok := a.cluster.traverse(a.node.ID(), l.To.ID(), sub)
+		if !ok {
+			continue // lost delivery: skip the link, keep iterating
+		}
 		a.cluster.send(l.To.ID(), queryMsg{
 			inst:       a.cluster.nextInst(),
 			parentInst: k.inst,
@@ -267,7 +307,7 @@ func (a *actor) advanceSlow(k *continuation) {
 			global:     k.wGlobal,
 			restrict:   sub,
 			r:          k.r - 1,
-			time:       k.cursor + 1,
+			time:       k.cursor + 1 + extra,
 		})
 		return // suspend until the state response arrives
 	}

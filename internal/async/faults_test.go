@@ -1,0 +1,96 @@
+package async
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/faults"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+func sortedIDs(ts []dataset.Tuple) []uint64 {
+	ids := make([]uint64, 0, len(ts))
+	for _, t := range ts {
+		ids = append(ids, t.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// The injector's decisions are a pure function of the link identity, so the
+// actor runtime under faults must reproduce the structural engine under the
+// same faults exactly: same surviving answers, same lost regions, same
+// counters, same hop clocks — regardless of goroutine interleaving.
+func TestInjectedClusterMatchesEngine(t *testing.T) {
+	ts := dataset.NBA(3000, 1)
+	net := midas.Build(64, midas.Options{Dims: 6, Seed: 3})
+	overlay.Load(net, ts)
+	proc := &topk.Processor{F: topk.UniformLinear(6), K: 10}
+	inj := faults.New(faults.Config{Seed: 77, DropRate: 0.15, DelayRate: 0.1, DelayHops: 2})
+	cluster := NewClusterInjected(net, proc, inj)
+	defer cluster.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	sawPartial := false
+	for _, r := range []int{0, 2, 1 << 20} {
+		for q := 0; q < 3; q++ {
+			w := net.RandomPeer(rng)
+			sync := core.RunInjected(w, proc, r, inj)
+			asyn := cluster.Run(w.ID(), r)
+
+			if sync.Stats.Latency != asyn.Stats.Latency {
+				t.Fatalf("r=%d: latency sync %d vs async %d", r, sync.Stats.Latency, asyn.Stats.Latency)
+			}
+			if sync.Stats.QueryMsgs != asyn.Stats.QueryMsgs {
+				t.Fatalf("r=%d: query msgs sync %d vs async %d", r, sync.Stats.QueryMsgs, asyn.Stats.QueryMsgs)
+			}
+			if sync.Stats.RPCFailures != asyn.Stats.RPCFailures {
+				t.Fatalf("r=%d: failures sync %d vs async %d", r, sync.Stats.RPCFailures, asyn.Stats.RPCFailures)
+			}
+			if sync.Partial != asyn.Partial || sync.Stats.Partial != asyn.Stats.Partial {
+				t.Fatalf("r=%d: partial flags disagree", r)
+			}
+			if len(sync.FailedRegions) != len(asyn.FailedRegions) {
+				t.Fatalf("r=%d: failed regions sync %d vs async %d",
+					r, len(sync.FailedRegions), len(asyn.FailedRegions))
+			}
+			if !reflect.DeepEqual(sortedIDs(sync.Answers), sortedIDs(asyn.Answers)) {
+				t.Fatalf("r=%d: surviving answers differ under identical faults", r)
+			}
+			sawPartial = sawPartial || sync.Partial
+		}
+	}
+	if !sawPartial {
+		t.Fatal("15% drop rate over 18 queries never lost a link (tune the seed if this fires)")
+	}
+}
+
+// A nil injector must leave the cluster byte-identical to NewCluster.
+func TestNilInjectorClusterUnchanged(t *testing.T) {
+	ts := dataset.NBA(1500, 2)
+	net := midas.Build(32, midas.Options{Dims: 6, Seed: 4})
+	overlay.Load(net, ts)
+	proc := &topk.Processor{F: topk.UniformLinear(6), K: 5}
+
+	plain := NewCluster(net, proc)
+	defer plain.Close()
+	injected := NewClusterInjected(net, proc, nil)
+	defer injected.Close()
+
+	w := net.Peers()[1]
+	for _, r := range []int{0, 1 << 20} {
+		a, b := plain.Run(w.ID(), r), injected.Run(w.ID(), r)
+		if a.Stats.Latency != b.Stats.Latency || a.Stats.QueryMsgs != b.Stats.QueryMsgs {
+			t.Fatalf("r=%d: nil injector changed the costs", r)
+		}
+		if b.Partial || b.Stats.RPCFailures != 0 || len(b.FailedRegions) != 0 {
+			t.Fatalf("r=%d: nil injector produced failures", r)
+		}
+	}
+}

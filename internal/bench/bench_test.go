@@ -140,6 +140,54 @@ func TestChurnExperiment(t *testing.T) {
 	}
 }
 
+func TestChurnFaultsExperiment(t *testing.T) {
+	cfg := Quick()
+	cfg.DefaultSize = 96
+	cfg.NBASize = 3000
+	cfg.TopKQueries = 6
+	cfg.FaultRates = []float64{0, 0.3}
+	res := ChurnFaults(cfg)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	// Rate 0 is fault-free: both extremes must reach perfect recall with
+	// zero lost links.
+	for _, series := range []string{"fast", "slow"} {
+		if got := res.Value(0, series, false); got != 1.0 {
+			t.Fatalf("%s recall at rate 0 = %v, want 1.0", series, got)
+		}
+		if got := res.Value(0, series, true); got != 0 {
+			t.Fatalf("%s lost links at rate 0 = %v, want 0", series, got)
+		}
+	}
+	// Under a heavy drop rate recall stays a valid fraction and some links
+	// are actually lost.
+	lostAny := false
+	for _, series := range []string{"fast", "slow"} {
+		r := res.Value(1, series, false)
+		if r < 0 || r > 1 {
+			t.Fatalf("%s recall at rate 0.3 = %v, outside [0,1]", series, r)
+		}
+		lostAny = lostAny || res.Value(1, series, true) > 0
+	}
+	if !lostAny {
+		t.Fatal("30% drop rate lost no links across 12 queries (tune the seed if this fires)")
+	}
+	// The custom panel captions and CSV suffixes must be in effect.
+	if s := res.String(); !strings.Contains(s, "(a) top-k recall") ||
+		!strings.Contains(s, "(b) failed links/query") {
+		t.Fatalf("fault panels mislabelled:\n%s", s)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if head := strings.SplitN(buf.String(), "\n", 2)[0]; !strings.Contains(head, "fast_top-k_recall") ||
+		!strings.Contains(head, "slow_failed_links/query") {
+		t.Fatalf("fault csv header: %s", head)
+	}
+}
+
 func TestResultWriteCSV(t *testing.T) {
 	res := Lemmas(4)
 	var buf bytes.Buffer

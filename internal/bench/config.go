@@ -43,6 +43,10 @@ type Config struct {
 	DivQueries  int
 	DivMaxIters int
 	Seed        int64
+
+	// FaultRates is the x-axis of the churn-with-failures experiment: the
+	// per-link drop probability injected into every query propagation.
+	FaultRates []float64
 }
 
 // Default returns a configuration that reproduces every figure's shape on a
@@ -67,6 +71,7 @@ func Default() Config {
 		DivQueries:    4,
 		DivMaxIters:   5,
 		Seed:          1,
+		FaultRates:    []float64{0, 0.02, 0.05, 0.1, 0.2},
 	}
 }
 
@@ -87,6 +92,7 @@ func Quick() Config {
 	c.SkyQueries = 6
 	c.DivQueries = 2
 	c.DivMaxIters = 3
+	c.FaultRates = []float64{0, 0.05, 0.2}
 	return c
 }
 
@@ -112,6 +118,7 @@ func Paper() Config {
 		DivQueries:    256,
 		DivMaxIters:   10,
 		Seed:          1,
+		FaultRates:    []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4},
 	}
 }
 

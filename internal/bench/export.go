@@ -4,18 +4,26 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // WriteCSV exports a figure's data points for external plotting: one row per
 // x value, with a latency and a congestion column per series.
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
+	sufA, sufB := "latency", "congestion"
+	if r.MetricA != "" {
+		sufA = columnSuffix(r.MetricA)
+	}
+	if r.MetricB != "" {
+		sufB = columnSuffix(r.MetricB)
+	}
 	header := []string{r.XLabel}
 	for _, s := range r.Series {
-		header = append(header, s+"_latency")
+		header = append(header, s+"_"+sufA)
 	}
 	for _, s := range r.Series {
-		header = append(header, s+"_congestion")
+		header = append(header, s+"_"+sufB)
 	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("bench: csv write: %w", err)
@@ -34,4 +42,14 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// columnSuffix reduces a panel caption like "top-k recall" to a CSV-friendly
+// column suffix ("top-k_recall"): the portion before any parenthesised unit,
+// with spaces collapsed to underscores.
+func columnSuffix(caption string) string {
+	if i := strings.IndexByte(caption, '('); i >= 0 {
+		caption = caption[:i]
+	}
+	return strings.Join(strings.Fields(caption), "_")
 }

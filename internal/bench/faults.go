@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/faults"
+	"ripple/internal/midas"
+	"ripple/internal/topk"
+)
+
+// ChurnFaults measures graceful degradation: top-k queries run at both RIPPLE
+// extremes while every overlay link drops messages with the swept probability
+// (deterministic injection, so dead links stay dead within a rate — modelling
+// failed peers rather than independent packet loss). Between rates a slice of
+// the overlay churns (joins and departures) so the topology never ossifies.
+// Panel (a) reports mean top-k recall against a centralised oracle; panel (b)
+// reports the mean number of lost links (failed restriction regions) per
+// query. At rate 0 both extremes must score recall 1.0.
+func ChurnFaults(cfg Config) *Result {
+	res := &Result{
+		Fig:     "Faults",
+		Title:   fmt.Sprintf("top-k under churn with link failures (NBA, k=%d, n=%d)", cfg.DefaultK, cfg.DefaultSize),
+		XLabel:  "drop rate",
+		Series:  []string{"fast", "slow"},
+		MetricA: "top-k recall",
+		MetricB: "failed links/query",
+	}
+
+	ts := dataset.NBA(cfg.NBASize, cfg.Seed)
+	net := midas.BuildWithData(cfg.DefaultSize, midas.Options{Dims: 6, Seed: cfg.Seed}, ts)
+	f := topk.UniformLinear(6)
+	rng := rand.New(rand.NewSource(cfg.Seed + 4242))
+
+	oracle := make(map[uint64]bool, cfg.DefaultK)
+	for _, t := range topk.Brute(ts, f, cfg.DefaultK) {
+		oracle[t.ID] = true
+	}
+
+	extremes := []int{0, 1 << 20} // fast, slow
+	for i, rate := range cfg.FaultRates {
+		inj := faults.New(faults.Config{Seed: cfg.Seed*1009 + int64(i), DropRate: rate})
+		recall := make([]float64, len(extremes))
+		lost := make([]float64, len(extremes))
+		for q := 0; q < cfg.TopKQueries; q++ {
+			w := net.RandomPeer(rng)
+			for s, r := range extremes {
+				got := core.RunInjected(w, &topk.Processor{F: f, K: cfg.DefaultK}, r, inj)
+				hits := 0
+				for _, t := range topk.Select(got.Answers, f, cfg.DefaultK) {
+					if oracle[t.ID] {
+						hits++
+					}
+				}
+				recall[s] += float64(hits) / float64(cfg.DefaultK)
+				lost[s] += float64(got.Stats.RPCFailures)
+			}
+		}
+		row := Row{X: fmt.Sprintf("%.2f", rate)}
+		for s := range extremes {
+			row.Latency = append(row.Latency, recall[s]/float64(cfg.TopKQueries))
+			row.Congestion = append(row.Congestion, lost[s]/float64(cfg.TopKQueries))
+		}
+		res.Rows = append(res.Rows, row)
+
+		// Churn ~5% of the overlay before the next rate: half joins, half
+		// departures, net size preserved.
+		churn := cfg.DefaultSize / 40
+		for j := 0; j < churn; j++ {
+			net.Leave(net.RandomPeer(rng))
+			net.Join()
+		}
+	}
+	return res
+}

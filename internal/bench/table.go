@@ -15,6 +15,12 @@ type Result struct {
 	XLabel string
 	Series []string
 	Rows   []Row
+
+	// MetricA and MetricB override the panel captions when an experiment
+	// reuses the two Row slots for metrics other than latency/congestion
+	// (e.g. the fault sweep reports recall and failed links). Empty means
+	// the standard "(a) latency (hops)" / "(b) congestion (messages/query)".
+	MetricA, MetricB string
 }
 
 // Row is one x-axis point with per-series metric values (parallel to
@@ -40,8 +46,15 @@ func (r *Result) AddRow(x string, aggs []sim.Aggregate) {
 func (r *Result) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s: %s\n", r.Fig, r.Title)
-	b.WriteString(r.panel("(a) latency (hops)", func(row Row) []float64 { return row.Latency }))
-	b.WriteString(r.panel("(b) congestion (messages/query)", func(row Row) []float64 { return row.Congestion }))
+	capA, capB := r.MetricA, r.MetricB
+	if capA == "" {
+		capA = "latency (hops)"
+	}
+	if capB == "" {
+		capB = "congestion (messages/query)"
+	}
+	b.WriteString(r.panel("(a) "+capA, func(row Row) []float64 { return row.Latency }))
+	b.WriteString(r.panel("(b) "+capB, func(row Row) []float64 { return row.Congestion }))
 	return b.String()
 }
 

@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/faults"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+func ids(ts []dataset.Tuple) []uint64 {
+	out := make([]uint64, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, t.ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RunInjected with a nil (or rate-0) injector must be indistinguishable
+// from Run.
+func TestRunInjectedZeroRateIdentical(t *testing.T) {
+	ts := dataset.NBA(2000, 3)
+	net := midas.Build(48, midas.Options{Dims: 6, Seed: 8})
+	overlay.Load(net, ts)
+	proc := &topk.Processor{F: topk.UniformLinear(6), K: 10}
+
+	w := net.Peers()[3]
+	for _, r := range []int{0, 1, 1 << 20} {
+		plain := core.Run(w, proc, r)
+		for _, inj := range []*faults.Injector{nil, faults.New(faults.Config{Seed: 123})} {
+			got := core.RunInjected(w, proc, r, inj)
+			if got.Stats.Latency != plain.Stats.Latency ||
+				got.Stats.QueryMsgs != plain.Stats.QueryMsgs ||
+				got.Stats.StateMsgs != plain.Stats.StateMsgs ||
+				got.Stats.TuplesSent != plain.Stats.TuplesSent {
+				t.Fatalf("r=%d: costs changed under a no-op injector", r)
+			}
+			if got.Partial || got.Stats.Partial || got.Stats.RPCFailures != 0 || len(got.FailedRegions) != 0 {
+				t.Fatalf("r=%d: no-op injector reported failures", r)
+			}
+			if !reflect.DeepEqual(ids(got.Answers), ids(plain.Answers)) {
+				t.Fatalf("r=%d: answers changed under a no-op injector", r)
+			}
+		}
+	}
+}
+
+// Under drops, the engine must terminate, record one failed region per lost
+// link, and keep every surviving answer genuine (a subset of the data).
+func TestRunInjectedDropsArePartialAndAccounted(t *testing.T) {
+	ts := dataset.NBA(2000, 4)
+	net := midas.Build(64, midas.Options{Dims: 6, Seed: 9})
+	overlay.Load(net, ts)
+	proc := &topk.Processor{F: topk.UniformLinear(6), K: 10}
+	inj := faults.New(faults.Config{Seed: 21, DropRate: 0.3})
+
+	byID := make(map[uint64]bool, len(ts))
+	for _, tu := range ts {
+		byID[tu.ID] = true
+	}
+	sawLoss := false
+	for _, r := range []int{0, 1 << 20} {
+		res := core.RunInjected(net.Peers()[0], proc, r, inj)
+		if res.Stats.RPCFailures != len(res.FailedRegions) {
+			t.Fatalf("r=%d: %d failures but %d failed regions",
+				r, res.Stats.RPCFailures, len(res.FailedRegions))
+		}
+		if (res.Stats.RPCFailures > 0) != res.Partial {
+			t.Fatalf("r=%d: Partial=%t with %d failures", r, res.Partial, res.Stats.RPCFailures)
+		}
+		for _, a := range res.Answers {
+			if !byID[a.ID] {
+				t.Fatalf("r=%d: fabricated answer %v", r, a)
+			}
+		}
+		for _, reg := range res.FailedRegions {
+			if reg.IsEmpty() {
+				t.Fatalf("r=%d: empty failed region", r)
+			}
+		}
+		sawLoss = sawLoss || res.Partial
+	}
+	if !sawLoss {
+		t.Fatal("30% drop rate never lost a link (tune the seed if this fires)")
+	}
+}
+
+// A delayed link charges extra hops: with every link slow by 3 hops, the
+// fast-mode latency is exactly (1+3)x the clean depth.
+func TestRunInjectedDelayScalesLatency(t *testing.T) {
+	ts := dataset.NBA(1000, 6)
+	net := midas.Build(32, midas.Options{Dims: 6, Seed: 10})
+	overlay.Load(net, ts)
+	proc := &topk.Processor{F: topk.UniformLinear(6), K: 5}
+
+	w := net.Peers()[0]
+	clean := core.Run(w, proc, 0)
+	slowed := core.RunInjected(w, proc, 0, faults.New(faults.Config{Seed: 1, DelayRate: 1, DelayHops: 3}))
+	if slowed.Stats.Latency != 4*clean.Stats.Latency {
+		t.Fatalf("latency %d with every hop slowed by 3, want %d",
+			slowed.Stats.Latency, 4*clean.Stats.Latency)
+	}
+	if slowed.Partial || slowed.Stats.RPCFailures != 0 {
+		t.Fatal("delays must not mark the answer partial")
+	}
+	if !reflect.DeepEqual(ids(slowed.Answers), ids(clean.Answers)) {
+		t.Fatal("delays must not change the answer set")
+	}
+}

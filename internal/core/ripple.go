@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"ripple/internal/dataset"
+	"ripple/internal/faults"
 	"ripple/internal/overlay"
 	"ripple/internal/sim"
 )
@@ -69,6 +70,14 @@ type Processor interface {
 type Result struct {
 	Answers []dataset.Tuple
 	Stats   sim.Stats
+
+	// Partial marks that at least one link traversal was lost to injected
+	// faults, so Answers may be missing the lost subtrees' tuples. Every
+	// answer present is still genuine (no false positives).
+	Partial bool
+	// FailedRegions are the restriction regions of the lost subtrees: the
+	// only parts of the domain the answer can be missing tuples from.
+	FailedRegions []overlay.Region
 }
 
 // Mode names the three template algorithms.
@@ -87,7 +96,19 @@ const (
 // parameter r. r = 0 yields the fast algorithm; r >= the maximum number of
 // links of any peer yields the slow algorithm (the paper's two extremes).
 func Run(initiator overlay.Node, p Processor, r int) *Result {
-	e := &executor{p: p, res: &Result{}, answered: make(map[string]bool)}
+	return RunInjected(initiator, p, r, nil)
+}
+
+// RunInjected is Run under fault injection: each link traversal consults the
+// injector. A dropped or crashed link prunes its whole subtree — the query
+// still terminates, the lost restriction region is recorded in
+// Result.FailedRegions, and the result is marked Partial. A delayed link
+// charges Config.DelayHops extra hops to that branch. A nil injector makes
+// RunInjected identical to Run. The logical engine treats Crash like Drop
+// (the subtree never executes); only the TCP transport distinguishes a peer
+// that did work before dying from one that was never reached.
+func RunInjected(initiator overlay.Node, p Processor, r int, inj *faults.Injector) *Result {
+	e := &executor{p: p, res: &Result{}, answered: make(map[string]bool), inj: inj}
 	d := dimsOf(initiator)
 	_, latency := e.exec(initiator, p.InitialState(), overlay.Whole(d), r)
 	e.res.Stats.Latency = latency
@@ -119,6 +140,24 @@ type executor struct {
 	p        Processor
 	res      *Result
 	answered map[string]bool
+	inj      *faults.Injector
+}
+
+// traverse consults the injector for the link w->to. It returns ok=false for
+// a lost link (recording the failed region) and the extra hops a delayed
+// delivery charges.
+func (e *executor) traverse(w overlay.Node, to string, sub overlay.Region) (extraHops int, ok bool) {
+	switch e.inj.Decide(w.ID(), to, 0) {
+	case faults.Drop, faults.Crash:
+		e.res.Stats.RPCFailures++
+		e.res.Stats.Partial = true
+		e.res.Partial = true
+		e.res.FailedRegions = append(e.res.FailedRegions, sub)
+		return 0, false
+	case faults.Delay:
+		return e.inj.Config().DelayHops, true
+	}
+	return 0, true
 }
 
 // exec is the per-peer template of Algorithm 3. It returns the local states
@@ -144,8 +183,12 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 			if !e.p.LinkRelevant(w, sub, wGlobal) {
 				continue
 			}
+			extra, ok := e.traverse(w, l.To.ID(), sub)
+			if !ok {
+				continue
+			}
 			remote, lat := e.exec(l.To, wGlobal, sub, r-1)
-			latency += 1 + lat
+			latency += 1 + extra + lat
 			e.res.Stats.StateMsgs += len(remote)
 			for _, s := range remote {
 				e.res.Stats.TuplesSent += e.p.StateTuples(s)
@@ -170,9 +213,13 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 		if !e.p.LinkRelevant(w, sub, wGlobal) {
 			continue
 		}
+		extra, ok := e.traverse(w, l.To.ID(), sub)
+		if !ok {
+			continue
+		}
 		remote, lat := e.exec(l.To, wGlobal, sub, 0)
-		if lat+1 > maxLat {
-			maxLat = lat + 1
+		if lat+1+extra > maxLat {
+			maxLat = lat + 1 + extra
 		}
 		states = append(states, remote...)
 	}

@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsFaultFree(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector must be disabled")
+	}
+	if got := in.Decide("a", "b", 0); got != OK {
+		t.Fatalf("nil injector decided %v", got)
+	}
+	if cfg := in.Config(); cfg.DropRate != 0 || cfg.Seed != 0 || cfg.SlowPeers != nil {
+		t.Fatalf("nil injector config %+v", cfg)
+	}
+}
+
+func TestZeroRatesAlwaysOK(t *testing.T) {
+	in := New(Config{Seed: 42})
+	if in.Enabled() {
+		t.Fatal("zero-rate injector must be disabled")
+	}
+	for i := 0; i < 1000; i++ {
+		if got := in.Decide("a", fmt.Sprint("b", i), 0); got != OK {
+			t.Fatalf("zero rates produced %v", got)
+		}
+	}
+}
+
+func TestDecideIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, DropRate: 0.2, CrashRate: 0.1, DelayRate: 0.1}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		from, to := fmt.Sprint("p", i%17), fmt.Sprint("p", i%29)
+		for attempt := 0; attempt < 3; attempt++ {
+			if a.Decide(from, to, attempt) != b.Decide(from, to, attempt) {
+				t.Fatalf("injectors with the same seed disagree at %s->%s #%d", from, to, attempt)
+			}
+		}
+	}
+	// A different seed must (overwhelmingly) produce a different pattern.
+	c := New(Config{Seed: 8, DropRate: 0.2, CrashRate: 0.1, DelayRate: 0.1})
+	same := 0
+	for i := 0; i < 500; i++ {
+		if a.Decide("x", fmt.Sprint(i), 0) == c.Decide("x", fmt.Sprint(i), 0) {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Fatal("seed has no effect on decisions")
+	}
+}
+
+func TestRatesApproximatelyRespected(t *testing.T) {
+	in := New(Config{Seed: 3, DropRate: 0.25, CrashRate: 0.1, DelayRate: 0.05})
+	const n = 20000
+	counts := map[Outcome]int{}
+	for i := 0; i < n; i++ {
+		counts[in.Decide("src", fmt.Sprint("dst", i), 0)]++
+	}
+	check := func(o Outcome, want float64) {
+		got := float64(counts[o]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("%v rate = %.3f, want %.2f±0.02", o, got, want)
+		}
+	}
+	check(Drop, 0.25)
+	check(Crash, 0.10)
+	check(Delay, 0.05)
+	check(OK, 0.60)
+}
+
+func TestRetriesReroll(t *testing.T) {
+	// With a 50% drop rate, the same link must not be doomed forever: across
+	// many links, nearly all succeed within 16 attempts.
+	in := New(Config{Seed: 11, DropRate: 0.5})
+	stuck := 0
+	for i := 0; i < 200; i++ {
+		ok := false
+		for attempt := 0; attempt < 16; attempt++ {
+			if in.Decide("a", fmt.Sprint("b", i), attempt) == OK {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			stuck++
+		}
+	}
+	if stuck > 2 {
+		t.Fatalf("%d/200 links never recovered across 16 attempts", stuck)
+	}
+}
+
+func TestSlowPeers(t *testing.T) {
+	in := New(Config{Seed: 1, SlowPeers: []string{"laggard"}, Delay: time.Millisecond, DelayHops: 3})
+	if !in.Enabled() {
+		t.Fatal("slow-peer injector must be enabled")
+	}
+	for attempt := 0; attempt < 5; attempt++ {
+		if got := in.Decide("a", "laggard", attempt); got != Delay {
+			t.Fatalf("inbound link to slow peer decided %v", got)
+		}
+	}
+	if got := in.Decide("a", "healthy", 0); got != OK {
+		t.Fatalf("healthy peer decided %v", got)
+	}
+}
+
+func TestUniform01Range(t *testing.T) {
+	for i := 0; i < 10000; i++ {
+		u := Uniform01(int64(i), "part")
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform01 out of range: %v", u)
+		}
+	}
+	// Part boundaries matter: ("ab","c") and ("a","bc") must differ.
+	if Uniform01(1, "ab", "c") == Uniform01(1, "a", "bc") {
+		t.Fatal("part separator is ineffective")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{OK: "ok", Drop: "drop", Crash: "crash", Delay: "delay", Outcome(9): "outcome(9)"} {
+		if o.String() != want {
+			t.Fatalf("%d.String() = %q", int(o), o.String())
+		}
+	}
+}

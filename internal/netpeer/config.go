@@ -62,7 +62,7 @@ func Plan(net_ overlay.Network, host string, basePort int) ([]*FileConfig, error
 	for i, n := range nodes {
 		var links []LinkSpec
 		for _, l := range n.Links() {
-			links = append(links, LinkSpec{Addr: addrs[l.To.ID()], Region: l.Region})
+			links = append(links, LinkSpec{ID: l.To.ID(), Addr: addrs[l.To.ID()], Region: l.Region})
 		}
 		out[i] = &FileConfig{
 			Addr: addrs[n.ID()],

@@ -10,26 +10,48 @@
 // parent, answers to the initiator, fast-mode convergecast) into the reply
 // chain; contents and cost accounting are identical, and hop clocks carried
 // on the messages reproduce the engine's latency model.
+//
+// Unlike the in-process engines, real links fail. Every outgoing RPC runs
+// under dial/read/write deadlines and a bounded retry policy (exponential
+// backoff with jitter); a link that stays unrecoverable does not fail the
+// query — the caller records the lost restriction region and marks the reply
+// partial, so the initiator learns exactly which part of the domain its
+// answer may be missing instead of silently receiving a corrupted result.
 package netpeer
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"ripple/internal/core"
 	"ripple/internal/dataset"
+	"ripple/internal/faults"
 	"ripple/internal/overlay"
 	"ripple/internal/sim"
 	"ripple/internal/wire"
 )
 
 // LinkSpec is a neighbour as seen on the network: its address and the region
-// of the domain this peer delegates to it.
+// of the domain this peer delegates to it. ID carries the neighbour's stable
+// peer identity; it keys fault-injection decisions and failure logs (older
+// configs without it fall back to the address).
 type LinkSpec struct {
+	ID     string
 	Addr   string
 	Region overlay.Region
+}
+
+// key returns the link's stable identity for logging and fault decisions.
+func (l LinkSpec) key() string {
+	if l.ID != "" {
+		return l.ID
+	}
+	return l.Addr
 }
 
 // Config describes one peer's share of the overlay.
@@ -45,18 +67,36 @@ type Server struct {
 	mu     sync.RWMutex
 	cfg    Config
 	codecs map[string]wire.Codec
+	opts   Options
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
+	once   sync.Once
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
-// NewServer creates a peer server supporting the given query codecs.
+// NewServer creates a peer server supporting the given query codecs, with
+// default fault-tolerance options.
 func NewServer(cfg Config, codecs ...wire.Codec) *Server {
+	return NewServerOpts(cfg, Options{}, codecs...)
+}
+
+// NewServerOpts creates a peer server with explicit fault-tolerance options
+// (zero fields fall back to the defaults).
+func NewServerOpts(cfg Config, opts Options, codecs ...wire.Codec) *Server {
 	m := make(map[string]wire.Codec, len(codecs))
 	for _, c := range codecs {
 		m[c.Name()] = c
 	}
-	return &Server{cfg: cfg, codecs: m, closed: make(chan struct{})}
+	return &Server{
+		cfg:    cfg,
+		codecs: m,
+		opts:   opts.withDefaults(),
+		closed: make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
@@ -80,11 +120,21 @@ func (s *Server) SetLinks(links []LinkSpec) {
 	s.cfg.Links = links
 }
 
-// Close stops serving.
+// Close stops serving: the listener is closed, every open connection is torn
+// down, and Close blocks until all serving goroutines have exited. Safe to
+// call more than once.
 func (s *Server) Close() error {
-	close(s.closed)
-	err := s.ln.Close()
-	s.wg.Wait()
+	var err error
+	s.once.Do(func() {
+		close(s.closed)
+		err = s.ln.Close()
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+	})
 	return err
 }
 
@@ -100,42 +150,106 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
+				// Transient accept failure (e.g. fd exhaustion): back off
+				// briefly instead of spinning.
+				time.Sleep(5 * time.Millisecond)
 				continue
 			}
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
 		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer s.untrack(conn)
 			s.serveConn(conn)
 		}()
 	}
 }
 
+// track registers a live connection so Close can tear it down; it refuses
+// connections that race with shutdown.
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	conn.Close()
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+// countingReader tracks whether any bytes of the current message arrived, to
+// tell an idle connection apart from one stalled mid-frame.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// serveConn handles one client connection. Each message is read under a
+// deadline: a connection that is merely idle between messages is re-armed
+// (unless the server is shutting down), while one that stalls in the middle
+// of a frame — a hung or byte-dripping client — is dropped, so serving
+// goroutines cannot leak past Close.
 func (s *Server) serveConn(conn net.Conn) {
+	cr := &countingReader{r: conn}
 	for {
 		var call wire.Call
-		if err := wire.ReadMessage(conn, &call); err != nil {
-			return // EOF or broken peer; drop the connection
+		cr.n = 0
+		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		if err := wire.ReadMessage(cr, &call); err != nil {
+			if isTimeout(err) && cr.n == 0 {
+				select {
+				case <-s.closed:
+					return
+				default:
+					continue // idle client: re-arm the deadline
+				}
+			}
+			return // EOF, broken peer, or mid-frame stall
 		}
+		conn.SetReadDeadline(time.Time{})
 		reply := s.safeProcess(&call)
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		if err := wire.WriteMessage(conn, reply); err != nil {
 			return
 		}
+		conn.SetWriteDeadline(time.Time{})
 	}
 }
 
 // safeProcess shields the server from malformed calls (wrong dimensionality,
-// bad payloads): a peer answers with an empty reply rather than crashing.
+// bad payloads) and processor panics. Failures are logged server-side and
+// reported to the caller as wire.Reply.Error, so a crashed peer is
+// distinguishable from one that simply holds no qualifying tuples.
 func (s *Server) safeProcess(call *wire.Call) (reply *wire.Reply) {
 	defer func() {
-		if recover() != nil {
-			reply = &wire.Reply{}
+		if r := recover(); r != nil {
+			s.opts.Logf("netpeer %s: panic processing %q call: %v", s.cfg.ID, call.QueryType, r)
+			reply = &wire.Reply{Error: fmt.Sprintf("peer %s: panic: %v", s.cfg.ID, r)}
 		}
 	}()
 	reply, err := s.process(call)
 	if err != nil {
-		reply = &wire.Reply{}
+		s.opts.Logf("netpeer %s: failed %q call: %v", s.cfg.ID, call.QueryType, err)
+		return &wire.Reply{Error: err.Error()}
 	}
 	return reply
 }
@@ -192,7 +306,7 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 			if err != nil {
 				return nil, err
 			}
-			childReply, err := s.callPeer(l.Addr, &wire.Call{
+			childReply, retries, err := s.callPeer(l, &wire.Call{
 				QueryType: call.QueryType,
 				Params:    call.Params,
 				Global:    encGlobal,
@@ -200,8 +314,14 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 				R:         call.R - 1,
 				Hops:      cursor + 1,
 			})
+			reply.Retries += retries
 			if err != nil {
-				continue // unreachable neighbour: skip, stay available
+				// Unrecoverable link: the subtree's answers are lost, but
+				// the query proceeds with the loss on the record.
+				s.opts.Logf("netpeer %s: lost slow link to %s after %d retries: %v",
+					cfg.ID, l.key(), retries, err)
+				reply.RecordLostLink(sub, isTimeout(err))
+				continue
 			}
 			states := []core.State{local}
 			for _, sb := range childReply.States {
@@ -225,8 +345,11 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 	// Fast phase: all relevant links at once, children called concurrently;
 	// their replies are the convergecast.
 	type out struct {
-		reply *wire.Reply
-		err   error
+		reply   *wire.Reply
+		link    LinkSpec
+		sub     overlay.Region
+		retries int
+		err     error
 	}
 	var calls []chan out
 	encGlobal, err := codec.EncodeState(wGlobal)
@@ -240,8 +363,8 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 		}
 		ch := make(chan out, 1)
 		calls = append(calls, ch)
-		go func(addr string, sub overlay.Region) {
-			r, err := s.callPeer(addr, &wire.Call{
+		go func(l LinkSpec, sub overlay.Region) {
+			r, retries, err := s.callPeer(l, &wire.Call{
 				QueryType: call.QueryType,
 				Params:    call.Params,
 				Global:    encGlobal,
@@ -249,14 +372,20 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 				R:         0,
 				Hops:      call.Hops + 1,
 			})
-			ch <- out{reply: r, err: err}
-		}(l.Addr, sub)
+			ch <- out{reply: r, link: l, sub: sub, retries: retries, err: err}
+		}(l, sub)
 	}
 	completion := call.Hops
 	var childStates [][]byte
 	for _, ch := range calls {
 		o := <-ch
+		reply.Retries += o.retries
 		if o.err != nil {
+			// Errored fast subtree: never skipped silently — the failure is
+			// counted, the region recorded, and the reply marked partial.
+			s.opts.Logf("netpeer %s: lost fast link to %s after %d retries: %v",
+				cfg.ID, o.link.key(), o.retries, o.err)
+			reply.RecordLostLink(o.sub, isTimeout(o.err))
 			continue
 		}
 		childStates = append(childStates, o.reply.States...)
@@ -283,28 +412,80 @@ func finishReply(reply *wire.Reply, codec wire.Codec, proc core.Processor, w nod
 	reply.Completion = completion
 }
 
-// absorbChild folds a child subtree's answers and counters into the reply.
+// absorbChild folds a child subtree's answers, counters and fault accounting
+// into the reply.
 func absorbChild(reply, child *wire.Reply) {
 	reply.Answers = append(reply.Answers, child.Answers...)
 	reply.QueryMsgs += child.QueryMsgs
 	reply.StateMsgs += child.StateMsgs
 	reply.TuplesSent += child.TuplesSent
 	reply.Peers = append(reply.Peers, child.Peers...)
+	reply.MergeFaults(child)
 }
 
-// callPeer performs one RPC over a fresh TCP connection.
-func (s *Server) callPeer(addr string, call *wire.Call) (*wire.Reply, error) {
-	conn, err := net.Dial("tcp", addr)
+// callPeer performs one RPC with bounded retries. Transport failures (dial
+// refusals, deadlines, injected drops) are retried under the backoff policy;
+// a RemoteError — the peer itself reporting a processing crash — is not,
+// since re-sending the same call would fail the same way. It returns the
+// reply, the number of retry attempts spent, and the final error if the link
+// was unrecoverable.
+func (s *Server) callPeer(to LinkSpec, call *wire.Call) (*wire.Reply, int, error) {
+	var lastErr error
+	retries := 0
+	for attempt := 0; attempt <= s.opts.Retry.MaxRetries; attempt++ {
+		if attempt > 0 {
+			retries++
+			u := faults.Uniform01(s.opts.Faults.Config().Seed,
+				s.cfg.ID, to.key(), "backoff", strconv.Itoa(attempt))
+			time.Sleep(s.opts.Retry.Backoff(attempt, u))
+		}
+		reply, err := s.callOnce(to, call, attempt)
+		if err == nil {
+			return reply, retries, nil
+		}
+		lastErr = err
+		if _, fatal := err.(*RemoteError); fatal {
+			break
+		}
+		select {
+		case <-s.closed:
+			return nil, retries, lastErr
+		default:
+		}
+	}
+	return nil, retries, lastErr
+}
+
+// callOnce performs a single RPC attempt over a fresh TCP connection, under
+// the configured dial and call deadlines, consulting the fault injector.
+func (s *Server) callOnce(to LinkSpec, call *wire.Call, attempt int) (*wire.Reply, error) {
+	crashed := false
+	switch s.opts.Faults.Decide(s.cfg.ID, to.key(), attempt) {
+	case faults.Drop:
+		return nil, errInjectedDrop
+	case faults.Crash:
+		crashed = true // perform the RPC (the work happens), lose the reply
+	case faults.Delay:
+		time.Sleep(s.opts.Faults.Config().Delay)
+	}
+	conn, err := net.DialTimeout("tcp", to.Addr, s.opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(s.opts.CallTimeout))
 	if err := wire.WriteMessage(conn, call); err != nil {
 		return nil, err
 	}
 	var reply wire.Reply
 	if err := wire.ReadMessage(conn, &reply); err != nil {
 		return nil, err
+	}
+	if crashed {
+		return nil, errInjectedCrash
+	}
+	if reply.Error != "" {
+		return nil, &RemoteError{Peer: to.key(), Msg: reply.Error}
 	}
 	return &reply, nil
 }
@@ -326,14 +507,45 @@ func sortLinks(links []LinkSpec, proc core.Processor, w node) []LinkSpec {
 	return out
 }
 
+// QueryResult is the full outcome of a query against a deployment, including
+// the partial-answer accounting: when Partial is true, FailedRegions lists
+// the only parts of the domain the answer can be missing tuples from, so the
+// initiator can report a completeness bound instead of pretending the answer
+// is exact.
+type QueryResult struct {
+	Answers       []dataset.Tuple
+	Stats         sim.Stats
+	Partial       bool
+	FailedRegions []overlay.Region
+}
+
 // Query runs a query against a deployment from the peer at addr, returning
 // the collected answers and cost statistics reconstructed from the reply.
+// Partiality is surfaced through the stats (Partial, RPCFailures); use
+// QueryDetailed for the lost regions themselves.
 func Query(addr, queryType string, params []byte, dims, r int) ([]dataset.Tuple, sim.Stats, error) {
-	conn, err := net.Dial("tcp", addr)
+	res, err := QueryDetailed(addr, queryType, params, dims, r, 0)
 	if err != nil {
 		return nil, sim.Stats{}, err
 	}
+	return res.Answers, res.Stats, nil
+}
+
+// QueryDetailed runs a query with an explicit client-side timeout (0 uses
+// the default call timeout) and returns the full result including
+// partial-answer accounting. A reply whose Error field is set — the
+// initiator peer itself failed to process the query — is returned as an
+// error.
+func QueryDetailed(addr, queryType string, params []byte, dims, r int, timeout time.Duration) (*QueryResult, error) {
+	if timeout == 0 {
+		timeout = DefaultOptions().CallTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
 	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
 	call := &wire.Call{
 		QueryType: queryType,
 		Params:    params,
@@ -342,31 +554,48 @@ func Query(addr, queryType string, params []byte, dims, r int) ([]dataset.Tuple,
 		Hops:      0,
 	}
 	if err := wire.WriteMessage(conn, call); err != nil {
-		return nil, sim.Stats{}, err
+		return nil, err
 	}
 	var reply wire.Reply
 	if err := wire.ReadMessage(conn, &reply); err != nil {
-		return nil, sim.Stats{}, err
+		return nil, err
 	}
-	var stats sim.Stats
+	if reply.Error != "" {
+		return nil, &RemoteError{Peer: addr, Msg: reply.Error}
+	}
+	res := &QueryResult{
+		Answers:       reply.Answers,
+		Partial:       reply.Partial,
+		FailedRegions: reply.FailedRegions,
+	}
 	for _, p := range reply.Peers {
-		stats.Touch(p)
+		res.Stats.Touch(p)
 	}
-	stats.Latency = reply.Completion
-	stats.StateMsgs = reply.StateMsgs
-	stats.TuplesSent = reply.TuplesSent
-	return reply.Answers, stats, nil
+	res.Stats.Latency = reply.Completion
+	res.Stats.StateMsgs = reply.StateMsgs
+	res.Stats.TuplesSent = reply.TuplesSent
+	res.Stats.RPCFailures = reply.Failures
+	res.Stats.Retries = reply.Retries
+	res.Stats.TimedOut = reply.TimedOut
+	res.Stats.Partial = reply.Partial
+	return res, nil
 }
 
 // Deploy starts one server per peer of an overlay snapshot on loopback TCP,
 // wiring link addresses, and returns the servers plus an id->address map.
 // Callers must Close every server.
 func Deploy(net_ overlay.Network, codecs ...wire.Codec) ([]*Server, map[string]string, error) {
+	return DeployOpts(net_, Options{}, codecs...)
+}
+
+// DeployOpts is Deploy with explicit fault-tolerance options shared by every
+// peer of the deployment.
+func DeployOpts(net_ overlay.Network, opts Options, codecs ...wire.Codec) ([]*Server, map[string]string, error) {
 	nodes := net_.Nodes()
 	servers := make([]*Server, len(nodes))
 	addrs := make(map[string]string, len(nodes))
 	for i, n := range nodes {
-		srv := NewServer(Config{ID: n.ID(), Zone: n.Zone(), Tuples: n.Tuples()}, codecs...)
+		srv := NewServerOpts(Config{ID: n.ID(), Zone: n.Zone(), Tuples: n.Tuples()}, opts, codecs...)
 		addr, err := srv.Start("127.0.0.1:0")
 		if err != nil {
 			for _, s := range servers[:i] {
@@ -380,7 +609,7 @@ func Deploy(net_ overlay.Network, codecs ...wire.Codec) ([]*Server, map[string]s
 	for i, n := range nodes {
 		var links []LinkSpec
 		for _, l := range n.Links() {
-			links = append(links, LinkSpec{Addr: addrs[l.To.ID()], Region: l.Region})
+			links = append(links, LinkSpec{ID: l.To.ID(), Addr: addrs[l.To.ID()], Region: l.Region})
 		}
 		servers[i].SetLinks(links)
 	}

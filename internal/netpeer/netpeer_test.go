@@ -2,7 +2,10 @@ package netpeer
 
 import (
 	"bytes"
+	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"math"
 
@@ -14,11 +17,23 @@ import (
 	"ripple/internal/topk"
 )
 
+// quietOpts routes fault diagnostics to the test log and keeps retry waits
+// short so failure-path tests stay fast.
+func quietOpts(t *testing.T) Options {
+	t.Helper()
+	return Options{
+		DialTimeout: 500 * time.Millisecond,
+		CallTimeout: 5 * time.Second,
+		Retry:       RetryPolicy{MaxRetries: 2, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond, Jitter: 0.2},
+		Logf:        t.Logf,
+	}
+}
+
 func deployMIDAS(t *testing.T, size int, ts []dataset.Tuple, dims int) ([]*Server, map[string]string) {
 	t.Helper()
 	net := midas.Build(size, midas.Options{Dims: dims, Seed: 7})
 	overlay.Load(net, ts)
-	servers, addrs, err := Deploy(net, topk.WireCodec{}, skyline.WireCodec{})
+	servers, addrs, err := DeployOpts(net, quietOpts(t), topk.WireCodec{}, skyline.WireCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,19 +121,31 @@ func TestTCPCostsMatchEngine(t *testing.T) {
 		if engineStats.QueryMsgs != tcpStats.QueryMsgs {
 			t.Fatalf("r=%d: msgs engine %d vs tcp %d", r, engineStats.QueryMsgs, tcpStats.QueryMsgs)
 		}
+		// A healthy deployment must look exactly like the seed behaviour:
+		// nothing partial, nothing failed, nothing retried.
+		if tcpStats.Partial || tcpStats.RPCFailures != 0 || tcpStats.Retries != 0 || tcpStats.TimedOut != 0 {
+			t.Fatalf("r=%d: fault accounting non-zero on a healthy deployment: %+v", r, tcpStats)
+		}
 	}
 	_ = proc
 }
 
-func TestUnknownQueryTypeYieldsEmptyReply(t *testing.T) {
+func TestUnknownQueryTypeReportsRemoteError(t *testing.T) {
 	ts := dataset.Uniform(100, 2, 1)
 	servers, _ := deployMIDAS(t, 4, ts, 2)
-	answers, stats, err := Query(servers[0].Addr(), "nope", nil, 2, 0)
-	if err != nil {
-		t.Fatalf("transport error: %v", err)
+	_, _, err := Query(servers[0].Addr(), "nope", nil, 2, 0)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("unknown query type must surface as RemoteError, got %v", err)
 	}
-	if len(answers) != 0 || stats.PeersReached() != 0 {
-		t.Fatalf("unknown query type must yield an empty reply, got %d answers", len(answers))
+	if !strings.Contains(re.Msg, "unknown query type") {
+		t.Fatalf("remote error lost its cause: %q", re.Msg)
+	}
+	// The failure must not poison the server for well-formed queries.
+	good, _ := (topk.WireCodec{}).EncodeParams(topk.UniformLinear(2), 3)
+	answers, _, err := Query(servers[0].Addr(), "topk", good, 2, 0)
+	if err != nil || len(answers) == 0 {
+		t.Fatalf("server unusable after unknown query type: %v", err)
 	}
 }
 
@@ -209,12 +236,17 @@ func TestFileConfigRoundTrip(t *testing.T) {
 func TestServerSurvivesMalformedCall(t *testing.T) {
 	ts := dataset.Uniform(50, 2, 2)
 	servers, _ := deployMIDAS(t, 2, ts, 2)
-	// Query with the wrong dimensionality: the peer must answer (empty)
-	// rather than crash, and remain usable afterwards.
+	// Query with the wrong dimensionality: the peer must not crash, and the
+	// recovered panic must come back as a RemoteError naming the peer —
+	// distinguishable from a legitimately empty answer set.
 	params, _ := (topk.WireCodec{}).EncodeParams(topk.UniformLinear(5), 3)
 	_, _, err := Query(servers[0].Addr(), "topk", params, 5, 0)
-	if err != nil {
-		t.Fatalf("malformed call broke transport: %v", err)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("malformed call must surface as RemoteError, got %v", err)
+	}
+	if !strings.Contains(re.Msg, "panic") {
+		t.Fatalf("remote error lost the recovered panic: %q", re.Msg)
 	}
 	good, _ := (topk.WireCodec{}).EncodeParams(topk.UniformLinear(2), 3)
 	answers, _, err := Query(servers[0].Addr(), "topk", good, 2, 0)
@@ -225,12 +257,13 @@ func TestServerSurvivesMalformedCall(t *testing.T) {
 
 func TestQuerySurvivesDeadPeers(t *testing.T) {
 	// Failure injection: kill a third of the deployment, then query. The
-	// protocol must still terminate and return the answers held by reachable
-	// peers (a peer skips unreachable neighbours rather than failing).
+	// protocol must still terminate within the deadline budget and return the
+	// answers held by reachable peers, with the loss on the record: the reply
+	// is marked partial and every dead subtree's region is reported.
 	ts := dataset.NBA(3000, 8)
 	net := midas.Build(24, midas.Options{Dims: 6, Seed: 21})
 	overlay.Load(net, ts)
-	servers, _, err := Deploy(net, topk.WireCodec{})
+	servers, _, err := DeployOpts(net, quietOpts(t), topk.WireCodec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,18 +279,37 @@ func TestQuerySurvivesDeadPeers(t *testing.T) {
 	f := topk.UniformLinear(6)
 	params, _ := (topk.WireCodec{}).EncodeParams(f, 10)
 	for _, r := range []int{0, 1 << 20} {
-		answers, stats, err := Query(servers[12].Addr(), "topk", params, 6, r)
+		start := time.Now()
+		res, err := QueryDetailed(servers[12].Addr(), "topk", params, 6, r, 30*time.Second)
 		if err != nil {
 			t.Fatalf("r=%d: query failed outright: %v", r, err)
 		}
-		if stats.PeersReached() == 0 {
+		if elapsed := time.Since(start); elapsed > 20*time.Second {
+			t.Fatalf("r=%d: query took %v with dead peers (must stay within the deadline budget)", r, elapsed)
+		}
+		if res.Stats.PeersReached() == 0 {
 			t.Fatalf("r=%d: nothing processed", r)
 		}
-		if stats.PeersReached() > 16 {
-			t.Fatalf("r=%d: reached %d peers with 8 dead", r, stats.PeersReached())
+		if res.Stats.PeersReached() > 16 {
+			t.Fatalf("r=%d: reached %d peers with 8 dead", r, res.Stats.PeersReached())
+		}
+		if !res.Partial || !res.Stats.Partial {
+			t.Fatalf("r=%d: dead subtrees must mark the answer partial", r)
+		}
+		if len(res.FailedRegions) == 0 || res.Stats.RPCFailures == 0 {
+			t.Fatalf("r=%d: lost links unaccounted: regions=%d failures=%d",
+				r, len(res.FailedRegions), res.Stats.RPCFailures)
+		}
+		if res.Stats.Retries == 0 {
+			t.Fatalf("r=%d: dead links must have been retried before being declared lost", r)
+		}
+		for _, reg := range res.FailedRegions {
+			if reg.IsEmpty() {
+				t.Fatalf("r=%d: empty failed region recorded", r)
+			}
 		}
 		// Answers must be a subset of the true data and internally consistent.
-		got := topk.Select(answers, f, 10)
+		got := topk.Select(res.Answers, f, 10)
 		if len(got) == 0 {
 			t.Fatalf("r=%d: no answers from surviving peers", r)
 		}

@@ -1,0 +1,145 @@
+package netpeer
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"ripple/internal/faults"
+)
+
+// RetryPolicy bounds how hard a peer tries to recover a failing link before
+// declaring the subtree lost: exponential backoff with multiplicative jitter,
+// capped, with a fixed number of extra attempts.
+type RetryPolicy struct {
+	// MaxRetries is the number of extra attempts after the first try.
+	MaxRetries int
+	// BackoffBase is the delay before the first retry; attempt i waits
+	// BackoffBase·2^(i−1), capped at BackoffMax, scaled by the jitter factor.
+	BackoffBase time.Duration
+	// BackoffMax caps the pre-jitter delay.
+	BackoffMax time.Duration
+	// Jitter is the fraction j by which a delay is spread uniformly over
+	// [d·(1−j), d·(1+j)], decorrelating retry storms across links.
+	Jitter float64
+}
+
+// DefaultRetryPolicy is used when a Server is built with zero Options.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 2, BackoffBase: 20 * time.Millisecond, BackoffMax: 1 * time.Second, Jitter: 0.2}
+}
+
+// Backoff returns the delay before retry `attempt` (1-based). u in [0,1)
+// supplies the jitter randomness; callers derive it deterministically from
+// the link identity so a run is reproducible under a fixed fault seed.
+func (p RetryPolicy) Backoff(attempt int, u float64) time.Duration {
+	if attempt < 1 {
+		return 0
+	}
+	d := p.BackoffBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.BackoffMax {
+			d = p.BackoffMax
+			break
+		}
+	}
+	if d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	if p.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 - p.Jitter + 2*p.Jitter*u))
+	}
+	return d
+}
+
+// Options tune a Server's fault-tolerance behaviour. The zero value selects
+// the defaults; a zero duration means "use the default", so partially filled
+// Options compose.
+type Options struct {
+	// DialTimeout bounds establishing one TCP connection to a neighbour.
+	DialTimeout time.Duration
+	// CallTimeout bounds one RPC attempt end to end: writing the call and
+	// reading the reply, which covers the neighbour's entire subtree
+	// processing. A query issued against a deployment therefore returns
+	// within roughly CallTimeout plus retry backoffs even when a peer hangs
+	// mid-protocol.
+	CallTimeout time.Duration
+	// WriteTimeout bounds writing a reply back to a caller.
+	WriteTimeout time.Duration
+	// IdleTimeout is serveConn's per-message read deadline. A connection
+	// idle between messages is re-armed (after checking for shutdown); one
+	// that stalls in the middle of a frame is dropped, so a hung client
+	// cannot pin a serving goroutine past Close.
+	IdleTimeout time.Duration
+	// Retry is the per-link recovery policy.
+	Retry RetryPolicy
+	// Faults optionally injects deterministic link faults into every
+	// outgoing RPC (see internal/faults). Nil means no faults.
+	Faults *faults.Injector
+	// Logf receives server-side fault diagnostics (failed links, recovered
+	// panics). Defaults to the standard logger; set to a no-op to silence.
+	Logf func(format string, args ...interface{})
+}
+
+// DefaultOptions returns the production defaults.
+func DefaultOptions() Options {
+	return Options{
+		DialTimeout:  2 * time.Second,
+		CallTimeout:  15 * time.Second,
+		WriteTimeout: 10 * time.Second,
+		IdleTimeout:  30 * time.Second,
+		Retry:        DefaultRetryPolicy(),
+		Logf:         log.Printf,
+	}
+}
+
+// withDefaults fills zero fields with the defaults.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.DialTimeout == 0 {
+		o.DialTimeout = d.DialTimeout
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = d.CallTimeout
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = d.WriteTimeout
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = d.IdleTimeout
+	}
+	if o.Retry == (RetryPolicy{}) {
+		o.Retry = d.Retry
+	}
+	if o.Logf == nil {
+		o.Logf = d.Logf
+	}
+	return o
+}
+
+// RemoteError is a processing failure reported by the remote peer itself
+// (wire.Reply.Error): the peer was reachable but crashed on the call. It is
+// not retried — re-sending the same call would crash the peer the same way.
+type RemoteError struct {
+	Peer string
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return fmt.Sprintf("peer %s: %s", e.Peer, e.Msg) }
+
+// errInjected marks transport failures simulated by the fault injector.
+var (
+	errInjectedDrop  = errors.New("netpeer: injected drop")
+	errInjectedCrash = errors.New("netpeer: injected crash (reply lost)")
+)
+
+// isTimeout classifies an RPC failure as deadline-driven (hung peer) rather
+// than an immediate transport error (dead peer).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

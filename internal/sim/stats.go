@@ -33,6 +33,20 @@ type Stats struct {
 	// the paper's communication-overhead notion.
 	TuplesSent int
 
+	// RPCFailures counts link traversals abandoned after retry exhaustion:
+	// each one is a subtree whose answers are missing.
+	RPCFailures int
+	// Retries counts extra delivery attempts spent recovering flaky links
+	// (successful or not) beyond each link's first try.
+	Retries int
+	// TimedOut is the subset of RPCFailures that hit the per-call deadline
+	// rather than failing immediately (dead peer vs hung peer).
+	TimedOut int
+	// Partial marks that the answer set may be incomplete because at least
+	// one subtree was lost. The query still terminated and every surviving
+	// peer's answers are present.
+	Partial bool
+
 	reached map[string]int
 }
 
@@ -77,6 +91,10 @@ func (s *Stats) Add(other *Stats) {
 	s.AnswerMsgs += other.AnswerMsgs
 	s.TuplesSent += other.TuplesSent
 	s.QueryMsgs += other.QueryMsgs
+	s.RPCFailures += other.RPCFailures
+	s.Retries += other.Retries
+	s.TimedOut += other.TimedOut
+	s.Partial = s.Partial || other.Partial
 	for id, c := range other.reached {
 		if s.reached == nil {
 			s.reached = make(map[string]int)
@@ -85,10 +103,16 @@ func (s *Stats) Add(other *Stats) {
 	}
 }
 
-// String summarises s for logs and demos.
+// String summarises s for logs and demos. Failure accounting only appears
+// when something actually failed, so fault-free output is unchanged.
 func (s *Stats) String() string {
-	return fmt.Sprintf("latency=%d hops, congestion=%d msgs, peers=%d, tuples=%d",
+	base := fmt.Sprintf("latency=%d hops, congestion=%d msgs, peers=%d, tuples=%d",
 		s.Latency, s.QueryMsgs, s.PeersReached(), s.TuplesSent)
+	if s.RPCFailures == 0 && s.Retries == 0 && !s.Partial {
+		return base
+	}
+	return fmt.Sprintf("%s, failures=%d (timeouts=%d), retries=%d, partial=%t",
+		base, s.RPCFailures, s.TimedOut, s.Retries, s.Partial)
 }
 
 // Aggregate summarises a batch of per-query Stats, as every figure of the
@@ -101,6 +125,11 @@ type Aggregate struct {
 	MeanMessages    float64
 	MeanTuplesSent  float64
 	MeanPeersUnique float64
+	MeanFailures    float64
+	MeanRetries     float64
+	// PartialRate is the fraction of queries whose answer set was marked
+	// partial — the batch-level availability metric of the fault experiments.
+	PartialRate float64
 
 	latencies []int
 }
@@ -114,6 +143,13 @@ func (a *Aggregate) Observe(s *Stats) {
 	a.MeanMessages += (float64(s.Messages()) - a.MeanMessages) / n
 	a.MeanTuplesSent += (float64(s.TuplesSent) - a.MeanTuplesSent) / n
 	a.MeanPeersUnique += (float64(s.PeersReached()) - a.MeanPeersUnique) / n
+	a.MeanFailures += (float64(s.RPCFailures) - a.MeanFailures) / n
+	a.MeanRetries += (float64(s.Retries) - a.MeanRetries) / n
+	partial := 0.0
+	if s.Partial {
+		partial = 1
+	}
+	a.PartialRate += (partial - a.PartialRate) / n
 	if s.Latency > a.MaxLatency {
 		a.MaxLatency = s.Latency
 	}
@@ -133,6 +169,9 @@ func (a *Aggregate) Merge(b Aggregate) {
 	a.MeanMessages = a.MeanMessages*wa + b.MeanMessages*wb
 	a.MeanTuplesSent = a.MeanTuplesSent*wa + b.MeanTuplesSent*wb
 	a.MeanPeersUnique = a.MeanPeersUnique*wa + b.MeanPeersUnique*wb
+	a.MeanFailures = a.MeanFailures*wa + b.MeanFailures*wb
+	a.MeanRetries = a.MeanRetries*wa + b.MeanRetries*wb
+	a.PartialRate = a.PartialRate*wa + b.PartialRate*wb
 	if b.MaxLatency > a.MaxLatency {
 		a.MaxLatency = b.MaxLatency
 	}

@@ -53,6 +53,43 @@ type Reply struct {
 	StateMsgs  int
 	TuplesSent int
 	Peers      []string // peers reached in the subtree (congestion audit)
+
+	// Error reports a fatal processing failure at the replying peer (panic
+	// or malformed call). It distinguishes "this peer crashed" from "this
+	// peer holds no qualifying tuples", which an empty reply cannot.
+	Error string
+	// Partial marks that at least one subtree was lost (dead or timed-out
+	// link after retry exhaustion): the answer set may be incomplete.
+	Partial bool
+	// FailedRegions collects the restriction regions of the lost subtrees;
+	// their total volume bounds what the answer can be missing.
+	FailedRegions []overlay.Region
+	// Failures counts link traversals abandoned after retry exhaustion,
+	// Retries the extra attempts spent recovering links, and TimedOut the
+	// subset of Failures that hit the per-call deadline rather than an
+	// immediate transport error.
+	Failures int
+	Retries  int
+	TimedOut int
+}
+
+// MergeFaults folds a child subtree's fault accounting into r.
+func (r *Reply) MergeFaults(child *Reply) {
+	r.Partial = r.Partial || child.Partial
+	r.FailedRegions = append(r.FailedRegions, child.FailedRegions...)
+	r.Failures += child.Failures
+	r.Retries += child.Retries
+	r.TimedOut += child.TimedOut
+}
+
+// RecordLostLink marks one unrecoverable link covering the given region.
+func (r *Reply) RecordLostLink(region overlay.Region, timedOut bool) {
+	r.Partial = true
+	r.Failures++
+	if timedOut {
+		r.TimedOut++
+	}
+	r.FailedRegions = append(r.FailedRegions, region)
 }
 
 func init() {
