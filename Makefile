@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race verify bench examples results results-paper clean
+.PHONY: all build test race test-race verify bench examples results results-paper trace-demo clean
 
 all: build test
 
@@ -34,6 +34,14 @@ examples:
 	$(GO) run ./examples/photo-diversify
 	$(GO) run ./examples/custom-query
 	$(GO) run ./examples/distributed
+
+# Render one query's hop tree on each runtime, plus a lossy run: the same
+# overlay, query and seed must produce structurally identical trees.
+trace-demo:
+	$(GO) run ./cmd/ripple-trace -peers 16 -query skyline -r 2 -initiator 7 -runtime engine
+	$(GO) run ./cmd/ripple-trace -peers 16 -query skyline -r 2 -initiator 7 -runtime actor
+	$(GO) run ./cmd/ripple-trace -peers 16 -query skyline -r 2 -initiator 7 -runtime tcp
+	$(GO) run ./cmd/ripple-trace -peers 16 -query skyline -r fast -initiator 7 -fault-drop 0.15
 
 # Regenerate every figure at laptop scale into results/.
 results:

@@ -38,6 +38,7 @@ func main() {
 	lambda := flag.Float64("lambda", 0.5, "diversification relevance/diversity trade-off")
 	at := flag.String("at", "", "query point for knn/range/diversify, e.g. 0.5,0.5 (default: first tuple)")
 	radius := flag.Float64("radius", 0.1, "radius for range queries")
+	showTrace := flag.Bool("trace", false, "render the query's hop tree (topk, skyline and knn)")
 	flag.Parse()
 
 	if *data == "" {
@@ -70,14 +71,34 @@ func main() {
 
 	switch *queryKind {
 	case "topk":
+		if *showTrace {
+			f := ripple.UniformLinear(dims)
+			res := ripple.RunTraced(initiator, &ripple.TopKProcessor{F: f, K: *k}, r)
+			printTuples(ripple.TopKSelect(res.Answers, f, *k))
+			printTrace(res)
+			return
+		}
 		res, stats := ripple.TopK(initiator, ripple.UniformLinear(dims), *k, r)
 		printTuples(res)
 		fmt.Printf("cost: %v\n", &stats)
 	case "skyline":
+		if *showTrace {
+			res := ripple.RunTraced(initiator, &ripple.SkylineProcessor{}, r)
+			printTuples(ripple.SkylineBrute(res.Answers))
+			printTrace(res)
+			return
+		}
 		res, stats := ripple.Skyline(initiator, r)
 		printTuples(res)
 		fmt.Printf("cost: %v\n", &stats)
 	case "knn":
+		if *showTrace {
+			f := ripple.Nearest{Center: center, Metric: ripple.L2}
+			res := ripple.RunTraced(initiator, &ripple.TopKProcessor{F: f, K: *k}, r)
+			printTuples(ripple.TopKSelect(res.Answers, f, *k))
+			printTrace(res)
+			return
+		}
 		res, stats := ripple.KNN(initiator, center, *k, ripple.L2, r)
 		printTuples(res)
 		fmt.Printf("cost: %v\n", &stats)
@@ -99,6 +120,12 @@ func printTuples(ts []ripple.Tuple) {
 	for i, t := range ts {
 		fmt.Printf("%3d. %v\n", i+1, t)
 	}
+}
+
+func printTrace(res *ripple.Result) {
+	fmt.Println()
+	res.Trace.Render(os.Stdout)
+	fmt.Printf("\ncost: %v\n", &res.Stats)
 }
 
 func parseR(s string) int {

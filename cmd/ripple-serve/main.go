@@ -18,6 +18,7 @@ import (
 
 	"ripple/internal/diversify"
 	"ripple/internal/faults"
+	"ripple/internal/metrics"
 	"ripple/internal/netpeer"
 	"ripple/internal/skyline"
 	"ripple/internal/topk"
@@ -39,6 +40,7 @@ func main() {
 	faultDelayRate := flag.Float64("fault-delay-rate", 0, "server mode: injected per-RPC delay probability (testing)")
 	faultDelay := flag.Duration("fault-delay", 50*time.Millisecond, "server mode: duration of an injected delay")
 	faultSeed := flag.Int64("fault-seed", 1, "server mode: fault-injection seed (decisions are deterministic per link)")
+	metricsAddr := flag.String("metrics-addr", "", "server mode: serve Prometheus /metrics and /debug/pprof on this address")
 	flag.Parse()
 
 	opts := def
@@ -57,7 +59,7 @@ func main() {
 
 	switch {
 	case *config != "":
-		serve(*config, opts)
+		serve(*config, opts, *metricsAddr)
 	case *call != "":
 		client(*call, *queryKind, *k, *dims, parseR(*rFlag), *callTimeout)
 	default:
@@ -66,10 +68,22 @@ func main() {
 	}
 }
 
-func serve(path string, opts netpeer.Options) {
+func serve(path string, opts netpeer.Options, metricsAddr string) {
 	fc, err := netpeer.ReadConfigFile(path)
 	if err != nil {
 		fatal(err)
+	}
+	if metricsAddr != "" {
+		opts.Metrics = metrics.New()
+		msrv, errc := opts.Metrics.Serve(metricsAddr)
+		defer msrv.Close()
+		go func() {
+			if err := <-errc; err != nil {
+				fmt.Fprintln(os.Stderr, "ripple-serve: metrics endpoint:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n",
+			metricsAddr, metricsAddr)
 	}
 	srv := netpeer.NewServerOpts(fc.Peer, opts, topk.WireCodec{}, skyline.WireCodec{}, diversify.WireCodec{})
 	if opts.Faults.Enabled() {
@@ -125,7 +139,7 @@ func client(addr, queryKind string, k, dims, r int, timeout time.Duration) {
 // data space went unanswered.
 func report(res *netpeer.QueryResult) {
 	fmt.Printf("cost: %v\n", &res.Stats)
-	if !res.Partial {
+	if !res.Partial() {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "WARNING: answer is PARTIAL — %d region(s) of the data space were lost to peer failures:\n",

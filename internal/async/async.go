@@ -25,6 +25,7 @@ import (
 	"ripple/internal/dataset"
 	"ripple/internal/faults"
 	"ripple/internal/overlay"
+	"ripple/internal/trace"
 )
 
 // Cluster hosts one actor per peer of an overlay snapshot.
@@ -38,6 +39,7 @@ type Cluster struct {
 	res      *core.Result
 	answered map[string]bool
 	done     chan struct{}
+	rec      *trace.Recorder // per-query; nil when the query is untraced
 }
 
 // queryMsg propagates a query one hop. inst identifies the continuation this
@@ -51,6 +53,11 @@ type queryMsg struct {
 	restrict   overlay.Region
 	r          int
 	time       int // logical hop clock: when this message arrives
+
+	// Trace context: the receiver's span (recorded by the sender before the
+	// send, like the structural engine) and its hop depth.
+	spanID uint64
+	depth  int
 }
 
 // stateMsg carries local states upstream, stamped with the logical time the
@@ -87,6 +94,11 @@ type continuation struct {
 	pending   int
 	collected []core.State
 	maxChild  int
+	// Trace context: this peer's span, its hop depth, and the traversal
+	// sequence counter that derives child span identities.
+	spanID uint64
+	depth  int
+	seq    int
 }
 
 // NewCluster spins up one actor per node of the overlay, all sharing the
@@ -133,17 +145,41 @@ func (c *Cluster) Close() {
 // and blocks until the whole propagation tree has completed. Clusters run
 // one query at a time.
 func (c *Cluster) Run(initiatorID string, r int) *core.Result {
-	c.mu.Lock()
-	c.res = &core.Result{}
-	c.answered = make(map[string]bool)
-	c.done = make(chan struct{})
-	c.mu.Unlock()
+	return c.run(initiatorID, r, false)
+}
 
+// RunTraced is Run with hop-tree tracing: the result carries the query's
+// reconstructed propagation tree, structurally identical to the one the
+// structural engine records for the same overlay and r.
+func (c *Cluster) RunTraced(initiatorID string, r int) *core.Result {
+	return c.run(initiatorID, r, true)
+}
+
+func (c *Cluster) run(initiatorID string, r int, traced bool) *core.Result {
 	init := c.actors[initiatorID]
 	if init == nil {
 		panic("async: unknown initiator " + initiatorID)
 	}
 	d := init.node.Zone().Boxes[0].Dims()
+
+	c.mu.Lock()
+	c.res = &core.Result{}
+	c.answered = make(map[string]bool)
+	c.done = make(chan struct{})
+	c.rec = nil
+	if traced {
+		c.rec = trace.NewRecorder()
+		c.rec.Record(trace.Span{
+			ID:      trace.RootID,
+			Peer:    initiatorID,
+			Region:  overlay.Whole(d),
+			Phase:   phaseOf(r),
+			R:       r,
+			Outcome: trace.OutcomeOK,
+		})
+	}
+	c.mu.Unlock()
+
 	init.inbox <- queryMsg{
 		inst:     c.nextInst(),
 		parent:   "",
@@ -151,11 +187,23 @@ func (c *Cluster) Run(initiatorID string, r int) *core.Result {
 		restrict: overlay.Whole(d),
 		r:        r,
 		time:     0,
+		spanID:   trace.RootID,
 	}
 	<-c.done
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.rec != nil {
+		c.res.Trace = trace.Build(c.rec.Spans())
+	}
 	return c.res
+}
+
+// phaseOf names the template phase for a remaining ripple parameter.
+func phaseOf(r int) string {
+	if r > 0 {
+		return trace.PhaseSlow
+	}
+	return trace.PhaseFast
 }
 
 func (c *Cluster) nextInst() int64 { return atomic.AddInt64(&c.insts, 1) }
@@ -174,7 +222,7 @@ func (c *Cluster) recordQuery(peerID string, arriveTime int) {
 // recordAnswer registers a peer's local answer; like the structural engine,
 // a peer answers at most once per query even when its zone is delivered in
 // several restriction fragments.
-func (c *Cluster) recordAnswer(peerID string, a []dataset.Tuple) {
+func (c *Cluster) recordAnswer(peerID string, a []dataset.Tuple, spanID uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.answered[peerID] {
@@ -185,7 +233,15 @@ func (c *Cluster) recordAnswer(peerID string, a []dataset.Tuple) {
 		c.res.Stats.AnswerMsgs++
 		c.res.Stats.TuplesSent += len(a)
 		c.res.Answers = append(c.res.Answers, a...)
+		c.rec.AddAnswer(spanID, len(a))
 	}
+}
+
+// recorder returns the current query's recorder (nil when untraced).
+func (c *Cluster) recorder() *trace.Recorder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rec
 }
 
 func (c *Cluster) recordStates(proc core.Processor, states []core.State) {
@@ -200,22 +256,41 @@ func (c *Cluster) recordStates(proc core.Processor, states []core.State) {
 func (c *Cluster) finish() { close(c.done) }
 
 // traverse consults the injector for a delivery from -> to covering the
-// restriction region sub. A lost delivery (drop or crash) records the failed
-// region and returns ok=false; a delayed one returns the extra hops charged.
-func (c *Cluster) traverse(from, to string, sub overlay.Region) (extraHops int, ok bool) {
+// restriction region sub, and records the traversal's span (the sender owns
+// the child span, exactly like the structural engine). A lost delivery (drop
+// or crash) records the failed region and returns ok=false; a delayed one
+// returns the extra hops charged. k is the sender's continuation (its seq
+// counter must have been advanced for this traversal); base is the logical
+// time the delivery departs; childR the receiver's remaining parameter.
+func (c *Cluster) traverse(from, to string, sub overlay.Region, k *continuation, base, childR int) (childSpan uint64, extraHops int, ok bool) {
+	outcome := trace.OutcomeOK
 	switch c.inj.Decide(from, to, 0) {
-	case faults.Drop, faults.Crash:
-		c.mu.Lock()
+	case faults.Drop:
+		outcome = trace.OutcomeDrop
+	case faults.Crash:
+		outcome = trace.OutcomeCrash
+	case faults.Delay:
+		outcome = trace.OutcomeDelay
+		extraHops = c.inj.Config().DelayHops
+	}
+	lost := outcome == trace.OutcomeDrop || outcome == trace.OutcomeCrash
+	c.mu.Lock()
+	if lost {
 		c.res.Stats.RPCFailures++
 		c.res.Stats.Partial = true
-		c.res.Partial = true
 		c.res.FailedRegions = append(c.res.FailedRegions, sub)
-		c.mu.Unlock()
-		return 0, false
-	case faults.Delay:
-		return c.inj.Config().DelayHops, true
 	}
-	return 0, true
+	rec := c.rec
+	c.mu.Unlock()
+	if rec != nil {
+		childSpan = trace.ChildID(k.spanID, to, k.seq)
+		rec.Record(trace.Span{
+			ID: childSpan, Parent: k.spanID, Peer: to, Region: sub,
+			Phase: phaseOf(childR), R: childR, Depth: k.depth + 1,
+			Arrive: base + 1 + extraHops, Outcome: outcome,
+		})
+	}
+	return childSpan, extraHops, !lost
 }
 
 func (a *actor) run() {
@@ -249,6 +324,8 @@ func (a *actor) onQuery(m queryMsg) {
 		r:          m.r,
 		cursor:     m.time,
 		maxChild:   m.time,
+		spanID:     m.spanID,
+		depth:      m.depth,
 	}
 	a.conts[k.inst] = k
 
@@ -266,7 +343,8 @@ func (a *actor) onQuery(m queryMsg) {
 		if sub.IsEmpty() || !a.proc.LinkRelevant(a.node, sub, wGlobal) {
 			continue
 		}
-		extra, ok := a.cluster.traverse(a.node.ID(), l.To.ID(), sub)
+		k.seq++
+		childSpan, extra, ok := a.cluster.traverse(a.node.ID(), l.To.ID(), sub, k, m.time, 0)
 		if !ok {
 			continue // lost delivery: the subtree never joins the convergecast
 		}
@@ -279,6 +357,8 @@ func (a *actor) onQuery(m queryMsg) {
 			restrict:   sub,
 			r:          0,
 			time:       m.time + 1 + extra,
+			spanID:     childSpan,
+			depth:      k.depth + 1,
 		})
 	}
 	if k.pending == 0 {
@@ -296,7 +376,8 @@ func (a *actor) advanceSlow(k *continuation) {
 		if sub.IsEmpty() || !a.proc.LinkRelevant(a.node, sub, k.wGlobal) {
 			continue
 		}
-		extra, ok := a.cluster.traverse(a.node.ID(), l.To.ID(), sub)
+		k.seq++
+		childSpan, extra, ok := a.cluster.traverse(a.node.ID(), l.To.ID(), sub, k, k.cursor, k.r-1)
 		if !ok {
 			continue // lost delivery: skip the link, keep iterating
 		}
@@ -308,6 +389,8 @@ func (a *actor) advanceSlow(k *continuation) {
 			restrict:   sub,
 			r:          k.r - 1,
 			time:       k.cursor + 1 + extra,
+			spanID:     childSpan,
+			depth:      k.depth + 1,
 		})
 		return // suspend until the state response arrives
 	}
@@ -347,7 +430,8 @@ func (a *actor) onStates(m stateMsg) {
 
 func (a *actor) completeSlow(k *continuation) {
 	delete(a.conts, k.inst)
-	a.cluster.recordAnswer(a.node.ID(), a.proc.LocalAnswer(a.node, k.local))
+	a.cluster.recordAnswer(a.node.ID(), a.proc.LocalAnswer(a.node, k.local), k.spanID)
+	a.cluster.recorder().SetStateTuples(k.spanID, a.proc.StateTuples(k.local))
 	if k.parent == "" {
 		a.cluster.finish()
 		return
@@ -361,7 +445,8 @@ func (a *actor) completeSlow(k *continuation) {
 
 func (a *actor) completeFast(k *continuation) {
 	delete(a.conts, k.inst)
-	a.cluster.recordAnswer(a.node.ID(), a.proc.LocalAnswer(a.node, k.local))
+	a.cluster.recordAnswer(a.node.ID(), a.proc.LocalAnswer(a.node, k.local), k.spanID)
+	a.cluster.recorder().SetStateTuples(k.spanID, a.proc.StateTuples(k.local))
 	if k.parent == "" {
 		a.cluster.finish()
 		return

@@ -53,7 +53,7 @@ func TestInjectedClusterMatchesEngine(t *testing.T) {
 			if sync.Stats.RPCFailures != asyn.Stats.RPCFailures {
 				t.Fatalf("r=%d: failures sync %d vs async %d", r, sync.Stats.RPCFailures, asyn.Stats.RPCFailures)
 			}
-			if sync.Partial != asyn.Partial || sync.Stats.Partial != asyn.Stats.Partial {
+			if sync.Partial() != asyn.Partial() || sync.Stats.Partial != asyn.Stats.Partial {
 				t.Fatalf("r=%d: partial flags disagree", r)
 			}
 			if len(sync.FailedRegions) != len(asyn.FailedRegions) {
@@ -63,7 +63,7 @@ func TestInjectedClusterMatchesEngine(t *testing.T) {
 			if !reflect.DeepEqual(sortedIDs(sync.Answers), sortedIDs(asyn.Answers)) {
 				t.Fatalf("r=%d: surviving answers differ under identical faults", r)
 			}
-			sawPartial = sawPartial || sync.Partial
+			sawPartial = sawPartial || sync.Partial()
 		}
 	}
 	if !sawPartial {
@@ -89,7 +89,7 @@ func TestNilInjectorClusterUnchanged(t *testing.T) {
 		if a.Stats.Latency != b.Stats.Latency || a.Stats.QueryMsgs != b.Stats.QueryMsgs {
 			t.Fatalf("r=%d: nil injector changed the costs", r)
 		}
-		if b.Partial || b.Stats.RPCFailures != 0 || len(b.FailedRegions) != 0 {
+		if b.Partial() || b.Stats.RPCFailures != 0 || len(b.FailedRegions) != 0 {
 			t.Fatalf("r=%d: nil injector produced failures", r)
 		}
 	}

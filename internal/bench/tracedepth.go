@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/topk"
+	"ripple/internal/trace"
+)
+
+// TraceDepth is a trace-derived experiment: it reconstructs the hop tree of
+// traced top-k queries and reports how the tree's depth distribution and
+// size respond to the ripple parameter. It makes the latency/congestion
+// trade-off of §3 visible structurally — fast mode yields shallow bushy
+// trees (depth bounded by the overlay diameter), slow mode long thin chains
+// — using the observability layer itself rather than the engine's counters,
+// so it doubles as an end-to-end check that traces describe real executions.
+func TraceDepth(cfg Config) *Result {
+	res := &Result{
+		Fig:     "Trace",
+		Title:   fmt.Sprintf("hop-tree shape vs ripple parameter (NBA, k=%d, n=%d)", cfg.DefaultK, cfg.DefaultSize),
+		XLabel:  "r",
+		Series:  []string{"max/spans", "mean/leaves"},
+		MetricA: "hop depth over the trace (max | mean per span)",
+		MetricB: "tree size (spans | leaves)",
+	}
+
+	ts := dataset.NBA(cfg.NBASize, cfg.Seed)
+	net := midas.BuildWithData(cfg.DefaultSize, midas.Options{Dims: 6, Seed: cfg.Seed}, ts)
+	f := topk.UniformLinear(6)
+	rng := rand.New(rand.NewSource(cfg.Seed + 777))
+
+	for _, r := range []int{0, 1, 2, 4, 1 << 20} {
+		var maxD, meanD, spans, leaves float64
+		for q := 0; q < cfg.TopKQueries; q++ {
+			w := net.RandomPeer(rng)
+			got := core.RunOpts(w, &topk.Processor{F: f, K: cfg.DefaultK}, r, core.Options{Trace: true})
+			tr := got.Trace
+			maxD += float64(tr.Depth())
+			var dsum, n, leaf float64
+			tr.Walk(func(nd *trace.Node) {
+				dsum += float64(nd.Depth)
+				n++
+				if len(nd.Children) == 0 {
+					leaf++
+				}
+			})
+			if n > 0 {
+				meanD += dsum / n
+			}
+			spans += n
+			leaves += leaf
+		}
+		qn := float64(cfg.TopKQueries)
+		res.Rows = append(res.Rows, Row{
+			X:          rLabel(r),
+			Latency:    []float64{maxD / qn, meanD / qn},
+			Congestion: []float64{spans / qn, leaves / qn},
+		})
+	}
+	return res
+}
+
+func rLabel(r int) string {
+	if r >= 1<<19 {
+		return "slow"
+	}
+	return strconv.Itoa(r)
+}

@@ -41,7 +41,7 @@ func TestRunInjectedZeroRateIdentical(t *testing.T) {
 				got.Stats.TuplesSent != plain.Stats.TuplesSent {
 				t.Fatalf("r=%d: costs changed under a no-op injector", r)
 			}
-			if got.Partial || got.Stats.Partial || got.Stats.RPCFailures != 0 || len(got.FailedRegions) != 0 {
+			if got.Partial() || got.Stats.Partial || got.Stats.RPCFailures != 0 || len(got.FailedRegions) != 0 {
 				t.Fatalf("r=%d: no-op injector reported failures", r)
 			}
 			if !reflect.DeepEqual(ids(got.Answers), ids(plain.Answers)) {
@@ -71,8 +71,8 @@ func TestRunInjectedDropsArePartialAndAccounted(t *testing.T) {
 			t.Fatalf("r=%d: %d failures but %d failed regions",
 				r, res.Stats.RPCFailures, len(res.FailedRegions))
 		}
-		if (res.Stats.RPCFailures > 0) != res.Partial {
-			t.Fatalf("r=%d: Partial=%t with %d failures", r, res.Partial, res.Stats.RPCFailures)
+		if (res.Stats.RPCFailures > 0) != res.Partial() {
+			t.Fatalf("r=%d: Partial=%t with %d failures", r, res.Partial(), res.Stats.RPCFailures)
 		}
 		for _, a := range res.Answers {
 			if !byID[a.ID] {
@@ -84,7 +84,7 @@ func TestRunInjectedDropsArePartialAndAccounted(t *testing.T) {
 				t.Fatalf("r=%d: empty failed region", r)
 			}
 		}
-		sawLoss = sawLoss || res.Partial
+		sawLoss = sawLoss || res.Partial()
 	}
 	if !sawLoss {
 		t.Fatal("30% drop rate never lost a link (tune the seed if this fires)")
@@ -106,10 +106,43 @@ func TestRunInjectedDelayScalesLatency(t *testing.T) {
 		t.Fatalf("latency %d with every hop slowed by 3, want %d",
 			slowed.Stats.Latency, 4*clean.Stats.Latency)
 	}
-	if slowed.Partial || slowed.Stats.RPCFailures != 0 {
+	if slowed.Partial() || slowed.Stats.RPCFailures != 0 {
 		t.Fatal("delays must not mark the answer partial")
 	}
 	if !reflect.DeepEqual(ids(slowed.Answers), ids(clean.Answers)) {
 		t.Fatal("delays must not change the answer set")
+	}
+}
+
+// Result.Partial is derived from Stats.Partial (one source of truth), so the
+// two can never diverge; this pins the invariant plus its corollaries — a
+// partial result always names the lost regions and counts the failures.
+func TestPartialCannotDivergeFromStats(t *testing.T) {
+	ts := dataset.Uniform(800, 3, 11)
+	net := midas.Build(32, midas.Options{Dims: 3, Seed: 11})
+	overlay.Load(net, ts)
+	proc := &topk.Processor{F: topk.UniformLinear(3), K: 8}
+
+	sawPartial := false
+	for seed := int64(1); seed <= 6; seed++ {
+		inj := faults.New(faults.Config{Seed: seed, DropRate: 0.2})
+		for _, r := range []int{0, 2, 1 << 20} {
+			res := core.RunInjected(net.Peers()[5], proc, r, inj)
+			if res.Partial() != res.Stats.Partial {
+				t.Fatalf("seed=%d r=%d: Partial() %v != Stats.Partial %v",
+					seed, r, res.Partial(), res.Stats.Partial)
+			}
+			if res.Partial() != (len(res.FailedRegions) > 0) {
+				t.Fatalf("seed=%d r=%d: partial=%v but %d failed regions",
+					seed, r, res.Partial(), len(res.FailedRegions))
+			}
+			if res.Partial() && res.Stats.RPCFailures == 0 {
+				t.Fatalf("seed=%d r=%d: partial without counted failures", seed, r)
+			}
+			sawPartial = sawPartial || res.Partial()
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no query went partial; the invariant was never exercised")
 	}
 }

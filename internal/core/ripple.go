@@ -27,6 +27,7 @@ import (
 	"ripple/internal/faults"
 	"ripple/internal/overlay"
 	"ripple/internal/sim"
+	"ripple/internal/trace"
 )
 
 // State is the query-processing state exchanged between peers. Its concrete
@@ -71,14 +72,20 @@ type Result struct {
 	Answers []dataset.Tuple
 	Stats   sim.Stats
 
-	// Partial marks that at least one link traversal was lost to injected
-	// faults, so Answers may be missing the lost subtrees' tuples. Every
-	// answer present is still genuine (no false positives).
-	Partial bool
 	// FailedRegions are the restriction regions of the lost subtrees: the
 	// only parts of the domain the answer can be missing tuples from.
 	FailedRegions []overlay.Region
+
+	// Trace is the query's reconstructed hop tree when tracing was requested
+	// (Options.Trace); nil otherwise.
+	Trace *trace.Tree
 }
+
+// Partial reports that at least one link traversal was lost to faults, so
+// Answers may be missing the lost subtrees' tuples (every answer present is
+// still genuine). It is derived from Stats — the single source of truth for
+// failure accounting — so result- and stats-level partiality cannot diverge.
+func (r *Result) Partial() bool { return r.Stats.Partial }
 
 // Mode names the three template algorithms.
 type Mode int
@@ -92,11 +99,20 @@ const (
 	Ripple
 )
 
+// Options tunes a query execution beyond the ripple parameter.
+type Options struct {
+	// Faults injects deterministic link failures (nil: none).
+	Faults *faults.Injector
+	// Trace records the query's hop tree into Result.Trace. Disabled tracing
+	// adds zero allocations to the hot path (see TestRunTraceDisabledNoAlloc).
+	Trace bool
+}
+
 // Run executes query processing from the given initiator with ripple
 // parameter r. r = 0 yields the fast algorithm; r >= the maximum number of
 // links of any peer yields the slow algorithm (the paper's two extremes).
 func Run(initiator overlay.Node, p Processor, r int) *Result {
-	return RunInjected(initiator, p, r, nil)
+	return RunOpts(initiator, p, r, Options{})
 }
 
 // RunInjected is Run under fault injection: each link traversal consults the
@@ -108,24 +124,53 @@ func Run(initiator overlay.Node, p Processor, r int) *Result {
 // (the subtree never executes); only the TCP transport distinguishes a peer
 // that did work before dying from one that was never reached.
 func RunInjected(initiator overlay.Node, p Processor, r int, inj *faults.Injector) *Result {
-	e := &executor{p: p, res: &Result{}, answered: make(map[string]bool), inj: inj}
+	return RunOpts(initiator, p, r, Options{Faults: inj})
+}
+
+// RunOpts is the fully general entry point: Run with fault injection and/or
+// hop-tree tracing.
+func RunOpts(initiator overlay.Node, p Processor, r int, opts Options) *Result {
+	e := &executor{p: p, res: &Result{}, answered: make(map[string]bool), inj: opts.Faults}
+	if opts.Trace {
+		e.rec = trace.NewRecorder()
+		e.rec.Record(trace.Span{
+			ID:      trace.RootID,
+			Peer:    initiator.ID(),
+			Region:  overlay.Whole(dimsOf(initiator)),
+			Phase:   phaseOf(r),
+			R:       r,
+			Outcome: trace.OutcomeOK,
+		})
+	}
 	d := dimsOf(initiator)
-	_, latency := e.exec(initiator, p.InitialState(), overlay.Whole(d), r)
+	_, latency := e.exec(initiator, p.InitialState(), overlay.Whole(d), r, trace.RootID, 0, 0)
 	e.res.Stats.Latency = latency
+	if e.rec != nil {
+		e.res.Trace = trace.Build(e.rec.Spans())
+	}
 	return e.res
 }
 
-// RunMode is a convenience wrapper selecting r from a Mode: Fast -> 0,
-// Slow -> effectively infinite.
-func RunMode(initiator overlay.Node, p Processor, m Mode) *Result {
+// RunMode is a convenience wrapper selecting the ripple parameter from a
+// Mode: Fast -> 0, Slow -> effectively infinite, Ripple -> the explicit r
+// (ignored by the two extremes).
+func RunMode(initiator overlay.Node, p Processor, m Mode, r int) *Result {
 	switch m {
 	case Fast:
 		return Run(initiator, p, 0)
 	case Slow:
 		return Run(initiator, p, int(^uint(0)>>1)) // never decays to fast
 	default:
-		panic("core: RunMode needs an explicit r; use Run")
+		return Run(initiator, p, r)
 	}
+}
+
+// phaseOf names the template phase a peer with remaining parameter r runs.
+func phaseOf(r int) string {
+	if r > 0 {
+		return trace.PhaseSlow
+	}
+	return trace.PhaseFast
 }
 
 func dimsOf(w overlay.Node) int {
@@ -141,31 +186,40 @@ type executor struct {
 	res      *Result
 	answered map[string]bool
 	inj      *faults.Injector
+	rec      *trace.Recorder // nil: tracing disabled
 }
 
 // traverse consults the injector for the link w->to. It returns ok=false for
-// a lost link (recording the failed region) and the extra hops a delayed
-// delivery charges.
-func (e *executor) traverse(w overlay.Node, to string, sub overlay.Region) (extraHops int, ok bool) {
+// a lost link (recording the failed region), the extra hops a delayed
+// delivery charges, and the outcome name for the traversal's span.
+func (e *executor) traverse(w overlay.Node, to string, sub overlay.Region) (extraHops int, outcome string, ok bool) {
 	switch e.inj.Decide(w.ID(), to, 0) {
-	case faults.Drop, faults.Crash:
-		e.res.Stats.RPCFailures++
-		e.res.Stats.Partial = true
-		e.res.Partial = true
-		e.res.FailedRegions = append(e.res.FailedRegions, sub)
-		return 0, false
+	case faults.Drop:
+		e.recordLoss(sub)
+		return 0, trace.OutcomeDrop, false
+	case faults.Crash:
+		e.recordLoss(sub)
+		return 0, trace.OutcomeCrash, false
 	case faults.Delay:
-		return e.inj.Config().DelayHops, true
+		return e.inj.Config().DelayHops, trace.OutcomeDelay, true
 	}
-	return 0, true
+	return 0, trace.OutcomeOK, true
+}
+
+func (e *executor) recordLoss(sub overlay.Region) {
+	e.res.Stats.RPCFailures++
+	e.res.Stats.Partial = true
+	e.res.FailedRegions = append(e.res.FailedRegions, sub)
 }
 
 // exec is the per-peer template of Algorithm 3. It returns the local states
 // that flow to this call's sender — the peer's own final local state, plus,
 // when the peer ran in fast mode, the states of its whole fast subtree (which
 // the paper sends directly to the nearest slow ancestor u) — together with
-// the subtree latency in hops.
-func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r int) (states []State, latency int) {
+// the subtree latency in hops. spanID/depth/arrive are the peer's trace
+// context: its own span identity (recorded by the caller), its hop depth, and
+// the logical clock at delivery; they cost nothing when tracing is off.
+func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r int, spanID uint64, depth, arrive int) (states []State, latency int) {
 	e.res.Stats.Touch(w.ID())
 
 	local := e.p.LocalState(w, global)
@@ -175,6 +229,7 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 		// Slow phase (first loop of Algorithm 3): visit links in priority
 		// order, waiting for each link's states before deciding the next.
 		links := e.sortedLinks(w)
+		seq := 0
 		for _, l := range links {
 			sub := l.Region.Intersect(restrict)
 			if sub.IsEmpty() {
@@ -183,11 +238,21 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 			if !e.p.LinkRelevant(w, sub, wGlobal) {
 				continue
 			}
-			extra, ok := e.traverse(w, l.To.ID(), sub)
+			seq++
+			extra, outcome, ok := e.traverse(w, l.To.ID(), sub)
+			childID := uint64(0)
+			if e.rec != nil {
+				childID = trace.ChildID(spanID, l.To.ID(), seq)
+				e.rec.Record(trace.Span{
+					ID: childID, Parent: spanID, Peer: l.To.ID(), Region: sub,
+					Phase: phaseOf(r - 1), R: r - 1, Depth: depth + 1,
+					Arrive: arrive + latency + 1 + extra, Outcome: outcome,
+				})
+			}
 			if !ok {
 				continue
 			}
-			remote, lat := e.exec(l.To, wGlobal, sub, r-1)
+			remote, lat := e.exec(l.To, wGlobal, sub, r-1, childID, depth+1, arrive+latency+1+extra)
 			latency += 1 + extra + lat
 			e.res.Stats.StateMsgs += len(remote)
 			for _, s := range remote {
@@ -196,7 +261,10 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 			local = e.p.MergeStates(w, append([]State{local}, remote...))
 			wGlobal = e.p.GlobalState(w, global, local)
 		}
-		e.emitAnswer(w, local)
+		e.emitAnswer(w, local, spanID)
+		if e.rec != nil {
+			e.rec.SetStateTuples(spanID, e.p.StateTuples(local))
+		}
 		return []State{local}, latency
 	}
 
@@ -205,6 +273,7 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 	// states to this subtree's slow ancestor (returned up the call chain).
 	states = append(states, nil) // placeholder for w's own state (kept first)
 	maxLat := 0
+	seq := 0
 	for _, l := range w.Links() {
 		sub := l.Region.Intersect(restrict)
 		if sub.IsEmpty() {
@@ -213,18 +282,31 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 		if !e.p.LinkRelevant(w, sub, wGlobal) {
 			continue
 		}
-		extra, ok := e.traverse(w, l.To.ID(), sub)
+		seq++
+		extra, outcome, ok := e.traverse(w, l.To.ID(), sub)
+		childID := uint64(0)
+		if e.rec != nil {
+			childID = trace.ChildID(spanID, l.To.ID(), seq)
+			e.rec.Record(trace.Span{
+				ID: childID, Parent: spanID, Peer: l.To.ID(), Region: sub,
+				Phase: trace.PhaseFast, Depth: depth + 1,
+				Arrive: arrive + 1 + extra, Outcome: outcome,
+			})
+		}
 		if !ok {
 			continue
 		}
-		remote, lat := e.exec(l.To, wGlobal, sub, 0)
+		remote, lat := e.exec(l.To, wGlobal, sub, 0, childID, depth+1, arrive+1+extra)
 		if lat+1+extra > maxLat {
 			maxLat = lat + 1 + extra
 		}
 		states = append(states, remote...)
 	}
 	states[0] = local
-	e.emitAnswer(w, local)
+	e.emitAnswer(w, local, spanID)
+	if e.rec != nil {
+		e.rec.SetStateTuples(spanID, e.p.StateTuples(local))
+	}
 	return states, maxLat
 }
 
@@ -233,7 +315,7 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 // a neighbour's zone (CAN), a peer can legitimately receive several disjoint
 // restriction fragments — every later fragment is processed and forwarded,
 // but the local answer has already been sent.
-func (e *executor) emitAnswer(w overlay.Node, local State) {
+func (e *executor) emitAnswer(w overlay.Node, local State, spanID uint64) {
 	if e.answered[w.ID()] {
 		return
 	}
@@ -243,6 +325,7 @@ func (e *executor) emitAnswer(w overlay.Node, local State) {
 		e.res.Stats.AnswerMsgs++
 		e.res.Stats.TuplesSent += len(a)
 		e.res.Answers = append(e.res.Answers, a...)
+		e.rec.AddAnswer(spanID, len(a))
 	}
 }
 

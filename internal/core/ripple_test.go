@@ -41,7 +41,7 @@ func TestSlowBroadcastVisitsSequentially(t *testing.T) {
 	// exactly n-1 forwards.
 	n := midas.Build(50, midas.Options{Dims: 2, Seed: 1})
 	p := &naive.Processor{LocalSelect: allTuples}
-	res := core.RunMode(n.Peers()[3], p, core.Slow)
+	res := core.RunMode(n.Peers()[3], p, core.Slow, 0)
 	if res.Stats.Latency != 49 {
 		t.Fatalf("slow broadcast latency = %d, want 49", res.Stats.Latency)
 	}
@@ -242,18 +242,25 @@ func TestRippleOverChordAllModes(t *testing.T) {
 	}
 }
 
-func TestRunModeAndPanics(t *testing.T) {
+func TestRunModeSelectsR(t *testing.T) {
 	n := midas.Build(8, midas.Options{Dims: 2, Seed: 2})
 	overlay.Load(n, dataset.Uniform(40, 2, 1))
 	p := &naive.Processor{LocalSelect: allTuples}
-	fast := core.RunMode(n.Peers()[0], p, core.Fast)
+	fast := core.RunMode(n.Peers()[0], p, core.Fast, 99) // r ignored at the extremes
 	if fast.Stats.QueryMsgs != 8 {
 		t.Fatalf("fast mode msgs = %d", fast.Stats.QueryMsgs)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("RunMode(Ripple) must demand an explicit r")
+	slow := core.RunMode(n.Peers()[0], p, core.Slow, 0)
+	if slow.Stats.Latency != 7 {
+		t.Fatalf("slow mode latency = %d, want 7", slow.Stats.Latency)
+	}
+	// Ripple with an explicit r must match Run(r) exactly.
+	for _, r := range []int{1, 2, 3} {
+		a := core.RunMode(n.Peers()[0], p, core.Ripple, r)
+		b := core.Run(n.Peers()[0], p, r)
+		if a.Stats.Latency != b.Stats.Latency || a.Stats.QueryMsgs != b.Stats.QueryMsgs ||
+			a.Stats.StateMsgs != b.Stats.StateMsgs {
+			t.Fatalf("RunMode(Ripple, %d) stats %+v != Run stats %+v", r, a.Stats, b.Stats)
 		}
-	}()
-	core.RunMode(n.Peers()[0], p, core.Ripple)
+	}
 }

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"testing"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+// The disabled-tracing hot path is guarded at the hook level by
+// TestDisabledRecorderZeroAlloc in internal/trace (every recorder call on
+// the nil recorder must allocate nothing); these benchmarks expose the
+// end-to-end cost of turning tracing on so regressions in either direction
+// are visible: compare BenchmarkRunUntraced to BenchmarkRunTraced.
+
+func benchOverlay(b *testing.B) (overlay.Node, core.Processor) {
+	b.Helper()
+	n := midas.Build(64, midas.Options{Dims: 3, Seed: 21})
+	overlay.Load(n, dataset.Uniform(2000, 3, 21))
+	return n.Peers()[9], &topk.Processor{F: topk.UniformLinear(3), K: 10}
+}
+
+func BenchmarkRunUntraced(b *testing.B) {
+	w, p := benchOverlay(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.Run(w, p, 2)
+		if res.Trace != nil {
+			b.Fatal("untraced run produced a trace")
+		}
+	}
+}
+
+func BenchmarkRunTraced(b *testing.B) {
+	w, p := benchOverlay(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.RunOpts(w, p, 2, core.Options{Trace: true})
+		if res.Trace == nil {
+			b.Fatal("traced run produced no trace")
+		}
+	}
+}
+
+// TestUntracedRunCarriesNoTrace pins the disabled default: tracing is
+// strictly opt-in and Run/RunInjected never pay for it.
+func TestUntracedRunCarriesNoTrace(t *testing.T) {
+	n := midas.Build(16, midas.Options{Dims: 2, Seed: 4})
+	overlay.Load(n, dataset.Uniform(100, 2, 4))
+	p := &topk.Processor{F: topk.UniformLinear(2), K: 3}
+	if res := core.Run(n.Peers()[0], p, 1); res.Trace != nil {
+		t.Fatal("Run attached a trace")
+	}
+	if res := core.RunInjected(n.Peers()[0], p, 0, nil); res.Trace != nil {
+		t.Fatal("RunInjected attached a trace")
+	}
+}

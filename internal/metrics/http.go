@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// NewMux returns an HTTP mux exposing the registry on /metrics and the
+// standard pprof profiles under /debug/pprof/ — the observability sidecar of
+// a deployed peer. Mounted explicitly (not via DefaultServeMux) so several
+// peers in one process can each serve their own registry.
+func (r *Registry) NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for the registry's mux on addr in a goroutine
+// and returns the server for shutdown. Listen errors surface on errc (one
+// send at most), since the caller usually only logs them.
+func (r *Registry) Serve(addr string) (*http.Server, <-chan error) {
+	srv := &http.Server{Addr: addr, Handler: r.NewMux()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	return srv, errc
+}

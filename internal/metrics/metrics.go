@@ -1,0 +1,301 @@
+// Package metrics is a dependency-free metrics registry for the RIPPLE
+// runtimes: atomic counters and fixed-bucket histograms with Prometheus
+// text-format exposition and pprof mounting, so a deployed peer
+// (`ripple-serve -metrics-addr`) can be scraped and profiled with stock
+// tooling without pulling any external module into the build.
+//
+// Naming scheme: every series is `ripple_<subsystem>_<what>[_total|_seconds]`
+// with optional constant labels rendered via Label. Counters end in `_total`;
+// histograms carry base units (seconds, hops, tuples) in the name. See
+// DESIGN.md §9.
+//
+// All instruments are nil-safe: a nil *Registry hands out nil instruments and
+// a nil *Counter / *Histogram silently drops observations, so callers thread
+// metrics through unconditionally and pay nothing when disabled.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are upper bounds
+// in ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	count  atomic.Int64
+	sumMu  sync.Mutex
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumMu.Lock()
+	h.sum += v
+	h.sumMu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.sumMu.Lock()
+	defer h.sumMu.Unlock()
+	return h.sum
+}
+
+// LinearBuckets returns count bounds start, start+width, ...
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns count bounds start, start*factor, ...
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets suits sub-millisecond RPCs up to multi-second stalls.
+var DefLatencyBuckets = ExponentialBuckets(0.0001, 2.5, 12)
+
+// Registry holds named instruments and renders them in Prometheus text
+// format. The zero value is not usable; call New. A nil *Registry hands out
+// nil instruments, making an unconfigured deployment metric-free for free.
+type Registry struct {
+	mu    sync.Mutex
+	names []string // registration order for stable iteration
+	items map[string]*entry
+}
+
+type entry struct {
+	help    string
+	counter *Counter
+	hist    *Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry { return &Registry{items: make(map[string]*entry)} }
+
+// Label renders constant labels onto a metric name:
+// Label("x_total", "peer", "p1") -> `x_total{peer="p1"}`. Series sharing a
+// base name group under one HELP/TYPE header in the exposition.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	if len(kv)%2 != 0 {
+		panic("metrics: Label needs key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. It panics if the name is already registered as a histogram.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.items[name]; ok {
+		if e.counter == nil {
+			panic("metrics: " + name + " already registered as a histogram")
+		}
+		return e.counter
+	}
+	c := &Counter{}
+	r.items[name] = &entry{help: help, counter: c}
+	r.names = append(r.names, name)
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use. It panics on an empty or
+// unsorted bucket list, or if the name is registered as a counter.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 || !sort.Float64sAreSorted(buckets) {
+		panic("metrics: histogram " + name + " needs ascending buckets")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.items[name]; ok {
+		if e.hist == nil {
+			panic("metrics: " + name + " already registered as a counter")
+		}
+		return e.hist
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.items[name] = &entry{help: help, hist: h}
+	r.names = append(r.names, name)
+	return h
+}
+
+// baseName strips a constant-label suffix: `x_total{peer="p"}` -> x_total.
+func baseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// labelSuffix returns the label part including braces, or "".
+func labelSuffix(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[i:]
+	}
+	return ""
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers once per metric family, then one
+// line per series, histograms expanded into _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	items := make(map[string]*entry, len(r.items))
+	for k, v := range r.items {
+		items[k] = v
+	}
+	r.mu.Unlock()
+
+	seenFamily := make(map[string]bool)
+	for _, name := range names {
+		e := items[name]
+		family := baseName(name)
+		if !seenFamily[family] {
+			seenFamily[family] = true
+			typ := "counter"
+			if e.hist != nil {
+				typ = "histogram"
+			}
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, e.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, typ); err != nil {
+				return err
+			}
+		}
+		if e.counter != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, e.counter.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := writeHistogram(w, family, labelSuffix(name), e.hist); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, family, labels string, h *Histogram) error {
+	// _bucket series get an `le` label merged with any constant labels.
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if err := writeBucket(w, family, labels, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if err := writeBucket(w, family, labels, "+Inf", cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", family, labels, h.Count())
+	return err
+}
+
+func writeBucket(w io.Writer, family, labels, le string, cum int64) error {
+	merged := fmt.Sprintf("{le=%q}", le)
+	if labels != "" {
+		merged = labels[:len(labels)-1] + fmt.Sprintf(",le=%q}", le)
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, merged, cum)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus expects (no exponent for
+// common magnitudes, minimal digits).
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("ripple_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("ripple_test_total", "a counter"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("ripple_conc_total", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("ripple_hops", "hop depth", LinearBuckets(1, 1, 4)) // le 1,2,3,4,+Inf
+	for _, v := range []float64{0.5, 1, 2.5, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 14 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ripple_hops histogram",
+		`ripple_hops_bucket{le="1"} 2`, // 0.5 and the exact 1 (le semantics)
+		`ripple_hops_bucket{le="2"} 2`,
+		`ripple_hops_bucket{le="3"} 3`,
+		`ripple_hops_bucket{le="+Inf"} 4`,
+		"ripple_hops_sum 14",
+		"ripple_hops_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelsShareOneFamilyHeader(t *testing.T) {
+	r := New()
+	r.Counter(Label("ripple_rpcs_total", "peer", "p1"), "rpcs").Inc()
+	r.Counter(Label("ripple_rpcs_total", "peer", "p2"), "rpcs").Add(2)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if strings.Count(out, "# TYPE ripple_rpcs_total counter") != 1 {
+		t.Fatalf("family header not deduplicated:\n%s", out)
+	}
+	for _, want := range []string{`ripple_rpcs_total{peer="p1"} 1`, `ripple_rpcs_total{peer="p2"} 2`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramLabelMerge(t *testing.T) {
+	r := New()
+	h := r.Histogram(Label("ripple_rpc_seconds", "peer", "p1"), "", []float64{0.1})
+	h.Observe(0.05)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `ripple_rpc_seconds_bucket{peer="p1",le="0.1"} 1`) {
+		t.Fatalf("label+le merge wrong:\n%s", b.String())
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	h := r.Histogram("y", "", []float64{1})
+	c.Inc()
+	h.Observe(1)
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments recorded something")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxServesMetricsAndPprof(t *testing.T) {
+	r := New()
+	r.Counter("ripple_up_total", "").Inc()
+	srv := httptest.NewServer(r.NewMux())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "ripple_up_total 1") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestBucketBoundariesValidated(t *testing.T) {
+	r := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted buckets must panic")
+		}
+	}()
+	r.Histogram("bad", "", []float64{2, 1})
+}

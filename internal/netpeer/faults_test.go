@@ -103,7 +103,7 @@ func TestPeerHangsMidQuery(t *testing.T) {
 		if elapsed > 3*time.Second {
 			t.Fatalf("r=%d: query hung for %v on a dead-mid-protocol peer", r, elapsed)
 		}
-		if !res.Partial {
+		if !res.Partial() {
 			t.Fatalf("r=%d: hung subtree not marked partial", r)
 		}
 		if res.Stats.TimedOut == 0 {
@@ -161,7 +161,7 @@ func TestRetryExhaustion(t *testing.T) {
 	if res.Stats.RPCFailures != 1 || res.Stats.Retries != 3 {
 		t.Fatalf("failures=%d retries=%d, want 1 failure after exactly 3 retries", res.Stats.RPCFailures, res.Stats.Retries)
 	}
-	if !res.Partial || len(res.FailedRegions) != 1 {
+	if !res.Partial() || len(res.FailedRegions) != 1 {
 		t.Fatalf("exhausted link must be a recorded partial loss: %+v", res)
 	}
 	if ids := answerIDs(res.Answers); !reflect.DeepEqual(ids, []uint64{1}) {
@@ -210,7 +210,7 @@ func TestZeroRateInjectorIsTransparent(t *testing.T) {
 		plain.Stats.TuplesSent != withInj.Stats.TuplesSent {
 		t.Fatalf("rate-0 injector changed the costs: %+v vs %+v", plain.Stats, withInj.Stats)
 	}
-	if withInj.Partial || withInj.Stats.RPCFailures != 0 || withInj.Stats.Retries != 0 {
+	if withInj.Partial() || withInj.Stats.RPCFailures != 0 || withInj.Stats.Retries != 0 {
 		t.Fatalf("rate-0 injector produced failures: %+v", withInj.Stats)
 	}
 }
@@ -250,11 +250,11 @@ func TestInjectedDeploymentIsDeterministic(t *testing.T) {
 	if !reflect.DeepEqual(answerIDs(one.Answers), answerIDs(two.Answers)) {
 		t.Fatal("same seed, different surviving answers")
 	}
-	if one.Stats.RPCFailures != two.Stats.RPCFailures || one.Partial != two.Partial ||
+	if one.Stats.RPCFailures != two.Stats.RPCFailures || one.Partial() != two.Partial() ||
 		len(one.FailedRegions) != len(two.FailedRegions) {
 		t.Fatalf("same seed, different failures: %+v vs %+v", one.Stats, two.Stats)
 	}
-	if !one.Partial {
+	if !one.Partial() {
 		t.Fatal("25% drop over 20 peers should have lost at least one link (tune the seed if not)")
 	}
 }
@@ -284,7 +284,7 @@ func TestCrashInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res.Partial || res.Stats.RPCFailures == 0 {
+	if !res.Partial() || res.Stats.RPCFailures == 0 {
 		t.Fatalf("crashed children must be recorded: %+v", res.Stats)
 	}
 	if len(res.Answers) == 0 {

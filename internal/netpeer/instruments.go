@@ -1,0 +1,33 @@
+package netpeer
+
+import (
+	"ripple/internal/metrics"
+)
+
+// instruments caches the server's metric handles so the RPC path never pays
+// a registry lookup. Every handle is nil when Options.Metrics is nil — the
+// instruments stay callable (internal/metrics is nil-safe) and an unmetered
+// server pays only a nil check per event.
+type instruments struct {
+	dials        *metrics.Counter
+	dialFailures *metrics.Counter
+	retries      *metrics.Counter
+	deadlines    *metrics.Counter
+	backoffs     *metrics.Counter
+	lostLinks    *metrics.Counter
+	rpcSeconds   *metrics.Histogram
+	fanout       *metrics.Histogram
+}
+
+func newInstruments(r *metrics.Registry) instruments {
+	return instruments{
+		dials:        r.Counter("ripple_netpeer_dials_total", "TCP dial attempts to neighbour peers"),
+		dialFailures: r.Counter("ripple_netpeer_dial_failures_total", "TCP dial attempts that failed"),
+		retries:      r.Counter("ripple_netpeer_retries_total", "extra RPC attempts spent recovering links"),
+		deadlines:    r.Counter("ripple_netpeer_deadline_timeouts_total", "RPC attempts abandoned on a dial/call deadline"),
+		backoffs:     r.Counter("ripple_netpeer_backoffs_total", "backoff sleeps taken before retries"),
+		lostLinks:    r.Counter("ripple_netpeer_lost_links_total", "links abandoned after retry exhaustion"),
+		rpcSeconds:   r.Histogram("ripple_netpeer_rpc_seconds", "wall-clock duration of one RPC attempt", metrics.DefLatencyBuckets),
+		fanout:       r.Histogram("ripple_netpeer_fanout", "relevant links contacted per processed call", metrics.LinearBuckets(0, 1, 8)),
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"ripple/internal/faults"
 	"ripple/internal/overlay"
 	"ripple/internal/sim"
+	"ripple/internal/trace"
 	"ripple/internal/wire"
 )
 
@@ -68,6 +69,7 @@ type Server struct {
 	cfg    Config
 	codecs map[string]wire.Codec
 	opts   Options
+	ins    instruments
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -94,6 +96,7 @@ func NewServerOpts(cfg Config, opts Options, codecs ...wire.Codec) *Server {
 		cfg:    cfg,
 		codecs: m,
 		opts:   opts.withDefaults(),
+		ins:    newInstruments(opts.Metrics),
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 	}
@@ -291,29 +294,35 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 	wGlobal := proc.GlobalState(w, global, local)
 
 	reply := &wire.Reply{QueryMsgs: 1, Peers: []string{cfg.ID}}
+	tr := newTracer(call)
 
 	if call.R > 0 {
 		// Slow phase: one link at a time in priority order, folding each
 		// link's states back in before deciding the next.
 		links := sortLinks(cfg.Links, proc, w)
 		cursor := call.Hops
+		contacted := 0
 		for _, l := range links {
 			sub := l.Region.Intersect(call.Restrict)
 			if sub.IsEmpty() || !proc.LinkRelevant(w, sub, wGlobal) {
 				continue
 			}
+			childID := tr.child(l.key())
+			contacted++
 			encGlobal, err := codec.EncodeState(wGlobal)
 			if err != nil {
 				return nil, err
 			}
-			childReply, retries, err := s.callPeer(l, &wire.Call{
+			childCall := &wire.Call{
 				QueryType: call.QueryType,
 				Params:    call.Params,
 				Global:    encGlobal,
 				Restrict:  sub,
 				R:         call.R - 1,
 				Hops:      cursor + 1,
-			})
+			}
+			tr.childContext(childCall, childID)
+			childReply, retries, err := s.callPeer(l, childCall)
 			reply.Retries += retries
 			if err != nil {
 				// Unrecoverable link: the subtree's answers are lost, but
@@ -321,8 +330,11 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 				s.opts.Logf("netpeer %s: lost slow link to %s after %d retries: %v",
 					cfg.ID, l.key(), retries, err)
 				reply.RecordLostLink(sub, isTimeout(err))
+				tr.lost(childID, l.key(), sub, call.R-1, cursor+1, retries, err)
+				s.ins.lostLinks.Inc()
 				continue
 			}
+			tr.absorb(childID, childReply.Spans, retries)
 			states := []core.State{local}
 			for _, sb := range childReply.States {
 				st, err := codec.DecodeState(sb)
@@ -338,7 +350,9 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 			cursor = childReply.Completion
 			absorbChild(reply, childReply)
 		}
-		finishReply(reply, codec, proc, w, local, cursor)
+		s.ins.fanout.Observe(float64(contacted))
+		own := finishReply(reply, codec, proc, w, local, cursor)
+		tr.finish(reply, cfg.ID, proc.StateTuples(local), own)
 		return reply, nil
 	}
 
@@ -348,6 +362,7 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 		reply   *wire.Reply
 		link    LinkSpec
 		sub     overlay.Region
+		spanID  uint64
 		retries int
 		err     error
 	}
@@ -361,20 +376,24 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 		if sub.IsEmpty() || !proc.LinkRelevant(w, sub, wGlobal) {
 			continue
 		}
+		childID := tr.child(l.key())
 		ch := make(chan out, 1)
 		calls = append(calls, ch)
-		go func(l LinkSpec, sub overlay.Region) {
-			r, retries, err := s.callPeer(l, &wire.Call{
+		go func(l LinkSpec, sub overlay.Region, childID uint64) {
+			childCall := &wire.Call{
 				QueryType: call.QueryType,
 				Params:    call.Params,
 				Global:    encGlobal,
 				Restrict:  sub,
 				R:         0,
 				Hops:      call.Hops + 1,
-			})
-			ch <- out{reply: r, link: l, sub: sub, retries: retries, err: err}
-		}(l, sub)
+			}
+			tr.childContext(childCall, childID)
+			r, retries, err := s.callPeer(l, childCall)
+			ch <- out{reply: r, link: l, sub: sub, spanID: childID, retries: retries, err: err}
+		}(l, sub, childID)
 	}
+	s.ins.fanout.Observe(float64(len(calls)))
 	completion := call.Hops
 	var childStates [][]byte
 	for _, ch := range calls {
@@ -386,30 +405,37 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 			s.opts.Logf("netpeer %s: lost fast link to %s after %d retries: %v",
 				cfg.ID, o.link.key(), o.retries, o.err)
 			reply.RecordLostLink(o.sub, isTimeout(o.err))
+			tr.lost(o.spanID, o.link.key(), o.sub, 0, call.Hops+1, o.retries, o.err)
+			s.ins.lostLinks.Inc()
 			continue
 		}
+		tr.absorb(o.spanID, o.reply.Spans, o.retries)
 		childStates = append(childStates, o.reply.States...)
 		if o.reply.Completion > completion {
 			completion = o.reply.Completion
 		}
 		absorbChild(reply, o.reply)
 	}
-	finishReply(reply, codec, proc, w, local, completion)
+	own := finishReply(reply, codec, proc, w, local, completion)
+	tr.finish(reply, cfg.ID, proc.StateTuples(local), own)
 	reply.States = append(reply.States, childStates...)
 	return reply, nil
 }
 
-// finishReply attaches this peer's own state, answer and completion time.
-func finishReply(reply *wire.Reply, codec wire.Codec, proc core.Processor, w node, local core.State, completion int) {
+// finishReply attaches this peer's own state, answer and completion time,
+// returning the number of answer tuples this peer contributed itself.
+func finishReply(reply *wire.Reply, codec wire.Codec, proc core.Processor, w node, local core.State, completion int) int {
 	enc, err := codec.EncodeState(local)
 	if err == nil {
 		reply.States = append([][]byte{enc}, reply.States...)
 	}
-	if a := proc.LocalAnswer(w, local); len(a) > 0 {
+	a := proc.LocalAnswer(w, local)
+	if len(a) > 0 {
 		reply.Answers = append(a, reply.Answers...)
 		reply.TuplesSent += len(a)
 	}
 	reply.Completion = completion
+	return len(a)
 }
 
 // absorbChild folds a child subtree's answers, counters and fault accounting
@@ -435,6 +461,8 @@ func (s *Server) callPeer(to LinkSpec, call *wire.Call) (*wire.Reply, int, error
 	for attempt := 0; attempt <= s.opts.Retry.MaxRetries; attempt++ {
 		if attempt > 0 {
 			retries++
+			s.ins.retries.Inc()
+			s.ins.backoffs.Inc()
 			u := faults.Uniform01(s.opts.Faults.Config().Seed,
 				s.cfg.ID, to.key(), "backoff", strconv.Itoa(attempt))
 			time.Sleep(s.opts.Retry.Backoff(attempt, u))
@@ -442,6 +470,9 @@ func (s *Server) callPeer(to LinkSpec, call *wire.Call) (*wire.Reply, int, error
 		reply, err := s.callOnce(to, call, attempt)
 		if err == nil {
 			return reply, retries, nil
+		}
+		if isTimeout(err) {
+			s.ins.deadlines.Inc()
 		}
 		lastErr = err
 		if _, fatal := err.(*RemoteError); fatal {
@@ -468,8 +499,12 @@ func (s *Server) callOnce(to LinkSpec, call *wire.Call, attempt int) (*wire.Repl
 	case faults.Delay:
 		time.Sleep(s.opts.Faults.Config().Delay)
 	}
+	start := time.Now()
+	defer func() { s.ins.rpcSeconds.Observe(time.Since(start).Seconds()) }()
+	s.ins.dials.Inc()
 	conn, err := net.DialTimeout("tcp", to.Addr, s.opts.DialTimeout)
 	if err != nil {
+		s.ins.dialFailures.Inc()
 		return nil, err
 	}
 	defer conn.Close()
@@ -508,16 +543,20 @@ func sortLinks(links []LinkSpec, proc core.Processor, w node) []LinkSpec {
 }
 
 // QueryResult is the full outcome of a query against a deployment, including
-// the partial-answer accounting: when Partial is true, FailedRegions lists
-// the only parts of the domain the answer can be missing tuples from, so the
-// initiator can report a completeness bound instead of pretending the answer
-// is exact.
+// the partial-answer accounting: when Partial() reports true, FailedRegions
+// lists the only parts of the domain the answer can be missing tuples from,
+// so the initiator can report a completeness bound instead of pretending the
+// answer is exact.
 type QueryResult struct {
 	Answers       []dataset.Tuple
 	Stats         sim.Stats
-	Partial       bool
 	FailedRegions []overlay.Region
+	Trace         *trace.Tree // reconstructed hop tree; nil unless QueryTraced
 }
+
+// Partial reports whether any subtree was lost; it derives from the stats so
+// the two can never diverge.
+func (r *QueryResult) Partial() bool { return r.Stats.Partial }
 
 // Query runs a query against a deployment from the peer at addr, returning
 // the collected answers and cost statistics reconstructed from the reply.
@@ -537,6 +576,19 @@ func Query(addr, queryType string, params []byte, dims, r int) ([]dataset.Tuple,
 // initiator peer itself failed to process the query — is returned as an
 // error.
 func QueryDetailed(addr, queryType string, params []byte, dims, r int, timeout time.Duration) (*QueryResult, error) {
+	return queryCall(addr, queryType, params, dims, r, timeout, false)
+}
+
+// QueryTraced is QueryDetailed with hop-tree tracing: every peer records its
+// span and convergecasts it back, and the result's Trace holds the query's
+// reconstructed propagation tree — structurally identical to the one the
+// in-process engines produce for the same overlay and r, with lost subtrees
+// marked.
+func QueryTraced(addr, queryType string, params []byte, dims, r int, timeout time.Duration) (*QueryResult, error) {
+	return queryCall(addr, queryType, params, dims, r, timeout, true)
+}
+
+func queryCall(addr, queryType string, params []byte, dims, r int, timeout time.Duration, traced bool) (*QueryResult, error) {
 	if timeout == 0 {
 		timeout = DefaultOptions().CallTimeout
 	}
@@ -553,6 +605,10 @@ func QueryDetailed(addr, queryType string, params []byte, dims, r int, timeout t
 		R:         r,
 		Hops:      0,
 	}
+	if traced {
+		call.Traced = true
+		call.SpanID = trace.RootID
+	}
 	if err := wire.WriteMessage(conn, call); err != nil {
 		return nil, err
 	}
@@ -565,7 +621,6 @@ func QueryDetailed(addr, queryType string, params []byte, dims, r int, timeout t
 	}
 	res := &QueryResult{
 		Answers:       reply.Answers,
-		Partial:       reply.Partial,
 		FailedRegions: reply.FailedRegions,
 	}
 	for _, p := range reply.Peers {
@@ -578,6 +633,9 @@ func QueryDetailed(addr, queryType string, params []byte, dims, r int, timeout t
 	res.Stats.Retries = reply.Retries
 	res.Stats.TimedOut = reply.TimedOut
 	res.Stats.Partial = reply.Partial
+	if traced {
+		res.Trace = trace.Build(reply.Spans)
+	}
 	return res, nil
 }
 

@@ -293,7 +293,7 @@ func TestQuerySurvivesDeadPeers(t *testing.T) {
 		if res.Stats.PeersReached() > 16 {
 			t.Fatalf("r=%d: reached %d peers with 8 dead", r, res.Stats.PeersReached())
 		}
-		if !res.Partial || !res.Stats.Partial {
+		if !res.Partial() || !res.Stats.Partial {
 			t.Fatalf("r=%d: dead subtrees must mark the answer partial", r)
 		}
 		if len(res.FailedRegions) == 0 || res.Stats.RPCFailures == 0 {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ripple/internal/faults"
+	"ripple/internal/metrics"
 )
 
 // RetryPolicy bounds how hard a peer tries to recover a failing link before
@@ -82,6 +83,11 @@ type Options struct {
 	// Logf receives server-side fault diagnostics (failed links, recovered
 	// panics). Defaults to the standard logger; set to a no-op to silence.
 	Logf func(format string, args ...interface{})
+	// Metrics optionally receives the peer's transport counters and latency
+	// histograms (see internal/metrics); a deployment usually shares one
+	// registry across its servers and serves it on /metrics. Nil disables
+	// instrumentation at zero cost.
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions returns the production defaults.

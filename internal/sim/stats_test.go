@@ -112,3 +112,79 @@ func TestPercentileLatency(t *testing.T) {
 		t.Fatal("empty aggregate percentile should be 0")
 	}
 }
+
+func TestStatsAddMergesFailureCounters(t *testing.T) {
+	a := &Stats{RPCFailures: 1, Retries: 2, TimedOut: 1}
+	b := &Stats{RPCFailures: 2, Retries: 3, Partial: true}
+	a.Add(b)
+	if a.RPCFailures != 3 || a.Retries != 5 || a.TimedOut != 1 {
+		t.Fatalf("failure counters merged wrong: %+v", a)
+	}
+	if !a.Partial {
+		t.Fatal("Partial must be sticky under Add")
+	}
+	a.Add(&Stats{})
+	if !a.Partial {
+		t.Fatal("Partial lost after merging a clean phase")
+	}
+}
+
+func TestCongestionPerPeerHandComputed(t *testing.T) {
+	// Three queries over a 4-peer overlay: query 1 touches p0,p1,p2; query 2
+	// touches p0 twice (a duplicate delivery) plus p3; query 3 touches p0
+	// only. Per-query congestion is its message count — 3, 3, 1 — so the
+	// batch mean is 7/3.
+	q1 := &Stats{}
+	q1.Touch("p0")
+	q1.Touch("p1")
+	q1.Touch("p2")
+	q2 := &Stats{}
+	q2.Touch("p0")
+	q2.Touch("p0")
+	q2.Touch("p3")
+	q3 := &Stats{}
+	q3.Touch("p0")
+
+	if q2.MaxPerPeer() != 2 || q2.PeersReached() != 2 {
+		t.Fatalf("duplicate delivery not visible: max=%d peers=%d", q2.MaxPerPeer(), q2.PeersReached())
+	}
+	var agg Aggregate
+	for _, s := range []*Stats{q1, q2, q3} {
+		agg.Observe(s)
+	}
+	if math.Abs(agg.MeanCongestion-7.0/3) > 1e-9 {
+		t.Fatalf("MeanCongestion = %v, want 7/3", agg.MeanCongestion)
+	}
+	// Folding the batch into one record sums per-peer load: p0 carried
+	// 1+2+1 = 4 of the 7 messages.
+	total := &Stats{}
+	total.Add(q1)
+	total.Add(q2)
+	total.Add(q3)
+	if total.QueryMsgs != 7 || total.PeersReached() != 4 || total.MaxPerPeer() != 4 {
+		t.Fatalf("batch fold wrong: msgs=%d peers=%d max=%d",
+			total.QueryMsgs, total.PeersReached(), total.MaxPerPeer())
+	}
+}
+
+func TestAggregateFailureMetrics(t *testing.T) {
+	var agg Aggregate
+	for i := 0; i < 4; i++ {
+		s := &Stats{}
+		if i == 0 {
+			s.Partial = true
+			s.RPCFailures = 2
+			s.Retries = 1
+		}
+		agg.Observe(s)
+	}
+	if math.Abs(agg.PartialRate-0.25) > 1e-9 {
+		t.Fatalf("PartialRate = %v, want 0.25", agg.PartialRate)
+	}
+	if math.Abs(agg.MeanFailures-0.5) > 1e-9 {
+		t.Fatalf("MeanFailures = %v, want 0.5", agg.MeanFailures)
+	}
+	if math.Abs(agg.MeanRetries-0.25) > 1e-9 {
+		t.Fatalf("MeanRetries = %v, want 0.25", agg.MeanRetries)
+	}
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+)
+
+func region(lo, hi float64) overlay.Region {
+	return overlay.FromRect(geom.Rect{Lo: geom.Point{lo}, Hi: geom.Point{hi}})
+}
+
+func sampleSpans() []Span {
+	root := Span{ID: RootID, Peer: "p0", Region: region(0, 1), Phase: PhaseSlow, R: 1, Outcome: OutcomeOK, StateTuples: 3, AnswerTuples: 1}
+	c1 := Span{ID: ChildID(RootID, "p1", 1), Parent: RootID, Peer: "p1", Region: region(0.5, 1),
+		Phase: PhaseFast, Depth: 1, Arrive: 1, Outcome: OutcomeOK, StateTuples: 2}
+	c2 := Span{ID: ChildID(RootID, "p2", 2), Parent: RootID, Peer: "p2", Region: region(0, 0.25),
+		Phase: PhaseFast, Depth: 1, Arrive: 2, Outcome: OutcomeDrop}
+	g1 := Span{ID: ChildID(c1.ID, "p3", 1), Parent: c1.ID, Peer: "p3", Region: region(0.75, 1),
+		Phase: PhaseFast, Depth: 2, Arrive: 2, Outcome: OutcomeOK, AnswerTuples: 4}
+	return []Span{root, c1, c2, g1}
+}
+
+func TestChildIDDeterministicAndDistinct(t *testing.T) {
+	a := ChildID(RootID, "peer-7", 3)
+	if a != ChildID(RootID, "peer-7", 3) {
+		t.Fatal("ChildID is not deterministic")
+	}
+	seen := map[uint64]bool{0: true, RootID: true}
+	for seq := 1; seq <= 64; seq++ {
+		for _, p := range []string{"a", "b", "peer-007"} {
+			id := ChildID(RootID, p, seq)
+			if seen[id] {
+				t.Fatalf("collision or reserved ID for (%s,%d): %d", p, seq, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestBuildReconstructsTree(t *testing.T) {
+	spans := sampleSpans()
+	// Shuffle record order: reconstruction must not depend on it.
+	tree := Build([]Span{spans[3], spans[1], spans[0], spans[2]})
+	if tree == nil || tree.Root == nil {
+		t.Fatal("no root reconstructed")
+	}
+	if tree.Root.Peer != "p0" || len(tree.Root.Children) != 2 {
+		t.Fatalf("root %q with %d children", tree.Root.Peer, len(tree.Root.Children))
+	}
+	if got := tree.Spans(); got != 4 {
+		t.Fatalf("Spans() = %d, want 4", got)
+	}
+	if got := tree.Depth(); got != 2 {
+		t.Fatalf("Depth() = %d, want 2", got)
+	}
+	// Children sort by arrival clock: p1 (t=1) before p2 (t=2).
+	if tree.Root.Children[0].Peer != "p1" || tree.Root.Children[1].Peer != "p2" {
+		t.Fatalf("children order: %s, %s", tree.Root.Children[0].Peer, tree.Root.Children[1].Peer)
+	}
+	r := tree.Root.Rollup()
+	if r.StateTuples != 5 || r.AnswerTuples != 5 || r.Lost != 1 {
+		t.Fatalf("rollup %+v", r)
+	}
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("unexpected orphans: %d", len(tree.Orphans))
+	}
+}
+
+func TestCanonicalIgnoresArrivalOrderAndClocks(t *testing.T) {
+	spans := sampleSpans()
+	a := Build(spans)
+	// Same structure, different clocks and record order.
+	perm := []Span{spans[2], spans[0], spans[3], spans[1]}
+	for i := range perm {
+		perm[i].Arrive += 7
+		perm[i].Attempt = 2
+	}
+	b := Build(perm)
+	if a.Canonical() != b.Canonical() {
+		t.Fatalf("canonical forms differ:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	// A structural change must change the canonical form.
+	mut := sampleSpans()
+	mut[3].Parent = RootID
+	if Build(mut).Canonical() == a.Canonical() {
+		t.Fatal("canonical form ignored a reparented span")
+	}
+}
+
+func TestOrphansKept(t *testing.T) {
+	spans := sampleSpans()
+	spans[3].Parent = 424242 // parent never recorded
+	tree := Build(spans)
+	if len(tree.Orphans) != 1 || tree.Orphans[0].Peer != "p3" {
+		t.Fatalf("orphans: %+v", tree.Orphans)
+	}
+	if tree.Spans() != 4 {
+		t.Fatalf("orphan dropped from span count: %d", tree.Spans())
+	}
+}
+
+func TestRenderShowsLossesAndRollups(t *testing.T) {
+	out := Build(sampleSpans()).String()
+	for _, want := range []string{"p0", "p1", "p2", "p3", "✗", "drop", "subtree:", "LOST"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecorderCollects(t *testing.T) {
+	rec := NewRecorder()
+	if !rec.Enabled() {
+		t.Fatal("NewRecorder not enabled")
+	}
+	for _, s := range sampleSpans() {
+		rec.Record(s)
+	}
+	rec.Record(sampleSpans()[0]) // duplicate ID: first kept
+	rec.SetCounts(RootID, 9, 0)
+	rec.AddAnswer(RootID, 2)
+	rec.SetStateTuples(ChildID(RootID, "p1", 1), 8)
+	spans := rec.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("%d spans recorded, want 4", len(spans))
+	}
+	if spans[0].StateTuples != 9 || spans[0].AnswerTuples != 2 {
+		t.Fatalf("root counts not updated: %+v", spans[0])
+	}
+	if spans[1].StateTuples != 8 {
+		t.Fatalf("child state tuples not updated: %+v", spans[1])
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var rec *Recorder
+	if rec.Enabled() {
+		t.Fatal("nil recorder claims enabled")
+	}
+	rec.Record(Span{ID: 5})
+	rec.SetCounts(5, 1, 1)
+	rec.AddAnswer(5, 1)
+	rec.SetStateTuples(5, 1)
+	if rec.Spans() != nil {
+		t.Fatal("nil recorder returned spans")
+	}
+}
+
+// TestDisabledRecorderZeroAlloc is the acceptance guard for "tracing disabled
+// costs zero allocations on the query hot path": every hook the engines call
+// per traversal must be allocation-free on a nil recorder.
+func TestDisabledRecorderZeroAlloc(t *testing.T) {
+	var rec *Recorder
+	reg := region(0, 1)
+	allocs := testing.AllocsPerRun(200, func() {
+		if rec.Enabled() {
+			t.Fatal("enabled")
+		}
+		rec.Record(Span{ID: 2, Parent: RootID, Peer: "p", Region: reg, Phase: PhaseFast, Outcome: OutcomeOK})
+		rec.SetCounts(2, 1, 1)
+		rec.AddAnswer(2, 1)
+		rec.SetStateTuples(2, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing hooks allocate %.1f times per traversal", allocs)
+	}
+}
+
+func BenchmarkRecordEnabled(b *testing.B) {
+	reg := region(0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec := NewRecorder()
+		rec.Record(Span{ID: RootID, Peer: "p", Region: reg, Phase: PhaseFast})
+	}
+}
+
+func BenchmarkRecordDisabled(b *testing.B) {
+	var rec *Recorder
+	reg := region(0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Record(Span{ID: RootID, Peer: "p", Region: reg, Phase: PhaseFast})
+	}
+}

@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ripple/internal/overlay"
+)
+
+// Node is a span with its resolved children, ordered deterministically by
+// (arrival clock, peer, ID) so the same query renders identically whichever
+// runtime produced it.
+type Node struct {
+	Span
+	Children []*Node
+}
+
+// Rollup is the aggregate of a subtree, for per-subtree annotations.
+type Rollup struct {
+	Spans        int // traversals in the subtree, this node included
+	MaxDepth     int // deepest hop depth under this node
+	StateTuples  int
+	AnswerTuples int
+	Lost         int // traversals whose subtree never reported back
+}
+
+// Tree is a reconstructed query propagation tree.
+type Tree struct {
+	Root *Node
+
+	// Orphans are spans whose parent never arrived (possible over TCP when a
+	// subtree's reply was truncated); they are kept for inspection instead of
+	// being silently dropped.
+	Orphans []*Node
+}
+
+// Build reconstructs the hop tree from a flat span set. The root is the span
+// with Parent 0 (the initiator); spans referencing an unknown parent land in
+// Orphans. Build returns nil for an empty span set.
+func Build(spans []Span) *Tree {
+	if len(spans) == 0 {
+		return nil
+	}
+	nodes := make(map[uint64]*Node, len(spans))
+	order := make([]*Node, 0, len(spans))
+	for _, s := range spans {
+		if _, dup := nodes[s.ID]; dup {
+			continue
+		}
+		n := &Node{Span: s}
+		nodes[s.ID] = n
+		order = append(order, n)
+	}
+	t := &Tree{}
+	for _, n := range order {
+		switch {
+		case n.Parent == 0:
+			if t.Root == nil {
+				t.Root = n
+			} else {
+				t.Orphans = append(t.Orphans, n)
+			}
+		default:
+			if p := nodes[n.Parent]; p != nil {
+				p.Children = append(p.Children, n)
+			} else {
+				t.Orphans = append(t.Orphans, n)
+			}
+		}
+	}
+	for _, n := range order {
+		sort.Slice(n.Children, func(i, j int) bool {
+			a, b := n.Children[i], n.Children[j]
+			if a.Arrive != b.Arrive {
+				return a.Arrive < b.Arrive
+			}
+			if a.Peer != b.Peer {
+				return a.Peer < b.Peer
+			}
+			return a.ID < b.ID
+		})
+	}
+	return t
+}
+
+// Rollup aggregates the subtree under n.
+func (n *Node) Rollup() Rollup {
+	r := Rollup{Spans: 1, MaxDepth: n.Depth,
+		StateTuples: n.StateTuples, AnswerTuples: n.AnswerTuples}
+	if Lost(n.Outcome) {
+		r.Lost++
+	}
+	for _, c := range n.Children {
+		cr := c.Rollup()
+		r.Spans += cr.Spans
+		r.StateTuples += cr.StateTuples
+		r.AnswerTuples += cr.AnswerTuples
+		r.Lost += cr.Lost
+		if cr.MaxDepth > r.MaxDepth {
+			r.MaxDepth = cr.MaxDepth
+		}
+	}
+	return r
+}
+
+// Depth returns the deepest hop depth of the tree.
+func (t *Tree) Depth() int {
+	if t == nil || t.Root == nil {
+		return 0
+	}
+	return t.Root.Rollup().MaxDepth
+}
+
+// Spans counts the traversals of the tree (orphans included).
+func (t *Tree) Spans() int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	if t.Root != nil {
+		n = t.Root.Rollup().Spans
+	}
+	for _, o := range t.Orphans {
+		n += o.Rollup().Spans
+	}
+	return n
+}
+
+// Walk visits every span of the tree (root first, children in display
+// order), calling fn with each node.
+func (t *Tree) Walk(fn func(*Node)) {
+	if t == nil {
+		return
+	}
+	var rec func(*Node)
+	rec = func(n *Node) {
+		fn(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	if t.Root != nil {
+		rec(t.Root)
+	}
+	for _, o := range t.Orphans {
+		rec(o)
+	}
+}
+
+// Canonical returns a runtime-independent structural signature of the tree:
+// the nested (peer, region, phase, lost?) relation with children ordered by
+// content rather than by arrival. Two runtimes executing the same query must
+// produce equal canonical forms — the cross-runtime equivalence contract.
+// Clocks, attempts and tuple counts are deliberately excluded.
+func (t *Tree) Canonical() string {
+	if t == nil || t.Root == nil {
+		return ""
+	}
+	var b strings.Builder
+	canonical(&b, t.Root)
+	return b.String()
+}
+
+func canonical(b *strings.Builder, n *Node) {
+	b.WriteByte('(')
+	b.WriteString(n.Peer)
+	b.WriteByte('|')
+	b.WriteString(n.Region.String())
+	b.WriteByte('|')
+	b.WriteString(n.Phase)
+	if Lost(n.Outcome) {
+		b.WriteString("|lost")
+	}
+	keys := make([]string, len(n.Children))
+	kids := make(map[string]*Node, len(n.Children))
+	for i, c := range n.Children {
+		var cb strings.Builder
+		canonical(&cb, c)
+		keys[i] = cb.String()
+		kids[keys[i]] = c
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+	}
+	b.WriteByte(')')
+}
+
+// String renders the hop tree as an annotated ASCII tree.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Render writes the annotated ASCII hop tree: one line per traversal with
+// phase, remaining r, arrival clock, tuple counts and fault outcome, and a
+// per-subtree rollup (spans, max depth, tuples, losses) on branching nodes.
+func (t *Tree) Render(w io.Writer) {
+	if t == nil || t.Root == nil {
+		fmt.Fprintln(w, "(no trace)")
+		return
+	}
+	renderNode(w, t.Root, "", true, true)
+	for _, o := range t.Orphans {
+		fmt.Fprintf(w, "orphaned subtree (parent span %d missing):\n", o.Parent)
+		renderNode(w, o, "  ", true, true)
+	}
+}
+
+func renderNode(w io.Writer, n *Node, prefix string, last, root bool) {
+	connector := "├─ "
+	childPrefix := prefix + "│  "
+	if last {
+		connector = "└─ "
+		childPrefix = prefix + "   "
+	}
+	if root {
+		connector = ""
+		childPrefix = prefix
+	}
+	fmt.Fprintf(w, "%s%s%s\n", prefix, connector, n.line())
+	for i, c := range n.Children {
+		renderNode(w, c, childPrefix, i == len(n.Children)-1, false)
+	}
+}
+
+// line formats one span's annotation.
+func (n *Node) line() string {
+	var b strings.Builder
+	if Lost(n.Outcome) {
+		fmt.Fprintf(&b, "✗ %s [%s] region=%s", n.Peer, n.Outcome, compactRegion(n.Region))
+		if n.Attempt > 0 {
+			fmt.Fprintf(&b, " retries=%d", n.Attempt)
+		}
+		fmt.Fprintf(&b, "  (subtree lost at depth %d)", n.Depth)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%s [%s r=%s] t=%d region=%s", n.Peer, n.Phase, rString(n.R), n.Arrive, compactRegion(n.Region))
+	if n.StateTuples > 0 || n.AnswerTuples > 0 {
+		fmt.Fprintf(&b, " tuples(state=%d answer=%d)", n.StateTuples, n.AnswerTuples)
+	}
+	if n.Outcome == OutcomeDelay {
+		b.WriteString(" (delayed)")
+	}
+	if n.Attempt > 0 {
+		fmt.Fprintf(&b, " retries=%d", n.Attempt)
+	}
+	if len(n.Children) > 0 {
+		r := n.Rollup()
+		fmt.Fprintf(&b, "  ── subtree: %d spans, depth %d, %d state / %d answer tuples",
+			r.Spans, r.MaxDepth, r.StateTuples, r.AnswerTuples)
+		if r.Lost > 0 {
+			fmt.Fprintf(&b, ", %d LOST", r.Lost)
+		}
+	}
+	return b.String()
+}
+
+// rString renders the remaining ripple parameter, abbreviating the huge
+// sentinels used for "slow forever".
+func rString(r int) string {
+	if r >= 1<<19 {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", r)
+}
+
+// compactRegion abbreviates long multi-box regions so tree lines stay
+// readable; single-box regions (the MIDAS common case) render in full.
+func compactRegion(r overlay.Region) string {
+	s := r.String()
+	if len(s) <= 56 {
+		return s
+	}
+	return s[:53] + "..."
+}

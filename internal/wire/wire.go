@@ -20,6 +20,7 @@ import (
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
+	"ripple/internal/trace"
 )
 
 // Codec serialises one query type's parameters and states.
@@ -41,6 +42,16 @@ type Call struct {
 	Restrict  overlay.Region
 	R         int
 	Hops      int // logical arrival time of this message
+
+	// Trace context. When Traced is set, the receiving peer records a span
+	// for itself — identified by SpanID, which the caller derived (the caller
+	// owns the traversal, exactly like the in-process engines) — and returns
+	// its subtree's spans on the Reply, convergecasting the hop tree back to
+	// the initiator. SpanParent and SpanDepth place the span in the tree.
+	Traced     bool
+	SpanID     uint64
+	SpanParent uint64
+	SpanDepth  int
 }
 
 // Reply is the upstream message: the local states of the processed subtree,
@@ -71,6 +82,11 @@ type Reply struct {
 	Failures int
 	Retries  int
 	TimedOut int
+
+	// Spans carries the subtree's hop-tree spans upstream when the call was
+	// traced: the replying peer's own span, spans it recorded for lost
+	// children, and everything its reachable children reported.
+	Spans []trace.Span
 }
 
 // MergeFaults folds a child subtree's fault accounting into r.

@@ -36,10 +36,12 @@ import (
 	"ripple/internal/midas"
 	"ripple/internal/netpeer"
 	"ripple/internal/overlay"
+	"ripple/internal/metrics"
 	"ripple/internal/rangeq"
 	"ripple/internal/sim"
 	"ripple/internal/skyline"
 	"ripple/internal/topk"
+	"ripple/internal/trace"
 	"ripple/internal/wire"
 )
 
@@ -187,6 +189,40 @@ func Run(initiator Node, p Processor, r int) ([]Tuple, Stats) {
 	res := core.Run(initiator, p, r)
 	return res.Answers, res.Stats
 }
+
+// Query observability: hop-tree tracing and the metrics registry.
+type (
+	// Result is the full outcome of an engine query: answers, cost stats,
+	// lost regions, and — when traced — the reconstructed hop tree.
+	Result = core.Result
+	// TraceTree is a query's reconstructed propagation tree.
+	TraceTree = trace.Tree
+	// TraceNode is one peer visit in a hop tree.
+	TraceNode = trace.Node
+	// TraceSpan is one link-traversal record.
+	TraceSpan = trace.Span
+	// MetricsRegistry is the dependency-free counter/histogram registry with
+	// Prometheus text exposition and pprof mounting (see internal/metrics).
+	MetricsRegistry = metrics.Registry
+)
+
+// RunDetailed executes a Processor and returns the full Result, including
+// the partial-answer accounting.
+func RunDetailed(initiator Node, p Processor, r int) *Result {
+	return core.Run(initiator, p, r)
+}
+
+// RunTraced is RunDetailed with hop-tree tracing: every link traversal is
+// recorded as a span and Result.Trace holds the recursion tree.
+func RunTraced(initiator Node, p Processor, r int) *Result {
+	return core.RunOpts(initiator, p, r, core.Options{Trace: true})
+}
+
+// NewMetrics returns a fresh metrics registry.
+func NewMetrics() *MetricsRegistry { return metrics.New() }
+
+// TopKSelect picks the k best tuples from a collected answer set.
+func TopKSelect(ts []Tuple, f Scorer, k int) []Tuple { return topk.Select(ts, f, k) }
 
 // Additional query types and runtime surfaces.
 type (
