@@ -1,0 +1,21 @@
+// Command ripple-vet is the repository's invariant checker: a multichecker
+// over the internal/lint analyzers (determinism, statealias, lockcheck,
+// ctxdeadline, errlost). It runs as part of `make verify` and CI; see
+// DESIGN.md §10 for the enforced invariants and the suppression convention.
+//
+// Usage:
+//
+//	ripple-vet ./...                  # the pre-merge gate
+//	ripple-vet -list                  # what is enforced
+//	ripple-vet -analyzers errlost ./internal/netpeer
+package main
+
+import (
+	"os"
+
+	"ripple/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Stdout, os.Stderr, ".", os.Args[1:]))
+}

@@ -1,0 +1,52 @@
+package lint
+
+import "strings"
+
+// Analyzers returns the full ripple-vet suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		StateAliasAnalyzer,
+		LockCheckAnalyzer,
+		CtxDeadlineAnalyzer,
+		ErrLostAnalyzer,
+	}
+}
+
+// DefaultScope maps each analyzer to the import-path suffixes of the
+// packages whose invariants it encodes (matched against the end of the
+// import path, so the rules survive a module rename). An empty list means
+// "run everywhere" — used for analyzers that self-limit, like statealias,
+// which only fires on core.Processor implementations.
+//
+// The scopes mirror the invariants' blast radius: determinism covers every
+// package the three replay-validated runtimes share; lockcheck the packages
+// with real concurrency; ctxdeadline the TCP transport; errlost the fan-out
+// engines plus the metrics endpoint they are observed through.
+var DefaultScope = map[string][]string{
+	"determinism": {
+		"internal/core", "internal/sim", "internal/faults", "internal/trace",
+		"internal/overlay", "internal/midas", "internal/can", "internal/chord",
+		"internal/baton",
+	},
+	"statealias": {},
+	"lockcheck":  {"internal/metrics", "internal/async", "internal/netpeer"},
+	"ctxdeadline": {"internal/netpeer"},
+	"errlost": {
+		"internal/core", "internal/async", "internal/netpeer", "internal/metrics",
+	},
+}
+
+// InScope reports whether an analyzer's default scope covers a package.
+func InScope(analyzer, pkgPath string) bool {
+	suffixes, ok := DefaultScope[analyzer]
+	if !ok || len(suffixes) == 0 {
+		return true
+	}
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

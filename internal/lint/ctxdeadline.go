@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxDeadlineAnalyzer enforces the transport discipline of the TCP runtime
+// (DESIGN.md §10.4): every outbound call must run under the deadline/retry
+// wrapper, because one bare dial or raw conn.Read with no deadline lets a
+// hung peer pin a query forever — precisely the failure mode the
+// fault-tolerance layer (PR 1) exists to bound.
+//
+// Functions that ARE the transport layer (they arm deadlines themselves)
+// carry a `//ripplevet:transport` directive in their doc comment; inside
+// them, net.DialTimeout and raw conn I/O are legal. Everywhere else:
+//
+//   - net.Dial / net.Dialer.Dial (no timeout) is an error outright;
+//   - net.DialTimeout / net.Dialer.DialContext belong in transport
+//     functions only;
+//   - Read/Write on a net.Conn belongs in transport functions only.
+var CtxDeadlineAnalyzer = &Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "outbound network calls must go through the deadline/retry transport wrapper",
+	Run:  runCtxDeadline,
+}
+
+// transportDirective marks a function as part of the transport layer.
+const transportDirective = "//ripplevet:transport"
+
+func runCtxDeadline(pass *Pass) error {
+	netPkg := findImport(pass.Pkg, "net")
+	if netPkg == nil {
+		return nil // no net usage possible
+	}
+	connIface, _ := lookupType(netPkg, "Conn").Underlying().(*types.Interface)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			transport := docHasDirective(fd.Doc, transportDirective)
+			checkNetCalls(pass, fd, transport, connIface)
+		}
+	}
+	return nil
+}
+
+func checkNetCalls(pass *Pass, fd *ast.FuncDecl, transport bool, connIface *types.Interface) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case isPkgFunc(fn, "net", "Dial"):
+			pass.Reportf(call.Pos(),
+				"bare net.Dial carries no deadline, so a hung peer blocks the query forever; use net.DialTimeout inside a %s function", transportDirective)
+		case isNetDialer(fn, "Dial"):
+			pass.Reportf(call.Pos(),
+				"net.Dialer.Dial may carry no deadline; use DialContext or net.DialTimeout inside a %s function", transportDirective)
+		case isPkgFunc(fn, "net", "DialTimeout"), isNetDialer(fn, "DialContext"):
+			if !transport {
+				pass.Reportf(call.Pos(),
+					"outbound dial outside the transport layer: route the call through the deadline/retry wrapper (Server.callPeer), or mark this function %s if it arms deadlines itself", transportDirective)
+			}
+		case isConnIO(pass, fn, call, connIface):
+			if !transport {
+				pass.Reportf(call.Pos(),
+					"raw %s on a net.Conn outside the transport layer bypasses the deadline/retry policy; use the wire helpers inside a %s function", fn.Name(), transportDirective)
+			}
+		}
+		return true
+	})
+}
+
+// isNetDialer reports whether fn is the named method on net.Dialer.
+func isNetDialer(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	path, typeName := namedPathName(sig.Recv().Type())
+	return path == "net" && typeName == "Dialer"
+}
+
+// isConnIO reports whether the call is Read or Write invoked on a value
+// whose static type satisfies net.Conn (deadline-capable connections). Plain
+// io.Reader/io.Writer wrappers do not satisfy net.Conn and pass freely.
+func isConnIO(pass *Pass, fn *types.Func, call *ast.CallExpr, connIface *types.Interface) bool {
+	if connIface == nil || (fn.Name() != "Read" && fn.Name() != "Write") {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	return types.Implements(recv, connIface) ||
+		types.Implements(types.NewPointer(recv), connIface)
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Main is the ripple-vet multichecker entry point: it loads the packages
+// matching the patterns (default ./...), runs every analyzer over its scoped
+// packages, and prints findings as `file:line:col: analyzer: message`.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load failure — so `make
+// verify` and CI fail on any violation.
+func Main(stdout, stderr io.Writer, dir string, args []string) int {
+	fs := flag.NewFlagSet("ripple-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list the analyzers and exit")
+		only     = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		unscoped = fs.Bool("unscoped", false, "ignore the default package scopes and run every analyzer everywhere")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ripple-vet [flags] [packages]\n\n"+
+			"ripple-vet enforces RIPPLE's determinism, aliasing, locking, deadline,\n"+
+			"and failure-accounting invariants (DESIGN.md §10).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "ripple-vet:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "ripple-vet:", err)
+		return 2
+	}
+	var all []Diagnostic
+	var fsets []*Package
+	for _, pkg := range pkgs {
+		for _, a := range selected {
+			if !*unscoped && !InScope(a.Name, pkg.Path) {
+				continue
+			}
+			diags, err := Run(a, pkg)
+			if err != nil {
+				fmt.Fprintln(stderr, "ripple-vet:", err)
+				return 2
+			}
+			for range diags {
+				fsets = append(fsets, pkg)
+			}
+			all = append(all, diags...)
+		}
+	}
+	type located struct {
+		pos  string
+		line string
+	}
+	out := make([]located, len(all))
+	for i, d := range all {
+		pos := fsets[i].Fset.Position(d.Pos)
+		out[i] = located{
+			pos:  pos.String(),
+			line: fmt.Sprintf("%s: %s: %s", pos, d.Analyzer, d.Message),
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	for _, l := range out {
+		fmt.Fprintln(stdout, l.line)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(stderr, "ripple-vet: %d finding(s)\n", len(all))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only string) ([]*Analyzer, error) {
+	analyzers := Analyzers()
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrLostAnalyzer enforces exactly-once failure accounting (DESIGN.md §10.5).
+// In the fan-out engines, an error from a child call IS a lost subtree: if it
+// is dropped, the query silently returns a partial answer that claims to be
+// complete — the exact bug class the fault-tolerance layer (PR 1) exists to
+// prevent. Every error must therefore reach a handler: failure accounting
+// (sim.Stats, wire.Reply.RecordLostLink), a returned error, or a logged
+// decision. Discarding one is an error:
+//
+//   - a call used as a bare statement whose results include an error;
+//   - an error result assigned to the blank identifier (`r, _ := f()`,
+//     `_ = f()`);
+//   - `go f()` / `defer f()` where f's error has nowhere to go.
+//
+// Exceptions are limited to errors that are impossible or meaningless by
+// documentation, mirroring errcheck's defaults:
+//
+//   - methods named Close (best-effort teardown of connections already
+//     being abandoned);
+//   - fmt.Print/Printf/Println to stdout, and fmt.Fprint* into a
+//     strings.Builder or bytes.Buffer;
+//   - methods on strings.Builder and bytes.Buffer (documented to panic,
+//     not error);
+//   - Write on a hash.Hash (documented to never return an error).
+var ErrLostAnalyzer = &Analyzer{
+	Name: "errlost",
+	Doc:  "error results must reach failure accounting or a handler, never the blank identifier",
+	Run:  runErrLost,
+}
+
+func runErrLost(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call, "is silently discarded")
+				}
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call, "vanishes with the goroutine")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call, "is silently discarded by defer")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall flags a call statement whose results include an error.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr, how string) {
+	if isExemptDiscard(pass, call) {
+		return
+	}
+	for _, t := range resultTypes(pass.TypesInfo, call) {
+		if isErrorType(t) {
+			pass.Reportf(call.Pos(),
+				"error result of %s %s; handle it or record the failure (sim.Stats / wire.Reply.FailedRegions)",
+				callName(pass, call), how)
+			return
+		}
+	}
+}
+
+// checkBlankAssign flags error results assigned to the blank identifier.
+func checkBlankAssign(pass *Pass, as *ast.AssignStmt) {
+	// Multi-result call: r, _ := f().
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || isExemptDiscard(pass, call) {
+			return
+		}
+		rets := resultTypes(pass.TypesInfo, call)
+		for i, lhs := range as.Lhs {
+			if i < len(rets) && isBlank(lhs) && isErrorType(rets[i]) {
+				pass.Reportf(lhs.Pos(),
+					"error result of %s is assigned to _; handle it or record the failure (sim.Stats / wire.Reply.FailedRegions)",
+					callName(pass, call))
+			}
+		}
+		return
+	}
+	// Pairwise: _ = expr where expr has error type.
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		rhs := as.Rhs[i]
+		t := pass.TypesInfo.TypeOf(rhs)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isExemptDiscard(pass, call) {
+			continue
+		}
+		pass.Reportf(lhs.Pos(),
+			"error value is assigned to _; handle it or record the failure (sim.Stats / wire.Reply.FailedRegions)")
+	}
+}
+
+// isBlank reports whether the expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isExemptDiscard reports whether discarding the call's error is sanctioned:
+// Close teardown, stdout printing, or writers documented never to fail.
+func isExemptDiscard(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Name() == "Close" {
+		return true
+	}
+	if funcPkgPath(fn) == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true // stdout: nothing sensible to do with the error
+		}
+		if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			return isInfallibleWriter(pass.TypesInfo.TypeOf(call.Args[0]))
+		}
+		return false
+	}
+	// For method calls, judge the receiver by its static type at the call
+	// site: an interface method's declared receiver (e.g. io.Writer for
+	// hash.Hash64.Write) says nothing about what it is called on.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if isInfallibleWriter(recv) {
+		return true
+	}
+	return fn.Name() == "Write" && isHash(pass, recv)
+}
+
+// isInfallibleWriter matches strings.Builder and bytes.Buffer (and pointers
+// to them), whose write methods are documented to never return an error.
+func isInfallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	path, name := namedPathName(t)
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}
+
+// isHash matches types satisfying hash.Hash, whose Write is documented to
+// never return an error.
+func isHash(pass *Pass, t types.Type) bool {
+	if hashPkg := findImport(pass.Pkg, "hash"); hashPkg != nil {
+		if named := lookupType(hashPkg, "Hash"); named != nil {
+			if iface, ok := named.Underlying().(*types.Interface); ok && types.Implements(t, iface) {
+				return true
+			}
+		}
+	}
+	path, _ := namedPathName(t)
+	return path == "hash" || strings.HasPrefix(path, "hash/")
+}
+
+// callName renders the callee for diagnostics.
+func callName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	return "the call"
+}

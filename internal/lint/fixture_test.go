@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches analysistest-style expectations: // want `regex`.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// runFixture loads testdata/<analyzer>/<variant>, runs the analyzer, and
+// matches diagnostics against the fixture's `// want` comments exactly:
+// every want must be hit by a diagnostic on its line, and no diagnostic may
+// appear without a want — so clean fixtures double as false-positive tests.
+func runFixture(t *testing.T, a *Analyzer, variant string) {
+	t.Helper()
+	dir := filepath.Join("testdata", a.Name, variant)
+	pkg, err := LoadDir(".", dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := Run(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[wantKey][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					k := wantKey{file: filepath.Base(pos.Filename), line: pos.Line}
+					wants[k] = append(wants[k], &want{re: regexp.MustCompile(m[1])})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := wantKey{file: filepath.Base(pos.Filename), line: pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	runFixture(t, DeterminismAnalyzer, "bad")
+	runFixture(t, DeterminismAnalyzer, "clean")
+}
+
+func TestStateAliasFixtures(t *testing.T) {
+	runFixture(t, StateAliasAnalyzer, "bad")
+	runFixture(t, StateAliasAnalyzer, "clean")
+}
+
+func TestLockCheckFixtures(t *testing.T) {
+	runFixture(t, LockCheckAnalyzer, "bad")
+	runFixture(t, LockCheckAnalyzer, "clean")
+}
+
+func TestCtxDeadlineFixtures(t *testing.T) {
+	runFixture(t, CtxDeadlineAnalyzer, "bad")
+	runFixture(t, CtxDeadlineAnalyzer, "clean")
+}
+
+func TestErrLostFixtures(t *testing.T) {
+	runFixture(t, ErrLostAnalyzer, "bad")
+	runFixture(t, ErrLostAnalyzer, "clean")
+}
+
+// TestIgnoreDirectives checks both halves of the suppression convention: a
+// directive with a reason silences exactly its line, and a reason-less
+// directive silences nothing and is itself a finding.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg, err := LoadDir(".", filepath.Join("testdata", "ignore", "bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(DeterminismAnalyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotMalformed, gotFinding int
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "missing reason"):
+			gotMalformed++
+		case strings.Contains(d.Message, "time.Now"):
+			gotFinding++
+		default:
+			t.Errorf("unexpected diagnostic: %s", d.Message)
+		}
+	}
+	if gotMalformed != 1 || gotFinding != 1 {
+		t.Errorf("got %d malformed-directive and %d unsuppressed findings, want 1 and 1; diags: %v",
+			gotMalformed, gotFinding, diags)
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed `//lint:ignore <analyzers> <reason>` comment.
+// It suppresses diagnostics of the named analyzers (comma-separated) on the
+// directive's own line and on the line immediately below it, so it works both
+// as a trailing comment and as a line of its own above the flagged statement.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers map[string]bool
+	reason    string
+	pos       token.Pos
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores extracts every ignore directive from a package's files.
+// Directives with no reason are returned with reason == "" and reported by
+// applyIgnores: a suppression that does not explain itself is itself a
+// finding (the acceptance bar is "zero suppressions left unexplained").
+func parseIgnores(pkg *Package) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				d := ignoreDirective{
+					analyzers: make(map[string]bool),
+					pos:       c.Pos(),
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d.file, d.line = pos.Filename, pos.Line
+				if len(fields) > 0 {
+					for _, name := range strings.Split(fields[0], ",") {
+						d.analyzers[name] = true
+					}
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyIgnores filters one analyzer's diagnostics through the package's
+// ignore directives. Malformed directives (no analyzer name or no reason)
+// naming this analyzer are converted into diagnostics so they cannot silently
+// disable a check.
+func applyIgnores(analyzer string, pkg *Package, diags []Diagnostic) []Diagnostic {
+	directives := parseIgnores(pkg)
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		for _, dir := range directives {
+			if !dir.analyzers[analyzer] || dir.reason == "" {
+				continue
+			}
+			if dir.file == pos.Filename && (dir.line == pos.Line || dir.line == pos.Line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range directives {
+		if dir.analyzers[analyzer] && dir.reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: analyzer,
+				Message:  "malformed //lint:ignore directive: missing reason (write `//lint:ignore " + analyzer + " <why this is safe>`)",
+			})
+		}
+	}
+	return out
+}
+
+// docHasDirective reports whether a function's doc comment carries the given
+// marker directive (e.g. //ripplevet:transport) on a line of its own.
+func docHasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockCheckAnalyzer enforces lock and atomic discipline in the concurrent
+// packages (DESIGN.md §10.3):
+//
+//   - a struct containing a sync or sync/atomic value must not be copied:
+//     copies split the lock from the state it guards (value receivers,
+//     plain assignment, range-value copies, and by-value argument passing
+//     are all flagged);
+//   - a field written with the sync/atomic functions must never also be
+//     read or written directly: mixed access is a data race that the race
+//     detector only catches when the schedule cooperates, while the
+//     analyzer catches it on every build.
+var LockCheckAnalyzer = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "forbid copying mutex-bearing structs and mixing atomic with plain access to the same field",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		checkCopies(pass, f)
+	}
+	checkMixedAtomics(pass)
+	return nil
+}
+
+// ---- lock copying ----
+
+// lockContainers are the types whose values must never be copied after use.
+var lockContainers = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+		"Cond": true, "Map": true, "Pool": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// containsLock reports whether a value of type t embeds a lock (directly, in
+// a nested struct field, or in an array element). Pointers, slices, and maps
+// only reference the lock and are fine to copy.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, make(map[types.Type]bool))
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if path, name := namedType(t); path != "" {
+		if lockContainers[path][name] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// namedType returns the package path and name of a named type (no pointer
+// unwrapping: a *Mutex does not contain a lock, it points at one).
+func namedType(t types.Type) (string, string) {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return n.Obj().Pkg().Path(), n.Obj().Name()
+}
+
+// addressableSource reports whether copying from this expression duplicates
+// an existing value (as opposed to initializing from a literal or a call
+// result, which moves a fresh value that has never guarded anything).
+func addressableSource(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.TypeAssertExpr:
+		return addressableSource(e.X)
+	}
+	return false
+}
+
+func checkCopies(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkValueReceiver(pass, n)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				checkCopyExpr(pass, rhs, "assignment copies")
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pass.TypesInfo.TypeOf(n.Value); t != nil && containsLock(t) {
+					pass.Reportf(n.Value.Pos(),
+						"range value copies %s, which contains a lock; iterate by index or over pointers", typeString(t))
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+				return true // type conversion, not a call
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return true // len/cap/... do not copy their argument
+				}
+			}
+			for _, arg := range n.Args {
+				checkCopyExpr(pass, arg, "argument passes a copy of")
+			}
+		}
+		return true
+	})
+}
+
+func checkCopyExpr(pass *Pass, e ast.Expr, how string) {
+	if !addressableSource(e) {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil || !containsLock(t) {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"%s %s, which contains a lock; use a pointer so the lock and the state it guards stay together", how, typeString(t))
+}
+
+func checkValueReceiver(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	if containsLock(t) {
+		pass.Reportf(fd.Recv.Pos(),
+			"method %s copies its lock-bearing receiver %s on every call; use a pointer receiver", fd.Name.Name, typeString(t))
+	}
+}
+
+func typeString(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// ---- mixed atomic / plain access ----
+
+// checkMixedAtomics flags fields and variables that are accessed through the
+// sync/atomic functions somewhere in the package and with a plain read or
+// write somewhere else. Composite-literal initialization is exempt (the
+// value is not yet shared); everything else must be consistently atomic.
+func checkMixedAtomics(pass *Pass) {
+	atomicObjs := make(map[types.Object]bool) // objects whose address feeds sync/atomic
+	sanctioned := make(map[*ast.Ident]bool)   // idents inside those &x.f arguments
+
+	// Pass 1: find atomic accesses and composite-literal keys.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if funcPkgPath(fn) != "sync/atomic" || len(n.Args) == 0 {
+					return true
+				}
+				un, ok := ast.Unparen(n.Args[0]).(*ast.UnaryExpr)
+				if !ok {
+					return true
+				}
+				obj := exprObj(pass.TypesInfo, un.X)
+				if obj == nil {
+					return true
+				}
+				atomicObjs[obj] = true
+				markIdents(un.X, sanctioned)
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							sanctioned[id] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: any other reference to those objects is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || !atomicObjs[obj] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%q is accessed with sync/atomic elsewhere in this package but read or written directly here; every access must be atomic (or migrate the field to an atomic.Int64-style type)",
+				id.Name)
+			return true
+		})
+	}
+}
+
+// markIdents records every identifier inside the &x.f argument of an atomic
+// call so the second pass does not count it as a plain access.
+func markIdents(e ast.Expr, sanctioned map[*ast.Ident]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			sanctioned[id] = true
+		}
+		return true
+	})
+}
