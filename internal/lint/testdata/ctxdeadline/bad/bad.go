@@ -1,0 +1,30 @@
+// Package fixture performs outbound network I/O outside the transport layer:
+// none of these functions carry the //ripplevet:transport directive, so every
+// dial and raw conn access below bypasses the deadline/retry policy.
+package fixture
+
+import (
+	"net"
+	"time"
+)
+
+func BareDial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `bare net\.Dial carries no deadline`
+}
+
+func DialerDial(addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.Dial("tcp", addr) // want `net\.Dialer\.Dial may carry no deadline`
+}
+
+func TimeoutOutside(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second) // want `outbound dial outside the transport layer`
+}
+
+func RawRead(conn net.Conn, buf []byte) (int, error) {
+	return conn.Read(buf) // want `raw Read on a net\.Conn outside the transport layer`
+}
+
+func RawWrite(conn net.Conn, buf []byte) (int, error) {
+	return conn.Write(buf) // want `raw Write on a net\.Conn outside the transport layer`
+}

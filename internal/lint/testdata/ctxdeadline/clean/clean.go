@@ -1,0 +1,37 @@
+// Package fixture is a legal transport layer: the //ripplevet:transport
+// directive marks dialPeer as arming its own deadlines, which licenses the
+// timeout dial and raw conn I/O inside it. Plain io.Reader wrappers are not
+// net.Conns and pass everywhere.
+package fixture
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// dialPeer performs one deadline-bounded exchange with a peer.
+//
+//ripplevet:transport
+func dialPeer(addr string, d time.Duration) ([]byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(d)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// Drain reads from a plain io.Reader; only net.Conn I/O is transport-gated.
+func Drain(r io.Reader) (int, error) {
+	buf := make([]byte, 64)
+	return r.Read(buf)
+}

@@ -1,0 +1,48 @@
+// Package fixture seeds every class of determinism violation; each flagged
+// line carries the expected diagnostic as a `// want` comment.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Clock leaks the wall clock into replayed state.
+func Clock() int64 {
+	t := time.Now() // want `call to time\.Now`
+	return t.UnixNano()
+}
+
+// Backoff schedules against the wall clock.
+func Backoff() {
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep`
+}
+
+// Shuffle draws from the global math/rand stream.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand stream \(rand\.Shuffle\)`
+}
+
+// Keys returns map keys in iteration order without sorting.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside range over map`
+	}
+	return out
+}
+
+// Stream sends map keys to a channel in iteration order.
+func Stream(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map`
+	}
+}
+
+// Dump prints map entries in iteration order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside range over map`
+	}
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the determinism analyzer's exceptions: seeded
+// randomness, sorted-after-the-loop appends, order-insensitive folds, and
+// loop-local scratch slices must all pass without diagnostics.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SeededDraw derives all randomness from an explicit seed; methods on a
+// seeded *rand.Rand are fine.
+func SeededDraw(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// SortedKeys appends under a map range but sorts before the order can leak.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Fold is order-insensitive: counters and map writes cannot leak iteration
+// order.
+func Fold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// LocalScratch appends to a slice declared inside the loop body; its
+// contents never survive an iteration.
+func LocalScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}

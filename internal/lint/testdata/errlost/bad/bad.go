@@ -1,0 +1,30 @@
+// Package fixture loses child-call errors in every way the errlost analyzer
+// knows about: each one is a silently-partial answer in disguise.
+package fixture
+
+import "errors"
+
+func fanout() error { return errors.New("subtree lost") }
+
+func pair() (int, error) { return 0, errors.New("no answer") }
+
+func Discard() {
+	fanout() // want `error result of fanout is silently discarded`
+}
+
+func Async() {
+	go fanout() // want `error result of fanout vanishes with the goroutine`
+}
+
+func Deferred() {
+	defer fanout() // want `error result of fanout is silently discarded by defer`
+}
+
+func Blank() int {
+	n, _ := pair() // want `error result of pair is assigned to _`
+	return n
+}
+
+func BlankExpr() {
+	_ = fanout() // want `error value is assigned to _`
+}

@@ -1,0 +1,46 @@
+// Package fixture handles or legitimately discards every error: returned
+// errors, Close teardown, stdout printing, and writers documented never to
+// fail must all pass without diagnostics.
+package fixture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+func fanout() error { return errors.New("subtree lost") }
+
+type conn struct{}
+
+func (conn) Close() error { return nil }
+
+// Handled propagates the error to the caller.
+func Handled() error {
+	if err := fanout(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Teardown discards only a Close error: best-effort teardown of a connection
+// already being abandoned.
+func Teardown(c conn) {
+	defer c.Close()
+}
+
+// Report exercises every sanctioned infallible writer.
+func Report(n int) string {
+	fmt.Println("answers:", n)
+	var b strings.Builder
+	fmt.Fprintf(&b, "answers: %d\n", n)
+	b.WriteString("done")
+	var buf bytes.Buffer
+	buf.WriteByte('\n')
+	h := fnv.New64a()
+	h.Write([]byte("key"))
+	fmt.Println(h.Sum64())
+	return b.String() + buf.String()
+}

@@ -1,0 +1,20 @@
+// Package fixture exercises the //lint:ignore machinery: a directive with a
+// reason suppresses the finding on the next line, while a reason-less
+// directive suppresses nothing and is itself reported.
+package fixture
+
+import "time"
+
+// Suppressed carries a well-formed directive: the wall-clock read below is
+// deliberate and explained, so it must not be reported.
+func Suppressed() time.Time {
+	//lint:ignore determinism fixture exercises the suppression path
+	return time.Now()
+}
+
+// Malformed carries a directive with no reason: the wall-clock read is still
+// reported, and so is the directive itself.
+func Malformed() time.Time {
+	//lint:ignore determinism
+	return time.Now()
+}

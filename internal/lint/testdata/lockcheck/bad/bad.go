@@ -1,0 +1,53 @@
+// Package fixture copies lock-bearing structs and mixes atomic with plain
+// access — both split synchronization from the state it protects.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot copies the receiver, splitting mu from the state it guards.
+func (g Guarded) Snapshot() int { // want `method Snapshot copies its lock-bearing receiver`
+	return g.n
+}
+
+// Copy duplicates the lock by dereferencing.
+func Copy(g *Guarded) {
+	h := *g // want `assignment copies bad\.Guarded`
+	h.n++
+}
+
+// Range copies each element, lock included.
+func Range(gs []Guarded) int {
+	n := 0
+	for _, g := range gs { // want `range value copies bad\.Guarded`
+		n += g.n
+	}
+	return n
+}
+
+func take(Guarded) {}
+
+// Pass hands a copy of the lock to the callee.
+func Pass(g *Guarded) {
+	take(*g) // want `argument passes a copy of bad\.Guarded`
+}
+
+type Counter struct {
+	hits int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Read races with Inc: the same field is atomic there and plain here.
+func (c *Counter) Read() int64 {
+	return c.hits // want `"hits" is accessed with sync/atomic elsewhere`
+}

@@ -1,0 +1,44 @@
+// Package fixture keeps locks with the state they guard: pointer receivers,
+// pointer passing, index iteration, and consistently-typed atomics.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *Guarded) Inc() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func use(*Guarded) {}
+
+func PassPointer(g *Guarded) {
+	use(g)
+}
+
+func RangeIndex(gs []Guarded) int {
+	n := 0
+	for i := range gs {
+		gs[i].mu.Lock()
+		n += gs[i].n
+		gs[i].mu.Unlock()
+	}
+	return n
+}
+
+// Counter uses an atomic type, so every access is atomic by construction.
+type Counter struct {
+	hits atomic.Int64
+}
+
+func (c *Counter) Inc() { c.hits.Add(1) }
+
+func (c *Counter) Read() int64 { return c.hits.Load() }

@@ -1,0 +1,47 @@
+// Package fixture retains and mutates engine-owned callback arguments: the
+// []core.State batch and the overlay.Node view are reused by the engine after
+// each callback returns, so every line below is a use-after-return bug.
+package fixture
+
+import (
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+)
+
+type proc struct {
+	keep []core.State
+	view overlay.Node
+}
+
+var lastBatch []core.State
+
+func (p *proc) LocalState(w overlay.Node, global core.State) core.State {
+	p.view = w // want `LocalState stores the engine-owned overlay\.Node "w"`
+	return global
+}
+
+func (p *proc) GlobalState(w overlay.Node, global, local core.State) core.State {
+	return global
+}
+
+func (p *proc) MergeStates(w overlay.Node, states []core.State) core.State {
+	p.keep = states // want `MergeStates stores the engine-owned \[\]core\.State slice "states"`
+	lastBatch = states[1:] // want `MergeStates stores the engine-owned \[\]core\.State slice "states"`
+	states[0] = nil // want `MergeStates mutates the engine-owned \[\]core\.State slice "states" in place`
+	return states[0]
+}
+
+func (p *proc) LinkRelevant(w overlay.Node, region overlay.Region, global core.State) bool {
+	return true
+}
+
+func (p *proc) LinkPriority(w overlay.Node, region overlay.Region) float64 { return 0 }
+
+func (p *proc) LocalAnswer(w overlay.Node, local core.State) []dataset.Tuple { return nil }
+
+func (p *proc) InitialState() core.State { return nil }
+
+func (p *proc) StateTuples(s core.State) int { return 0 }
+
+var _ core.Processor = (*proc)(nil)

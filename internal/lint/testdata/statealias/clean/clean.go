@@ -1,0 +1,50 @@
+// Package fixture holds a Processor that treats engine-owned arguments as
+// borrowed: element retention, local aliases, and copies are all legal.
+package fixture
+
+import (
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+)
+
+type proc struct {
+	merged core.State
+}
+
+func (p *proc) LocalState(w overlay.Node, global core.State) core.State {
+	return global
+}
+
+func (p *proc) GlobalState(w overlay.Node, global, local core.State) core.State {
+	return global
+}
+
+func (p *proc) MergeStates(w overlay.Node, states []core.State) core.State {
+	// Retaining an element is how merges are built; only the slice itself
+	// (the backing array) is engine-owned.
+	out := states[0]
+	for _, s := range states[1:] {
+		if s != nil {
+			out = s
+		}
+	}
+	// A local alias that never escapes the callback is fine too.
+	batch := states
+	_ = len(batch)
+	return out
+}
+
+func (p *proc) LinkRelevant(w overlay.Node, region overlay.Region, global core.State) bool {
+	return true
+}
+
+func (p *proc) LinkPriority(w overlay.Node, region overlay.Region) float64 { return 0 }
+
+func (p *proc) LocalAnswer(w overlay.Node, local core.State) []dataset.Tuple { return nil }
+
+func (p *proc) InitialState() core.State { return nil }
+
+func (p *proc) StateTuples(s core.State) int { return 0 }
+
+var _ core.Processor = (*proc)(nil)
