@@ -216,7 +216,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		var call wire.Call
 		cr.n = 0
-		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
+			return // dead socket; an unarmed deadline would let the goroutine leak
+		}
 		if err := wire.ReadMessage(cr, &call); err != nil {
 			if isTimeout(err) && cr.n == 0 {
 				select {
@@ -228,13 +230,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return // EOF, broken peer, or mid-frame stall
 		}
-		conn.SetReadDeadline(time.Time{})
+		if err := conn.SetReadDeadline(time.Time{}); err != nil {
+			return
+		}
 		reply := s.safeProcess(&call)
-		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		if err := conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil {
+			return
+		}
 		if err := wire.WriteMessage(conn, reply); err != nil {
 			return
 		}
-		conn.SetWriteDeadline(time.Time{})
+		if err := conn.SetWriteDeadline(time.Time{}); err != nil {
+			return
+		}
 	}
 }
 
@@ -489,6 +497,8 @@ func (s *Server) callPeer(to LinkSpec, call *wire.Call) (*wire.Reply, int, error
 
 // callOnce performs a single RPC attempt over a fresh TCP connection, under
 // the configured dial and call deadlines, consulting the fault injector.
+//
+//ripplevet:transport
 func (s *Server) callOnce(to LinkSpec, call *wire.Call, attempt int) (*wire.Reply, error) {
 	crashed := false
 	switch s.opts.Faults.Decide(s.cfg.ID, to.key(), attempt) {
@@ -508,7 +518,9 @@ func (s *Server) callOnce(to LinkSpec, call *wire.Call, attempt int) (*wire.Repl
 		return nil, err
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(s.opts.CallTimeout))
+	if err := conn.SetDeadline(time.Now().Add(s.opts.CallTimeout)); err != nil {
+		return nil, err
+	}
 	if err := wire.WriteMessage(conn, call); err != nil {
 		return nil, err
 	}
@@ -588,6 +600,10 @@ func QueryTraced(addr, queryType string, params []byte, dims, r int, timeout tim
 	return queryCall(addr, queryType, params, dims, r, timeout, true)
 }
 
+// queryCall is the client half of the wire protocol: it dials the initiator
+// peer, arms a whole-call deadline, and performs one request/reply exchange.
+//
+//ripplevet:transport
 func queryCall(addr, queryType string, params []byte, dims, r int, timeout time.Duration, traced bool) (*QueryResult, error) {
 	if timeout == 0 {
 		timeout = DefaultOptions().CallTimeout
@@ -597,7 +613,9 @@ func queryCall(addr, queryType string, params []byte, dims, r int, timeout time.
 		return nil, err
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
 	call := &wire.Call{
 		QueryType: queryType,
 		Params:    params,
