@@ -1,15 +1,25 @@
 package metrics
 
 import (
+	"bytes"
 	"net/http"
 	"net/http/pprof"
 )
 
-// Handler serves the registry in Prometheus text format.
+// Handler serves the registry in Prometheus text format. The exposition is
+// rendered into a buffer first so an encoding failure becomes a 500 instead
+// of a truncated 200 the scraper would ingest as valid.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, "metrics: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WritePrometheus(w)
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return // client went away mid-scrape; nothing to record
+		}
 	})
 }
 
