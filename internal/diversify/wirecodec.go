@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"math"
+	"sort"
 
 	"ripple/internal/core"
 	"ripple/internal/dataset"
@@ -35,6 +36,9 @@ func (WireCodec) EncodeParams(q Query, base []dataset.Tuple, exclude map[uint64]
 	for id := range exclude {
 		p.Exclude = append(p.Exclude, id)
 	}
+	// Sort so the wire bytes are a pure function of the query: map iteration
+	// order would otherwise make byte-identical replays impossible.
+	sort.Slice(p.Exclude, func(i, j int) bool { return p.Exclude[i] < p.Exclude[j] })
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
 		return nil, err
