@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race verify bench examples results results-paper trace-demo clean
+# Pinned linter versions for CI (and for anyone running `make tools`).
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build test race test-race verify ripple-vet staticcheck govulncheck lint tools bench examples results results-paper trace-demo clean
 
 all: build test
 
@@ -10,8 +14,10 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+# Shuffled so accidental inter-test ordering dependencies surface instead of
+# calcifying.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race-detect the concurrency hot spots only (fast).
 race:
@@ -21,8 +27,41 @@ race:
 test-race:
 	$(GO) test -race ./...
 
-# The full pre-merge gate: build + vet + tests + full race sweep.
-verify: build test test-race
+# ripple-vet: the repository's own invariant checker (internal/lint). It
+# enforces the determinism, aliasing, locking, deadline, and failure-
+# accounting contracts documented in DESIGN.md §10, and exits non-zero on
+# any finding.
+ripple-vet:
+	$(GO) run ./cmd/ripple-vet ./...
+
+# staticcheck and govulncheck run when installed (CI installs the pinned
+# versions; locally they are optional so the gate works offline).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (run 'make tools' to install $(STATICCHECK_VERSION))"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (run 'make tools' to install $(GOVULNCHECK_VERSION))"; \
+	fi
+
+# Install the pinned external linters (network required).
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# All static analysis beyond the compiler: go vet runs in build; this adds
+# the project-specific invariants and the external linters.
+lint: ripple-vet staticcheck govulncheck
+
+# The full pre-merge gate: build + go vet + ripple-vet + external linters +
+# shuffled tests + full race sweep.
+verify: build lint test test-race
 
 # One testing.B benchmark per paper table/figure plus micro-benchmarks.
 bench:
