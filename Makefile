@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race test-race verify ripple-vet staticcheck govulncheck lint tools bench examples results results-paper trace-demo clean
+.PHONY: all build test race test-race verify ripple-vet staticcheck govulncheck lint tools bench bench-smoke bench-json examples results results-paper trace-demo clean
 
 all: build test
 
@@ -60,12 +60,26 @@ tools:
 lint: ripple-vet staticcheck govulncheck
 
 # The full pre-merge gate: build + go vet + ripple-vet + external linters +
-# shuffled tests + full race sweep.
-verify: build lint test test-race
+# shuffled tests + full race sweep + benchmark smoke (every benchmark must
+# still compile and run one iteration).
+verify: build lint test test-race bench-smoke
 
 # One testing.B benchmark per paper table/figure plus micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Run every benchmark exactly once: catches benchmarks that rot (fail to
+# compile or panic) without paying for real measurement.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Hot-path benchmark packages measured for the committed baseline.
+BENCH_JSON_PKGS = ./internal/wire/ ./internal/topk/ ./internal/netpeer/ .
+
+# Regenerate the committed benchmark baseline (ns/op, B/op, allocs/op per
+# benchmark) as deterministic JSON.
+bench-json:
+	$(GO) test -run=NONE -bench=. -benchmem $(BENCH_JSON_PKGS) | $(GO) run ./cmd/ripple-benchjson > BENCH_PR4.json
 
 examples:
 	$(GO) run ./examples/quickstart

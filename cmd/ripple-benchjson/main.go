@@ -1,0 +1,30 @@
+// ripple-benchjson converts `go test -bench -benchmem` text output (stdin)
+// into deterministic JSON (stdout), for committing benchmark baselines:
+//
+//	go test -run=NONE -bench=. -benchmem ./... | ripple-benchjson > BENCH.json
+//
+// See `make bench-json`.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ripple/internal/benchfmt"
+)
+
+func main() {
+	results, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ripple-benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "ripple-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if err := benchfmt.WriteJSON(os.Stdout, results); err != nil {
+		fmt.Fprintln(os.Stderr, "ripple-benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,150 @@
+// Package benchfmt parses the text output of `go test -bench -benchmem`
+// into a machine-readable form, so benchmark baselines can be committed and
+// diffed (see BENCH_PR4.json and `make bench-json`).
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: its per-operation time, bytes allocated, and
+// allocation count. BOp/AllocsOp are -1 when the run lacked -benchmem.
+type Result struct {
+	Name     string  `json:"name"`
+	Package  string  `json:"package,omitempty"`
+	Iters    int64   `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// Parse reads `go test -bench` output and returns every benchmark result in
+// order of appearance. Non-benchmark lines (headers, PASS/ok, logs) are
+// skipped; a malformed Benchmark line is an error rather than silent loss.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		res.Package = pkg
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine parses one `BenchmarkName-8   1234   56.7 ns/op   8 B/op
+// 1 allocs/op` line. Extra measurement columns (MB/s, custom metrics) are
+// ignored.
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, fmt.Errorf("benchfmt: short benchmark line %q", line)
+	}
+	res := Result{Name: trimProcSuffix(fields[0]), BOp: -1, AllocsOp: -1}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("benchfmt: iteration count in %q: %w", line, err)
+	}
+	res.Iters = iters
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("benchfmt: value %q in %q: %w", fields[i], line, err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsOp = v
+			seenNs = true
+		case "B/op":
+			res.BOp = v
+		case "allocs/op":
+			res.AllocsOp = v
+		}
+	}
+	if !seenNs {
+		return Result{}, fmt.Errorf("benchfmt: no ns/op in %q", line)
+	}
+	return res, nil
+}
+
+// trimProcSuffix strips the -GOMAXPROCS suffix go test appends to benchmark
+// names (BenchmarkX-8 -> BenchmarkX); a trailing segment that is not a plain
+// integer belongs to the name and is kept.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// WriteJSON renders results as a deterministic, human-diffable JSON object
+// keyed by benchmark name (package-qualified when packages repeat a name),
+// sorted by key.
+func WriteJSON(w io.Writer, results []Result) error {
+	type row struct {
+		NsOp     float64 `json:"ns_op"`
+		BOp      float64 `json:"b_op"`
+		AllocsOp float64 `json:"allocs_op"`
+		Iters    int64   `json:"iters"`
+	}
+	byName := make(map[string]row, len(results))
+	names := make([]string, 0, len(results))
+	counts := make(map[string]int, len(results))
+	for _, r := range results {
+		counts[r.Name]++
+	}
+	for _, r := range results {
+		key := r.Name
+		if counts[r.Name] > 1 && r.Package != "" {
+			key = r.Package + "." + r.Name
+		}
+		if _, dup := byName[key]; !dup {
+			names = append(names, key)
+		}
+		byName[key] = row{NsOp: r.NsOp, BOp: r.BOp, AllocsOp: r.AllocsOp, Iters: r.Iters}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		enc, err := json.Marshal(byName[name])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "  %q: %s", name, enc)
+		if i < len(names)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

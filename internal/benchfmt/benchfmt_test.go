@@ -1,0 +1,109 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ripple/internal/wire
+cpu: Intel(R) Xeon(R) Processor
+BenchmarkWriteCallPooled-8     	  497948	      1087 ns/op	      48 B/op	       2 allocs/op
+BenchmarkWriteCallFresh-8      	   76586	      7813 ns/op	    5128 B/op	      29 allocs/op
+PASS
+ok  	ripple/internal/wire	2.153s
+pkg: ripple/internal/topk
+BenchmarkSelectKeyed-8         	     286	   1072498 ns/op	  312280 B/op	      23 allocs/op
+BenchmarkWriteCallPooled-8     	    1000	      2000 ns/op	     100 B/op	       5 allocs/op
+ok  	ripple/internal/topk	1.000s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(rs), rs)
+	}
+	first := rs[0]
+	if first.Name != "BenchmarkWriteCallPooled" || first.Package != "ripple/internal/wire" {
+		t.Fatalf("first = %+v", first)
+	}
+	if first.Iters != 497948 || first.NsOp != 1087 || first.BOp != 48 || first.AllocsOp != 2 {
+		t.Fatalf("first measurements = %+v", first)
+	}
+	if rs[2].Package != "ripple/internal/topk" {
+		t.Fatalf("package not tracked across pkg: lines: %+v", rs[2])
+	}
+}
+
+func TestParseWithoutBenchmem(t *testing.T) {
+	rs, err := Parse(strings.NewReader("BenchmarkX-4  100  250 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].BOp != -1 || rs[0].AllocsOp != -1 {
+		t.Fatalf("missing -benchmem columns must stay -1: %+v", rs[0])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-4  notanumber  250 ns/op\n",
+		"BenchmarkX-4  100\n",
+		"BenchmarkX-4  100  xx ns/op\n",
+		"BenchmarkX-4  100  250 furlongs/op\n", // no ns/op at all
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("malformed line %q parsed without error", bad)
+		}
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":        "BenchmarkX",
+		"BenchmarkX":          "BenchmarkX",
+		"BenchmarkX/sub-case": "BenchmarkX/sub-case",
+		"BenchmarkX/sub-16":   "BenchmarkX/sub",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Fatalf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteJSONDeterministicAndQualified(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := WriteJSON(&a, rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, rs); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteJSON output not deterministic")
+	}
+	out := a.String()
+	// The duplicated name must be package-qualified; the unique ones bare.
+	for _, want := range []string{
+		`"ripple/internal/wire.BenchmarkWriteCallPooled"`,
+		`"ripple/internal/topk.BenchmarkWriteCallPooled"`,
+		`"BenchmarkSelectKeyed"`,
+		`"ns_op":1087`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %s:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\"Benchmark") == 0 {
+		t.Fatalf("no benchmark keys in:\n%s", out)
+	}
+}

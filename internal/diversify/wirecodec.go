@@ -1,8 +1,6 @@
 package diversify
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +8,7 @@ import (
 	"ripple/internal/core"
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
+	"ripple/internal/wire"
 )
 
 // WireCodec serialises single-tuple diversification queries and states for
@@ -30,6 +29,11 @@ type wireParams struct {
 // Name implements wire.Codec.
 func (WireCodec) Name() string { return "diversify" }
 
+var (
+	paramsPool = wire.NewPayloadPool(&wireParams{})
+	phiPool    = wire.NewPayloadPool(new(float64))
+)
+
 // EncodeParams builds the wire descriptor for one single-tuple query.
 func (WireCodec) EncodeParams(q Query, base []dataset.Tuple, exclude map[uint64]bool, tau0 float64) ([]byte, error) {
 	p := wireParams{Q: q.Q, Lambda: q.Lambda, Dr: q.Dr.Name(), Dv: q.Dv.Name(), Base: base, Tau0: tau0}
@@ -39,17 +43,13 @@ func (WireCodec) EncodeParams(q Query, base []dataset.Tuple, exclude map[uint64]
 	// Sort so the wire bytes are a pure function of the query: map iteration
 	// order would otherwise make byte-identical replays impossible.
 	sort.Slice(p.Exclude, func(i, j int) bool { return p.Exclude[i] < p.Exclude[j] })
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return paramsPool.Encode(&p)
 }
 
 // NewProcessor implements wire.Codec.
 func (WireCodec) NewProcessor(params []byte) (core.Processor, error) {
 	var p wireParams
-	if err := gob.NewDecoder(bytes.NewReader(params)).Decode(&p); err != nil {
+	if err := paramsPool.Decode(params, &p); err != nil {
 		return nil, fmt.Errorf("diversify: decode params: %w", err)
 	}
 	metric := func(name string) geom.Metric {
@@ -72,11 +72,8 @@ func (WireCodec) NewProcessor(params []byte) (core.Processor, error) {
 
 // EncodeState implements wire.Codec: the φ threshold.
 func (WireCodec) EncodeState(s core.State) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(float64(s.(state))); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	phi := float64(s.(state))
+	return phiPool.Encode(&phi)
 }
 
 // DecodeState implements wire.Codec. Empty input yields +Inf (note that the
@@ -87,7 +84,7 @@ func (WireCodec) DecodeState(b []byte) (core.State, error) {
 		return state(math.Inf(1)), nil
 	}
 	var v float64
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+	if err := phiPool.Decode(b, &v); err != nil {
 		return nil, fmt.Errorf("diversify: decode state: %w", err)
 	}
 	return state(v), nil

@@ -1,0 +1,157 @@
+package netpeer
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+	"ripple/internal/trace"
+	"ripple/internal/wire"
+)
+
+// buildCall assembles the initiator's root call.
+func buildCall(queryType string, params []byte, dims, r int, traced bool) *wire.Call {
+	call := &wire.Call{
+		QueryType: queryType,
+		Params:    params,
+		Restrict:  overlay.Whole(dims),
+		R:         r,
+		Hops:      0,
+	}
+	if traced {
+		call.Traced = true
+		call.SpanID = trace.RootID
+	}
+	return call
+}
+
+// resultFromReply reconstructs the query outcome from the initiator's reply.
+func resultFromReply(reply *wire.Reply, traced bool) *QueryResult {
+	res := &QueryResult{
+		Answers:       reply.Answers,
+		FailedRegions: reply.FailedRegions,
+	}
+	for _, p := range reply.Peers {
+		res.Stats.Touch(p)
+	}
+	res.Stats.Latency = reply.Completion
+	res.Stats.StateMsgs = reply.StateMsgs
+	res.Stats.TuplesSent = reply.TuplesSent
+	res.Stats.RPCFailures = reply.Failures
+	res.Stats.Retries = reply.Retries
+	res.Stats.TimedOut = reply.TimedOut
+	res.Stats.Partial = reply.Partial
+	if traced {
+		res.Trace = trace.Build(reply.Spans)
+	}
+	return res
+}
+
+// Client is an initiator-side handle on one deployment peer that keeps its
+// TCP connection warm across queries, so a workload issuing many queries
+// pays one handshake instead of one per query. The package-level Query
+// functions remain the one-shot path. A Client is safe for concurrent use;
+// concurrent queries are serialised on the single connection.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewClient returns a client for the peer at addr. timeout bounds each
+// query end to end (0 uses the default call timeout). The client does not
+// connect until the first query.
+func NewClient(addr string, timeout time.Duration) *Client {
+	if timeout == 0 {
+		timeout = DefaultOptions().CallTimeout
+	}
+	return &Client{addr: addr, timeout: timeout}
+}
+
+// Close tears down the warm connection, if any. The client stays usable: the
+// next query redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// do performs one exchange over the warm connection, dialling on first use.
+// A reused connection that fails with a non-timeout error is assumed stale
+// (the peer restarted since it was parked) and the exchange is repeated once
+// on a fresh dial.
+//
+//ripplevet:transport
+func (c *Client) do(call *wire.Call) (*wire.Reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reused := c.conn != nil
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+		if err != nil {
+			return nil, err
+		}
+		c.conn = conn
+	}
+	reply, err := roundTrip(c.conn, call, c.timeout)
+	if err != nil {
+		c.conn.Close()
+		c.conn = nil
+		if !reused || isTimeout(err) {
+			return nil, err
+		}
+		conn, derr := net.DialTimeout("tcp", c.addr, c.timeout)
+		if derr != nil {
+			return nil, derr
+		}
+		reply, err = roundTrip(conn, call, c.timeout)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.conn = conn
+	}
+	return reply, nil
+}
+
+// query is the shared body of the Query variants.
+func (c *Client) query(queryType string, params []byte, dims, r int, traced bool) (*QueryResult, error) {
+	reply, err := c.do(buildCall(queryType, params, dims, r, traced))
+	if err != nil {
+		return nil, err
+	}
+	if reply.Error != "" {
+		return nil, &RemoteError{Peer: c.addr, Msg: reply.Error}
+	}
+	return resultFromReply(reply, traced), nil
+}
+
+// Query runs a query over the warm connection; see the package-level Query.
+func (c *Client) Query(queryType string, params []byte, dims, r int) ([]dataset.Tuple, sim.Stats, error) {
+	res, err := c.query(queryType, params, dims, r, false)
+	if err != nil {
+		return nil, sim.Stats{}, err
+	}
+	return res.Answers, res.Stats, nil
+}
+
+// QueryDetailed runs a query over the warm connection and returns the full
+// result including partial-answer accounting.
+func (c *Client) QueryDetailed(queryType string, params []byte, dims, r int) (*QueryResult, error) {
+	return c.query(queryType, params, dims, r, false)
+}
+
+// QueryTraced is QueryDetailed with hop-tree tracing.
+func (c *Client) QueryTraced(queryType string, params []byte, dims, r int) (*QueryResult, error) {
+	return c.query(queryType, params, dims, r, true)
+}

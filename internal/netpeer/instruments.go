@@ -11,6 +11,9 @@ import (
 type instruments struct {
 	dials        *metrics.Counter
 	dialFailures *metrics.Counter
+	connReuses   *metrics.Counter
+	evictions    *metrics.Counter
+	staleConns   *metrics.Counter
 	retries      *metrics.Counter
 	deadlines    *metrics.Counter
 	backoffs     *metrics.Counter
@@ -23,6 +26,9 @@ func newInstruments(r *metrics.Registry) instruments {
 	return instruments{
 		dials:        r.Counter("ripple_netpeer_dials_total", "TCP dial attempts to neighbour peers"),
 		dialFailures: r.Counter("ripple_netpeer_dial_failures_total", "TCP dial attempts that failed"),
+		connReuses:   r.Counter("ripple_netpeer_conn_reuses_total", "RPCs served over a pooled connection instead of a fresh dial"),
+		evictions:    r.Counter("ripple_netpeer_pool_evictions_total", "pooled connections closed by cap, idle expiry, or shutdown"),
+		staleConns:   r.Counter("ripple_netpeer_stale_conns_total", "pooled connections found dead mid-RPC and replaced by a fresh dial"),
 		retries:      r.Counter("ripple_netpeer_retries_total", "extra RPC attempts spent recovering links"),
 		deadlines:    r.Counter("ripple_netpeer_deadline_timeouts_total", "RPC attempts abandoned on a dial/call deadline"),
 		backoffs:     r.Counter("ripple_netpeer_backoffs_total", "backoff sleeps taken before retries"),

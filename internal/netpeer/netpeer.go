@@ -31,6 +31,7 @@ import (
 	"ripple/internal/core"
 	"ripple/internal/dataset"
 	"ripple/internal/faults"
+	"ripple/internal/geom"
 	"ripple/internal/overlay"
 	"ripple/internal/sim"
 	"ripple/internal/trace"
@@ -70,6 +71,7 @@ type Server struct {
 	codecs map[string]wire.Codec
 	opts   Options
 	ins    instruments
+	pool   *connPool // nil when Options.DisableConnPool
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -92,7 +94,7 @@ func NewServerOpts(cfg Config, opts Options, codecs ...wire.Codec) *Server {
 	for _, c := range codecs {
 		m[c.Name()] = c
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		codecs: m,
 		opts:   opts.withDefaults(),
@@ -100,6 +102,10 @@ func NewServerOpts(cfg Config, opts Options, codecs ...wire.Codec) *Server {
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 	}
+	if !s.opts.DisableConnPool {
+		s.pool = newConnPool(s.opts.MaxIdleConnsPerPeer, s.opts.IdleConnTimeout, s.ins.evictions)
+	}
+	return s
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
@@ -131,6 +137,9 @@ func (s *Server) Close() error {
 	s.once.Do(func() {
 		close(s.closed)
 		err = s.ln.Close()
+		if s.pool != nil {
+			s.pool.close()
+		}
 		s.connMu.Lock()
 		for c := range s.conns {
 			c.Close()
@@ -265,13 +274,28 @@ func (s *Server) safeProcess(call *wire.Call) (reply *wire.Reply) {
 	return reply
 }
 
-// node adapts the peer's local share to the engine's Node interface.
-type node struct{ cfg *Config }
+// node adapts the peer's local share to the engine's Node interface. One
+// node instance lives for exactly one call, which is what lets it cache the
+// per-query score index (overlay.ScoreIndexer): within a call every
+// processor callback sees the same scoring key.
+type node struct {
+	cfg *Config
+	ix  *overlay.Index
+}
 
-func (n node) ID() string              { return n.cfg.ID }
-func (n node) Zone() overlay.Region    { return n.cfg.Zone }
-func (n node) Links() []overlay.Link   { return nil } // links live in LinkSpec form
-func (n node) Tuples() []dataset.Tuple { return n.cfg.Tuples }
+func (n *node) ID() string              { return n.cfg.ID }
+func (n *node) Zone() overlay.Region    { return n.cfg.Zone }
+func (n *node) Links() []overlay.Link   { return nil } // links live in LinkSpec form
+func (n *node) Tuples() []dataset.Tuple { return n.cfg.Tuples }
+
+// ScoreIndex implements overlay.ScoreIndexer: built on first use, reused by
+// every later callback of the same call.
+func (n *node) ScoreIndex(key func(geom.Point) float64) *overlay.Index {
+	if n.ix == nil {
+		n.ix = overlay.BuildIndex(n.cfg.Tuples, key)
+	}
+	return n.ix
+}
 
 // process executes this peer's slice of Algorithm 3 for one delivery.
 func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
@@ -297,7 +321,7 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 		}
 	}
 
-	w := node{cfg: &cfg}
+	w := &node{cfg: &cfg}
 	local := proc.LocalState(w, global)
 	wGlobal := proc.GlobalState(w, global, local)
 
@@ -432,7 +456,7 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 
 // finishReply attaches this peer's own state, answer and completion time,
 // returning the number of answer tuples this peer contributed itself.
-func finishReply(reply *wire.Reply, codec wire.Codec, proc core.Processor, w node, local core.State, completion int) int {
+func finishReply(reply *wire.Reply, codec wire.Codec, proc core.Processor, w *node, local core.State, completion int) int {
 	enc, err := codec.EncodeState(local)
 	if err == nil {
 		reply.States = append([][]byte{enc}, reply.States...)
@@ -495,10 +519,8 @@ func (s *Server) callPeer(to LinkSpec, call *wire.Call) (*wire.Reply, int, error
 	return nil, retries, lastErr
 }
 
-// callOnce performs a single RPC attempt over a fresh TCP connection, under
-// the configured dial and call deadlines, consulting the fault injector.
-//
-//ripplevet:transport
+// callOnce performs a single RPC attempt — over a pooled connection when one
+// is warm — under the configured deadlines, consulting the fault injector.
 func (s *Server) callOnce(to LinkSpec, call *wire.Call, attempt int) (*wire.Reply, error) {
 	crashed := false
 	switch s.opts.Faults.Decide(s.cfg.ID, to.key(), attempt) {
@@ -511,14 +533,71 @@ func (s *Server) callOnce(to LinkSpec, call *wire.Call, attempt int) (*wire.Repl
 	}
 	start := time.Now()
 	defer func() { s.ins.rpcSeconds.Observe(time.Since(start).Seconds()) }()
+	reply, err := s.exchange(to.Addr, call)
+	if err != nil {
+		return nil, err
+	}
+	if crashed {
+		return nil, errInjectedCrash
+	}
+	if reply.Error != "" {
+		return nil, &RemoteError{Peer: to.key(), Msg: reply.Error}
+	}
+	return reply, nil
+}
+
+// exchange performs one request/reply on a warm pooled connection when
+// available, falling back to a fresh dial. A connection that fails mid-RPC
+// with a non-timeout error is treated as stale — the remote restarted while
+// it was parked — and replaced by a fresh dial within the same attempt, so
+// pooling never costs a retry the fresh-dial path would not have spent. A
+// timeout is surfaced to the retry policy instead: the peer is slow, not the
+// connection stale. Healthy connections are re-parked after the reply.
+//
+//ripplevet:transport
+func (s *Server) exchange(addr string, call *wire.Call) (*wire.Reply, error) {
+	if s.pool != nil {
+		if conn := s.pool.get(addr); conn != nil {
+			s.ins.connReuses.Inc()
+			reply, err := roundTrip(conn, call, s.opts.CallTimeout)
+			if err == nil {
+				s.pool.put(addr, conn)
+				return reply, nil
+			}
+			conn.Close()
+			if isTimeout(err) {
+				return nil, err
+			}
+			s.ins.staleConns.Inc()
+		}
+	}
 	s.ins.dials.Inc()
-	conn, err := net.DialTimeout("tcp", to.Addr, s.opts.DialTimeout)
+	conn, err := net.DialTimeout("tcp", addr, s.opts.DialTimeout)
 	if err != nil {
 		s.ins.dialFailures.Inc()
 		return nil, err
 	}
-	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(s.opts.CallTimeout)); err != nil {
+	reply, err := roundTrip(conn, call, s.opts.CallTimeout)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if s.pool != nil {
+		s.pool.put(addr, conn)
+	} else {
+		if err := conn.Close(); err != nil {
+			s.opts.Logf("netpeer %s: closing connection to %s: %v", s.cfg.ID, addr, err)
+		}
+	}
+	return reply, nil
+}
+
+// roundTrip arms the whole-call deadline, writes the call, reads the reply,
+// and clears the deadline so the connection can be parked for reuse.
+//
+//ripplevet:transport
+func roundTrip(conn net.Conn, call *wire.Call, timeout time.Duration) (*wire.Reply, error) {
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, err
 	}
 	if err := wire.WriteMessage(conn, call); err != nil {
@@ -528,16 +607,13 @@ func (s *Server) callOnce(to LinkSpec, call *wire.Call, attempt int) (*wire.Repl
 	if err := wire.ReadMessage(conn, &reply); err != nil {
 		return nil, err
 	}
-	if crashed {
-		return nil, errInjectedCrash
-	}
-	if reply.Error != "" {
-		return nil, &RemoteError{Peer: to.key(), Msg: reply.Error}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return nil, err
 	}
 	return &reply, nil
 }
 
-func sortLinks(links []LinkSpec, proc core.Processor, w node) []LinkSpec {
+func sortLinks(links []LinkSpec, proc core.Processor, w *node) []LinkSpec {
 	type ranked struct {
 		link LinkSpec
 		prio float64
@@ -613,48 +689,14 @@ func queryCall(addr, queryType string, params []byte, dims, r int, timeout time.
 		return nil, err
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return nil, err
-	}
-	call := &wire.Call{
-		QueryType: queryType,
-		Params:    params,
-		Restrict:  overlay.Whole(dims),
-		R:         r,
-		Hops:      0,
-	}
-	if traced {
-		call.Traced = true
-		call.SpanID = trace.RootID
-	}
-	if err := wire.WriteMessage(conn, call); err != nil {
-		return nil, err
-	}
-	var reply wire.Reply
-	if err := wire.ReadMessage(conn, &reply); err != nil {
+	reply, err := roundTrip(conn, buildCall(queryType, params, dims, r, traced), timeout)
+	if err != nil {
 		return nil, err
 	}
 	if reply.Error != "" {
 		return nil, &RemoteError{Peer: addr, Msg: reply.Error}
 	}
-	res := &QueryResult{
-		Answers:       reply.Answers,
-		FailedRegions: reply.FailedRegions,
-	}
-	for _, p := range reply.Peers {
-		res.Stats.Touch(p)
-	}
-	res.Stats.Latency = reply.Completion
-	res.Stats.StateMsgs = reply.StateMsgs
-	res.Stats.TuplesSent = reply.TuplesSent
-	res.Stats.RPCFailures = reply.Failures
-	res.Stats.Retries = reply.Retries
-	res.Stats.TimedOut = reply.TimedOut
-	res.Stats.Partial = reply.Partial
-	if traced {
-		res.Trace = trace.Build(reply.Spans)
-	}
-	return res, nil
+	return resultFromReply(reply, traced), nil
 }
 
 // Deploy starts one server per peer of an overlay snapshot on loopback TCP,

@@ -1,0 +1,165 @@
+package netpeer
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"ripple/internal/metrics"
+)
+
+// idleConn is a warm connection parked in the pool, stamped so the reaper
+// and get() can expire it.
+type idleConn struct {
+	conn   net.Conn
+	parked time.Time
+}
+
+// connPool keeps established TCP connections to remote peers between RPCs.
+// RIPPLE's message pattern makes this profitable: a peer talks to the same
+// handful of neighbours for every query, so without a pool each hop pays a
+// fresh TCP handshake. The pool is bounded per remote (overflow connections
+// are closed, not queued) and idle connections are reaped after
+// idleTimeout — the remote's serveConn re-arms its own idle deadline
+// indefinitely, so a parked connection only goes stale when the remote
+// restarts.
+type connPool struct {
+	maxPerPeer  int
+	idleTimeout time.Duration
+	evictions   *metrics.Counter // pooled conns closed by cap, expiry, or shutdown
+
+	mu     sync.Mutex
+	idle   map[string][]idleConn // addr -> parked conns, LIFO
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newConnPool starts a pool and its background reaper.
+func newConnPool(maxPerPeer int, idleTimeout time.Duration, evictions *metrics.Counter) *connPool {
+	p := &connPool{
+		maxPerPeer:  maxPerPeer,
+		idleTimeout: idleTimeout,
+		evictions:   evictions,
+		idle:        make(map[string][]idleConn),
+		done:        make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.reapLoop()
+	return p
+}
+
+// get returns a warm connection to addr, or nil when the caller must dial.
+// Newest first: the most recently parked connection is the least likely to
+// have been idle-closed anywhere along the path.
+func (p *connPool) get(addr string) net.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conns := p.idle[addr]
+	for len(conns) > 0 {
+		ic := conns[len(conns)-1]
+		conns = conns[:len(conns)-1]
+		if len(conns) == 0 {
+			delete(p.idle, addr)
+		} else {
+			p.idle[addr] = conns
+		}
+		if p.idleTimeout > 0 && time.Since(ic.parked) > p.idleTimeout {
+			ic.conn.Close()
+			p.evictions.Inc()
+			continue
+		}
+		return ic.conn
+	}
+	return nil
+}
+
+// put parks a healthy connection for reuse. Past the per-peer cap — or after
+// close — the connection is closed and counted as an eviction.
+func (p *connPool) put(addr string, conn net.Conn) {
+	p.mu.Lock()
+	if p.closed || len(p.idle[addr]) >= p.maxPerPeer {
+		p.mu.Unlock()
+		conn.Close()
+		p.evictions.Inc()
+		return
+	}
+	p.idle[addr] = append(p.idle[addr], idleConn{conn: conn, parked: time.Now()})
+	p.mu.Unlock()
+}
+
+// close evicts every parked connection, stops the reaper, and makes future
+// put calls close their connections immediately. Idempotent.
+func (p *connPool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = make(map[string][]idleConn)
+	p.mu.Unlock()
+	close(p.done)
+	for _, conns := range idle {
+		for _, ic := range conns {
+			ic.conn.Close()
+			p.evictions.Inc()
+		}
+	}
+	p.wg.Wait()
+}
+
+// reapLoop periodically evicts connections that have sat idle past the
+// timeout, so an idle deployment does not pin sockets forever.
+func (p *connPool) reapLoop() {
+	defer p.wg.Done()
+	interval := p.idleTimeout / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-ticker.C:
+			p.reapOnce(time.Now())
+		}
+	}
+}
+
+// reapOnce closes every parked connection older than the idle timeout.
+func (p *connPool) reapOnce(now time.Time) {
+	var expired []net.Conn
+	p.mu.Lock()
+	for addr, conns := range p.idle {
+		keep := conns[:0]
+		for _, ic := range conns {
+			if now.Sub(ic.parked) > p.idleTimeout {
+				expired = append(expired, ic.conn)
+			} else {
+				keep = append(keep, ic)
+			}
+		}
+		if len(keep) == 0 {
+			delete(p.idle, addr)
+		} else {
+			p.idle[addr] = keep
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range expired {
+		c.Close()
+		p.evictions.Inc()
+	}
+}
+
+// idleCount reports how many connections are parked for addr (tests only).
+func (p *connPool) idleCount(addr string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle[addr])
+}

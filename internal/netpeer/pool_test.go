@@ -1,0 +1,371 @@
+package netpeer
+
+import (
+	"testing"
+	"time"
+
+	gonet "net"
+
+	"ripple/internal/dataset"
+	"ripple/internal/faults"
+	"ripple/internal/metrics"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+// poolOpts is quietOpts plus a metrics registry, so tests can observe the
+// dial/reuse/eviction counters.
+func poolOpts(t *testing.T, reg *metrics.Registry) Options {
+	t.Helper()
+	o := quietOpts(t)
+	o.Metrics = reg
+	return o
+}
+
+func topkParams(t *testing.T, d, k int) []byte {
+	t.Helper()
+	params, err := topk.WireCodec{}.EncodeParams(topk.UniformLinear(d), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params
+}
+
+// TestConnPoolReusesAcrossSequentialQueries: after the first query has
+// warmed every link, subsequent queries must ride pooled connections — the
+// dial counter stays flat while the reuse counter grows.
+func TestConnPoolReusesAcrossSequentialQueries(t *testing.T) {
+	reg := metrics.New()
+	net := midas.Build(8, midas.Options{Dims: 2, Seed: 3})
+	overlay.Load(net, dataset.Uniform(500, 2, 5))
+	servers, _, err := DeployOpts(net, poolOpts(t, reg), topk.WireCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	params := topkParams(t, 2, 64)
+	dials := reg.Counter("ripple_netpeer_dials_total", "")
+	reuses := reg.Counter("ripple_netpeer_conn_reuses_total", "")
+
+	if _, _, err := Query(servers[0].Addr(), "topk", params, 2, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	warmDials := dials.Value()
+	if warmDials == 0 {
+		t.Fatal("first query dialled nothing")
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := Query(servers[0].Addr(), "topk", params, 2, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dials.Value(); got != warmDials {
+		t.Fatalf("repeat queries dialled %d fresh connections (total %d, warm %d)",
+			got-warmDials, got, warmDials)
+	}
+	if reuses.Value() == 0 {
+		t.Fatal("repeat queries never reused a pooled connection")
+	}
+}
+
+// TestConnPoolIdleExpiry: parked connections must be reaped once they sit
+// idle past IdleConnTimeout, and counted as evictions.
+func TestConnPoolIdleExpiry(t *testing.T) {
+	reg := metrics.New()
+	opts := poolOpts(t, reg)
+	opts.IdleConnTimeout = 30 * time.Millisecond
+	net := midas.Build(4, midas.Options{Dims: 2, Seed: 5})
+	overlay.Load(net, dataset.Uniform(200, 2, 6))
+	servers, _, err := DeployOpts(net, opts, topk.WireCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	if _, _, err := Query(servers[0].Addr(), "topk", topkParams(t, 2, 64), 2, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	parked := 0
+	for _, s := range servers {
+		s.pool.mu.Lock()
+		for _, conns := range s.pool.idle {
+			parked += len(conns)
+		}
+		s.pool.mu.Unlock()
+	}
+	if parked == 0 {
+		t.Fatal("no connections parked after a broadcast query")
+	}
+	evictions := reg.Counter("ripple_netpeer_pool_evictions_total", "")
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		left := 0
+		for _, s := range servers {
+			s.pool.mu.Lock()
+			for _, conns := range s.pool.idle {
+				left += len(conns)
+			}
+			s.pool.mu.Unlock()
+		}
+		if left == 0 {
+			if evictions.Value() < int64(parked) {
+				t.Fatalf("reaped %d conns but recorded %d evictions", parked, evictions.Value())
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("idle connections were never reaped")
+}
+
+// TestExchangeRecoversStaleConn: a connection parked across a peer restart is
+// dead; the next exchange must detect it, count it stale, and complete on a
+// fresh dial within the same attempt — no retry spent.
+func TestExchangeRecoversStaleConn(t *testing.T) {
+	reg := metrics.New()
+	srvB := NewServerOpts(Config{ID: "b", Zone: overlay.Whole(2)}, quietOpts(t), topk.WireCodec{})
+	addr, err := srvB.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	caller := NewServerOpts(Config{ID: "a", Zone: overlay.Whole(2)}, poolOpts(t, reg), topk.WireCodec{})
+	defer caller.pool.close()
+	call := buildCall("topk", topkParams(t, 2, 3), 2, 0, false)
+
+	if _, err := caller.exchange(addr, call); err != nil {
+		t.Fatalf("warm-up exchange: %v", err)
+	}
+	if n := caller.pool.idleCount(addr); n != 1 {
+		t.Fatalf("parked %d conns, want 1", n)
+	}
+
+	if err := srvB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srvB2 := NewServerOpts(Config{ID: "b2", Zone: overlay.Whole(2)}, quietOpts(t), topk.WireCodec{})
+	if _, err := srvB2.Start(addr); err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srvB2.Close()
+
+	if _, err := caller.exchange(addr, call); err != nil {
+		t.Fatalf("exchange across restart: %v", err)
+	}
+	if v := reg.Counter("ripple_netpeer_stale_conns_total", "").Value(); v != 1 {
+		t.Fatalf("stale conns = %d, want 1", v)
+	}
+	if v := reg.Counter("ripple_netpeer_dials_total", "").Value(); v != 2 {
+		t.Fatalf("dials = %d, want 2 (warm-up + recovery)", v)
+	}
+	if v := reg.Counter("ripple_netpeer_conn_reuses_total", "").Value(); v != 1 {
+		t.Fatalf("reuses = %d, want 1", v)
+	}
+}
+
+// TestConnPoolCap: the pool never parks more than MaxIdleConnsPerPeer per
+// remote; overflow is closed and counted.
+func TestConnPoolCap(t *testing.T) {
+	reg := metrics.New()
+	p := newConnPool(2, time.Minute, reg.Counter("ev", "overflow evictions"))
+	defer p.close()
+	srv := NewServerOpts(Config{ID: "x", Zone: overlay.Whole(1)}, quietOpts(t), topk.WireCodec{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 4; i++ {
+		conn, err := dialForTest(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.put(addr, conn)
+	}
+	if n := p.idleCount(addr); n != 2 {
+		t.Fatalf("parked %d, want cap 2", n)
+	}
+	if v := reg.Counter("ev", "").Value(); v != 2 {
+		t.Fatalf("evictions = %d, want 2", v)
+	}
+}
+
+// TestPooledDeploymentSurvivesInjectedFaults: connection kills and drops from
+// the fault injector must not corrupt the pool — queries keep succeeding and
+// the answers stay exact once retries recover the links.
+func TestPooledDeploymentSurvivesInjectedFaults(t *testing.T) {
+	ts := dataset.Uniform(800, 2, 9)
+	net := midas.Build(8, midas.Options{Dims: 2, Seed: 13})
+	overlay.Load(net, ts)
+	opts := quietOpts(t)
+	opts.Faults = faults.New(faults.Config{Seed: 21, DropRate: 0.3})
+	servers, _, err := DeployOpts(net, opts, topk.WireCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	f := topk.UniformLinear(2)
+	params := topkParams(t, 2, 48)
+	want := topk.Brute(ts, f, 48)
+	for i := 0; i < 5; i++ {
+		res, err := QueryDetailed(servers[0].Addr(), "topk", params, 2, 1<<20, 0)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if res.Partial() {
+			// A drop rate of 0.3 with retries can still exhaust a link; a
+			// partial answer is legal, just not comparable to Brute.
+			continue
+		}
+		got := topk.Select(res.Answers, f, 48)
+		for j := range want {
+			if got[j].ID != want[j].ID {
+				t.Fatalf("query %d: rank %d = %v, want %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestDisableConnPool: the opt-out restores fresh dials per RPC.
+func TestDisableConnPool(t *testing.T) {
+	reg := metrics.New()
+	opts := poolOpts(t, reg)
+	opts.DisableConnPool = true
+	net := midas.Build(4, midas.Options{Dims: 2, Seed: 17})
+	overlay.Load(net, dataset.Uniform(200, 2, 3))
+	servers, _, err := DeployOpts(net, opts, topk.WireCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	params := topkParams(t, 2, 3)
+	for i := 0; i < 2; i++ {
+		if _, _, err := Query(servers[0].Addr(), "topk", params, 2, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := reg.Counter("ripple_netpeer_conn_reuses_total", "").Value(); v != 0 {
+		t.Fatalf("pool disabled but %d reuses recorded", v)
+	}
+	for _, s := range servers {
+		if s.pool != nil {
+			t.Fatal("pool allocated despite DisableConnPool")
+		}
+	}
+}
+
+// TestClientReusesConnection: the initiator-side Client holds one warm
+// connection across queries and recovers transparently when the peer
+// restarts underneath it.
+func TestClientReusesConnection(t *testing.T) {
+	ts := dataset.Uniform(400, 2, 11)
+	net := midas.Build(4, midas.Options{Dims: 2, Seed: 19})
+	overlay.Load(net, ts)
+	servers, _, err := DeployOpts(net, quietOpts(t), topk.WireCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	f := topk.UniformLinear(2)
+	params := topkParams(t, 2, 6)
+	want := topk.Brute(ts, f, 6)
+
+	c := NewClient(servers[0].Addr(), 5*time.Second)
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		answers, stats, err := c.Query("topk", params, 2, 1<<20)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		got := topk.Select(answers, f, 6)
+		for j := range want {
+			if got[j].ID != want[j].ID {
+				t.Fatalf("query %d rank %d: %v, want %v", i, j, got[j], want[j])
+			}
+		}
+		if stats.PeersReached() == 0 {
+			t.Fatalf("query %d: bogus stats %+v", i, stats)
+		}
+	}
+	if c.conn == nil {
+		t.Fatal("client holds no warm connection after queries")
+	}
+
+	// Restart the initiator peer on the same address: the client's warm
+	// connection is now stale and the next query must redial transparently.
+	addr := servers[0].Addr()
+	cfg := Config{ID: "restarted", Zone: overlay.Whole(2)}
+	if err := servers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServerOpts(cfg, quietOpts(t), topk.WireCodec{})
+	if _, err := srv2.Start(addr); err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	defer srv2.Close()
+	if _, _, err := c.Query("topk", params, 2, 0); err != nil {
+		t.Fatalf("query across restart: %v", err)
+	}
+}
+
+// dialForTest opens a raw client connection for pool plumbing tests.
+func dialForTest(addr string) (gonet.Conn, error) { return gonet.Dial("tcp", addr) }
+
+func BenchmarkRoundTripPooled(b *testing.B)    { benchRoundTrip(b, false) }
+func BenchmarkRoundTripFreshDial(b *testing.B) { benchRoundTrip(b, true) }
+
+// benchRoundTrip measures one full query round trip (r=1 over a small
+// deployment) with and without connection pooling.
+func benchRoundTrip(b *testing.B, disablePool bool) {
+	net := midas.Build(8, midas.Options{Dims: 2, Seed: 23})
+	overlay.Load(net, dataset.Uniform(500, 2, 29))
+	opts := Options{
+		Logf:            func(string, ...interface{}) {},
+		DisableConnPool: disablePool,
+	}
+	servers, _, err := DeployOpts(net, opts, topk.WireCodec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	params, err := topk.WireCodec{}.EncodeParams(topk.UniformLinear(2), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewClient(servers[0].Addr(), 0)
+	defer c.Close()
+	if _, _, err := c.Query("topk", params, 2, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Query("topk", params, 2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -77,6 +77,16 @@ type Options struct {
 	IdleTimeout time.Duration
 	// Retry is the per-link recovery policy.
 	Retry RetryPolicy
+	// MaxIdleConnsPerPeer caps how many warm TCP connections the peer parks
+	// per remote address between RPCs. Zero means the default.
+	MaxIdleConnsPerPeer int
+	// IdleConnTimeout is how long a parked connection may sit unused before
+	// the pool evicts it. Zero means the default. Remote peers re-arm their
+	// own idle deadlines indefinitely, so any positive value is safe.
+	IdleConnTimeout time.Duration
+	// DisableConnPool reverts to the pre-pool behaviour: every RPC attempt
+	// dials a fresh TCP connection. Mainly for benchmarks and diagnosis.
+	DisableConnPool bool
 	// Faults optionally injects deterministic link faults into every
 	// outgoing RPC (see internal/faults). Nil means no faults.
 	Faults *faults.Injector
@@ -99,6 +109,9 @@ func DefaultOptions() Options {
 		IdleTimeout:  30 * time.Second,
 		Retry:        DefaultRetryPolicy(),
 		Logf:         log.Printf,
+
+		MaxIdleConnsPerPeer: 4,
+		IdleConnTimeout:     30 * time.Second,
 	}
 }
 
@@ -119,6 +132,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Retry == (RetryPolicy{}) {
 		o.Retry = d.Retry
+	}
+	if o.MaxIdleConnsPerPeer == 0 {
+		o.MaxIdleConnsPerPeer = d.MaxIdleConnsPerPeer
+	}
+	if o.IdleConnTimeout == 0 {
+		o.IdleConnTimeout = d.IdleConnTimeout
 	}
 	if o.Logf == nil {
 		o.Logf = d.Logf

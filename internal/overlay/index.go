@@ -1,0 +1,88 @@
+package overlay
+
+import (
+	"sort"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+)
+
+// Index is a peer-local view of a tuple set ordered by descending score,
+// built once per query so that threshold scans (computeLocalAnswer) become
+// binary searches instead of O(n) rescans, and top-k prefixes are free. Ties
+// are broken by ascending tuple ID, so the order — and everything derived
+// from it — is a pure function of the tuple set and the scoring key.
+type Index struct {
+	tuples []dataset.Tuple // sorted by (key desc, ID asc)
+	keys   []float64       // keys[i] is the score of tuples[i]
+}
+
+// BuildIndex scores every tuple exactly once with key and returns the sorted
+// index. The input slice is copied; the index never aliases caller memory.
+func BuildIndex(ts []dataset.Tuple, key func(geom.Point) float64) *Index {
+	ix := &Index{
+		tuples: append([]dataset.Tuple(nil), ts...),
+		keys:   make([]float64, len(ts)),
+	}
+	for i, t := range ix.tuples {
+		ix.keys[i] = key(t.Vec)
+	}
+	sort.Sort(byKeyDesc{ix})
+	return ix
+}
+
+// byKeyDesc co-sorts the index's keys and tuples.
+type byKeyDesc struct{ ix *Index }
+
+func (s byKeyDesc) Len() int { return len(s.ix.tuples) }
+func (s byKeyDesc) Less(i, j int) bool {
+	if s.ix.keys[i] != s.ix.keys[j] {
+		return s.ix.keys[i] > s.ix.keys[j]
+	}
+	return s.ix.tuples[i].ID < s.ix.tuples[j].ID
+}
+func (s byKeyDesc) Swap(i, j int) {
+	s.ix.keys[i], s.ix.keys[j] = s.ix.keys[j], s.ix.keys[i]
+	s.ix.tuples[i], s.ix.tuples[j] = s.ix.tuples[j], s.ix.tuples[i]
+}
+
+// Len returns the number of indexed tuples.
+func (ix *Index) Len() int { return len(ix.tuples) }
+
+// TopScores returns the k highest scores in descending order (fewer if the
+// index is smaller). The slice aliases the index: callers must not modify or
+// retain it past the index's lifetime.
+func (ix *Index) TopScores(k int) []float64 {
+	if k > len(ix.keys) {
+		k = len(ix.keys)
+	}
+	if k <= 0 {
+		return nil
+	}
+	return ix.keys[:k]
+}
+
+// Above returns the tuples scoring at least tau, best first. The slice
+// aliases the index: callers that retain or extend the result must copy it.
+func (ix *Index) Above(tau float64) []dataset.Tuple {
+	n := sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] < tau })
+	return ix.tuples[:n]
+}
+
+// ScoreIndexer is implemented by Node types that can cache a score index for
+// the duration of a query. The contract: a single ScoreIndexer instance only
+// ever sees one key function (one query), so the cache needs no key identity.
+type ScoreIndexer interface {
+	// ScoreIndex returns the node's tuples indexed by key, building the
+	// index on first call and returning the cached one afterwards.
+	ScoreIndex(key func(geom.Point) float64) *Index
+}
+
+// IndexOf returns w's score index when the node supports caching one, or nil
+// when the caller should fall back to scanning w.Tuples() directly.
+func IndexOf(w Node, key func(geom.Point) float64) *Index {
+	if s, ok := w.(ScoreIndexer); ok {
+		return s.ScoreIndex(key)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package overlay
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+)
+
+func negFirst(p geom.Point) float64 { return -p[0] }
+
+func TestBuildIndexOrdering(t *testing.T) {
+	ts := []dataset.Tuple{
+		{ID: 3, Vec: geom.Point{0.5}},
+		{ID: 1, Vec: geom.Point{0.2}},
+		{ID: 7, Vec: geom.Point{0.2}}, // tie with ID 1 on score
+		{ID: 2, Vec: geom.Point{0.9}},
+	}
+	ix := BuildIndex(ts, negFirst)
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	wantIDs := []uint64{1, 7, 3, 2} // scores -0.2, -0.2, -0.5, -0.9; tie by ID
+	got := ix.Above(-1)
+	for i, id := range wantIDs {
+		if got[i].ID != id {
+			t.Fatalf("position %d: ID %d, want %d (order %v)", i, got[i].ID, id, got)
+		}
+	}
+	for i := 1; i < ix.Len(); i++ {
+		if ix.keys[i] > ix.keys[i-1] {
+			t.Fatalf("keys not descending at %d: %v", i, ix.keys)
+		}
+	}
+}
+
+func TestBuildIndexCopiesInput(t *testing.T) {
+	ts := []dataset.Tuple{{ID: 1, Vec: geom.Point{0.1}}, {ID: 2, Vec: geom.Point{0.2}}}
+	ix := BuildIndex(ts, negFirst)
+	ts[0] = dataset.Tuple{ID: 99, Vec: geom.Point{0.99}}
+	for _, u := range ix.Above(-1) {
+		if u.ID == 99 {
+			t.Fatal("index aliases the caller's slice")
+		}
+	}
+}
+
+func TestTopScoresAndAbove(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ts := make([]dataset.Tuple, 100)
+	for i := range ts {
+		ts[i] = dataset.Tuple{ID: uint64(i), Vec: geom.Point{rng.Float64()}}
+	}
+	ix := BuildIndex(ts, negFirst)
+
+	all := append([]float64(nil), ix.keys...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+	for _, k := range []int{0, 1, 5, 100, 150} {
+		got := ix.TopScores(k)
+		want := k
+		if want > len(ts) {
+			want = len(ts)
+		}
+		if len(got) != want {
+			t.Fatalf("TopScores(%d): %d scores, want %d", k, len(got), want)
+		}
+		for i, s := range got {
+			if s != all[i] {
+				t.Fatalf("TopScores(%d)[%d] = %v, want %v", k, i, s, all[i])
+			}
+		}
+	}
+
+	for _, tau := range []float64{-2, -0.5, all[0], all[99], 1} {
+		got := ix.Above(tau)
+		want := 0
+		for _, s := range all {
+			if s >= tau {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("Above(%v): %d tuples, want %d", tau, len(got), want)
+		}
+		for _, u := range got {
+			if negFirst(u.Vec) < tau {
+				t.Fatalf("Above(%v) returned score %v", tau, negFirst(u.Vec))
+			}
+		}
+	}
+}
+
+// plainNode has no ScoreIndexer; cachingNode caches one index per instance.
+type plainNode struct{ ts []dataset.Tuple }
+
+func (n *plainNode) ID() string              { return "plain" }
+func (n *plainNode) Zone() Region            { return Whole(1) }
+func (n *plainNode) Links() []Link           { return nil }
+func (n *plainNode) Tuples() []dataset.Tuple { return n.ts }
+
+type cachingNode struct {
+	plainNode
+	ix     *Index
+	builds int
+}
+
+func (n *cachingNode) ScoreIndex(key func(geom.Point) float64) *Index {
+	if n.ix == nil {
+		n.ix = BuildIndex(n.ts, key)
+		n.builds++
+	}
+	return n.ix
+}
+
+func TestIndexOf(t *testing.T) {
+	ts := []dataset.Tuple{{ID: 1, Vec: geom.Point{0.3}}}
+	if ix := IndexOf(&plainNode{ts: ts}, negFirst); ix != nil {
+		t.Fatal("plain node must not report an index")
+	}
+	n := &cachingNode{plainNode: plainNode{ts: ts}}
+	a := IndexOf(n, negFirst)
+	b := IndexOf(n, negFirst)
+	if a == nil || a != b || n.builds != 1 {
+		t.Fatalf("caching node: a=%p b=%p builds=%d", a, b, n.builds)
+	}
+}

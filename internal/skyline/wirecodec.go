@@ -1,13 +1,12 @@
 package skyline
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 
 	"ripple/internal/core"
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
+	"ripple/internal/wire"
 )
 
 // WireCodec serialises skyline queries and states for networked peers; it
@@ -15,6 +14,11 @@ import (
 // parameters; a constrained query carries its constraint box. States are
 // partial skylines (tuple sets).
 type WireCodec struct{}
+
+var (
+	boxPool   = wire.NewPayloadPool(&geom.Rect{})
+	tuplePool = wire.NewPayloadPool(&[]dataset.Tuple{})
+)
 
 // Name implements wire.Codec.
 func (WireCodec) Name() string { return "skyline" }
@@ -25,11 +29,7 @@ func (WireCodec) EncodeParams(constraint *geom.Rect) ([]byte, error) {
 	if constraint == nil {
 		return nil, nil
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(*constraint); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return boxPool.Encode(constraint)
 }
 
 // NewProcessor implements wire.Codec.
@@ -38,7 +38,7 @@ func (WireCodec) NewProcessor(params []byte) (core.Processor, error) {
 		return &Processor{}, nil
 	}
 	var box geom.Rect
-	if err := gob.NewDecoder(bytes.NewReader(params)).Decode(&box); err != nil {
+	if err := boxPool.Decode(params, &box); err != nil {
 		return nil, fmt.Errorf("skyline: decode constraint: %w", err)
 	}
 	return &Processor{Constraint: &box}, nil
@@ -46,11 +46,8 @@ func (WireCodec) NewProcessor(params []byte) (core.Processor, error) {
 
 // EncodeState implements wire.Codec.
 func (WireCodec) EncodeState(s core.State) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode([]dataset.Tuple(s.(state))); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	ts := []dataset.Tuple(s.(state))
+	return tuplePool.Encode(&ts)
 }
 
 // DecodeState implements wire.Codec. Empty input yields the neutral state.
@@ -59,7 +56,7 @@ func (WireCodec) DecodeState(b []byte) (core.State, error) {
 		return state(nil), nil
 	}
 	var ts []dataset.Tuple
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&ts); err != nil {
+	if err := tuplePool.Decode(b, &ts); err != nil {
 		return nil, fmt.Errorf("skyline: decode state: %w", err)
 	}
 	return state(ts), nil

@@ -1,0 +1,264 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+)
+
+// localScoresReference is the pre-heap implementation of the local score
+// computation — the ground truth for topScores and the baseline for its
+// benchmark: score everything, sort everything.
+func localScoresReference(ts []dataset.Tuple, f Scorer) []float64 {
+	scores := make([]float64, len(ts))
+	for i, t := range ts {
+		scores[i] = f.Score(t.Vec)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	return scores
+}
+
+// selectReference is the pre-keying Select: same dedup and tie-break rules,
+// but Score is re-evaluated inside the sort comparator.
+func selectReference(candidates []dataset.Tuple, f Scorer, k int) []dataset.Tuple {
+	seen := make(map[uint64]bool, len(candidates))
+	uniq := candidates[:0:0]
+	for _, t := range candidates {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			uniq = append(uniq, t)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		si, sj := f.Score(uniq[i].Vec), f.Score(uniq[j].Vec)
+		if si != sj {
+			return si > sj
+		}
+		return uniq[i].ID < uniq[j].ID
+	})
+	if len(uniq) > k {
+		uniq = uniq[:k]
+	}
+	return uniq
+}
+
+func randTuples(rng *rand.Rand, n, d int) []dataset.Tuple {
+	ts := make([]dataset.Tuple, n)
+	for i := range ts {
+		v := make(geom.Point, d)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		ts[i] = dataset.Tuple{ID: uint64(i), Vec: v}
+	}
+	return ts
+}
+
+func TestTopScoresMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := UniformLinear(3)
+	for _, size := range []int{0, 1, 2, 10, 257} {
+		ts := randTuples(rng, size, 3)
+		full := localScoresReference(ts, f)
+		for _, n := range []int{0, 1, 5, size, size + 3} {
+			got := topScores(ts, f, n)
+			want := n
+			if want > size {
+				want = size
+			}
+			if want < 0 {
+				want = 0
+			}
+			if len(got) != want {
+				t.Fatalf("size %d n %d: %d scores, want %d", size, n, len(got), want)
+			}
+			for i, s := range got {
+				if s != full[i] {
+					t.Fatalf("size %d n %d: score[%d] = %v, full sort %v", size, n, i, s, full[i])
+				}
+			}
+		}
+	}
+}
+
+// indexedStub wraps stubNode with a per-instance cached score index, the way
+// a networked peer does for the duration of one query.
+type indexedStub struct {
+	stubNode
+	ix *overlay.Index
+}
+
+func (s *indexedStub) ScoreIndex(key func(geom.Point) float64) *overlay.Index {
+	if s.ix == nil {
+		s.ix = overlay.BuildIndex(s.tuples, key)
+	}
+	return s.ix
+}
+
+// TestIndexedPathsMatchScanPaths: LocalState must be identical and
+// LocalAnswer set-equal whether the node exposes a score index or not.
+func TestIndexedPathsMatchScanPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, size := range []int{0, 1, 3, 40, 200} {
+		ts := randTuples(rng, size, 2)
+		for _, k := range []int{1, 3, 17} {
+			p := &Processor{F: UniformLinear(2), K: k}
+			globals := []state{
+				{m: 0, tau: math.Inf(1)},
+				{m: k / 2, tau: 0.7},
+				{m: k, tau: 0.2},
+				{m: 2 * k, tau: 1.4},
+			}
+			for _, g := range globals {
+				plain := &stubNode{tuples: ts}
+				indexed := &indexedStub{stubNode: stubNode{tuples: ts}}
+
+				sp := p.LocalState(plain, g).(state)
+				si := p.LocalState(indexed, g).(state)
+				if sp != si {
+					t.Fatalf("size %d k %d g %+v: state scan %+v != indexed %+v", size, k, g, sp, si)
+				}
+
+				ap := p.LocalAnswer(plain, sp)
+				ai := p.LocalAnswer(indexed, si)
+				if len(ap) != len(ai) {
+					t.Fatalf("size %d k %d: answer sizes %d != %d", size, k, len(ap), len(ai))
+				}
+				ids := func(ts []dataset.Tuple) []uint64 {
+					out := make([]uint64, len(ts))
+					for i, u := range ts {
+						out[i] = u.ID
+					}
+					sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+					return out
+				}
+				ip, ii := ids(ap), ids(ai)
+				for i := range ip {
+					if ip[i] != ii[i] {
+						t.Fatalf("size %d k %d: answer sets differ: %v vs %v", size, k, ip, ii)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIndexedLocalAnswerIsCopied(t *testing.T) {
+	ts := randTuples(rand.New(rand.NewSource(3)), 20, 2)
+	p := &Processor{F: UniformLinear(2), K: 5}
+	w := &indexedStub{stubNode: stubNode{tuples: ts}}
+	st := p.LocalState(w, p.InitialState())
+	a := p.LocalAnswer(w, st)
+	if len(a) == 0 {
+		t.Fatal("expected a non-empty answer")
+	}
+	// Appending to the answer (as reply assembly does) must not corrupt the
+	// index backing the node.
+	before := append([]dataset.Tuple(nil), w.ix.Above(math.Inf(-1))...)
+	_ = append(a, dataset.Tuple{ID: 999})
+	a[0] = dataset.Tuple{ID: 888}
+	after := w.ix.Above(math.Inf(-1))
+	for i := range before {
+		if before[i].ID != after[i].ID {
+			t.Fatalf("index mutated through the answer slice at %d", i)
+		}
+	}
+}
+
+func TestSelectMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, size := range []int{0, 1, 9, 150} {
+		ts := randTuples(rng, size, 2)
+		// Inject duplicates and score ties.
+		ts = append(ts, ts[:size/3]...)
+		for _, k := range []int{1, 4, 40} {
+			f := UniformLinear(2)
+			got := Select(append([]dataset.Tuple(nil), ts...), f, k)
+			want := selectReference(append([]dataset.Tuple(nil), ts...), f, k)
+			if len(got) != len(want) {
+				t.Fatalf("size %d k %d: %d tuples, want %d", size, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("size %d k %d: pos %d ID %d, want %d", size, k, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+const benchN = 4096
+
+func benchTuples(b *testing.B) []dataset.Tuple {
+	b.Helper()
+	return randTuples(rand.New(rand.NewSource(1)), benchN, 4)
+}
+
+func BenchmarkLocalScoresHeap(b *testing.B) {
+	ts := benchTuples(b)
+	f := UniformLinear(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topScores(ts, f, 16)
+	}
+}
+
+func BenchmarkLocalScoresFullSort(b *testing.B) {
+	ts := benchTuples(b)
+	f := UniformLinear(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		localScoresReference(ts, f)
+	}
+}
+
+func BenchmarkLocalAnswerIndexed(b *testing.B) {
+	ts := benchTuples(b)
+	p := &Processor{F: UniformLinear(4), K: 16}
+	w := &indexedStub{stubNode: stubNode{tuples: ts}}
+	st := p.LocalState(w, p.InitialState())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.LocalAnswer(w, st)
+	}
+}
+
+func BenchmarkLocalAnswerScan(b *testing.B) {
+	ts := benchTuples(b)
+	p := &Processor{F: UniformLinear(4), K: 16}
+	w := &stubNode{tuples: ts}
+	st := p.LocalState(w, p.InitialState())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.LocalAnswer(w, st)
+	}
+}
+
+func BenchmarkSelectKeyed(b *testing.B) {
+	ts := benchTuples(b)
+	f := Peak{Center: geom.Point{0.5, 0.5, 0.5, 0.5}, Sharpness: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Select(ts, f, 16)
+	}
+}
+
+func BenchmarkSelectRescore(b *testing.B) {
+	ts := benchTuples(b)
+	f := Peak{Center: geom.Point{0.5, 0.5, 0.5, 0.5}, Sharpness: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		selectReference(ts, f, 16)
+	}
+}

@@ -6,6 +6,7 @@
 package topk
 
 import (
+	"container/heap"
 	"math"
 	"sort"
 
@@ -124,7 +125,16 @@ func (p *Processor) regionBound(r overlay.Region) float64 {
 // tuples while the global count is still short of K.
 func (p *Processor) LocalState(w overlay.Node, global core.State) core.State {
 	g := global.(state)
-	scores := localScores(w, p.F)
+	// Only the K best local scores can ever be taken (take ≤ K ≤ len(scores)
+	// below), so a bounded heap — or an index prefix — replaces the full sort.
+	var scores []float64
+	var n int
+	if ix := overlay.IndexOf(w, p.F.Score); ix != nil {
+		scores, n = ix.TopScores(p.K), ix.Len()
+	} else {
+		ts := w.Tuples()
+		scores, n = topScores(ts, p.F, p.K), len(ts)
+	}
 
 	above := 0
 	for _, s := range scores {
@@ -134,7 +144,7 @@ func (p *Processor) LocalState(w overlay.Node, global core.State) core.State {
 	}
 	take := above
 	if g.m+above < p.K {
-		take += min(p.K-g.m-above, len(scores)-above)
+		take += min(p.K-g.m-above, n-above)
 	}
 	if take == 0 {
 		return state{m: 0, tau: math.Inf(1)}
@@ -195,6 +205,11 @@ func (p *Processor) LocalAnswer(w overlay.Node, local core.State) []dataset.Tupl
 	if l.m == 0 {
 		return nil
 	}
+	if ix := overlay.IndexOf(w, p.F.Score); ix != nil {
+		// Copy: Above aliases the index, and reply assembly appends to the
+		// returned slice.
+		return append([]dataset.Tuple(nil), ix.Above(l.tau)...)
+	}
 	var out []dataset.Tuple
 	for _, t := range w.Tuples() {
 		if p.F.Score(t.Vec) >= l.tau {
@@ -204,15 +219,45 @@ func (p *Processor) LocalAnswer(w overlay.Node, local core.State) []dataset.Tupl
 	return out
 }
 
-// localScores returns the peer's tuple scores sorted descending.
-func localScores(w overlay.Node, f Scorer) []float64 {
-	ts := w.Tuples()
-	scores := make([]float64, len(ts))
-	for i, t := range ts {
-		scores[i] = f.Score(t.Vec)
+// scoreHeap is a min-heap of float64 scores: the root is the worst of the
+// retained top scores, evicted whenever a better one arrives.
+type scoreHeap []float64
+
+func (h scoreHeap) Len() int            { return len(h) }
+func (h scoreHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h scoreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoreHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *scoreHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// topScores returns the n highest tuple scores in descending order, scoring
+// each tuple once and keeping a bounded min-heap instead of sorting the full
+// score set: O(len(ts)·log n) time, O(n) space.
+func topScores(ts []dataset.Tuple, f Scorer, n int) []float64 {
+	if n > len(ts) {
+		n = len(ts)
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
-	return scores
+	if n <= 0 {
+		return nil
+	}
+	h := make(scoreHeap, n)
+	for i, t := range ts[:n] {
+		h[i] = f.Score(t.Vec)
+	}
+	heap.Init(&h)
+	for _, t := range ts[n:] {
+		// Replace-root instead of heap.Push/Pop: no interface boxing.
+		if s := f.Score(t.Vec); s > h[0] {
+			h[0] = s
+			heap.Fix(&h, 0)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(h)))
+	return h
 }
 
 // Run processes a top-k query from the given initiator with ripple parameter
@@ -226,25 +271,34 @@ func Run(initiator overlay.Node, f Scorer, k, r int) ([]dataset.Tuple, sim.Stats
 // final merge step. Ties are broken by ascending tuple ID and duplicate IDs
 // are dropped, so the result is deterministic.
 func Select(candidates []dataset.Tuple, f Scorer, k int) []dataset.Tuple {
+	// Precompute (score, tuple) keys so sorting costs O(n) Score calls
+	// instead of O(n log n) re-evaluations inside the comparator.
+	type keyed struct {
+		score float64
+		t     dataset.Tuple
+	}
 	seen := make(map[uint64]bool, len(candidates))
-	uniq := candidates[:0:0]
+	uniq := make([]keyed, 0, len(candidates))
 	for _, t := range candidates {
 		if !seen[t.ID] {
 			seen[t.ID] = true
-			uniq = append(uniq, t)
+			uniq = append(uniq, keyed{score: f.Score(t.Vec), t: t})
 		}
 	}
 	sort.Slice(uniq, func(i, j int) bool {
-		si, sj := f.Score(uniq[i].Vec), f.Score(uniq[j].Vec)
-		if si != sj {
-			return si > sj
+		if uniq[i].score != uniq[j].score {
+			return uniq[i].score > uniq[j].score
 		}
-		return uniq[i].ID < uniq[j].ID
+		return uniq[i].t.ID < uniq[j].t.ID
 	})
 	if len(uniq) > k {
 		uniq = uniq[:k]
 	}
-	return uniq
+	out := make([]dataset.Tuple, len(uniq))
+	for i := range uniq {
+		out[i] = uniq[i].t
+	}
+	return out
 }
 
 // Brute computes the exact top-k over a full tuple slice; the reference

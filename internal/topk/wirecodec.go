@@ -1,13 +1,12 @@
 package topk
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"math"
 
 	"ripple/internal/core"
 	"ripple/internal/geom"
+	"ripple/internal/wire"
 )
 
 // WireCodec serialises top-k queries and states for networked peers; it
@@ -25,6 +24,19 @@ type wireParams struct {
 	Metric  string // "L1" | "L2" (nearest only)
 }
 
+// stateWire is the on-wire (m, τ) pair. Encode/decode go through pooled gob
+// machinery: states are exchanged on every hop, and stateWire is flat, so
+// the pooled path is allocation-free (see internal/wire/pool.go).
+type stateWire struct {
+	M   int
+	Tau float64
+}
+
+var (
+	paramsPool = wire.NewPayloadPool(&wireParams{})
+	statePool  = wire.NewPayloadPool(&stateWire{})
+)
+
 // Name implements wire.Codec.
 func (WireCodec) Name() string { return "topk" }
 
@@ -41,17 +53,13 @@ func (WireCodec) EncodeParams(f Scorer, k int) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("topk: scorer %T not wire-encodable", f)
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return paramsPool.Encode(&p)
 }
 
 // NewProcessor implements wire.Codec.
 func (WireCodec) NewProcessor(params []byte) (core.Processor, error) {
 	var p wireParams
-	if err := gob.NewDecoder(bytes.NewReader(params)).Decode(&p); err != nil {
+	if err := paramsPool.Decode(params, &p); err != nil {
 		return nil, fmt.Errorf("topk: decode params: %w", err)
 	}
 	var f Scorer
@@ -75,14 +83,7 @@ func (WireCodec) NewProcessor(params []byte) (core.Processor, error) {
 // EncodeState implements wire.Codec: the (m, τ) pair.
 func (WireCodec) EncodeState(s core.State) ([]byte, error) {
 	st := s.(state)
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(struct {
-		M   int
-		Tau float64
-	}{st.m, st.tau}); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return statePool.Encode(&stateWire{M: st.m, Tau: st.tau})
 }
 
 // DecodeState implements wire.Codec. Empty input yields the neutral state.
@@ -90,11 +91,8 @@ func (WireCodec) DecodeState(b []byte) (core.State, error) {
 	if len(b) == 0 {
 		return state{m: 0, tau: math.Inf(1)}, nil
 	}
-	var st struct {
-		M   int
-		Tau float64
-	}
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+	var st stateWire
+	if err := statePool.Decode(b, &st); err != nil {
 		return nil, fmt.Errorf("topk: decode state: %w", err)
 	}
 	return state{m: st.M, tau: st.Tau}, nil

@@ -1,0 +1,131 @@
+// Zero-allocation decode fast path for flat payload structs.
+//
+// encoding/gob's Decoder copies every message into a freshly allocated
+// buffer (saferio.ReadData), so even a fully warm decoder costs one heap
+// allocation per message. For the highest-frequency payloads — the per-hop
+// query states, which are tiny flat structs like topk's (m, τ) — that
+// allocation is the whole remaining cost. This file decodes the gob value
+// message for such structs directly from the caller's byte slice, touching
+// no heap at all.
+//
+// The fast path is deliberately narrow: a struct whose exported fields are
+// all bool, int/int64, uint/uint64 or float64, decoded from a stream whose
+// descriptor prefix already matched (so the field order is the static struct
+// order). Anything else — extra descriptors, unknown field deltas, trailing
+// bytes — makes the parser report failure and the caller falls back to the
+// real gob decoder, which remains the source of truth for the format.
+package wire
+
+import (
+	"math"
+	"math/bits"
+	"reflect"
+)
+
+// flatKind is the gob wire interpretation of one struct field.
+type flatKind uint8
+
+const (
+	flatBool flatKind = iota
+	flatInt
+	flatUint
+	flatFloat
+)
+
+// flatDecoder decodes the gob value message of one flat struct type.
+type flatDecoder struct {
+	kinds []flatKind
+}
+
+// newFlatDecoder returns a decoder for t, or nil when t (a struct type) has
+// any field the fast path does not cover.
+func newFlatDecoder(t reflect.Type) *flatDecoder {
+	if t.Kind() != reflect.Struct {
+		return nil
+	}
+	kinds := make([]flatKind, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			return nil // gob skips unexported fields; deltas would shift
+		}
+		switch f.Type.Kind() {
+		case reflect.Bool:
+			kinds[i] = flatBool
+		case reflect.Int, reflect.Int64:
+			kinds[i] = flatInt
+		case reflect.Uint, reflect.Uint64:
+			kinds[i] = flatUint
+		case reflect.Float64:
+			kinds[i] = flatFloat
+		default:
+			return nil
+		}
+	}
+	return &flatDecoder{kinds: kinds}
+}
+
+// decode parses one gob value message (as produced by a warm encoder, i.e.
+// without descriptor messages) into the struct v points to. It reports
+// whether the parse succeeded; on false the caller must re-decode through
+// gob — v may have been partially written, which matches gob's own
+// leave-fields-on-error behaviour.
+func (fd *flatDecoder) decode(body []byte, v interface{}) bool {
+	msgLen, b, ok := gobReadUint(body)
+	if !ok || uint64(len(b)) != msgLen {
+		return false
+	}
+	// Type id (signed, positive for a value message); its value was pinned
+	// by the descriptor-prefix match.
+	id, b, ok := gobReadUint(b)
+	if !ok || id&1 != 0 {
+		return false
+	}
+	sv := reflect.ValueOf(v).Elem()
+	field := -1 // gob field deltas are relative, starting before field 0
+	for {
+		delta, rest, ok := gobReadUint(b)
+		if !ok {
+			return false
+		}
+		b = rest
+		if delta == 0 {
+			return len(b) == 0 // terminator must end the message
+		}
+		field += int(delta)
+		if field < 0 || field >= len(fd.kinds) {
+			return false
+		}
+		u, rest, ok := gobReadUint(b)
+		if !ok {
+			return false
+		}
+		b = rest
+		f := sv.Field(field)
+		switch fd.kinds[field] {
+		case flatBool:
+			f.SetBool(u != 0)
+		case flatInt:
+			f.SetInt(gobDecodeInt(u))
+		case flatUint:
+			f.SetUint(u)
+		case flatFloat:
+			f.SetFloat(gobDecodeFloat(u))
+		}
+	}
+}
+
+// gobDecodeInt undoes gob's signed-integer folding: the sign lives in the
+// low bit, the magnitude (complemented when negative) above it.
+func gobDecodeInt(u uint64) int64 {
+	if u&1 != 0 {
+		return ^int64(u >> 1)
+	}
+	return int64(u >> 1)
+}
+
+// gobDecodeFloat undoes gob's float encoding: the IEEE 754 bits are
+// byte-reversed (so small exponents transmit short) and sent as a uint.
+func gobDecodeFloat(u uint64) float64 {
+	return math.Float64frombits(bits.ReverseBytes64(u))
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// flatAll exercises every field kind the fast path supports.
+type flatAll struct {
+	B  bool
+	I  int
+	I6 int64
+	U  uint
+	U6 uint64
+	F  float64
+	G  float64
+}
+
+// TestFlatDecoderDifferential is the fast path's ground truth: for a sweep
+// of edge and random values, decoding through the pooled path (which takes
+// the flat fast path) must agree exactly with a fresh gob decoder reading
+// the same bytes.
+func TestFlatDecoderDifferential(t *testing.T) {
+	pp := NewPayloadPool(&flatAll{})
+	rng := rand.New(rand.NewSource(1))
+	vals := []flatAll{
+		{},
+		{B: true, I: 1, I6: -1, U: 2, U6: 3, F: 0.25, G: -0.25},
+		{I: math.MaxInt64, I6: math.MinInt64, U6: math.MaxUint64},
+		{F: math.Inf(1), G: math.Inf(-1)},
+		{F: math.Copysign(0, -1), G: math.NaN()},
+		{I: -1 << 62, U: 1 << 63},
+	}
+	for i := 0; i < 200; i++ {
+		vals = append(vals, flatAll{
+			B:  rng.Intn(2) == 0,
+			I:  int(rng.Uint64()),
+			I6: int64(rng.Uint64()),
+			U:  uint(rng.Uint64()),
+			U6: rng.Uint64(),
+			F:  math.Float64frombits(rng.Uint64()),
+			G:  rng.NormFloat64(),
+		})
+	}
+	for i, v := range vals {
+		b, err := pp.Encode(&v)
+		if err != nil {
+			t.Fatalf("val %d: encode: %v", i, err)
+		}
+		var fast, slow flatAll
+		if err := pp.Decode(b, &fast); err != nil {
+			t.Fatalf("val %d: pooled decode: %v", i, err)
+		}
+		if err := freshDecode(b, &slow); err != nil {
+			t.Fatalf("val %d: fresh decode: %v", i, err)
+		}
+		// NaN != NaN, so compare bit patterns via formatting-free reflection
+		// on the float fields and direct equality on the rest.
+		if fast.B != slow.B || fast.I != slow.I || fast.I6 != slow.I6 ||
+			fast.U != slow.U || fast.U6 != slow.U6 ||
+			math.Float64bits(fast.F) != math.Float64bits(slow.F) ||
+			math.Float64bits(fast.G) != math.Float64bits(slow.G) {
+			t.Fatalf("val %d: fast %+v != gob %+v (input %+v)", i, fast, slow, v)
+		}
+	}
+}
+
+// TestFlatDecoderRejectsUnsupportedTypes pins the fast path's scope: any
+// field outside the flat set must disable it (nil decoder), never
+// mis-decode.
+func TestFlatDecoderRejectsUnsupportedTypes(t *testing.T) {
+	cases := []interface{}{
+		struct{ S string }{},
+		struct{ P []byte }{},
+		struct{ V interface{} }{},
+		struct{ F float32 }{},
+		struct{ I int32 }{},
+		struct {
+			A int
+			b int // unexported: gob skips it, deltas would shift
+		}{},
+		7, // not a struct
+	}
+	for i, c := range cases {
+		if fd := newFlatDecoder(reflect.TypeOf(c)); fd != nil {
+			t.Fatalf("case %d (%T): expected nil flat decoder", i, c)
+		}
+	}
+	if fd := newFlatDecoder(reflect.TypeOf(flatAll{})); fd == nil {
+		t.Fatal("flatAll should be fast-path decodable")
+	}
+}
+
+// TestFlatDecoderGarbageFallsBack feeds corrupt value messages and checks
+// the parser refuses them (so gob gets to produce the authoritative error)
+// rather than mis-parsing.
+func TestFlatDecoderGarbageFallsBack(t *testing.T) {
+	fd := newFlatDecoder(reflect.TypeOf(flatAll{}))
+	var v flatAll
+	bad := [][]byte{
+		{},
+		{0xFF},             // truncated length
+		{0x05, 0x81},       // descriptor type id (negative)
+		{0x02, 0x42, 0x09}, // field delta pointing past the last field...
+		{0x7F, 0x42},       // length longer than the body
+	}
+	for i, b := range bad {
+		if fd.decode(b, &v) {
+			t.Fatalf("case %d: corrupt message %x decoded successfully", i, b)
+		}
+	}
+}

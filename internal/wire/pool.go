@@ -1,0 +1,300 @@
+// Pooled gob encoding. A fresh gob.Encoder re-transmits the type descriptors
+// of everything it encodes, and allocates its whole machinery per message —
+// both pure constant-factor waste on the RPC hot path, where the same handful
+// of message types is encoded millions of times.
+//
+// The pool exploits a structural property of the gob stream: for a type whose
+// field graph contains no interfaces, the descriptor set a fresh encoder
+// emits is a pure function of the static type, so
+//
+//	freshEncoderBytes(v) == descriptorPrefix(T) || warmEncoderBytes(v)
+//
+// where a "warm" encoder has already transmitted T's descriptors. We capture
+// descriptorPrefix(T) once per type — validating the identity above against a
+// real fresh encoding before trusting it — and afterwards build every message
+// as prefix + warm-encoder output from a sync.Pool of primed encoders. The
+// bytes on the wire are byte-for-byte those of a fresh encoder, so replay
+// and the cross-runtime determinism invariants (DESIGN.md §10.1) are
+// unaffected; only the allocations disappear.
+//
+// Retention rules (what a pooled codec may keep across messages):
+//   - the descriptor prefix and the primed encoder/decoder machinery: yes —
+//     they are pure functions of the static type;
+//   - any reference into a caller's value or a decoded message: no — buffers
+//     are Reset between uses and outputs are appended to caller-owned slices;
+//   - an encoder or decoder that has returned an error: no — its stream state
+//     is unknown, it is dropped for the garbage collector.
+//
+// Types that break the prefix identity (interface fields would make the
+// descriptor set value-dependent) are detected at prime time or by the
+// per-message value-guard and permanently fall back to fresh encoders: the
+// pool is an optimisation, never a semantic change.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"sync"
+)
+
+// warmEnc is a gob encoder that has already transmitted the descriptors of
+// its pool's type, bound to its reusable output buffer.
+type warmEnc struct {
+	buf bytes.Buffer
+	enc *gob.Encoder
+}
+
+// warmDec is a gob decoder that has already received the descriptors of its
+// pool's type, bound to a resettable reader.
+type warmDec struct {
+	r   bytes.Reader
+	dec *gob.Decoder
+}
+
+// gobPool holds the pooled encode/decode state for one concrete payload
+// type. The zero state primes itself on first use.
+type gobPool struct {
+	sample interface{} // pointer to a zero value of the payload type
+
+	mu     sync.Mutex
+	primed bool
+	broken bool   // prefix identity failed: always use fresh codecs
+	prefix []byte // descriptor bytes a fresh encoder emits before the value
+	zero   []byte // full fresh encoding of the zero value (primes decoders)
+	flat   *flatDecoder // allocation-free decode for flat structs; nil otherwise
+
+	encs sync.Pool // *warmEnc
+	decs sync.Pool // *warmDec
+}
+
+func newGobPool(sample interface{}) *gobPool {
+	t := reflect.TypeOf(sample)
+	if t == nil || t.Kind() != reflect.Ptr {
+		panic("wire: payload pool sample must be a non-nil pointer")
+	}
+	return &gobPool{sample: sample}
+}
+
+// freshEncode is the reference path: a brand-new encoder per message.
+func freshEncode(dst []byte, v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return dst, err
+	}
+	return append(dst, buf.Bytes()...), nil
+}
+
+func freshDecode(b []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// newWarmEnc builds an encoder and primes it with the pool's zero value so
+// its descriptor state matches the cached prefix. Returns nil if the type
+// cannot be encoded at all (the caller's real Encode will surface the error).
+func (p *gobPool) newWarmEnc() *warmEnc {
+	w := &warmEnc{}
+	w.enc = gob.NewEncoder(&w.buf)
+	if err := w.enc.Encode(p.sample); err != nil {
+		return nil
+	}
+	w.buf.Reset()
+	return w
+}
+
+// newWarmDec builds a decoder primed with the zero stream.
+func (p *gobPool) newWarmDec() *warmDec {
+	w := &warmDec{}
+	w.r.Reset(p.zero)
+	w.dec = gob.NewDecoder(&w.r)
+	sink := reflect.New(reflect.TypeOf(p.sample).Elem()).Interface()
+	if err := w.dec.Decode(sink); err != nil {
+		return nil
+	}
+	return w
+}
+
+// prime captures the descriptor prefix for the pool's type and validates the
+// prefix identity against a real fresh encoding of the zero value. On any
+// mismatch the pool marks itself broken and serves fresh codecs forever.
+func (p *gobPool) prime() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.primed || p.broken {
+		return
+	}
+	fresh, err := freshEncode(nil, p.sample)
+	if err != nil {
+		p.broken = true
+		return
+	}
+	w := p.newWarmEnc()
+	if w == nil {
+		p.broken = true
+		return
+	}
+	if err := w.enc.Encode(p.sample); err != nil {
+		p.broken = true
+		return
+	}
+	warm := w.buf.Bytes()
+	if !bytes.HasSuffix(fresh, warm) || !gobBodyIsValue(warm) {
+		p.broken = true
+		return
+	}
+	p.prefix = append([]byte(nil), fresh[:len(fresh)-len(warm)]...)
+	p.zero = fresh
+	p.flat = newFlatDecoder(reflect.TypeOf(p.sample).Elem())
+	p.primed = true
+	w.buf.Reset()
+	p.encs.Put(w)
+}
+
+// appendEncode appends the gob encoding of v — byte-identical to a fresh
+// encoder's output — to dst and returns the extended slice.
+func (p *gobPool) appendEncode(dst []byte, v interface{}) ([]byte, error) {
+	if !p.primed {
+		p.prime()
+	}
+	if p.broken {
+		return freshEncode(dst, v)
+	}
+	w, _ := p.encs.Get().(*warmEnc)
+	if w == nil {
+		if w = p.newWarmEnc(); w == nil {
+			return freshEncode(dst, v)
+		}
+	}
+	w.buf.Reset()
+	if err := w.enc.Encode(v); err != nil {
+		// Encoder state is unknown after an error: drop it.
+		return dst, err
+	}
+	body := w.buf.Bytes()
+	if !gobBodyIsValue(body) {
+		// The value introduced a new descriptor (interface field): this
+		// type's descriptor set is value-dependent, the prefix identity does
+		// not hold. Disable the pool for the type and re-encode fresh.
+		p.mu.Lock()
+		p.broken = true
+		p.mu.Unlock()
+		return freshEncode(dst, v)
+	}
+	dst = append(dst, p.prefix...)
+	dst = append(dst, body...)
+	w.buf.Reset()
+	p.encs.Put(w)
+	return dst, nil
+}
+
+// decode decodes a fresh-encoder gob stream into v, reusing warm decoder
+// state when the stream carries the expected descriptor prefix.
+func (p *gobPool) decode(b []byte, v interface{}) error {
+	if !p.primed {
+		p.prime()
+	}
+	if p.broken || !bytes.HasPrefix(b, p.prefix) {
+		return freshDecode(b, v)
+	}
+	if p.flat != nil && reflect.TypeOf(v) == reflect.TypeOf(p.sample) {
+		if p.flat.decode(b[len(p.prefix):], v) {
+			return nil
+		}
+		// Unparseable by the narrow fast path; let gob judge the message.
+	}
+	w, _ := p.decs.Get().(*warmDec)
+	if w == nil {
+		if w = p.newWarmDec(); w == nil {
+			return freshDecode(b, v)
+		}
+	}
+	w.r.Reset(b[len(p.prefix):])
+	if err := w.dec.Decode(v); err != nil {
+		// Decoder state is unknown after an error; give the message one
+		// authoritative attempt on the reference path.
+		return freshDecode(b, v)
+	}
+	p.decs.Put(w)
+	return nil
+}
+
+// gobBodyIsValue reports whether the first gob message in b is a value
+// message (positive type id) rather than a type descriptor (negative id).
+// Message framing per the gob spec: an unsigned byte count, then the
+// message, which opens with a signed type id; signed ints carry their sign
+// in the low bit of the unsigned representation.
+func gobBodyIsValue(b []byte) bool {
+	_, rest, ok := gobReadUint(b)
+	if !ok {
+		return false
+	}
+	id, _, ok := gobReadUint(rest)
+	return ok && id&1 == 0
+}
+
+// gobReadUint decodes one gob unsigned integer: a value < 128 is its own
+// byte; otherwise the first byte is the negated count of big-endian bytes
+// that follow.
+func gobReadUint(b []byte) (v uint64, rest []byte, ok bool) {
+	if len(b) == 0 {
+		return 0, nil, false
+	}
+	if b[0] < 0x80 {
+		return uint64(b[0]), b[1:], true
+	}
+	n := -int(int8(b[0]))
+	if n < 1 || n > 8 || len(b) < 1+n {
+		return 0, nil, false
+	}
+	for _, c := range b[1 : 1+n] {
+		v = v<<8 | uint64(c)
+	}
+	return v, b[1+n:], true
+}
+
+// messagePools maps a message's concrete type (indirected through pointers)
+// to its gobPool, lazily; WriteMessage/ReadMessage serve arbitrary types.
+var messagePools sync.Map // reflect.Type -> *gobPool
+
+func poolFor(msg interface{}) *gobPool {
+	t := reflect.TypeOf(msg)
+	for t != nil && t.Kind() == reflect.Ptr {
+		t = t.Elem()
+	}
+	if t == nil {
+		return nil
+	}
+	if p, ok := messagePools.Load(t); ok {
+		return p.(*gobPool)
+	}
+	p, _ := messagePools.LoadOrStore(t, newGobPool(reflect.New(t).Interface()))
+	return p.(*gobPool)
+}
+
+// PayloadPool pools gob encode/decode machinery for one concrete payload
+// type, producing bytes byte-identical to a fresh per-message encoder. Query
+// codecs declare one per payload (params, state) at package level.
+type PayloadPool struct{ p *gobPool }
+
+// NewPayloadPool returns a pool for the payload type sample points to
+// (sample must be a pointer to a zero value, e.g. &wireParams{}).
+func NewPayloadPool(sample interface{}) *PayloadPool {
+	return &PayloadPool{p: newGobPool(sample)}
+}
+
+// Encode returns the gob encoding of v as a caller-owned slice.
+func (pp *PayloadPool) Encode(v interface{}) ([]byte, error) {
+	return pp.p.appendEncode(nil, v)
+}
+
+// AppendEncode appends the gob encoding of v to dst: the zero-allocation
+// path when dst capacity is reused across messages.
+func (pp *PayloadPool) AppendEncode(dst []byte, v interface{}) ([]byte, error) {
+	return pp.p.appendEncode(dst, v)
+}
+
+// Decode decodes a payload produced by Encode (or any fresh gob encoder)
+// into v, which must be a pointer to the pool's payload type.
+func (pp *PayloadPool) Decode(b []byte, v interface{}) error {
+	return pp.p.decode(b, v)
+}

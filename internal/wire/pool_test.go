@@ -1,0 +1,362 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+	"ripple/internal/trace"
+)
+
+// sampleCalls covers the downstream message shapes: bare, with state, traced.
+func sampleCalls() []*Call {
+	return []*Call{
+		{QueryType: "topk", Restrict: overlay.Whole(2), R: 3},
+		{
+			QueryType: "skyline",
+			Params:    []byte{1, 2, 3},
+			Global:    []byte{9, 8},
+			Restrict:  overlay.FromRect(geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{0.5, 1}}),
+			R:         0,
+			Hops:      4,
+		},
+		{
+			QueryType: "diversify", Restrict: overlay.Whole(3),
+			Traced: true, SpanID: 42, SpanParent: 7, SpanDepth: 2,
+		},
+	}
+}
+
+// sampleReplies covers the upstream shapes: empty, loaded, partial, traced.
+func sampleReplies() []*Reply {
+	return []*Reply{
+		{},
+		{
+			States:     [][]byte{{1}, {2, 3}},
+			Answers:    []dataset.Tuple{{ID: 1, Vec: geom.Point{0.1, 0.2}}, {ID: 2, Vec: geom.Point{0.3, 0.4}}},
+			Completion: 5, QueryMsgs: 3, StateMsgs: 2, TuplesSent: 4,
+			Peers: []string{"a", "b"},
+		},
+		{
+			Error: "peer x: panic", Partial: true,
+			FailedRegions: []overlay.Region{overlay.Whole(2)},
+			Failures:      1, Retries: 2, TimedOut: 1,
+		},
+		{
+			Spans: []trace.Span{{
+				ID: 9, Parent: 1, Peer: "p3", Region: overlay.Whole(2),
+				Phase: trace.PhaseFast, Depth: 1, Arrive: 2, Outcome: trace.OutcomeOK,
+			}},
+		},
+	}
+}
+
+// TestPooledMessageByteIdentity pins the load-bearing property of the codec
+// pool: the pooled writer emits, message for message, exactly the bytes a
+// fresh gob encoder would — so replay traces and the determinism invariants
+// of DESIGN.md §10.1 cannot tell the optimisation happened.
+func TestPooledMessageByteIdentity(t *testing.T) {
+	var msgs []interface{}
+	for _, c := range sampleCalls() {
+		msgs = append(msgs, c)
+	}
+	for _, r := range sampleReplies() {
+		msgs = append(msgs, r)
+	}
+	// Two passes: the first primes the pools, the second uses warm state.
+	for pass := 0; pass < 2; pass++ {
+		for i, m := range msgs {
+			var pooled, fresh bytes.Buffer
+			if err := WriteMessage(&pooled, m); err != nil {
+				t.Fatalf("pass %d msg %d: pooled write: %v", pass, i, err)
+			}
+			if err := writeMessageFresh(&fresh, m); err != nil {
+				t.Fatalf("pass %d msg %d: fresh write: %v", pass, i, err)
+			}
+			if !bytes.Equal(pooled.Bytes(), fresh.Bytes()) {
+				t.Fatalf("pass %d msg %d: pooled and fresh frames differ:\npooled %x\nfresh  %x",
+					pass, i, pooled.Bytes(), fresh.Bytes())
+			}
+		}
+	}
+}
+
+// TestPooledMessageRoundTrip checks the pooled reader against both pooled
+// and fresh writers, in both directions.
+func TestPooledMessageRoundTrip(t *testing.T) {
+	for i, r := range sampleReplies() {
+		if r.Error != "" {
+			continue // Error replies compare fine but carry no payload worth diffing
+		}
+		var frame bytes.Buffer
+		if err := WriteMessage(&frame, r); err != nil {
+			t.Fatal(err)
+		}
+		raw := append([]byte(nil), frame.Bytes()...)
+
+		var viaPooled, viaFresh Reply
+		if err := ReadMessage(bytes.NewReader(raw), &viaPooled); err != nil {
+			t.Fatalf("reply %d: pooled read: %v", i, err)
+		}
+		if err := readMessageFresh(bytes.NewReader(raw), &viaFresh); err != nil {
+			t.Fatalf("reply %d: fresh read: %v", i, err)
+		}
+		if len(viaPooled.Answers) != len(viaFresh.Answers) ||
+			viaPooled.Completion != viaFresh.Completion ||
+			viaPooled.StateMsgs != viaFresh.StateMsgs ||
+			len(viaPooled.Spans) != len(viaFresh.Spans) {
+			t.Fatalf("reply %d: pooled and fresh decodes disagree: %+v vs %+v", i, viaPooled, viaFresh)
+		}
+	}
+}
+
+// ifaceload has an interface field, so its gob descriptor set depends on the
+// value being encoded — the one shape the prefix identity cannot cover.
+type ifaceload struct {
+	N int
+	V interface{}
+}
+
+// TestInterfacePayloadFallsBackFresh feeds the pool a type that breaks the
+// prefix identity and checks it degrades to the reference path instead of
+// corrupting bytes.
+func TestInterfacePayloadFallsBackFresh(t *testing.T) {
+	pp := NewPayloadPool(&ifaceload{})
+	vals := []ifaceload{
+		{N: 1, V: "hello"},
+		{N: 2, V: float64(2.5)},
+		{N: 3}, // nil interface: gob refuses; both paths must agree on the error
+	}
+	for i, v := range vals {
+		pooled, errP := pp.Encode(&v)
+		fresh, errF := freshEncode(nil, &v)
+		if (errP == nil) != (errF == nil) {
+			t.Fatalf("val %d: pooled err %v, fresh err %v", i, errP, errF)
+		}
+		if errP != nil {
+			continue
+		}
+		if !bytes.Equal(pooled, fresh) {
+			t.Fatalf("val %d: pooled %x != fresh %x", i, pooled, fresh)
+		}
+		var got ifaceload
+		if err := pp.Decode(pooled, &got); err != nil {
+			t.Fatalf("val %d: decode: %v", i, err)
+		}
+		if got.N != v.N {
+			t.Fatalf("val %d: roundtrip lost N", i)
+		}
+	}
+}
+
+// topkStateWire mirrors the topk codec's state payload: the representative
+// small message of the satellite's allocation budget.
+type topkStateWire struct {
+	M   int
+	Tau float64
+}
+
+// TestPayloadPoolZeroSteadyStateAllocs pins the allocation contract: once
+// primed, pooled encode+decode of a topk state payload allocates nothing —
+// buffers, encoders and decoders are all recycled.
+func TestPayloadPoolZeroSteadyStateAllocs(t *testing.T) {
+	pp := NewPayloadPool(&topkStateWire{})
+	dst := make([]byte, 0, 256)
+	in := topkStateWire{M: 7, Tau: 0.25}
+	var out topkStateWire
+	// Warm up: prime the prefix and populate the sync.Pools.
+	for i := 0; i < 4; i++ {
+		var err error
+		dst, err = pp.AppendEncode(dst[:0], &in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pp.Decode(dst, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out.M != in.M || out.Tau != in.Tau {
+		t.Fatalf("roundtrip mismatch: %+v != %+v", out, in)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		dst, err = pp.AppendEncode(dst[:0], &in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pp.Decode(dst, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 && !raceEnabled {
+		t.Fatalf("steady-state pooled encode+decode allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestPayloadPoolVariedValues sweeps value shapes (zeros, infinities, grown
+// slices) through one pool and requires byte identity with fresh encoders on
+// every single message.
+func TestPayloadPoolVariedValues(t *testing.T) {
+	type payload struct {
+		K       int
+		Weights []float64
+		Name    string
+	}
+	pp := NewPayloadPool(&payload{})
+	vals := []payload{
+		{},
+		{K: 1, Weights: []float64{1, 2, 3}, Name: "linear"},
+		{K: -5, Weights: []float64{}, Name: ""},
+		{K: 1 << 40, Weights: []float64{math.Inf(1), math.Inf(-1), 0}, Name: "edge"},
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, v := range vals {
+			pooled, err := pp.Encode(&v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := freshEncode(nil, &v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(pooled, fresh) {
+				t.Fatalf("pass %d val %d: pooled and fresh bytes differ", pass, i)
+			}
+			var got payload
+			if err := pp.Decode(pooled, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.K != v.K || got.Name != v.Name || len(got.Weights) != len(v.Weights) {
+				t.Fatalf("pass %d val %d: roundtrip mismatch %+v != %+v", pass, i, got, v)
+			}
+		}
+	}
+}
+
+func benchCall() *Call {
+	return &Call{
+		QueryType: "topk",
+		Params:    bytes.Repeat([]byte{7}, 64),
+		Global:    bytes.Repeat([]byte{3}, 24),
+		Restrict:  overlay.Whole(5),
+		R:         2,
+		Hops:      3,
+	}
+}
+
+func benchReply() *Reply {
+	ts := make([]dataset.Tuple, 8)
+	for i := range ts {
+		ts[i] = dataset.Tuple{ID: uint64(i), Vec: geom.Point{0.1, 0.2, 0.3, 0.4, 0.5}}
+	}
+	return &Reply{
+		States: [][]byte{bytes.Repeat([]byte{1}, 24)}, Answers: ts,
+		Completion: 4, QueryMsgs: 9, StateMsgs: 3, TuplesSent: 11,
+		Peers: []string{"p1", "p2", "p3"},
+	}
+}
+
+func BenchmarkWriteCallPooled(b *testing.B) {
+	msg := benchCall()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteMessage(io.Discard, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteCallFresh(b *testing.B) {
+	msg := benchCall()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := writeMessageFresh(io.Discard, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteReplyPooled(b *testing.B) {
+	msg := benchReply()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteMessage(io.Discard, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteReplyFresh(b *testing.B) {
+	msg := benchReply()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := writeMessageFresh(io.Discard, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFrame(b *testing.B, msg interface{}) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, msg); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkReadReplyPooled(b *testing.B) {
+	frame := benchFrame(b, benchReply())
+	r := bytes.NewReader(frame)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		var reply Reply
+		if err := ReadMessage(r, &reply); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadReplyFresh(b *testing.B) {
+	frame := benchFrame(b, benchReply())
+	r := bytes.NewReader(frame)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		var reply Reply
+		if err := readMessageFresh(r, &reply); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStateEncodePooled(b *testing.B) {
+	pp := NewPayloadPool(&topkStateWire{})
+	in := topkStateWire{M: 10, Tau: 0.75}
+	dst := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = pp.AppendEncode(dst[:0], &in)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStateEncodeFresh(b *testing.B) {
+	in := topkStateWire{M: 10, Tau: 0.75}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := freshEncode(nil, &in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

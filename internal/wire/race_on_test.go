@@ -1,0 +1,9 @@
+//go:build race
+
+package wire
+
+// Under the race detector sync.Pool drops Puts at random to widen schedule
+// coverage, so "zero steady-state allocations" is unprovable there. The
+// guarded tests still run their correctness assertions; only the alloc count
+// is skipped.
+const raceEnabled = true

@@ -15,6 +15,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync"
 
 	"ripple/internal/core"
 	"ripple/internal/dataset"
@@ -115,8 +116,44 @@ func init() {
 	gob.Register(dataset.Tuple{})
 }
 
-// WriteMessage frames and writes a gob-encoded message.
+// framePool recycles the frame-assembly and frame-read buffers; frames
+// beyond maxPooledFrame are left to the garbage collector so one huge answer
+// set cannot pin memory in the pool forever.
+var framePool = sync.Pool{New: func() interface{} { b := make([]byte, 0, 4096); return &b }}
+
+const maxPooledFrame = 1 << 20
+
+func putFrameBuf(b *[]byte) {
+	if cap(*b) <= maxPooledFrame {
+		framePool.Put(b)
+	}
+}
+
+// WriteMessage frames and writes a gob-encoded message. The encoding reuses
+// pooled codec state (see pool.go) and the frame goes out in a single Write;
+// the bytes are identical to a fresh gob encoder's, message for message.
 func WriteMessage(w io.Writer, msg interface{}) error {
+	bp := framePool.Get().(*[]byte)
+	defer putFrameBuf(bp)
+	buf := append((*bp)[:0], 0, 0, 0, 0) // length header, patched below
+	buf, err := poolFor(msg).appendEncode(buf, msg)
+	if err != nil {
+		*bp = buf[:0]
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	_, err = w.Write(buf)
+	*bp = buf[:0]
+	if err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// writeMessageFresh is the pre-pool reference implementation: a fresh
+// encoder and buffer per message. Kept for byte-identity tests and the
+// before/after benchmarks.
+func writeMessageFresh(w io.Writer, msg interface{}) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
 		return fmt.Errorf("wire: encode: %w", err)
@@ -136,11 +173,41 @@ func WriteMessage(w io.Writer, msg interface{}) error {
 // are bounded by the data a peer holds.
 const MaxFrame = 64 << 20
 
-// ReadMessage reads one framed message into msg.
+// ReadMessage reads one framed message into msg, reusing pooled frame
+// buffers and decoder state. msg must be a pointer to a zero value: gob
+// leaves fields absent from the stream untouched.
 func ReadMessage(r io.Reader, msg interface{}) error {
 	var size [4]byte
 	if _, err := io.ReadFull(r, size[:]); err != nil {
 		return err // io.EOF signals a cleanly closed connection
+	}
+	n := binary.BigEndian.Uint32(size[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	bp := framePool.Get().(*[]byte)
+	defer putFrameBuf(bp)
+	body := *bp
+	if cap(body) < int(n) {
+		body = make([]byte, n)
+	}
+	body = body[:n]
+	*bp = body[:0]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("wire: read body: %w", err)
+	}
+	if err := poolFor(msg).decode(body, msg); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}
+
+// readMessageFresh is the pre-pool reference implementation, kept for
+// byte-identity tests and the before/after benchmarks.
+func readMessageFresh(r io.Reader, msg interface{}) error {
+	var size [4]byte
+	if _, err := io.ReadFull(r, size[:]); err != nil {
+		return err
 	}
 	n := binary.BigEndian.Uint32(size[:])
 	if n > MaxFrame {
@@ -154,17 +221,4 @@ func ReadMessage(r io.Reader, msg interface{}) error {
 		return fmt.Errorf("wire: decode: %w", err)
 	}
 	return nil
-}
-
-// gobEncode/gobDecode are helpers for codec payloads.
-func gobEncode(v interface{}) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-func gobDecode(b []byte, v interface{}) error {
-	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
 }

@@ -4,23 +4,12 @@ import (
 	"bytes"
 	"encoding/binary"
 	"io"
-	"math"
 	"strings"
 	"testing"
 
 	"ripple/internal/dataset"
-	"ripple/internal/diversify"
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
-	"ripple/internal/skyline"
-	"ripple/internal/topk"
-)
-
-// Compile-time checks: the query packages implement the wire codec contract.
-var (
-	_ Codec = topk.WireCodec{}
-	_ Codec = skyline.WireCodec{}
-	_ Codec = diversify.WireCodec{}
 )
 
 func TestMessageRoundTrip(t *testing.T) {
@@ -98,104 +87,6 @@ func TestReadMessageTruncatedBody(t *testing.T) {
 	}
 }
 
-func TestTopKCodecRoundTrip(t *testing.T) {
-	c := topk.WireCodec{}
-	for _, f := range []topk.Scorer{
-		topk.UniformLinear(3),
-		topk.Peak{Center: geom.Point{0.2, 0.3, 0.4}, Sharpness: 5},
-		topk.Nearest{Center: geom.Point{0.5, 0.5, 0.5}, Metric: geom.L1},
-	} {
-		params, err := c.EncodeParams(f, 4)
-		if err != nil {
-			t.Fatal(err)
-		}
-		proc, err := c.NewProcessor(params)
-		if err != nil {
-			t.Fatal(err)
-		}
-		tp := proc.(*topk.Processor)
-		if tp.K != 4 {
-			t.Fatalf("K lost: %d", tp.K)
-		}
-		p := geom.Point{0.25, 0.5, 0.75}
-		if math.Abs(tp.F.Score(p)-f.Score(p)) > 1e-12 {
-			t.Fatalf("scorer %T changed on the wire", f)
-		}
-	}
-	// Neutral state on empty bytes.
-	st, err := c.DecodeState(nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	enc, err := c.EncodeState(st)
-	if err != nil {
-		t.Fatal(err)
-	}
-	st2, err := c.DecodeState(enc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if enc2, _ := c.EncodeState(st2); !bytes.Equal(enc, enc2) {
-		t.Fatal("state round trip unstable")
-	}
-}
-
-func TestDiversifyCodecRoundTrip(t *testing.T) {
-	c := diversify.WireCodec{}
-	q := diversify.NewQuery(geom.Point{0.2, 0.8}, 0.4)
-	base := []dataset.Tuple{{ID: 5, Vec: geom.Point{0.1, 0.1}}}
-	params, err := c.EncodeParams(q, base, map[uint64]bool{5: true, 9: true}, 0.25)
-	if err != nil {
-		t.Fatal(err)
-	}
-	proc, err := c.NewProcessor(params)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dp := proc.(*diversify.Processor)
-	if dp.Query.Lambda != 0.4 || len(dp.Base) != 1 || !dp.Exclude[9] || dp.Tau0 != 0.25 {
-		t.Fatalf("params lost on the wire: %+v", dp)
-	}
-	st, err := c.DecodeState(nil)
-	if err != nil || !math.IsInf(float64(0)+mustFloat(c, st), 1) {
-		t.Fatalf("neutral diversify state: %v %v", st, err)
-	}
-}
-
-func mustFloat(c diversify.WireCodec, s interface{}) float64 {
-	b, err := c.EncodeState(s)
-	if err != nil {
-		panic(err)
-	}
-	st, err := c.DecodeState(b)
-	if err != nil {
-		panic(err)
-	}
-	b2, _ := c.EncodeState(st)
-	if string(b) != string(b2) {
-		panic("unstable state round trip")
-	}
-	var v float64
-	// decode the gob float directly for the assertion
-	if err := gobDecodeForTest(b, &v); err != nil {
-		panic(err)
-	}
-	return v
-}
-
-func TestSkylineCodecRoundTrip(t *testing.T) {
-	c := skyline.WireCodec{}
-	proc, err := c.NewProcessor(nil)
-	if err != nil || proc == nil {
-		t.Fatalf("NewProcessor: %v", err)
-	}
-	st, err := c.DecodeState(nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n := proc.StateTuples(st); n != 0 {
-		t.Fatalf("neutral skyline state has %d tuples", n)
-	}
-}
-
-func gobDecodeForTest(b []byte, v interface{}) error { return gobDecode(b, v) }
+// The codec round-trip tests live in codecs_test.go (package wire_test): the
+// query packages now import wire for payload pooling, so an in-package test
+// cannot import them back.
