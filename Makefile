@@ -79,7 +79,7 @@ BENCH_JSON_PKGS = ./internal/wire/ ./internal/topk/ ./internal/netpeer/ .
 # Regenerate the committed benchmark baseline (ns/op, B/op, allocs/op per
 # benchmark) as deterministic JSON.
 bench-json:
-	$(GO) test -run=NONE -bench=. -benchmem $(BENCH_JSON_PKGS) | $(GO) run ./cmd/ripple-benchjson > BENCH_PR4.json
+	$(GO) test -run=NONE -bench=. -benchmem $(BENCH_JSON_PKGS) | $(GO) run ./cmd/ripple-benchjson > BENCH_PR5.json
 
 examples:
 	$(GO) run ./examples/quickstart

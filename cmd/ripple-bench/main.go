@@ -36,6 +36,7 @@ func main() {
 	dims := flag.String("dims", "", "override: comma-separated dimensionalities for Figures 5/8/10")
 	synthSize := flag.Int("synth-size", 0, "override: SYNTH dataset cardinality")
 	faultRates := flag.String("fault-rates", "", "override: comma-separated drop probabilities for churn-faults")
+	concurrency := flag.String("concurrency", "", "override: comma-separated worker counts for the throughput experiment")
 	flag.Parse()
 
 	var cfg bench.Config
@@ -68,6 +69,9 @@ func main() {
 	}
 	if *faultRates != "" {
 		cfg.FaultRates = parseFloats(*faultRates, "-fault-rates")
+	}
+	if *concurrency != "" {
+		cfg.Concurrency = parseInts(*concurrency, "-concurrency")
 	}
 
 	if *list {

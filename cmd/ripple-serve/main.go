@@ -35,6 +35,9 @@ func main() {
 	callTimeout := flag.Duration("call-timeout", def.CallTimeout, "end-to-end deadline per peer RPC (and for the client call)")
 	dialTimeout := flag.Duration("dial-timeout", def.DialTimeout, "server mode: TCP connect deadline per peer dial")
 	retries := flag.Int("retries", def.Retry.MaxRetries, "server mode: retransmissions per failed peer RPC")
+	maxConcurrent := flag.Int("max-concurrent-calls", def.MaxConcurrentCalls, "server mode: calls processed at once per multiplexed connection")
+	maxQueue := flag.Int("max-call-queue", def.MaxCallQueue, "server mode: admitted calls that may wait for a worker before admission control rejects")
+	disableMux := flag.Bool("disable-mux", false, "server mode: refuse stream multiplexing and serve the sequential one-call-per-connection protocol")
 	faultDrop := flag.Float64("fault-drop", 0, "server mode: injected per-RPC drop probability (testing)")
 	faultCrash := flag.Float64("fault-crash", 0, "server mode: injected perform-then-lose-reply probability (testing)")
 	faultDelayRate := flag.Float64("fault-delay-rate", 0, "server mode: injected per-RPC delay probability (testing)")
@@ -47,6 +50,9 @@ func main() {
 	opts.CallTimeout = *callTimeout
 	opts.DialTimeout = *dialTimeout
 	opts.Retry.MaxRetries = *retries
+	opts.MaxConcurrentCalls = *maxConcurrent
+	opts.MaxCallQueue = *maxQueue
+	opts.DisableMux = *disableMux
 	if *faultDrop > 0 || *faultCrash > 0 || *faultDelayRate > 0 {
 		opts.Faults = faults.New(faults.Config{
 			Seed:      *faultSeed,

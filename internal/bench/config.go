@@ -47,6 +47,10 @@ type Config struct {
 	// FaultRates is the x-axis of the churn-with-failures experiment: the
 	// per-link drop probability injected into every query propagation.
 	FaultRates []float64
+
+	// Concurrency is the x-axis of the transport throughput experiment: how
+	// many workers share one client against a loopback deployment.
+	Concurrency []int
 }
 
 // Default returns a configuration that reproduces every figure's shape on a
@@ -72,6 +76,7 @@ func Default() Config {
 		DivMaxIters:   5,
 		Seed:          1,
 		FaultRates:    []float64{0, 0.02, 0.05, 0.1, 0.2},
+		Concurrency:   []int{1, 8, 64},
 	}
 }
 
@@ -93,6 +98,7 @@ func Quick() Config {
 	c.DivQueries = 2
 	c.DivMaxIters = 3
 	c.FaultRates = []float64{0, 0.05, 0.2}
+	c.Concurrency = []int{1, 8}
 	return c
 }
 
@@ -119,6 +125,7 @@ func Paper() Config {
 		DivMaxIters:   10,
 		Seed:          1,
 		FaultRates:    []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4},
+		Concurrency:   []int{1, 8, 64, 256},
 	}
 }
 

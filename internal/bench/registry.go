@@ -29,6 +29,7 @@ func Runners() []Runner {
 		{Name: "churn-faults", Desc: "Robustness: top-k recall vs injected link-failure rate under churn", Run: ChurnFaults},
 		{Name: "ablation-border", Desc: "Ablation: §5.2 border-link optimisation on/off", Run: AblationBorder},
 		{Name: "ablation-overlay", Desc: "Ablation: RIPPLE over MIDAS vs over CAN", Run: AblationOverlay},
+		{Name: "throughput", Desc: "Transport: aggregate QPS and p95 latency vs client concurrency, mux vs sequential", Run: Throughput},
 	}
 }
 

@@ -1,5 +1,5 @@
 // Package metrics is a dependency-free metrics registry for the RIPPLE
-// runtimes: atomic counters and fixed-bucket histograms with Prometheus
+// runtimes: atomic counters, gauges, and fixed-bucket histograms with Prometheus
 // text-format exposition and pprof mounting, so a deployed peer
 // (`ripple-serve -metrics-addr`) can be scraped and profiled with stock
 // tooling without pulling any external module into the build.
@@ -10,7 +10,7 @@
 // DESIGN.md §9.
 //
 // All instruments are nil-safe: a nil *Registry hands out nil instruments and
-// a nil *Counter / *Histogram silently drops observations, so callers thread
+// a nil *Counter / *Gauge / *Histogram silently drops observations, so callers thread
 // metrics through unconditionally and pay nothing when disabled.
 package metrics
 
@@ -46,6 +46,42 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// Gauge is an atomic value that can go up and down: in-flight streams,
+// queue depths, pool occupancy.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
 }
 
 // Histogram is a fixed-bucket cumulative histogram. Buckets are upper bounds
@@ -124,7 +160,21 @@ type Registry struct {
 type entry struct {
 	help    string
 	counter *Counter
+	gauge   *Gauge
 	hist    *Histogram
+}
+
+// kind names the entry's instrument type for registration-conflict panics
+// and the exposition TYPE header.
+func (e *entry) kind() string {
+	switch {
+	case e.hist != nil:
+		return "histogram"
+	case e.gauge != nil:
+		return "gauge"
+	default:
+		return "counter"
+	}
 }
 
 // New creates an empty registry.
@@ -163,7 +213,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 	defer r.mu.Unlock()
 	if e, ok := r.items[name]; ok {
 		if e.counter == nil {
-			panic("metrics: " + name + " already registered as a histogram")
+			panic("metrics: " + name + " already registered as a " + e.kind())
 		}
 		return e.counter
 	}
@@ -171,6 +221,26 @@ func (r *Registry) Counter(name, help string) *Counter {
 	r.items[name] = &entry{help: help, counter: c}
 	r.names = append(r.names, name)
 	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// It panics if the name is already registered as another instrument kind.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.items[name]; ok {
+		if e.gauge == nil {
+			panic("metrics: " + name + " already registered as a " + e.kind())
+		}
+		return e.gauge
+	}
+	g := &Gauge{}
+	r.items[name] = &entry{help: help, gauge: g}
+	r.names = append(r.names, name)
+	return g
 }
 
 // Histogram returns the histogram registered under name, creating it with
@@ -187,7 +257,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	defer r.mu.Unlock()
 	if e, ok := r.items[name]; ok {
 		if e.hist == nil {
-			panic("metrics: " + name + " already registered as a counter")
+			panic("metrics: " + name + " already registered as a " + e.kind())
 		}
 		return e.hist
 	}
@@ -236,10 +306,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		family := baseName(name)
 		if !seenFamily[family] {
 			seenFamily[family] = true
-			typ := "counter"
-			if e.hist != nil {
-				typ = "histogram"
-			}
+			typ := e.kind()
 			if e.help != "" {
 				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, e.help); err != nil {
 					return err
@@ -251,6 +318,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		if e.counter != nil {
 			if _, err := fmt.Fprintf(w, "%s %d\n", name, e.counter.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		if e.gauge != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, e.gauge.Value()); err != nil {
 				return err
 			}
 			continue

@@ -148,3 +148,59 @@ func TestBucketBoundariesValidated(t *testing.T) {
 	}()
 	r.Histogram("bad", "", []float64{2, 1})
 }
+
+func TestGaugeBasics(t *testing.T) {
+	r := New()
+	g := r.Gauge("ripple_inflight", "in-flight calls")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(5)
+	if g.Value() != 6 {
+		t.Fatalf("gauge = %d, want 6", g.Value())
+	}
+	g.Set(-2) // gauges go down, unlike counters
+	if g.Value() != -2 {
+		t.Fatalf("gauge = %d, want -2", g.Value())
+	}
+	if again := r.Gauge("ripple_inflight", ""); again != g {
+		t.Fatal("re-registration returned a different gauge")
+	}
+}
+
+func TestGaugeExposition(t *testing.T) {
+	r := New()
+	r.Gauge("ripple_inflight", "in-flight calls").Set(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"# TYPE ripple_inflight gauge", "ripple_inflight 3\n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeKindConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("ripple_mixed", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter must panic")
+		}
+	}()
+	r.Gauge("ripple_mixed", "")
+}
+
+func TestNilGauge(t *testing.T) {
+	var r *Registry
+	g := r.Gauge("anything", "")
+	g.Inc()
+	g.Dec()
+	g.Set(9)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must observe nothing")
+	}
+}

@@ -53,14 +53,22 @@ func resultFromReply(reply *wire.Reply, traced bool) *QueryResult {
 // Client is an initiator-side handle on one deployment peer that keeps its
 // TCP connection warm across queries, so a workload issuing many queries
 // pays one handshake instead of one per query. The package-level Query
-// functions remain the one-shot path. A Client is safe for concurrent use;
-// concurrent queries are serialised on the single connection.
+// functions remain the one-shot path. A Client is safe for concurrent use.
+// By default it negotiates the multiplexed protocol on first use, so
+// concurrent queries share the single connection as independent streams; a
+// remote that only speaks the sequential protocol — or a Client built with
+// NewSequentialClient — serialises concurrent queries on the connection
+// instead, which is the pre-mux behaviour.
 type Client struct {
-	addr    string
-	timeout time.Duration
+	addr       string
+	timeout    time.Duration
+	sequential bool
 
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	conn   net.Conn // warm sequential-protocol connection
+	mc     *muxConn
+	legacy bool // remote negotiated down; stick to the sequential protocol
+	wg     sync.WaitGroup
 }
 
 // NewClient returns a client for the peer at addr. timeout bounds each
@@ -73,26 +81,123 @@ func NewClient(addr string, timeout time.Duration) *Client {
 	return &Client{addr: addr, timeout: timeout}
 }
 
-// Close tears down the warm connection, if any. The client stays usable: the
-// next query redials.
+// NewSequentialClient returns a client pinned to the sequential one-call-
+// per-connection protocol, skipping mux negotiation entirely. Kept for
+// benchmarks against the pre-mux transport and for remotes known to predate
+// it (saves the hello round trip the negotiation would spend discovering
+// that).
+func NewSequentialClient(addr string, timeout time.Duration) *Client {
+	c := NewClient(addr, timeout)
+	c.sequential = true
+	return c
+}
+
+// Close tears down the warm connection, if any, failing any in-flight
+// streams. The client stays usable: the next query redials.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return nil
-	}
-	err := c.conn.Close()
+	mc := c.mc
+	conn := c.conn
+	c.mc = nil
 	c.conn = nil
+	c.mu.Unlock()
+	if mc != nil {
+		mc.fail(errMuxClosed)
+	}
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	c.wg.Wait() // the mux read loop exits once its connection is closed
 	return err
 }
 
-// do performs one exchange over the warm connection, dialling on first use.
-// A reused connection that fails with a non-timeout error is assumed stale
-// (the peer restarted since it was parked) and the exchange is repeated once
-// on a fresh dial.
+// do performs one exchange: as a stream on the shared mux connection when
+// the remote speaks the protocol, over the warm sequential connection
+// otherwise. A reused connection that fails with a non-timeout error is
+// assumed stale (the peer restarted since it was parked) and the exchange
+// is repeated once on a fresh dial — for a mux connection that means a
+// fresh negotiation, so a remote that restarted with a different protocol
+// version is rediscovered rather than assumed.
+func (c *Client) do(call *wire.Call) (*wire.Reply, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		mc, reused, err := c.muxTransport()
+		if err != nil {
+			return nil, err
+		}
+		if mc == nil {
+			break // sequential protocol
+		}
+		reply, err := mc.call(call, c.timeout)
+		if err == nil {
+			return reply, nil
+		}
+		if !reused || isTimeout(err) {
+			return nil, err
+		}
+		c.mu.Lock()
+		if c.mc == mc {
+			c.mc = nil
+		}
+		c.mu.Unlock()
+	}
+	return c.doSequential(call)
+}
+
+// muxTransport returns the live mux connection, negotiating one on first
+// use. nil with no error means the client runs the sequential protocol —
+// pinned, or discovered from the remote's answer to the hello. reused
+// reports whether the connection predates this call (and so may be stale).
 //
 //ripplevet:transport
-func (c *Client) do(call *wire.Call) (*wire.Reply, error) {
+func (c *Client) muxTransport() (mc *muxConn, reused bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sequential || c.legacy {
+		return nil, false, nil
+	}
+	if c.mc != nil && !c.mc.isDead() {
+		return c.mc, true, nil
+	}
+	c.mc = nil
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	ver, err := muxHandshake(conn, c.timeout)
+	if err != nil {
+		conn.Close()
+		if isTimeout(err) {
+			return nil, false, err // hung remote, not a legacy one
+		}
+		c.legacy = true // pre-mux remote dropped the hello
+		return nil, false, nil
+	}
+	if ver == 0 {
+		// The remote declined multiplexing; the sequential protocol
+		// continues on this same connection, so park it warm.
+		c.legacy = true
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.conn = conn
+		return nil, false, nil
+	}
+	m := newMuxConn(conn, c.timeout)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		m.readLoop()
+	}()
+	c.mc = m
+	return m, false, nil
+}
+
+// doSequential is the pre-mux exchange over the warm sequential connection,
+// dialling on first use. Concurrent queries serialise on the connection.
+//
+//ripplevet:transport
+func (c *Client) doSequential(call *wire.Call) (*wire.Reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	reused := c.conn != nil
@@ -131,7 +236,7 @@ func (c *Client) query(queryType string, params []byte, dims, r int, traced bool
 		return nil, err
 	}
 	if reply.Error != "" {
-		return nil, &RemoteError{Peer: c.addr, Msg: reply.Error}
+		return nil, replyErr(c.addr, reply)
 	}
 	return resultFromReply(reply, traced), nil
 }

@@ -18,8 +18,13 @@ type instruments struct {
 	deadlines    *metrics.Counter
 	backoffs     *metrics.Counter
 	lostLinks    *metrics.Counter
+	muxStreams   *metrics.Counter
+	muxFallbacks *metrics.Counter
+	overloads    *metrics.Counter
+	inflight     *metrics.Gauge
 	rpcSeconds   *metrics.Histogram
 	fanout       *metrics.Histogram
+	queueWait    *metrics.Histogram
 }
 
 func newInstruments(r *metrics.Registry) instruments {
@@ -33,7 +38,12 @@ func newInstruments(r *metrics.Registry) instruments {
 		deadlines:    r.Counter("ripple_netpeer_deadline_timeouts_total", "RPC attempts abandoned on a dial/call deadline"),
 		backoffs:     r.Counter("ripple_netpeer_backoffs_total", "backoff sleeps taken before retries"),
 		lostLinks:    r.Counter("ripple_netpeer_lost_links_total", "links abandoned after retry exhaustion"),
+		muxStreams:   r.Counter("ripple_netpeer_mux_streams_total", "calls multiplexed as streams onto a shared peer connection"),
+		muxFallbacks: r.Counter("ripple_netpeer_mux_fallbacks_total", "remotes that negotiated down to the sequential protocol"),
+		overloads:    r.Counter("ripple_netpeer_overload_rejections_total", "calls rejected by admission control (worker pool and queue full)"),
+		inflight:     r.Gauge("ripple_netpeer_inflight_streams", "multiplexed calls admitted and not yet replied to"),
 		rpcSeconds:   r.Histogram("ripple_netpeer_rpc_seconds", "wall-clock duration of one RPC attempt", metrics.DefLatencyBuckets),
 		fanout:       r.Histogram("ripple_netpeer_fanout", "relevant links contacted per processed call", metrics.LinearBuckets(0, 1, 8)),
+		queueWait:    r.Histogram("ripple_netpeer_queue_wait_seconds", "time an admitted call waited for a mux worker", metrics.DefLatencyBuckets),
 	}
 }

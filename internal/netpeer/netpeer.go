@@ -20,6 +20,7 @@
 package netpeer
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -72,6 +73,7 @@ type Server struct {
 	opts   Options
 	ins    instruments
 	pool   *connPool // nil when Options.DisableConnPool
+	mux    *muxTable // nil when Options.DisableMux
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -105,6 +107,9 @@ func NewServerOpts(cfg Config, opts Options, codecs ...wire.Codec) *Server {
 	if !s.opts.DisableConnPool {
 		s.pool = newConnPool(s.opts.MaxIdleConnsPerPeer, s.opts.IdleConnTimeout, s.ins.evictions)
 	}
+	if !s.opts.DisableMux {
+		s.mux = newMuxTable()
+	}
 	return s
 }
 
@@ -137,6 +142,9 @@ func (s *Server) Close() error {
 	s.once.Do(func() {
 		close(s.closed)
 		err = s.ln.Close()
+		if s.mux != nil {
+			s.mux.close()
+		}
 		if s.pool != nil {
 			s.pool.close()
 		}
@@ -153,8 +161,18 @@ func (s *Server) Close() error {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// acceptBackoff bounds the sleep after consecutive transient Accept
+// failures: it starts small so one blip costs little, doubles so sustained
+// fd exhaustion doesn't spin the loop, and caps so recovery is noticed
+// within a fraction of a second.
+const (
+	acceptBackoffBase = 1 * time.Millisecond
+	acceptBackoffMax  = 250 * time.Millisecond
+)
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	backoff := acceptBackoffBase
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -162,12 +180,16 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				// Transient accept failure (e.g. fd exhaustion): back off
-				// briefly instead of spinning.
-				time.Sleep(5 * time.Millisecond)
+				// Transient accept failure (e.g. fd exhaustion): capped
+				// exponential backoff instead of spinning.
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
 				continue
 			}
 		}
+		backoff = acceptBackoffBase
 		if !s.track(conn) {
 			conn.Close()
 			return
@@ -215,20 +237,21 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// serveConn handles one client connection. Each message is read under a
-// deadline: a connection that is merely idle between messages is re-armed
-// (unless the server is shutting down), while one that stalls in the middle
-// of a frame — a hung or byte-dripping client — is dropped, so serving
-// goroutines cannot leak past Close.
+// serveConn handles one client connection. The first four bytes decide the
+// protocol: the mux magic opens a multiplexed session (serveMux), anything
+// else is the length prefix of a legacy sequential frame (the magic decodes
+// as an over-limit length, so the two can never collide). The sniff runs
+// under the same idle semantics as every later read: a connection idle
+// before its first frame is re-armed, one stalled mid-prefix is dropped.
 func (s *Server) serveConn(conn net.Conn) {
 	cr := &countingReader{r: conn}
+	var prefix [4]byte
 	for {
-		var call wire.Call
 		cr.n = 0
 		if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
 			return // dead socket; an unarmed deadline would let the goroutine leak
 		}
-		if err := wire.ReadMessage(cr, &call); err != nil {
+		if _, err := io.ReadFull(cr, prefix[:]); err != nil {
 			if isTimeout(err) && cr.n == 0 {
 				select {
 				case <-s.closed:
@@ -239,20 +262,74 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return // EOF, broken peer, or mid-frame stall
 		}
+		break
+	}
+	if wire.IsMuxPrefix(prefix) {
+		s.serveMux(conn, cr)
+		return
+	}
+	s.serveSequential(conn, cr, prefix, true)
+}
+
+// serveSequential runs the legacy one-call-at-a-time loop: read a call,
+// process it, write the reply, repeat. havePrefix marks that the sniff
+// already consumed the first frame's length prefix (still under the sniff's
+// read deadline); it is false when a mux-capable client negotiated down to
+// this protocol and the next frame starts clean. Each message is read under
+// a deadline: a connection merely idle between messages is re-armed (unless
+// the server is shutting down), while one that stalls in the middle of a
+// frame — a hung or byte-dripping client — is dropped, so serving goroutines
+// cannot leak past Close. An oversized length prefix is answered with the
+// typed frame-size error before the connection is dropped (the frame body
+// cannot be resynchronised).
+func (s *Server) serveSequential(conn net.Conn, cr *countingReader, prefix [4]byte, havePrefix bool) {
+	for {
+		var call wire.Call
+		var err error
+		if havePrefix {
+			havePrefix = false
+			err = wire.ReadMessageBody(cr, prefix, &call)
+		} else {
+			cr.n = 0
+			if derr := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); derr != nil {
+				return
+			}
+			err = wire.ReadMessage(cr, &call)
+		}
+		if err != nil {
+			if isTimeout(err) && cr.n == 0 {
+				select {
+				case <-s.closed:
+					return
+				default:
+					continue // idle client: re-arm the deadline
+				}
+			}
+			var fse *wire.FrameSizeError
+			if errors.As(err, &fse) {
+				s.writeReply(conn, &wire.Reply{Error: fse.Error()})
+			}
+			return // EOF, broken peer, oversized frame, or mid-frame stall
+		}
 		if err := conn.SetReadDeadline(time.Time{}); err != nil {
 			return
 		}
-		reply := s.safeProcess(&call)
-		if err := conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil {
-			return
-		}
-		if err := wire.WriteMessage(conn, reply); err != nil {
-			return
-		}
-		if err := conn.SetWriteDeadline(time.Time{}); err != nil {
+		if !s.writeReply(conn, s.safeProcess(&call)) {
 			return
 		}
 	}
+}
+
+// writeReply sends one sequential-protocol reply under the write deadline,
+// reporting whether the connection is still usable.
+func (s *Server) writeReply(conn net.Conn, reply *wire.Reply) bool {
+	if err := conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil {
+		return false
+	}
+	if err := wire.WriteMessage(conn, reply); err != nil {
+		return false
+	}
+	return conn.SetWriteDeadline(time.Time{}) == nil
 }
 
 // safeProcess shields the server from malformed calls (wrong dimensionality,
@@ -541,21 +618,35 @@ func (s *Server) callOnce(to LinkSpec, call *wire.Call, attempt int) (*wire.Repl
 		return nil, errInjectedCrash
 	}
 	if reply.Error != "" {
-		return nil, &RemoteError{Peer: to.key(), Msg: reply.Error}
+		return nil, replyErr(to.key(), reply)
 	}
 	return reply, nil
 }
 
-// exchange performs one request/reply on a warm pooled connection when
-// available, falling back to a fresh dial. A connection that fails mid-RPC
-// with a non-timeout error is treated as stale — the remote restarted while
-// it was parked — and replaced by a fresh dial within the same attempt, so
-// pooling never costs a retry the fresh-dial path would not have spent. A
-// timeout is surfaced to the retry policy instead: the peer is slow, not the
-// connection stale. Healthy connections are re-parked after the reply.
+// exchange performs one request/reply. With multiplexing enabled (the
+// default) the call rides the shared mux connection to addr as one stream;
+// remotes that negotiated down — or predate the mux protocol entirely —
+// fall through to the legacy pooled path. On that path a warm pooled
+// connection is preferred over a fresh dial, and a connection that fails
+// mid-RPC with a non-timeout error is treated as stale — the remote
+// restarted while it was parked — and replaced by a fresh dial within the
+// same attempt, so pooling never costs a retry the fresh-dial path would
+// not have spent. A timeout is surfaced to the retry policy instead: the
+// peer is slow, not the connection stale. Healthy connections are re-parked
+// after the reply.
 //
 //ripplevet:transport
 func (s *Server) exchange(addr string, call *wire.Call) (*wire.Reply, error) {
+	if s.mux != nil {
+		mc, legacy, err := s.muxFor(addr)
+		if err != nil {
+			return nil, err
+		}
+		if !legacy {
+			s.ins.muxStreams.Inc()
+			return mc.call(call, s.opts.CallTimeout)
+		}
+	}
 	if s.pool != nil {
 		if conn := s.pool.get(addr); conn != nil {
 			s.ins.connReuses.Inc()
@@ -676,8 +767,11 @@ func QueryTraced(addr, queryType string, params []byte, dims, r int, timeout tim
 	return queryCall(addr, queryType, params, dims, r, timeout, true)
 }
 
-// queryCall is the client half of the wire protocol: it dials the initiator
-// peer, arms a whole-call deadline, and performs one request/reply exchange.
+// queryCall is the one-shot client half of the wire protocol: it dials the
+// initiator peer, arms a whole-call deadline, and performs one sequential
+// request/reply exchange. It deliberately skips mux negotiation — a single
+// call gains nothing from multiplexing and the hello would cost a round
+// trip; workloads issuing concurrent queries use Client, which negotiates.
 //
 //ripplevet:transport
 func queryCall(addr, queryType string, params []byte, dims, r int, timeout time.Duration, traced bool) (*QueryResult, error) {
@@ -694,7 +788,7 @@ func queryCall(addr, queryType string, params []byte, dims, r int, timeout time.
 		return nil, err
 	}
 	if reply.Error != "" {
-		return nil, &RemoteError{Peer: addr, Msg: reply.Error}
+		return nil, replyErr(addr, reply)
 	}
 	return resultFromReply(reply, traced), nil
 }

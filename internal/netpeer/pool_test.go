@@ -15,11 +15,14 @@ import (
 )
 
 // poolOpts is quietOpts plus a metrics registry, so tests can observe the
-// dial/reuse/eviction counters.
+// dial/reuse/eviction counters. Multiplexing is disabled: these tests pin
+// the behaviour of the legacy pooled path, which muxed deployments only use
+// toward remotes that negotiated down.
 func poolOpts(t *testing.T, reg *metrics.Registry) Options {
 	t.Helper()
 	o := quietOpts(t)
 	o.Metrics = reg
+	o.DisableMux = true
 	return o
 }
 
@@ -290,7 +293,9 @@ func TestClientReusesConnection(t *testing.T) {
 	params := topkParams(t, 2, 6)
 	want := topk.Brute(ts, f, 6)
 
-	c := NewClient(servers[0].Addr(), 5*time.Second)
+	// Sequential client: this test pins the warm-single-connection behaviour
+	// (mux clients hold a muxConn instead; see mux_test.go).
+	c := NewSequentialClient(servers[0].Addr(), 5*time.Second)
 	defer c.Close()
 	for i := 0; i < 3; i++ {
 		answers, stats, err := c.Query("topk", params, 2, 1<<20)
@@ -339,9 +344,13 @@ func BenchmarkRoundTripFreshDial(b *testing.B) { benchRoundTrip(b, true) }
 func benchRoundTrip(b *testing.B, disablePool bool) {
 	net := midas.Build(8, midas.Options{Dims: 2, Seed: 23})
 	overlay.Load(net, dataset.Uniform(500, 2, 29))
+	// Mux disabled on servers and client alike: this pair benchmarks the
+	// legacy transport (pooled vs fresh dial); the mux benchmarks live in
+	// mux_test.go.
 	opts := Options{
 		Logf:            func(string, ...interface{}) {},
 		DisableConnPool: disablePool,
+		DisableMux:      true,
 	}
 	servers, _, err := DeployOpts(net, opts, topk.WireCodec{})
 	if err != nil {
@@ -356,7 +365,7 @@ func benchRoundTrip(b *testing.B, disablePool bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c := NewClient(servers[0].Addr(), 0)
+	c := NewSequentialClient(servers[0].Addr(), 0)
 	defer c.Close()
 	if _, _, err := c.Query("topk", params, 2, 1); err != nil {
 		b.Fatal(err)

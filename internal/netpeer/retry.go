@@ -9,6 +9,7 @@ import (
 
 	"ripple/internal/faults"
 	"ripple/internal/metrics"
+	"ripple/internal/wire"
 )
 
 // RetryPolicy bounds how hard a peer tries to recover a failing link before
@@ -87,6 +88,18 @@ type Options struct {
 	// DisableConnPool reverts to the pre-pool behaviour: every RPC attempt
 	// dials a fresh TCP connection. Mainly for benchmarks and diagnosis.
 	DisableConnPool bool
+	// MaxConcurrentCalls bounds how many calls a mux connection's worker
+	// pool processes at once. Zero means the default.
+	MaxConcurrentCalls int
+	// MaxCallQueue bounds how many admitted calls may wait for a worker on
+	// one mux connection. Past MaxConcurrentCalls in flight plus MaxCallQueue
+	// queued, admission control rejects the call with wire.Overloaded instead
+	// of stalling the socket. Zero means the default.
+	MaxCallQueue int
+	// DisableMux reverts to the sequential one-call-per-connection protocol:
+	// the server acks mux hellos with version 0 and outgoing calls use the
+	// legacy pooled path. Mainly for benchmarks and mixed-fleet diagnosis.
+	DisableMux bool
 	// Faults optionally injects deterministic link faults into every
 	// outgoing RPC (see internal/faults). Nil means no faults.
 	Faults *faults.Injector
@@ -112,6 +125,9 @@ func DefaultOptions() Options {
 
 		MaxIdleConnsPerPeer: 4,
 		IdleConnTimeout:     30 * time.Second,
+
+		MaxConcurrentCalls: 32,
+		MaxCallQueue:       128,
 	}
 }
 
@@ -139,6 +155,12 @@ func (o Options) withDefaults() Options {
 	if o.IdleConnTimeout == 0 {
 		o.IdleConnTimeout = d.IdleConnTimeout
 	}
+	if o.MaxConcurrentCalls == 0 {
+		o.MaxConcurrentCalls = d.MaxConcurrentCalls
+	}
+	if o.MaxCallQueue == 0 {
+		o.MaxCallQueue = d.MaxCallQueue
+	}
 	if o.Logf == nil {
 		o.Logf = d.Logf
 	}
@@ -155,6 +177,28 @@ type RemoteError struct {
 
 // Error implements error.
 func (e *RemoteError) Error() string { return fmt.Sprintf("peer %s: %s", e.Peer, e.Msg) }
+
+// OverloadError is an admission-control rejection from the remote peer: its
+// mux worker pool and call queue were full (wire.Overloaded in Reply.Error).
+// Unlike RemoteError it is retried — overload is transient by construction,
+// and the backoff between attempts is exactly the load shedding the remote
+// asked for.
+type OverloadError struct {
+	Peer string
+	Msg  string
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string { return fmt.Sprintf("peer %s: %s", e.Peer, e.Msg) }
+
+// replyErr types a remote-reported Reply.Error: admission-control rejections
+// become retryable OverloadErrors, everything else a fatal RemoteError.
+func replyErr(peer string, reply *wire.Reply) error {
+	if wire.IsOverloaded(reply.Error) {
+		return &OverloadError{Peer: peer, Msg: reply.Error}
+	}
+	return &RemoteError{Peer: peer, Msg: reply.Error}
+}
 
 // errInjected marks transport failures simulated by the fault injector.
 var (

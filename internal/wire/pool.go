@@ -36,6 +36,7 @@ import (
 	"encoding/gob"
 	"reflect"
 	"sync"
+	"sync/atomic"
 )
 
 // warmEnc is a gob encoder that has already transmitted the descriptors of
@@ -53,16 +54,19 @@ type warmDec struct {
 }
 
 // gobPool holds the pooled encode/decode state for one concrete payload
-// type. The zero state primes itself on first use.
+// type. The zero state primes itself on first use. Concurrent encoders of
+// the same type are synchronised by primeOnce (which orders the writes to
+// prefix/zero/flat before any reader sees them) and by the atomic broken
+// flag; everything else is either immutable after priming or owned by one
+// goroutine via the sync.Pools.
 type gobPool struct {
 	sample interface{} // pointer to a zero value of the payload type
 
-	mu     sync.Mutex
-	primed bool
-	broken bool   // prefix identity failed: always use fresh codecs
-	prefix []byte // descriptor bytes a fresh encoder emits before the value
-	zero   []byte // full fresh encoding of the zero value (primes decoders)
-	flat   *flatDecoder // allocation-free decode for flat structs; nil otherwise
+	primeOnce sync.Once
+	broken    atomic.Bool  // prefix identity failed: always use fresh codecs
+	prefix    []byte       // descriptor bytes a fresh encoder emits before the value
+	zero      []byte       // full fresh encoding of the zero value (primes decoders)
+	flat      *flatDecoder // allocation-free decode for flat structs; nil otherwise
 
 	encs sync.Pool // *warmEnc
 	decs sync.Pool // *warmDec
@@ -117,35 +121,30 @@ func (p *gobPool) newWarmDec() *warmDec {
 // prime captures the descriptor prefix for the pool's type and validates the
 // prefix identity against a real fresh encoding of the zero value. On any
 // mismatch the pool marks itself broken and serves fresh codecs forever.
+// Runs exactly once, under primeOnce.
 func (p *gobPool) prime() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.primed || p.broken {
-		return
-	}
 	fresh, err := freshEncode(nil, p.sample)
 	if err != nil {
-		p.broken = true
+		p.broken.Store(true)
 		return
 	}
 	w := p.newWarmEnc()
 	if w == nil {
-		p.broken = true
+		p.broken.Store(true)
 		return
 	}
 	if err := w.enc.Encode(p.sample); err != nil {
-		p.broken = true
+		p.broken.Store(true)
 		return
 	}
 	warm := w.buf.Bytes()
 	if !bytes.HasSuffix(fresh, warm) || !gobBodyIsValue(warm) {
-		p.broken = true
+		p.broken.Store(true)
 		return
 	}
 	p.prefix = append([]byte(nil), fresh[:len(fresh)-len(warm)]...)
 	p.zero = fresh
 	p.flat = newFlatDecoder(reflect.TypeOf(p.sample).Elem())
-	p.primed = true
 	w.buf.Reset()
 	p.encs.Put(w)
 }
@@ -153,10 +152,8 @@ func (p *gobPool) prime() {
 // appendEncode appends the gob encoding of v — byte-identical to a fresh
 // encoder's output — to dst and returns the extended slice.
 func (p *gobPool) appendEncode(dst []byte, v interface{}) ([]byte, error) {
-	if !p.primed {
-		p.prime()
-	}
-	if p.broken {
+	p.primeOnce.Do(p.prime)
+	if p.broken.Load() {
 		return freshEncode(dst, v)
 	}
 	w, _ := p.encs.Get().(*warmEnc)
@@ -175,9 +172,7 @@ func (p *gobPool) appendEncode(dst []byte, v interface{}) ([]byte, error) {
 		// The value introduced a new descriptor (interface field): this
 		// type's descriptor set is value-dependent, the prefix identity does
 		// not hold. Disable the pool for the type and re-encode fresh.
-		p.mu.Lock()
-		p.broken = true
-		p.mu.Unlock()
+		p.broken.Store(true)
 		return freshEncode(dst, v)
 	}
 	dst = append(dst, p.prefix...)
@@ -190,10 +185,8 @@ func (p *gobPool) appendEncode(dst []byte, v interface{}) ([]byte, error) {
 // decode decodes a fresh-encoder gob stream into v, reusing warm decoder
 // state when the stream carries the expected descriptor prefix.
 func (p *gobPool) decode(b []byte, v interface{}) error {
-	if !p.primed {
-		p.prime()
-	}
-	if p.broken || !bytes.HasPrefix(b, p.prefix) {
+	p.primeOnce.Do(p.prime)
+	if p.broken.Load() || !bytes.HasPrefix(b, p.prefix) {
 		return freshDecode(b, v)
 	}
 	if p.flat != nil && reflect.TypeOf(v) == reflect.TypeOf(p.sample) {

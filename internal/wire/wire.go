@@ -173,27 +173,91 @@ func writeMessageFresh(w io.Writer, msg interface{}) error {
 // are bounded by the data a peer holds.
 const MaxFrame = 64 << 20
 
+// FrameSizeError reports a length prefix beyond MaxFrame: either a peer
+// trying to ship an oversized message or a corrupt/hostile prefix. The
+// server replies with it as wire.Reply.Error before dropping the connection
+// (the frame body cannot be resynchronised), so the sender learns why.
+type FrameSizeError struct {
+	Size uint32
+}
+
+// Error implements error.
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("wire: frame of %d bytes exceeds limit (%d)", e.Size, MaxFrame)
+}
+
+// frameChunk caps how far a frame-body read allocates ahead of the bytes
+// actually received. A prefix that lies about its length — corruption, or a
+// hostile client — costs at most one chunk beyond what arrived, instead of
+// the full claimed size up front.
+const frameChunk = 1 << 20
+
+// readFrameBody reads an n-byte frame body into buf (reused from the frame
+// pool), growing it incrementally so allocation tracks arrival.
+func readFrameBody(r io.Reader, n int, buf []byte) ([]byte, error) {
+	if n <= frameChunk || cap(buf) >= n {
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf = buf[:0]
+	for len(buf) < n {
+		step := n - len(buf)
+		if step > frameChunk {
+			step = frameChunk
+		}
+		next := len(buf) + step
+		if cap(buf) < next {
+			// Doubling keeps total copying linear in n.
+			newCap := 2 * cap(buf)
+			if newCap < next {
+				newCap = next
+			}
+			if newCap > n {
+				newCap = n
+			}
+			grown := make([]byte, next, newCap)
+			copy(grown, buf)
+			buf = grown
+		} else {
+			buf = buf[:next]
+		}
+		if _, err := io.ReadFull(r, buf[next-step:]); err != nil {
+			return buf, err
+		}
+	}
+	return buf, nil
+}
+
 // ReadMessage reads one framed message into msg, reusing pooled frame
 // buffers and decoder state. msg must be a pointer to a zero value: gob
-// leaves fields absent from the stream untouched.
+// leaves fields absent from the stream untouched. A length prefix beyond
+// MaxFrame returns a *FrameSizeError without attempting the allocation.
 func ReadMessage(r io.Reader, msg interface{}) error {
 	var size [4]byte
 	if _, err := io.ReadFull(r, size[:]); err != nil {
 		return err // io.EOF signals a cleanly closed connection
 	}
-	n := binary.BigEndian.Uint32(size[:])
+	return ReadMessageBody(r, size, msg)
+}
+
+// ReadMessageBody completes ReadMessage after the caller has consumed the
+// 4-byte length prefix itself — the netpeer server sniffs the first four
+// bytes of a connection to dispatch between the sequential and multiplexed
+// protocols (see mux.go) and hands the prefix back here.
+func ReadMessageBody(r io.Reader, prefix [4]byte, msg interface{}) error {
+	n := binary.BigEndian.Uint32(prefix[:])
 	if n > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+		return &FrameSizeError{Size: n}
 	}
 	bp := framePool.Get().(*[]byte)
 	defer putFrameBuf(bp)
-	body := *bp
-	if cap(body) < int(n) {
-		body = make([]byte, n)
-	}
-	body = body[:n]
+	body, err := readFrameBody(r, int(n), (*bp)[:0])
 	*bp = body[:0]
-	if _, err := io.ReadFull(r, body); err != nil {
+	if err != nil {
 		return fmt.Errorf("wire: read body: %w", err)
 	}
 	if err := poolFor(msg).decode(body, msg); err != nil {
