@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race test-race verify ripple-vet staticcheck govulncheck lint tools bench bench-smoke bench-json examples results results-paper trace-demo clean
+.PHONY: all build test race test-race test-faults verify ripple-vet staticcheck govulncheck lint tools bench bench-smoke bench-json bench-recovery examples results results-paper trace-demo clean
 
 all: build test
 
@@ -26,6 +26,20 @@ race:
 # Race-detect everything; part of the verify flow.
 test-race:
 	$(GO) test -race ./...
+
+# Seeded fault matrix: every fault-injection, replication, and recovery test
+# re-runs under the race detector with several shuffle seeds, so scheduling-
+# dependent failover bugs surface instead of hiding behind one lucky order.
+FAULT_SEEDS = 1 7 42
+FAULT_TESTS = 'Fault|Recover|Failover|Replica|Killed|Churn|Partial|Canonical'
+FAULT_PKGS  = ./internal/faults/ ./internal/overlay/ ./internal/core/ \
+              ./internal/netpeer/ ./internal/bench/ .
+
+test-faults:
+	@for seed in $(FAULT_SEEDS); do \
+		echo "== fault matrix: -race -shuffle=$$seed =="; \
+		$(GO) test -race -shuffle=$$seed -run $(FAULT_TESTS) $(FAULT_PKGS) || exit 1; \
+	done
 
 # ripple-vet: the repository's own invariant checker (internal/lint). It
 # enforces the determinism, aliasing, locking, deadline, and failure-
@@ -60,9 +74,9 @@ tools:
 lint: ripple-vet staticcheck govulncheck
 
 # The full pre-merge gate: build + go vet + ripple-vet + external linters +
-# shuffled tests + full race sweep + benchmark smoke (every benchmark must
-# still compile and run one iteration).
-verify: build lint test test-race bench-smoke
+# shuffled tests + full race sweep + seeded fault matrix + benchmark smoke
+# (every benchmark must still compile and run one iteration).
+verify: build lint test test-race test-faults bench-smoke
 
 # One testing.B benchmark per paper table/figure plus micro-benchmarks.
 bench:
@@ -80,6 +94,12 @@ BENCH_JSON_PKGS = ./internal/wire/ ./internal/topk/ ./internal/netpeer/ .
 # benchmark) as deterministic JSON.
 bench-json:
 	$(GO) test -run=NONE -bench=. -benchmem $(BENCH_JSON_PKGS) | $(GO) run ./cmd/ripple-benchjson > BENCH_PR5.json
+
+# Regenerate the committed recovery baseline: top-k recall and unrecoverable
+# regions per zone replication factor across drop rates (BENCH_PR6.json).
+bench-recovery:
+	$(GO) run ./cmd/ripple-bench -fig recovery -scale default -json results
+	cp results/recovery.json BENCH_PR6.json
 
 examples:
 	$(GO) run ./examples/quickstart

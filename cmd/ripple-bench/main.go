@@ -37,6 +37,9 @@ func main() {
 	synthSize := flag.Int("synth-size", 0, "override: SYNTH dataset cardinality")
 	faultRates := flag.String("fault-rates", "", "override: comma-separated drop probabilities for churn-faults")
 	concurrency := flag.String("concurrency", "", "override: comma-separated worker counts for the throughput experiment")
+	jsonDir := flag.String("json", "", "also export each figure's full result as JSON into this directory")
+	replication := flag.String("replication", "", "override: comma-separated zone replication factors for the recovery experiment (1 = off)")
+	recoveryRates := flag.String("recovery-rates", "", "override: comma-separated drop probabilities for the recovery experiment")
 	flag.Parse()
 
 	var cfg bench.Config
@@ -73,6 +76,12 @@ func main() {
 	if *concurrency != "" {
 		cfg.Concurrency = parseInts(*concurrency, "-concurrency")
 	}
+	if *replication != "" {
+		cfg.ReplicationFactors = parseInts(*replication, "-replication")
+	}
+	if *recoveryRates != "" {
+		cfg.RecoveryRates = parseFloats(*recoveryRates, "-recovery-rates")
+	}
 
 	if *list {
 		fmt.Println("Experimental configuration (Table 1):")
@@ -102,6 +111,11 @@ func main() {
 		if *csvDir != "" {
 			if err := exportCSV(*csvDir, r.Name, res); err != nil {
 				fmt.Fprintln(os.Stderr, "csv export:", err)
+			}
+		}
+		if *jsonDir != "" {
+			if err := exportJSON(*jsonDir, r.Name, res); err != nil {
+				fmt.Fprintln(os.Stderr, "json export:", err)
 			}
 		}
 	}
@@ -143,4 +157,16 @@ func exportCSV(dir, name string, res *bench.Result) error {
 	}
 	defer f.Close()
 	return res.WriteCSV(f)
+}
+
+func exportJSON(dir, name string, res *bench.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.WriteJSON(f)
 }

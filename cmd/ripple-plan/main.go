@@ -28,7 +28,11 @@ func main() {
 	basePort := flag.Int("base-port", 7400, "first peer port")
 	out := flag.String("out", "deploy", "output directory")
 	seed := flag.Int64("seed", 1, "random seed")
+	replication := flag.Int("replication", 1, "zone replication factor: each peer's share is mirrored onto this many - 1 other peers, and queries fail over to them when the primary dies (1 = off)")
 	flag.Parse()
+	if *replication < 1 {
+		fatal(fmt.Errorf("-replication must be at least 1, got %d", *replication))
+	}
 
 	var ts []dataset.Tuple
 	switch {
@@ -51,7 +55,7 @@ func main() {
 	d := dataset.Dims(ts)
 
 	net := midas.BuildWithData(*size, midas.Options{Dims: d, Seed: *seed}, ts)
-	plans, err := netpeer.Plan(net, *host, *basePort)
+	plans, err := netpeer.PlanOpts(net, *host, *basePort, *replication)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,8 +72,8 @@ func main() {
 			fatal(err)
 		}
 		f.Close()
-		fmt.Printf("%s  id=%s addr=%s tuples=%d links=%d\n",
-			path, fc.Peer.ID, fc.Addr, len(fc.Peer.Tuples), len(fc.Peer.Links))
+		fmt.Printf("%s  id=%s addr=%s tuples=%d links=%d shares=%d\n",
+			path, fc.Peer.ID, fc.Addr, len(fc.Peer.Tuples), len(fc.Peer.Links), len(fc.Peer.Replicas))
 	}
 	fmt.Printf("\n%d peers planned over %d tuples (%d dims); start them with:\n", len(plans), len(ts), d)
 	fmt.Printf("  for f in %s/peer-*.json; do ripple-serve -config $f & done\n", *out)

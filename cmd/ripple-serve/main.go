@@ -35,6 +35,7 @@ func main() {
 	callTimeout := flag.Duration("call-timeout", def.CallTimeout, "end-to-end deadline per peer RPC (and for the client call)")
 	dialTimeout := flag.Duration("dial-timeout", def.DialTimeout, "server mode: TCP connect deadline per peer dial")
 	retries := flag.Int("retries", def.Retry.MaxRetries, "server mode: retransmissions per failed peer RPC")
+	recoveryBudget := flag.Duration("recovery-budget", def.RecoveryBudget, "server mode: wall-clock cap on replica failovers per processed call (replicated deployments)")
 	maxConcurrent := flag.Int("max-concurrent-calls", def.MaxConcurrentCalls, "server mode: calls processed at once per multiplexed connection")
 	maxQueue := flag.Int("max-call-queue", def.MaxCallQueue, "server mode: admitted calls that may wait for a worker before admission control rejects")
 	disableMux := flag.Bool("disable-mux", false, "server mode: refuse stream multiplexing and serve the sequential one-call-per-connection protocol")
@@ -50,6 +51,7 @@ func main() {
 	opts.CallTimeout = *callTimeout
 	opts.DialTimeout = *dialTimeout
 	opts.Retry.MaxRetries = *retries
+	opts.RecoveryBudget = *recoveryBudget
 	opts.MaxConcurrentCalls = *maxConcurrent
 	opts.MaxCallQueue = *maxQueue
 	opts.DisableMux = *disableMux
@@ -99,8 +101,8 @@ func serve(path string, opts netpeer.Options, metricsAddr string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("peer %s serving on %s (%d tuples, %d links)\n",
-		fc.Peer.ID, addr, len(fc.Peer.Tuples), len(fc.Peer.Links))
+	fmt.Printf("peer %s serving on %s (%d tuples, %d links, %d replica shares)\n",
+		fc.Peer.ID, addr, len(fc.Peer.Tuples), len(fc.Peer.Links), len(fc.Peer.Replicas))
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

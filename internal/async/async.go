@@ -30,10 +30,13 @@ import (
 
 // Cluster hosts one actor per peer of an overlay snapshot.
 type Cluster struct {
-	actors map[string]*actor
-	wg     sync.WaitGroup
-	insts  int64
-	inj    *faults.Injector
+	actors  map[string]*actor
+	wg      sync.WaitGroup
+	insts   int64
+	inj     *faults.Injector
+	reps    *overlay.ReplicaMap // nil: no recovery, losses are final
+	budget  int                 // max replica dispatches per lost traversal (0: all)
+	redials int                 // extra injector rolls per replica dispatch
 
 	mu       sync.Mutex
 	res      *core.Result
@@ -58,6 +61,12 @@ type queryMsg struct {
 	// send, like the structural engine) and its hop depth.
 	spanID uint64
 	depth  int
+
+	// actAs, when non-empty, asks the receiving actor to execute this step on
+	// behalf of the named dead peer (a recovery dispatch): it processes the
+	// primary's zone, tuples and links, so the recovered subtree is exactly
+	// the subtree the primary would have executed.
+	actAs string
 }
 
 // stateMsg carries local states upstream, stamped with the logical time the
@@ -79,6 +88,9 @@ type actor struct {
 // continuation is the suspended state of Algorithm 3 at a peer between a
 // forward and the matching state response.
 type continuation struct {
+	// node is the peer this continuation executes as: the actor's own node,
+	// or an ActingNode when the step is a recovery dispatch for a dead peer.
+	node       overlay.Node
 	inst       int64
 	parentInst int64
 	parent     string
@@ -115,7 +127,33 @@ func NewCluster(net overlay.Network, proc core.Processor) *Cluster {
 // the lost restriction region; a delayed one adds Config.DelayHops to the
 // message's arrival time. A nil injector behaves like NewCluster.
 func NewClusterInjected(net overlay.Network, proc core.Processor, inj *faults.Injector) *Cluster {
-	c := &Cluster{actors: make(map[string]*actor), inj: inj}
+	return NewClusterOpts(net, proc, ClusterOptions{Faults: inj})
+}
+
+// ClusterOptions mirrors core.Options for the actor runtime.
+type ClusterOptions struct {
+	// Faults injects deterministic link failures (nil: none).
+	Faults *faults.Injector
+	// Replicas enables failed-region recovery (see core.Options.Replicas):
+	// a lost delivery fails over to the dead peer's zone replicas, which
+	// execute the lost subtree on its behalf.
+	Replicas *overlay.ReplicaMap
+	// RecoveryBudget caps replica dispatches per lost traversal (0: all).
+	RecoveryBudget int
+	// RecoveryRetries is the number of extra injector rolls per replica
+	// dispatch (see core.Options.RecoveryRetries).
+	RecoveryRetries int
+}
+
+// NewClusterOpts is the fully general constructor: fault injection plus the
+// replication/recovery configuration. An injected cluster with the same
+// replica map and recovery knobs as a core.RunOpts call reproduces it
+// exactly — same recovered subtrees, same unrecoverable regions.
+func NewClusterOpts(net overlay.Network, proc core.Processor, opts ClusterOptions) *Cluster {
+	c := &Cluster{
+		actors: make(map[string]*actor), inj: opts.Faults,
+		reps: opts.Replicas, budget: opts.RecoveryBudget, redials: opts.RecoveryRetries,
+	}
 	for _, n := range net.Nodes() {
 		a := &actor{
 			node:    n,
@@ -192,6 +230,7 @@ func (c *Cluster) run(initiatorID string, r int, traced bool) *core.Result {
 	<-c.done
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.res.FailedRegions = overlay.CanonicalRegions(c.res.FailedRegions)
 	if c.rec != nil {
 		c.res.Trace = trace.Build(c.rec.Spans())
 	}
@@ -255,42 +294,98 @@ func (c *Cluster) recordStates(proc core.Processor, states []core.State) {
 
 func (c *Cluster) finish() { close(c.done) }
 
-// traverse consults the injector for a delivery from -> to covering the
-// restriction region sub, and records the traversal's span (the sender owns
-// the child span, exactly like the structural engine). A lost delivery (drop
-// or crash) records the failed region and returns ok=false; a delayed one
-// returns the extra hops charged. k is the sender's continuation (its seq
-// counter must have been advanced for this traversal); base is the logical
-// time the delivery departs; childR the receiver's remaining parameter.
-func (c *Cluster) traverse(from, to string, sub overlay.Region, k *continuation, base, childR int) (childSpan uint64, extraHops int, ok bool) {
-	outcome := trace.OutcomeOK
-	switch c.inj.Decide(from, to, 0) {
+// decide consults the injector for one delivery attempt, mirroring the
+// structural engine's decision function exactly.
+func (c *Cluster) decide(from, to string, attempt int) (extraHops int, outcome string, delivered bool) {
+	switch c.inj.Decide(from, to, attempt) {
 	case faults.Drop:
-		outcome = trace.OutcomeDrop
+		return 0, trace.OutcomeDrop, false
 	case faults.Crash:
-		outcome = trace.OutcomeCrash
+		return 0, trace.OutcomeCrash, false
 	case faults.Delay:
-		outcome = trace.OutcomeDelay
-		extraHops = c.inj.Config().DelayHops
+		return c.inj.Config().DelayHops, trace.OutcomeDelay, true
 	}
-	lost := outcome == trace.OutcomeDrop || outcome == trace.OutcomeCrash
+	return 0, trace.OutcomeOK, true
+}
+
+func (c *Cluster) recordLoss(sub overlay.Region) {
 	c.mu.Lock()
-	if lost {
-		c.res.Stats.RPCFailures++
-		c.res.Stats.Partial = true
-		c.res.FailedRegions = append(c.res.FailedRegions, sub)
-	}
-	rec := c.rec
+	c.res.Stats.RPCFailures++
+	c.res.Stats.Partial = true
+	c.res.FailedRegions = append(c.res.FailedRegions, sub)
 	c.mu.Unlock()
+}
+
+// traverse dispatches a delivery from the actor a towards peer `to` covering
+// the restriction region sub, running the replica failover chain when the
+// primary is lost — the actor-runtime mirror of the structural engine's
+// dispatch. Each dispatch consumes one of k's sequence numbers and records
+// one span (the sender owns child spans). It returns the actor to send the
+// query to and, for a recovery dispatch, the dead peer the target must act
+// as. ok=false means the region was recorded as unrecoverably lost. base is
+// the logical time the delivery departs; childR the receiver's remaining
+// parameter.
+func (c *Cluster) traverse(a *actor, to string, sub overlay.Region, k *continuation, base, childR int) (targetID, actAs string, childSpan uint64, extraHops int, ok bool) {
+	from := a.node.ID() // the physical sender, even when acting for a dead peer
+	rec := c.recorder()
+
+	k.seq++
+	extra, outcome, delivered := c.decide(from, to, 0)
 	if rec != nil {
 		childSpan = trace.ChildID(k.spanID, to, k.seq)
 		rec.Record(trace.Span{
 			ID: childSpan, Parent: k.spanID, Peer: to, Region: sub,
 			Phase: phaseOf(childR), R: childR, Depth: k.depth + 1,
-			Arrive: base + 1 + extraHops, Outcome: outcome,
+			Arrive: base + 1 + extra, Outcome: outcome,
 		})
 	}
-	return childSpan, extraHops, !lost
+	if delivered {
+		return to, "", childSpan, extra, true
+	}
+
+	// Failover chain, identical to the engine's: re-dispatch the lost region
+	// to the dead peer's zone replicas in placement order, under the budget.
+	// Recovery span IDs derive from the failed primary span, not k's sequence
+	// counter (see the engine's dispatch for why).
+	primarySpan := childSpan
+	for n, rep := range c.reps.Replicas(to) {
+		if c.budget > 0 && n >= c.budget {
+			break
+		}
+		c.mu.Lock()
+		c.res.Stats.Failovers++
+		c.mu.Unlock()
+		attempt := 0
+		for {
+			extra, outcome, delivered = c.decide(from, rep.ID(), attempt)
+			if delivered || attempt >= c.redials {
+				break
+			}
+			attempt++
+			c.mu.Lock()
+			c.res.Stats.Retries++
+			c.mu.Unlock()
+		}
+		if rec != nil {
+			childSpan = trace.ChildID(primarySpan, rep.ID(), n+1)
+			if delivered {
+				outcome = trace.OutcomeRecovered
+			}
+			rec.Record(trace.Span{
+				ID: childSpan, Parent: k.spanID, Peer: to, Via: rep.ID(), Region: sub,
+				Phase: phaseOf(childR), R: childR, Depth: k.depth + 1,
+				Arrive: base + 1 + extra, Attempt: attempt, Outcome: outcome,
+			})
+		}
+		if delivered {
+			c.mu.Lock()
+			c.res.Stats.Recovered++
+			c.mu.Unlock()
+			return rep.ID(), to, childSpan, extra, true
+		}
+	}
+	c.recordLoss(sub)
+	return "", "", 0, 0, false
 }
 
 func (a *actor) run() {
@@ -308,12 +403,21 @@ func (a *actor) run() {
 // onQuery is the entry half of Algorithm 3: compute states, then either
 // start the slow iteration (suspending between links) or fan out fast.
 func (a *actor) onQuery(m queryMsg) {
-	a.cluster.recordQuery(a.node.ID(), m.time)
+	node := a.node
+	if m.actAs != "" && m.actAs != a.node.ID() {
+		primary := a.cluster.actors[m.actAs]
+		if primary == nil {
+			panic("async: recovery dispatch for unknown peer " + m.actAs)
+		}
+		node = overlay.ActingNode{Primary: primary.node, Via: a.node}
+	}
+	a.cluster.recordQuery(node.ID(), m.time)
 
-	local := a.proc.LocalState(a.node, m.global)
-	wGlobal := a.proc.GlobalState(a.node, m.global, local)
+	local := a.proc.LocalState(node, m.global)
+	wGlobal := a.proc.GlobalState(node, m.global, local)
 
 	k := &continuation{
+		node:       node,
 		inst:       m.inst,
 		parentInst: m.parentInst,
 		parent:     m.parent,
@@ -330,7 +434,7 @@ func (a *actor) onQuery(m queryMsg) {
 	a.conts[k.inst] = k
 
 	if m.r > 0 {
-		k.links = a.sortedLinks()
+		k.links = a.sortedLinks(node)
 		a.advanceSlow(k)
 		return
 	}
@@ -338,18 +442,17 @@ func (a *actor) onQuery(m queryMsg) {
 	// Fast mode (Algorithm 1 / second loop of Algorithm 3): forward to all
 	// relevant links at once; children owe this peer a convergecast report.
 	k.collected = []core.State{local}
-	for _, l := range a.node.Links() {
+	for _, l := range node.Links() {
 		sub := l.Region.Intersect(m.restrict)
-		if sub.IsEmpty() || !a.proc.LinkRelevant(a.node, sub, wGlobal) {
+		if sub.IsEmpty() || !a.proc.LinkRelevant(node, sub, wGlobal) {
 			continue
 		}
-		k.seq++
-		childSpan, extra, ok := a.cluster.traverse(a.node.ID(), l.To.ID(), sub, k, m.time, 0)
+		targetID, actAs, childSpan, extra, ok := a.cluster.traverse(a, l.To.ID(), sub, k, m.time, 0)
 		if !ok {
-			continue // lost delivery: the subtree never joins the convergecast
+			continue // unrecoverable: the subtree never joins the convergecast
 		}
 		k.pending++
-		a.cluster.send(l.To.ID(), queryMsg{
+		a.cluster.send(targetID, queryMsg{
 			inst:       a.cluster.nextInst(),
 			parentInst: k.inst,
 			parent:     a.node.ID(),
@@ -359,6 +462,7 @@ func (a *actor) onQuery(m queryMsg) {
 			time:       m.time + 1 + extra,
 			spanID:     childSpan,
 			depth:      k.depth + 1,
+			actAs:      actAs,
 		})
 	}
 	if k.pending == 0 {
@@ -373,15 +477,14 @@ func (a *actor) advanceSlow(k *continuation) {
 		l := k.links[k.next]
 		k.next++
 		sub := l.Region.Intersect(k.restrict)
-		if sub.IsEmpty() || !a.proc.LinkRelevant(a.node, sub, k.wGlobal) {
+		if sub.IsEmpty() || !a.proc.LinkRelevant(k.node, sub, k.wGlobal) {
 			continue
 		}
-		k.seq++
-		childSpan, extra, ok := a.cluster.traverse(a.node.ID(), l.To.ID(), sub, k, k.cursor, k.r-1)
+		targetID, actAs, childSpan, extra, ok := a.cluster.traverse(a, l.To.ID(), sub, k, k.cursor, k.r-1)
 		if !ok {
-			continue // lost delivery: skip the link, keep iterating
+			continue // unrecoverable: skip the link, keep iterating
 		}
-		a.cluster.send(l.To.ID(), queryMsg{
+		a.cluster.send(targetID, queryMsg{
 			inst:       a.cluster.nextInst(),
 			parentInst: k.inst,
 			parent:     a.node.ID(),
@@ -391,6 +494,7 @@ func (a *actor) advanceSlow(k *continuation) {
 			time:       k.cursor + 1 + extra,
 			spanID:     childSpan,
 			depth:      k.depth + 1,
+			actAs:      actAs,
 		})
 		return // suspend until the state response arrives
 	}
@@ -409,8 +513,8 @@ func (a *actor) onStates(m stateMsg) {
 		// Algorithm 3 lines 7-9: fold the received states in, then continue.
 		// State messages are counted where the paper's slow loop reads them.
 		a.cluster.recordStates(a.proc, m.states)
-		k.local = a.proc.MergeStates(a.node, append([]core.State{k.local}, m.states...))
-		k.wGlobal = a.proc.GlobalState(a.node, k.global, k.local)
+		k.local = a.proc.MergeStates(k.node, append([]core.State{k.local}, m.states...))
+		k.wGlobal = a.proc.GlobalState(k.node, k.global, k.local)
 		k.cursor = m.time
 		a.advanceSlow(k)
 		return
@@ -430,7 +534,7 @@ func (a *actor) onStates(m stateMsg) {
 
 func (a *actor) completeSlow(k *continuation) {
 	delete(a.conts, k.inst)
-	a.cluster.recordAnswer(a.node.ID(), a.proc.LocalAnswer(a.node, k.local), k.spanID)
+	a.cluster.recordAnswer(k.node.ID(), a.proc.LocalAnswer(k.node, k.local), k.spanID)
 	a.cluster.recorder().SetStateTuples(k.spanID, a.proc.StateTuples(k.local))
 	if k.parent == "" {
 		a.cluster.finish()
@@ -445,7 +549,7 @@ func (a *actor) completeSlow(k *continuation) {
 
 func (a *actor) completeFast(k *continuation) {
 	delete(a.conts, k.inst)
-	a.cluster.recordAnswer(a.node.ID(), a.proc.LocalAnswer(a.node, k.local), k.spanID)
+	a.cluster.recordAnswer(k.node.ID(), a.proc.LocalAnswer(k.node, k.local), k.spanID)
 	a.cluster.recorder().SetStateTuples(k.spanID, a.proc.StateTuples(k.local))
 	if k.parent == "" {
 		a.cluster.finish()
@@ -458,14 +562,14 @@ func (a *actor) completeFast(k *continuation) {
 	})
 }
 
-func (a *actor) sortedLinks() []overlay.Link {
+func (a *actor) sortedLinks(node overlay.Node) []overlay.Link {
 	type ranked struct {
 		link overlay.Link
 		prio float64
 	}
-	rs := make([]ranked, 0, len(a.node.Links()))
-	for _, l := range a.node.Links() {
-		rs = append(rs, ranked{link: l, prio: a.proc.LinkPriority(a.node, l.Region)})
+	rs := make([]ranked, 0, len(node.Links()))
+	for _, l := range node.Links() {
+		rs = append(rs, ranked{link: l, prio: a.proc.LinkPriority(node, l.Region)})
 	}
 	sort.SliceStable(rs, func(i, j int) bool { return rs[i].prio < rs[j].prio })
 	links := make([]overlay.Link, len(rs))

@@ -202,3 +202,48 @@ func TestResultWriteCSV(t *testing.T) {
 		t.Fatalf("csv header: %s", lines[0])
 	}
 }
+
+// TestRecoveryExperiment pins the acceptance property of the replication
+// sweep: at a heavy drop rate the unreplicated baseline loses regions, while
+// R=2 with failover recovers nearly all of them — near-zero unrecoverable
+// regions and strictly better recall.
+func TestRecoveryExperiment(t *testing.T) {
+	cfg := Quick()
+	cfg.DefaultSize = 96
+	cfg.NBASize = 3000
+	cfg.TopKQueries = 6
+	cfg.RecoveryRates = []float64{0.25}
+	cfg.ReplicationFactors = []int{1, 2}
+	res := Recovery(cfg)
+	if len(res.Rows) != 1 || len(res.Series) != 2 {
+		t.Fatalf("shape: %d rows x %d series, want 1x2", len(res.Rows), len(res.Series))
+	}
+	baseLost := res.Value(0, "R=1", true)
+	repLost := res.Value(0, "R=2", true)
+	if baseLost == 0 {
+		t.Fatal("25% drop rate lost nothing without replication (tune the seed if this fires)")
+	}
+	if repLost > baseLost/4 {
+		t.Fatalf("R=2 left %.2f unrecoverable regions/query vs %.2f at R=1; failover is not recovering", repLost, baseLost)
+	}
+	if res.Value(0, "R=2", false) < res.Value(0, "R=1", false) {
+		t.Fatalf("R=2 recall %.3f below R=1 recall %.3f", res.Value(0, "R=2", false), res.Value(0, "R=1", false))
+	}
+}
+
+// TestResultWriteJSON: the committed-baseline JSON is lossless and carries
+// the resolved panel captions.
+func TestResultWriteJSON(t *testing.T) {
+	res := Lemmas(4)
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"metric_a"`) || !strings.Contains(out, "latency (hops)") {
+		t.Fatalf("json missing resolved captions:\n%s", out)
+	}
+	if !strings.Contains(out, `"x"`) || strings.Count(out, `"a"`) != len(res.Rows) {
+		t.Fatalf("json rows malformed:\n%s", out)
+	}
+}

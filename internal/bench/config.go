@@ -48,6 +48,12 @@ type Config struct {
 	// per-link drop probability injected into every query propagation.
 	FaultRates []float64
 
+	// RecoveryRates is the x-axis of the replication-recovery experiment and
+	// ReplicationFactors its series: each drop rate is swept once per zone
+	// replication factor (1 = the unreplicated baseline).
+	RecoveryRates      []float64
+	ReplicationFactors []int
+
 	// Concurrency is the x-axis of the transport throughput experiment: how
 	// many workers share one client against a loopback deployment.
 	Concurrency []int
@@ -77,6 +83,9 @@ func Default() Config {
 		Seed:          1,
 		FaultRates:    []float64{0, 0.02, 0.05, 0.1, 0.2},
 		Concurrency:   []int{1, 8, 64},
+
+		RecoveryRates:      []float64{0.05, 0.15, 0.25},
+		ReplicationFactors: []int{1, 2, 3},
 	}
 }
 
@@ -99,6 +108,8 @@ func Quick() Config {
 	c.DivMaxIters = 3
 	c.FaultRates = []float64{0, 0.05, 0.2}
 	c.Concurrency = []int{1, 8}
+	c.RecoveryRates = []float64{0.05, 0.25}
+	c.ReplicationFactors = []int{1, 2}
 	return c
 }
 
@@ -126,6 +137,9 @@ func Paper() Config {
 		Seed:          1,
 		FaultRates:    []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4},
 		Concurrency:   []int{1, 8, 64, 256},
+
+		RecoveryRates:      []float64{0.05, 0.1, 0.15, 0.2, 0.25},
+		ReplicationFactors: []int{1, 2, 3},
 	}
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -42,6 +43,47 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// jsonResult is the committed-baseline JSON shape of one figure: the full
+// result, losslessly, with panel captions resolved so the file reads without
+// the harness. Field order is fixed by the struct, so output is deterministic.
+type jsonResult struct {
+	Fig     string    `json:"fig"`
+	Title   string    `json:"title"`
+	XLabel  string    `json:"x_label"`
+	Series  []string  `json:"series"`
+	MetricA string    `json:"metric_a"`
+	MetricB string    `json:"metric_b"`
+	Rows    []jsonRow `json:"rows"`
+}
+
+type jsonRow struct {
+	X string    `json:"x"`
+	A []float64 `json:"a"`
+	B []float64 `json:"b"`
+}
+
+// WriteJSON exports the figure as indented JSON, for committing experiment
+// baselines (see BENCH_PR6.json) and for external tooling.
+func (r *Result) WriteJSON(w io.Writer) error {
+	capA, capB := r.MetricA, r.MetricB
+	if capA == "" {
+		capA = "latency (hops)"
+	}
+	if capB == "" {
+		capB = "congestion (messages/query)"
+	}
+	out := jsonResult{Fig: r.Fig, Title: r.Title, XLabel: r.XLabel, Series: r.Series, MetricA: capA, MetricB: capB}
+	for _, row := range r.Rows {
+		out.Rows = append(out.Rows, jsonRow{X: row.X, A: row.Latency, B: row.Congestion})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("bench: json write: %w", err)
+	}
+	return nil
 }
 
 // columnSuffix reduces a panel caption like "top-k recall" to a CSV-friendly

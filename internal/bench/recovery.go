@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/faults"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+// Recovery measures what zone replication buys back from link failures: the
+// churn-faults sweep re-run at increasing drop rates with the replication
+// factor as the series. Queries run in fast mode (full fan-out — the most
+// link traversals, so the most exposure) with the recovery protocol's replica
+// redial budget mirroring the transport's default retry policy. Panel (a)
+// reports mean top-k recall against a centralised oracle; panel (b) the mean
+// number of unrecoverable regions per query — the losses that survive
+// failover and land in FailedRegions. R=1 is the no-replication baseline;
+// with R=2 a traversal is only lost when the primary AND its replica (under
+// every redial) all fail, so recall should stay near 1.0 and panel (b) near
+// zero even at a 25% drop rate. The overlay churns between rates and the
+// replica placement is rebuilt after churn, as a live deployment would.
+func Recovery(cfg Config) *Result {
+	res := &Result{
+		Fig: "Recovery",
+		Title: fmt.Sprintf("top-k under link failures, replication sweep (NBA, k=%d, n=%d)",
+			cfg.DefaultK, cfg.DefaultSize),
+		XLabel:  "drop rate",
+		MetricA: "top-k recall",
+		MetricB: "unrecoverable regions/query",
+	}
+	for _, factor := range cfg.ReplicationFactors {
+		res.Series = append(res.Series, fmt.Sprintf("R=%d", factor))
+	}
+
+	ts := dataset.NBA(cfg.NBASize, cfg.Seed)
+	net := midas.BuildWithData(cfg.DefaultSize, midas.Options{Dims: 6, Seed: cfg.Seed}, ts)
+	f := topk.UniformLinear(6)
+	rng := rand.New(rand.NewSource(cfg.Seed + 7331))
+
+	oracle := make(map[uint64]bool, cfg.DefaultK)
+	for _, t := range topk.Brute(ts, f, cfg.DefaultK) {
+		oracle[t.ID] = true
+	}
+
+	for i, rate := range cfg.RecoveryRates {
+		inj := faults.New(faults.Config{Seed: cfg.Seed*2003 + int64(i), DropRate: rate})
+		// The placement is a pure function of the current overlay snapshot:
+		// rebuilt after each churn slice, never patched incrementally.
+		maps := make([]*overlay.ReplicaMap, len(cfg.ReplicationFactors))
+		for s, factor := range cfg.ReplicationFactors {
+			if factor > 1 {
+				maps[s] = overlay.BuildReplicas(net, factor)
+			}
+		}
+		recall := make([]float64, len(cfg.ReplicationFactors))
+		lost := make([]float64, len(cfg.ReplicationFactors))
+		for q := 0; q < cfg.TopKQueries; q++ {
+			w := net.RandomPeer(rng)
+			for s := range cfg.ReplicationFactors {
+				got := core.RunOpts(w, &topk.Processor{F: f, K: cfg.DefaultK}, 0, core.Options{
+					Faults:          inj,
+					Replicas:        maps[s],
+					RecoveryRetries: 2, // mirrors netpeer.DefaultRetryPolicy().MaxRetries
+				})
+				hits := 0
+				for _, t := range topk.Select(got.Answers, f, cfg.DefaultK) {
+					if oracle[t.ID] {
+						hits++
+					}
+				}
+				recall[s] += float64(hits) / float64(cfg.DefaultK)
+				lost[s] += float64(got.Stats.RPCFailures)
+			}
+		}
+		row := Row{X: fmt.Sprintf("%.2f", rate)}
+		for s := range cfg.ReplicationFactors {
+			row.Latency = append(row.Latency, recall[s]/float64(cfg.TopKQueries))
+			row.Congestion = append(row.Congestion, lost[s]/float64(cfg.TopKQueries))
+		}
+		res.Rows = append(res.Rows, row)
+
+		// Churn ~5% of the overlay before the next rate, as in ChurnFaults.
+		churn := cfg.DefaultSize / 40
+		for j := 0; j < churn; j++ {
+			net.Leave(net.RandomPeer(rng))
+			net.Join()
+		}
+	}
+	return res
+}

@@ -27,6 +27,7 @@ func Runners() []Runner {
 		{Name: "churn", Desc: "§7.1 dynamic topology: increasing + decreasing stages", Run: Churn},
 		{Name: "trace-depth", Desc: "Trace-derived: hop-tree depth distribution and size vs r (NBA)", Run: TraceDepth},
 		{Name: "churn-faults", Desc: "Robustness: top-k recall vs injected link-failure rate under churn", Run: ChurnFaults},
+		{Name: "recovery", Desc: "Robustness: recall vs drop rate per zone replication factor (failover on)", Run: Recovery},
 		{Name: "ablation-border", Desc: "Ablation: §5.2 border-link optimisation on/off", Run: AblationBorder},
 		{Name: "ablation-overlay", Desc: "Ablation: RIPPLE over MIDAS vs over CAN", Run: AblationOverlay},
 		{Name: "throughput", Desc: "Transport: aggregate QPS and p95 latency vs client concurrency, mux vs sequential", Run: Throughput},

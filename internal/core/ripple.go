@@ -106,6 +106,23 @@ type Options struct {
 	// Trace records the query's hop tree into Result.Trace. Disabled tracing
 	// adds zero allocations to the hot path (see TestRunTraceDisabledNoAlloc).
 	Trace bool
+
+	// Replicas enables failed-region recovery: when a link traversal is lost,
+	// the failed link's parent re-dispatches the lost restriction region to
+	// the dead peer's zone replicas in placement order, and only when every
+	// replica dispatch fails does the region land in FailedRegions. Nil
+	// disables recovery (every loss is final, the pre-replication behaviour).
+	Replicas *overlay.ReplicaMap
+	// RecoveryBudget caps the replica dispatches spent per lost traversal;
+	// 0 means every replica may be tried. The budget bounds recovery work so
+	// a heavily faulted query cannot stall on an arbitrarily long failover
+	// chain (the logical-runtime analogue of netpeer's recovery deadline).
+	RecoveryBudget int
+	// RecoveryRetries is the number of extra delivery attempts each replica
+	// dispatch may spend (the injector re-rolls per attempt, modelling a
+	// redial). 0 matches a transport with retries disabled; set it to the
+	// transport's MaxRetries when comparing against a netpeer deployment.
+	RecoveryRetries int
 }
 
 // Run executes query processing from the given initiator with ripple
@@ -130,7 +147,10 @@ func RunInjected(initiator overlay.Node, p Processor, r int, inj *faults.Injecto
 // RunOpts is the fully general entry point: Run with fault injection and/or
 // hop-tree tracing.
 func RunOpts(initiator overlay.Node, p Processor, r int, opts Options) *Result {
-	e := &executor{p: p, res: &Result{}, answered: make(map[string]bool), inj: opts.Faults}
+	e := &executor{
+		p: p, res: &Result{}, answered: make(map[string]bool), inj: opts.Faults,
+		reps: opts.Replicas, budget: opts.RecoveryBudget, redials: opts.RecoveryRetries,
+	}
 	if opts.Trace {
 		e.rec = trace.NewRecorder()
 		e.rec.Record(trace.Span{
@@ -145,6 +165,7 @@ func RunOpts(initiator overlay.Node, p Processor, r int, opts Options) *Result {
 	d := dimsOf(initiator)
 	_, latency := e.exec(initiator, p.InitialState(), overlay.Whole(d), r, trace.RootID, 0, 0)
 	e.res.Stats.Latency = latency
+	e.res.FailedRegions = overlay.CanonicalRegions(e.res.FailedRegions)
 	if e.rec != nil {
 		e.res.Trace = trace.Build(e.rec.Spans())
 	}
@@ -186,19 +207,20 @@ type executor struct {
 	res      *Result
 	answered map[string]bool
 	inj      *faults.Injector
-	rec      *trace.Recorder // nil: tracing disabled
+	reps     *overlay.ReplicaMap // nil: no recovery, losses are final
+	budget   int                 // max replica dispatches per lost traversal (0: all)
+	redials  int                 // extra injector rolls per replica dispatch
+	rec      *trace.Recorder     // nil: tracing disabled
 }
 
-// traverse consults the injector for the link w->to. It returns ok=false for
-// a lost link (recording the failed region), the extra hops a delayed
-// delivery charges, and the outcome name for the traversal's span.
-func (e *executor) traverse(w overlay.Node, to string, sub overlay.Region) (extraHops int, outcome string, ok bool) {
-	switch e.inj.Decide(w.ID(), to, 0) {
+// decide consults the injector for one delivery attempt from the physical
+// peer `from` to `to`. It returns the extra hops a delayed delivery charges
+// and the outcome name for the attempt's span.
+func (e *executor) decide(from, to string, attempt int) (extraHops int, outcome string, delivered bool) {
+	switch e.inj.Decide(from, to, attempt) {
 	case faults.Drop:
-		e.recordLoss(sub)
 		return 0, trace.OutcomeDrop, false
 	case faults.Crash:
-		e.recordLoss(sub)
 		return 0, trace.OutcomeCrash, false
 	case faults.Delay:
 		return e.inj.Config().DelayHops, trace.OutcomeDelay, true
@@ -210,6 +232,77 @@ func (e *executor) recordLoss(sub overlay.Region) {
 	e.res.Stats.RPCFailures++
 	e.res.Stats.Partial = true
 	e.res.FailedRegions = append(e.res.FailedRegions, sub)
+}
+
+// dispatch performs the traversal of link l from w for restriction sub,
+// running the replica failover chain when the primary target is lost. Each
+// dispatch (the primary's, then one per replica tried) consumes one sequence
+// number and records one span, so span identities stay aligned with the
+// other runtimes, which dispatch in the same order. base is the logical clock
+// before the hop; the delivered subtree starts at base+1+extra.
+//
+// It returns the node that will execute the subtree — l.To itself, or a
+// replica acting as l.To so the recovered subtree delegates the primary's
+// exact restriction partition — with its span ID and extra hop charge.
+// ok=false means every allowed dispatch failed: the region has been recorded
+// as unrecoverably lost.
+func (e *executor) dispatch(w overlay.Node, l overlay.Link, sub overlay.Region, childR, depth, base int, spanID uint64, seq *int) (target overlay.Node, childID uint64, extra int, ok bool) {
+	from := overlay.PhysicalID(w)
+
+	*seq++
+	extra, outcome, delivered := e.decide(from, l.To.ID(), 0)
+	if e.rec != nil {
+		childID = trace.ChildID(spanID, l.To.ID(), *seq)
+		e.rec.Record(trace.Span{
+			ID: childID, Parent: spanID, Peer: l.To.ID(), Region: sub,
+			Phase: phaseOf(childR), R: childR, Depth: depth + 1,
+			Arrive: base + 1 + extra, Outcome: outcome,
+		})
+	}
+	if delivered {
+		return l.To, childID, extra, true
+	}
+
+	// Failover chain: re-dispatch the lost restriction region to the dead
+	// peer's zone replicas in placement order, under the recovery budget.
+	// Recovery span IDs derive from the failed primary span (not the parent's
+	// sequence counter), so they are a pure function of the traversal path —
+	// independent of how many failovers other links of this parent needed,
+	// which is what lets the TCP runtime recover fan-out links concurrently
+	// and still name identical spans.
+	primarySpan := childID
+	for n, rep := range e.reps.Replicas(l.To.ID()) {
+		if e.budget > 0 && n >= e.budget {
+			break
+		}
+		e.res.Stats.Failovers++
+		attempt := 0
+		for {
+			extra, outcome, delivered = e.decide(from, rep.ID(), attempt)
+			if delivered || attempt >= e.redials {
+				break
+			}
+			attempt++
+			e.res.Stats.Retries++
+		}
+		if e.rec != nil {
+			childID = trace.ChildID(primarySpan, rep.ID(), n+1)
+			if delivered {
+				outcome = trace.OutcomeRecovered
+			}
+			e.rec.Record(trace.Span{
+				ID: childID, Parent: spanID, Peer: l.To.ID(), Via: rep.ID(), Region: sub,
+				Phase: phaseOf(childR), R: childR, Depth: depth + 1,
+				Arrive: base + 1 + extra, Attempt: attempt, Outcome: outcome,
+			})
+		}
+		if delivered {
+			e.res.Stats.Recovered++
+			return overlay.ActingNode{Primary: l.To, Via: rep}, childID, extra, true
+		}
+	}
+	e.recordLoss(sub)
+	return nil, 0, 0, false
 }
 
 // exec is the per-peer template of Algorithm 3. It returns the local states
@@ -238,21 +331,11 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 			if !e.p.LinkRelevant(w, sub, wGlobal) {
 				continue
 			}
-			seq++
-			extra, outcome, ok := e.traverse(w, l.To.ID(), sub)
-			childID := uint64(0)
-			if e.rec != nil {
-				childID = trace.ChildID(spanID, l.To.ID(), seq)
-				e.rec.Record(trace.Span{
-					ID: childID, Parent: spanID, Peer: l.To.ID(), Region: sub,
-					Phase: phaseOf(r - 1), R: r - 1, Depth: depth + 1,
-					Arrive: arrive + latency + 1 + extra, Outcome: outcome,
-				})
-			}
+			target, childID, extra, ok := e.dispatch(w, l, sub, r-1, depth, arrive+latency, spanID, &seq)
 			if !ok {
 				continue
 			}
-			remote, lat := e.exec(l.To, wGlobal, sub, r-1, childID, depth+1, arrive+latency+1+extra)
+			remote, lat := e.exec(target, wGlobal, sub, r-1, childID, depth+1, arrive+latency+1+extra)
 			latency += 1 + extra + lat
 			e.res.Stats.StateMsgs += len(remote)
 			for _, s := range remote {
@@ -282,21 +365,11 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 		if !e.p.LinkRelevant(w, sub, wGlobal) {
 			continue
 		}
-		seq++
-		extra, outcome, ok := e.traverse(w, l.To.ID(), sub)
-		childID := uint64(0)
-		if e.rec != nil {
-			childID = trace.ChildID(spanID, l.To.ID(), seq)
-			e.rec.Record(trace.Span{
-				ID: childID, Parent: spanID, Peer: l.To.ID(), Region: sub,
-				Phase: trace.PhaseFast, Depth: depth + 1,
-				Arrive: arrive + 1 + extra, Outcome: outcome,
-			})
-		}
+		target, childID, extra, ok := e.dispatch(w, l, sub, 0, depth, arrive, spanID, &seq)
 		if !ok {
 			continue
 		}
-		remote, lat := e.exec(l.To, wGlobal, sub, 0, childID, depth+1, arrive+1+extra)
+		remote, lat := e.exec(target, wGlobal, sub, 0, childID, depth+1, arrive+1+extra)
 		if lat+1+extra > maxLat {
 			maxLat = lat + 1 + extra
 		}

@@ -41,6 +41,8 @@ func resultFromReply(reply *wire.Reply, traced bool) *QueryResult {
 	res.Stats.StateMsgs = reply.StateMsgs
 	res.Stats.TuplesSent = reply.TuplesSent
 	res.Stats.RPCFailures = reply.Failures
+	res.Stats.Recovered = reply.Recovered
+	res.Stats.Failovers = reply.Failovers
 	res.Stats.Retries = reply.Retries
 	res.Stats.TimedOut = reply.TimedOut
 	res.Stats.Partial = reply.Partial

@@ -53,21 +53,40 @@ func ReadConfigFile(path string) (*FileConfig, error) {
 // Plan slices an overlay snapshot into per-peer file configs with
 // pre-assigned addresses: host:basePort, host:basePort+1, ... in node order.
 func Plan(net_ overlay.Network, host string, basePort int) ([]*FileConfig, error) {
+	return PlanOpts(net_, host, basePort, 1)
+}
+
+// PlanOpts is Plan with an explicit zone replication factor. With factor > 1
+// each peer's config additionally carries replica addresses on its links and
+// the mirrored shares it holds for other peers, exactly mirroring what
+// DeployOpts installs in-process, so file-driven deployments recover lost
+// subtrees the same way.
+func PlanOpts(net_ overlay.Network, host string, basePort, factor int) ([]*FileConfig, error) {
 	nodes := net_.Nodes()
 	addrs := make(map[string]string, len(nodes))
 	for i, n := range nodes {
 		addrs[n.ID()] = fmt.Sprintf("%s:%d", host, basePort+i)
 	}
+	var rm *overlay.ReplicaMap
+	if factor > 1 {
+		rm = overlay.BuildReplicas(net_, factor)
+	}
+	holders := make(map[string][]ReplicaShare)
+	if rm != nil {
+		for _, p := range nodes {
+			share := ReplicaShare{ID: p.ID(), Zone: p.Zone(), Tuples: p.Tuples(), Links: linkSpecsFor(p, addrs, rm)}
+			for _, rep := range rm.Replicas(p.ID()) {
+				holders[rep.ID()] = append(holders[rep.ID()], share)
+			}
+		}
+	}
 	out := make([]*FileConfig, len(nodes))
 	for i, n := range nodes {
-		var links []LinkSpec
-		for _, l := range n.Links() {
-			links = append(links, LinkSpec{ID: l.To.ID(), Addr: addrs[l.To.ID()], Region: l.Region})
-		}
 		out[i] = &FileConfig{
 			Addr: addrs[n.ID()],
 			Dims: net_.Dims(),
-			Peer: Config{ID: n.ID(), Zone: n.Zone(), Tuples: n.Tuples(), Links: links},
+			Peer: Config{ID: n.ID(), Zone: n.Zone(), Tuples: n.Tuples(),
+				Links: linkSpecsFor(n, addrs, rm), Replicas: holders[n.ID()]},
 		}
 	}
 	return out, nil

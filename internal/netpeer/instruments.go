@@ -9,41 +9,49 @@ import (
 // instruments stay callable (internal/metrics is nil-safe) and an unmetered
 // server pays only a nil check per event.
 type instruments struct {
-	dials        *metrics.Counter
-	dialFailures *metrics.Counter
-	connReuses   *metrics.Counter
-	evictions    *metrics.Counter
-	staleConns   *metrics.Counter
-	retries      *metrics.Counter
-	deadlines    *metrics.Counter
-	backoffs     *metrics.Counter
-	lostLinks    *metrics.Counter
-	muxStreams   *metrics.Counter
-	muxFallbacks *metrics.Counter
-	overloads    *metrics.Counter
-	inflight     *metrics.Gauge
-	rpcSeconds   *metrics.Histogram
-	fanout       *metrics.Histogram
-	queueWait    *metrics.Histogram
+	dials           *metrics.Counter
+	dialFailures    *metrics.Counter
+	connReuses      *metrics.Counter
+	evictions       *metrics.Counter
+	staleConns      *metrics.Counter
+	retries         *metrics.Counter
+	deadlines       *metrics.Counter
+	backoffs        *metrics.Counter
+	lostLinks       *metrics.Counter
+	recovered       *metrics.Counter
+	failovers       *metrics.Counter
+	unrecoverable   *metrics.Counter
+	muxStreams      *metrics.Counter
+	muxFallbacks    *metrics.Counter
+	overloads       *metrics.Counter
+	inflight        *metrics.Gauge
+	rpcSeconds      *metrics.Histogram
+	fanout          *metrics.Histogram
+	queueWait       *metrics.Histogram
+	recoverySeconds *metrics.Histogram
 }
 
 func newInstruments(r *metrics.Registry) instruments {
 	return instruments{
-		dials:        r.Counter("ripple_netpeer_dials_total", "TCP dial attempts to neighbour peers"),
-		dialFailures: r.Counter("ripple_netpeer_dial_failures_total", "TCP dial attempts that failed"),
-		connReuses:   r.Counter("ripple_netpeer_conn_reuses_total", "RPCs served over a pooled connection instead of a fresh dial"),
-		evictions:    r.Counter("ripple_netpeer_pool_evictions_total", "pooled connections closed by cap, idle expiry, or shutdown"),
-		staleConns:   r.Counter("ripple_netpeer_stale_conns_total", "pooled connections found dead mid-RPC and replaced by a fresh dial"),
-		retries:      r.Counter("ripple_netpeer_retries_total", "extra RPC attempts spent recovering links"),
-		deadlines:    r.Counter("ripple_netpeer_deadline_timeouts_total", "RPC attempts abandoned on a dial/call deadline"),
-		backoffs:     r.Counter("ripple_netpeer_backoffs_total", "backoff sleeps taken before retries"),
-		lostLinks:    r.Counter("ripple_netpeer_lost_links_total", "links abandoned after retry exhaustion"),
-		muxStreams:   r.Counter("ripple_netpeer_mux_streams_total", "calls multiplexed as streams onto a shared peer connection"),
-		muxFallbacks: r.Counter("ripple_netpeer_mux_fallbacks_total", "remotes that negotiated down to the sequential protocol"),
-		overloads:    r.Counter("ripple_netpeer_overload_rejections_total", "calls rejected by admission control (worker pool and queue full)"),
-		inflight:     r.Gauge("ripple_netpeer_inflight_streams", "multiplexed calls admitted and not yet replied to"),
-		rpcSeconds:   r.Histogram("ripple_netpeer_rpc_seconds", "wall-clock duration of one RPC attempt", metrics.DefLatencyBuckets),
-		fanout:       r.Histogram("ripple_netpeer_fanout", "relevant links contacted per processed call", metrics.LinearBuckets(0, 1, 8)),
-		queueWait:    r.Histogram("ripple_netpeer_queue_wait_seconds", "time an admitted call waited for a mux worker", metrics.DefLatencyBuckets),
+		dials:           r.Counter("ripple_netpeer_dials_total", "TCP dial attempts to neighbour peers"),
+		dialFailures:    r.Counter("ripple_netpeer_dial_failures_total", "TCP dial attempts that failed"),
+		connReuses:      r.Counter("ripple_netpeer_conn_reuses_total", "RPCs served over a pooled connection instead of a fresh dial"),
+		evictions:       r.Counter("ripple_netpeer_pool_evictions_total", "pooled connections closed by cap, idle expiry, or shutdown"),
+		staleConns:      r.Counter("ripple_netpeer_stale_conns_total", "pooled connections found dead mid-RPC and replaced by a fresh dial"),
+		retries:         r.Counter("ripple_netpeer_retries_total", "extra RPC attempts spent recovering links"),
+		deadlines:       r.Counter("ripple_netpeer_deadline_timeouts_total", "RPC attempts abandoned on a dial/call deadline"),
+		backoffs:        r.Counter("ripple_netpeer_backoffs_total", "backoff sleeps taken before retries"),
+		lostLinks:       r.Counter("ripple_netpeer_lost_links_total", "links abandoned after retry exhaustion"),
+		recovered:       r.Counter("ripple_netpeer_recovered_regions_total", "lost subtrees served by a zone replica of the dead primary"),
+		failovers:       r.Counter("ripple_netpeer_replica_failovers_total", "replica dispatches attempted during recovery, successful or not"),
+		unrecoverable:   r.Counter("ripple_netpeer_unrecoverable_regions_total", "lost subtrees no replica could serve (the region lands in FailedRegions)"),
+		muxStreams:      r.Counter("ripple_netpeer_mux_streams_total", "calls multiplexed as streams onto a shared peer connection"),
+		muxFallbacks:    r.Counter("ripple_netpeer_mux_fallbacks_total", "remotes that negotiated down to the sequential protocol"),
+		overloads:       r.Counter("ripple_netpeer_overload_rejections_total", "calls rejected by admission control (worker pool and queue full)"),
+		inflight:        r.Gauge("ripple_netpeer_inflight_streams", "multiplexed calls admitted and not yet replied to"),
+		rpcSeconds:      r.Histogram("ripple_netpeer_rpc_seconds", "wall-clock duration of one RPC attempt", metrics.DefLatencyBuckets),
+		fanout:          r.Histogram("ripple_netpeer_fanout", "relevant links contacted per processed call", metrics.LinearBuckets(0, 1, 8)),
+		queueWait:       r.Histogram("ripple_netpeer_queue_wait_seconds", "time an admitted call waited for a mux worker", metrics.DefLatencyBuckets),
+		recoverySeconds: r.Histogram("ripple_netpeer_recovery_seconds", "wall-clock time from losing a link to a replica serving its region", metrics.DefLatencyBuckets),
 	}
 }

@@ -47,6 +47,18 @@ type LinkSpec struct {
 	ID     string
 	Addr   string
 	Region overlay.Region
+
+	// Replicas lists the peers holding a replica of this neighbour's share,
+	// in failover order: when the neighbour stays unreachable after retries,
+	// the caller re-dispatches the sub-call to them (wire.Call.ActAs) before
+	// declaring the region lost. Empty when replication is off.
+	Replicas []ReplicaAddr
+}
+
+// ReplicaAddr names one replica holder of a peer's share.
+type ReplicaAddr struct {
+	ID   string
+	Addr string
 }
 
 // key returns the link's stable identity for logging and fault decisions.
@@ -59,6 +71,20 @@ func (l LinkSpec) key() string {
 
 // Config describes one peer's share of the overlay.
 type Config struct {
+	ID     string
+	Zone   overlay.Region
+	Tuples []dataset.Tuple
+	Links  []LinkSpec
+
+	// Replicas are the shares of other peers this peer mirrors (zone
+	// replication, DESIGN.md §13). A wire.Call with ActAs naming one of them
+	// is served from that share — the peer acts as the dead primary.
+	Replicas []ReplicaShare
+}
+
+// ReplicaShare is a mirrored copy of another peer's share: everything needed
+// to execute that peer's slice of Algorithm 3 on its behalf.
+type ReplicaShare struct {
 	ID     string
 	Zone   overlay.Region
 	Tuples []dataset.Tuple
@@ -132,6 +158,15 @@ func (s *Server) SetLinks(links []LinkSpec) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cfg.Links = links
+}
+
+// SetReplicas installs the mirrored shares this peer serves recovery
+// dispatches from (done after all servers of a deployment have bound their
+// addresses, like SetLinks).
+func (s *Server) SetReplicas(shares []ReplicaShare) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.Replicas = shares
 }
 
 // Close stops serving: the listener is closed, every open connection is torn
@@ -374,11 +409,23 @@ func (n *node) ScoreIndex(key func(geom.Point) float64) *overlay.Index {
 	return n.ix
 }
 
-// process executes this peer's slice of Algorithm 3 for one delivery.
+// process executes this peer's slice of Algorithm 3 for one delivery. A call
+// carrying ActAs is a recovery dispatch: the peer serves it from the named
+// dead primary's mirrored share, so everything below — links followed, zone
+// answered for, the identity on replies and spans — is the primary's, while
+// the transport identity (fault decisions, logs) stays this peer's own.
 func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 	s.mu.RLock()
 	cfg := s.cfg
 	s.mu.RUnlock()
+
+	if call.ActAs != "" && call.ActAs != cfg.ID {
+		share := findShare(cfg.Replicas, call.ActAs)
+		if share == nil {
+			return nil, fmt.Errorf("netpeer %s: no replica share for peer %q", cfg.ID, call.ActAs)
+		}
+		cfg = Config{ID: share.ID, Zone: share.Zone, Tuples: share.Tuples, Links: share.Links}
+	}
 
 	codec := s.codecs[call.QueryType]
 	if codec == nil {
@@ -434,16 +481,21 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 			childReply, retries, err := s.callPeer(l, childCall)
 			reply.Retries += retries
 			if err != nil {
-				// Unrecoverable link: the subtree's answers are lost, but
-				// the query proceeds with the loss on the record.
+				// Lost link: fail over to the neighbour's zone replicas; only
+				// when none can serve the region does the loss go on record.
 				s.opts.Logf("netpeer %s: lost slow link to %s after %d retries: %v",
 					cfg.ID, l.key(), retries, err)
-				reply.RecordLostLink(sub, isTimeout(err))
 				tr.lost(childID, l.key(), sub, call.R-1, cursor+1, retries, err)
 				s.ins.lostLinks.Inc()
-				continue
+				childReply = s.failover(l, childCall, reply, tr, childID, call.R-1, cursor+1)
+				if childReply == nil {
+					reply.RecordLostLink(sub, isTimeout(err))
+					s.ins.unrecoverable.Inc()
+					continue
+				}
+			} else {
+				tr.absorb(childID, childReply.Spans, retries)
 			}
-			tr.absorb(childID, childReply.Spans, retries)
 			states := []core.State{local}
 			for _, sb := range childReply.States {
 				st, err := codec.DecodeState(sb)
@@ -471,6 +523,7 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 		reply   *wire.Reply
 		link    LinkSpec
 		sub     overlay.Region
+		call    *wire.Call
 		spanID  uint64
 		retries int
 		err     error
@@ -486,21 +539,21 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 			continue
 		}
 		childID := tr.child(l.key())
+		childCall := &wire.Call{
+			QueryType: call.QueryType,
+			Params:    call.Params,
+			Global:    encGlobal,
+			Restrict:  sub,
+			R:         0,
+			Hops:      call.Hops + 1,
+		}
+		tr.childContext(childCall, childID)
 		ch := make(chan out, 1)
 		calls = append(calls, ch)
-		go func(l LinkSpec, sub overlay.Region, childID uint64) {
-			childCall := &wire.Call{
-				QueryType: call.QueryType,
-				Params:    call.Params,
-				Global:    encGlobal,
-				Restrict:  sub,
-				R:         0,
-				Hops:      call.Hops + 1,
-			}
-			tr.childContext(childCall, childID)
+		go func(l LinkSpec, sub overlay.Region, childCall *wire.Call, childID uint64) {
 			r, retries, err := s.callPeer(l, childCall)
-			ch <- out{reply: r, link: l, sub: sub, spanID: childID, retries: retries, err: err}
-		}(l, sub, childID)
+			ch <- out{reply: r, link: l, sub: sub, call: childCall, spanID: childID, retries: retries, err: err}
+		}(l, sub, childCall, childID)
 	}
 	s.ins.fanout.Observe(float64(len(calls)))
 	completion := call.Hops
@@ -509,16 +562,22 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 		o := <-ch
 		reply.Retries += o.retries
 		if o.err != nil {
-			// Errored fast subtree: never skipped silently — the failure is
-			// counted, the region recorded, and the reply marked partial.
+			// Errored fast subtree: never skipped silently — it fails over to
+			// the neighbour's replicas, and an unrecoverable region is
+			// counted, recorded, and marks the reply partial.
 			s.opts.Logf("netpeer %s: lost fast link to %s after %d retries: %v",
 				cfg.ID, o.link.key(), o.retries, o.err)
-			reply.RecordLostLink(o.sub, isTimeout(o.err))
 			tr.lost(o.spanID, o.link.key(), o.sub, 0, call.Hops+1, o.retries, o.err)
 			s.ins.lostLinks.Inc()
-			continue
+			o.reply = s.failover(o.link, o.call, reply, tr, o.spanID, 0, call.Hops+1)
+			if o.reply == nil {
+				reply.RecordLostLink(o.sub, isTimeout(o.err))
+				s.ins.unrecoverable.Inc()
+				continue
+			}
+		} else {
+			tr.absorb(o.spanID, o.reply.Spans, o.retries)
 		}
-		tr.absorb(o.spanID, o.reply.Spans, o.retries)
 		childStates = append(childStates, o.reply.States...)
 		if o.reply.Completion > completion {
 			completion = o.reply.Completion
@@ -529,6 +588,60 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 	tr.finish(reply, cfg.ID, proc.StateTuples(local), own)
 	reply.States = append(reply.States, childStates...)
 	return reply, nil
+}
+
+// findShare returns the mirrored share for peer id, or nil when this peer
+// holds no replica of it.
+func findShare(shares []ReplicaShare, id string) *ReplicaShare {
+	for i := range shares {
+		if shares[i].ID == id {
+			return &shares[i]
+		}
+	}
+	return nil
+}
+
+// failover re-dispatches a lost sub-call to the dead neighbour's zone
+// replicas in placement order, asking each to act as the dead primary
+// (wire.Call.ActAs) until one serves the region or the recovery budget runs
+// out. It returns the recovered child reply, or nil when every replica failed
+// too — only then does the region belong in FailedRegions. Span IDs for
+// failover dispatches derive from the failed primary span, not the parent's
+// traversal counter, so the three runtimes name recovered subtrees
+// identically regardless of dispatch order.
+func (s *Server) failover(l LinkSpec, childCall *wire.Call, reply *wire.Reply, tr *tracer, primarySpan uint64, childR, arrive int) *wire.Reply {
+	if len(l.Replicas) == 0 {
+		return nil
+	}
+	start := time.Now()
+	for n, rep := range l.Replicas {
+		if s.opts.RecoveryBudget > 0 && time.Since(start) > s.opts.RecoveryBudget {
+			s.opts.Logf("netpeer %s: recovery budget exhausted failing over %s (%d replicas untried)",
+				s.cfg.ID, l.key(), len(l.Replicas)-n)
+			break
+		}
+		repCall := *childCall
+		repCall.ActAs = l.key()
+		repID := trace.ChildID(primarySpan, rep.ID, n+1)
+		tr.childContext(&repCall, repID)
+		reply.Failovers++
+		s.ins.failovers.Inc()
+		repLink := LinkSpec{ID: rep.ID, Addr: rep.Addr, Region: l.Region}
+		childReply, retries, err := s.callPeer(repLink, &repCall)
+		reply.Retries += retries
+		if err != nil {
+			s.opts.Logf("netpeer %s: replica %s could not act for %s after %d retries: %v",
+				s.cfg.ID, rep.ID, l.key(), retries, err)
+			tr.lostVia(repID, l.key(), rep.ID, childCall.Restrict, childR, arrive, retries, err)
+			continue
+		}
+		tr.absorbRecovered(repID, childReply.Spans, retries, rep.ID)
+		reply.Recovered++
+		s.ins.recovered.Inc()
+		s.ins.recoverySeconds.Observe(time.Since(start).Seconds())
+		return childReply
+	}
+	return nil
 }
 
 // finishReply attaches this peer's own state, answer and completion time,
@@ -544,6 +657,7 @@ func finishReply(reply *wire.Reply, codec wire.Codec, proc core.Processor, w *no
 		reply.TuplesSent += len(a)
 	}
 	reply.Completion = completion
+	reply.FailedRegions = overlay.CanonicalRegions(reply.FailedRegions)
 	return len(a)
 }
 
@@ -801,9 +915,16 @@ func Deploy(net_ overlay.Network, codecs ...wire.Codec) ([]*Server, map[string]s
 }
 
 // DeployOpts is Deploy with explicit fault-tolerance options shared by every
-// peer of the deployment.
+// peer of the deployment. When Options.Replication > 1 it builds the overlay's
+// replica placement, attaches each neighbour's replica holders to the link
+// specs, and installs the mirrored shares on the holders, so lost subtrees
+// fail over instead of landing in FailedRegions.
 func DeployOpts(net_ overlay.Network, opts Options, codecs ...wire.Codec) ([]*Server, map[string]string, error) {
 	nodes := net_.Nodes()
+	var rm *overlay.ReplicaMap
+	if opts.Replication > 1 {
+		rm = overlay.BuildReplicas(net_, opts.Replication)
+	}
 	servers := make([]*Server, len(nodes))
 	addrs := make(map[string]string, len(nodes))
 	for i, n := range nodes {
@@ -819,11 +940,40 @@ func DeployOpts(net_ overlay.Network, opts Options, codecs ...wire.Codec) ([]*Se
 		addrs[n.ID()] = addr
 	}
 	for i, n := range nodes {
-		var links []LinkSpec
-		for _, l := range n.Links() {
-			links = append(links, LinkSpec{ID: l.To.ID(), Addr: addrs[l.To.ID()], Region: l.Region})
+		servers[i].SetLinks(linkSpecsFor(n, addrs, rm))
+	}
+	if rm != nil {
+		// Mirror each primary's share — zone, tuples, and links carrying their
+		// own replica addresses, so recovery composes when a replica's onward
+		// neighbour is dead too — onto its ring-successor holders.
+		holders := make(map[string][]ReplicaShare)
+		for _, p := range nodes {
+			share := ReplicaShare{ID: p.ID(), Zone: p.Zone(), Tuples: p.Tuples(), Links: linkSpecsFor(p, addrs, rm)}
+			for _, rep := range rm.Replicas(p.ID()) {
+				holders[rep.ID()] = append(holders[rep.ID()], share)
+			}
 		}
-		servers[i].SetLinks(links)
+		for i, n := range nodes {
+			if shares := holders[n.ID()]; shares != nil {
+				servers[i].SetReplicas(shares)
+			}
+		}
 	}
 	return servers, addrs, nil
+}
+
+// linkSpecsFor converts a node's overlay links to wire form, attaching each
+// neighbour's replica holders when a replica placement is in force.
+func linkSpecsFor(n overlay.Node, addrs map[string]string, rm *overlay.ReplicaMap) []LinkSpec {
+	var links []LinkSpec
+	for _, l := range n.Links() {
+		spec := LinkSpec{ID: l.To.ID(), Addr: addrs[l.To.ID()], Region: l.Region}
+		if rm != nil {
+			for _, rep := range rm.Replicas(l.To.ID()) {
+				spec.Replicas = append(spec.Replicas, ReplicaAddr{ID: rep.ID(), Addr: addrs[rep.ID()]})
+			}
+		}
+		links = append(links, spec)
+	}
+	return links
 }

@@ -1,0 +1,175 @@
+package netpeer
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"ripple/internal/dataset"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+// recoveryFixture deploys a replicated loopback fleet over a MIDAS overlay
+// and returns everything a failover test needs.
+func recoveryFixture(t *testing.T, replication int) ([]*Server, map[string]string, *midas.Network, []byte) {
+	t.Helper()
+	ts := dataset.NBA(2000, 5)
+	net := midas.Build(16, midas.Options{Dims: 6, Seed: 11})
+	overlay.Load(net, ts)
+
+	opts := quietOpts(t)
+	opts.Replication = replication
+	opts.DialTimeout = 300 * time.Millisecond
+	opts.CallTimeout = 3 * time.Second
+	opts.Retry = RetryPolicy{MaxRetries: 1, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond, Jitter: 0.2}
+	servers, addrs, err := DeployOpts(net, opts, topk.WireCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	params, _ := (topk.WireCodec{}).EncodeParams(topk.UniformLinear(6), 10)
+	return servers, addrs, net, params
+}
+
+// TestKilledServerFailsOverToReplica: with replication 2, killing one peer
+// process must not cost the query anything — a replica serves the dead peer's
+// zone, the answer set stays complete, and nothing is marked partial.
+func TestKilledServerFailsOverToReplica(t *testing.T) {
+	servers, addrs, net, params := recoveryFixture(t, 2)
+	init := net.Peers()[2]
+
+	baseline, err := QueryDetailed(addrs[init.ID()], "topk", params, 6, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Partial() {
+		t.Fatal("baseline query partial on a healthy fleet")
+	}
+
+	// Kill any peer other than the initiator; fast mode floods the whole
+	// domain, so the victim is guaranteed to be on some peer's hop path.
+	var victim *Server
+	for _, s := range servers {
+		if s.cfg.ID != init.ID() {
+			victim = s
+			break
+		}
+	}
+	victim.Close()
+
+	res, err := QueryDetailed(addrs[init.ID()], "topk", params, 6, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial() || len(res.FailedRegions) != 0 {
+		t.Fatalf("dead peer with a live replica must not cost a partial answer: partial=%t regions=%v",
+			res.Partial(), res.FailedRegions)
+	}
+	if res.Stats.Recovered == 0 || res.Stats.Failovers < res.Stats.Recovered {
+		t.Fatalf("expected at least one recovered subtree, got %+v", res.Stats)
+	}
+	if !reflect.DeepEqual(answerIDs(res.Answers), answerIDs(baseline.Answers)) {
+		t.Fatalf("recovered answers differ from baseline:\nbase: %v\ngot:  %v",
+			answerIDs(baseline.Answers), answerIDs(res.Answers))
+	}
+}
+
+// TestAllReplicasDeadIsUnrecoverable: when a peer AND its replica are both
+// down, the region genuinely cannot be served — it must land in
+// FailedRegions and mark the answer partial, after the failover was tried.
+func TestAllReplicasDeadIsUnrecoverable(t *testing.T) {
+	servers, addrs, net, params := recoveryFixture(t, 2)
+	init := net.Peers()[2]
+
+	rm := overlay.BuildReplicas(net, 2)
+	var victimID string
+	for _, s := range servers {
+		if s.cfg.ID != init.ID() && rm.Replicas(s.cfg.ID)[0].ID() != init.ID() {
+			victimID = s.cfg.ID
+			break
+		}
+	}
+	repID := rm.Replicas(victimID)[0].ID()
+	for _, s := range servers {
+		if s.cfg.ID == victimID || s.cfg.ID == repID {
+			s.Close()
+		}
+	}
+
+	res, err := QueryDetailed(addrs[init.ID()], "topk", params, 6, 0, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial() || len(res.FailedRegions) == 0 {
+		t.Fatalf("peer with no surviving replica must be a recorded partial loss: partial=%t regions=%v",
+			res.Partial(), res.FailedRegions)
+	}
+	if res.Stats.Failovers == 0 {
+		t.Fatalf("loss recorded without attempting failover: %+v", res.Stats)
+	}
+	// The dead replica is itself a primary for its own zone; that zone has a
+	// surviving holder, so recovery must still have served it.
+	if res.Stats.Recovered == 0 {
+		t.Fatalf("the dead replica's own zone should have been recovered: %+v", res.Stats)
+	}
+}
+
+// TestPlanOptsCarriesReplication: file-driven deployments get the same
+// replica wiring DeployOpts installs in-process, and it survives the JSON
+// round trip ripple-plan/ripple-serve use.
+func TestPlanOptsCarriesReplication(t *testing.T) {
+	ts := dataset.NBA(500, 5)
+	net := midas.Build(8, midas.Options{Dims: 6, Seed: 7})
+	overlay.Load(net, ts)
+
+	configs, err := PlanOpts(net, "127.0.0.1", 9000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := overlay.BuildReplicas(net, 2)
+	held := 0
+	for _, fc := range configs {
+		for _, l := range fc.Peer.Links {
+			want := rm.Replicas(l.ID)
+			if len(l.Replicas) != len(want) {
+				t.Fatalf("peer %s link %s carries %d replicas, want %d", fc.Peer.ID, l.ID, len(l.Replicas), len(want))
+			}
+			for i := range want {
+				if l.Replicas[i].ID != want[i].ID() {
+					t.Fatalf("peer %s link %s replica %d = %s, want %s", fc.Peer.ID, l.ID, i, l.Replicas[i].ID, want[i].ID())
+				}
+			}
+		}
+		held += len(fc.Peer.Replicas)
+		var buf bytes.Buffer
+		if err := WriteConfig(&buf, fc); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadConfig(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Peer.Replicas) != len(fc.Peer.Replicas) {
+			t.Fatalf("peer %s: %d shares after round trip, want %d", fc.Peer.ID, len(back.Peer.Replicas), len(fc.Peer.Replicas))
+		}
+		for i, sh := range back.Peer.Replicas {
+			if sh.ID != fc.Peer.Replicas[i].ID || len(sh.Tuples) != len(fc.Peer.Replicas[i].Tuples) {
+				t.Fatalf("peer %s share %d mangled by round trip", fc.Peer.ID, i)
+			}
+		}
+	}
+	// Factor 2: every peer holds exactly one other peer's share.
+	if held != net.Size() {
+		t.Fatalf("%d shares held fleet-wide, want %d (one per primary)", held, net.Size())
+	}
+	if _, err := Plan(net, "127.0.0.1", 9000); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -78,6 +78,17 @@ type Options struct {
 	IdleTimeout time.Duration
 	// Retry is the per-link recovery policy.
 	Retry RetryPolicy
+	// Replication is the zone replication factor a deployment builds its
+	// replica placement with: each peer's share (zone, tuples, links) is
+	// mirrored onto Replication−1 ring-successor peers, and lost subtrees fail
+	// over to those replicas instead of landing in FailedRegions. Values 0 and
+	// 1 both mean "no replication" (the pre-replication behaviour).
+	Replication int
+	// RecoveryBudget bounds the wall-clock time one processed call may spend
+	// on replica failovers (across all its lost links); once exhausted,
+	// remaining lost subtrees are recorded as failed regions immediately. Zero
+	// means the default.
+	RecoveryBudget time.Duration
 	// MaxIdleConnsPerPeer caps how many warm TCP connections the peer parks
 	// per remote address between RPCs. Zero means the default.
 	MaxIdleConnsPerPeer int
@@ -123,6 +134,8 @@ func DefaultOptions() Options {
 		Retry:        DefaultRetryPolicy(),
 		Logf:         log.Printf,
 
+		RecoveryBudget: 10 * time.Second,
+
 		MaxIdleConnsPerPeer: 4,
 		IdleConnTimeout:     30 * time.Second,
 
@@ -148,6 +161,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Retry == (RetryPolicy{}) {
 		o.Retry = d.Retry
+	}
+	if o.RecoveryBudget == 0 {
+		o.RecoveryBudget = d.RecoveryBudget
 	}
 	if o.MaxIdleConnsPerPeer == 0 {
 		o.MaxIdleConnsPerPeer = d.MaxIdleConnsPerPeer

@@ -56,6 +56,45 @@ func (t *tracer) lost(id uint64, peer string, sub overlay.Region, childR, arrive
 	})
 }
 
+// lostVia records a failed recovery dispatch: replica `via` was asked to act
+// for dead peer `peer` and did not answer either. The span ID is derived from
+// the failed primary span by the caller, mirroring the in-process engines.
+func (t *tracer) lostVia(id uint64, peer, via string, sub overlay.Region, childR, arrive, attempt int, err error) {
+	if t == nil {
+		return
+	}
+	outcome := trace.OutcomeDrop
+	switch {
+	case isTimeout(err):
+		outcome = trace.OutcomeTimeout
+	case errors.Is(err, errInjectedCrash):
+		outcome = trace.OutcomeCrash
+	}
+	t.spans = append(t.spans, trace.Span{
+		ID: id, Parent: t.call.SpanID, Peer: peer, Via: via, Region: sub,
+		Phase: phaseOf(childR), R: childR, Depth: t.call.SpanDepth + 1,
+		Arrive: arrive, Attempt: attempt, Outcome: outcome,
+	})
+}
+
+// absorbRecovered takes the convergecast spans of a replica that served a
+// dead primary's subtree, marking the child's own span as recovered via that
+// replica (the acting peer recorded itself as the primary with OutcomeOK;
+// only this caller knows the traversal failed over).
+func (t *tracer) absorbRecovered(childID uint64, spans []trace.Span, retries int, via string) {
+	if t == nil {
+		return
+	}
+	for i := range spans {
+		if spans[i].ID == childID {
+			spans[i].Attempt = retries
+			spans[i].Outcome = trace.OutcomeRecovered
+			spans[i].Via = via
+		}
+	}
+	t.spans = append(t.spans, spans...)
+}
+
 // absorb takes a reachable child's convergecast spans, stamping the retry
 // count onto the child's own span (the child recorded itself with attempt 0;
 // only this caller knows how many attempts the traversal cost).

@@ -111,3 +111,86 @@ func CheckInvariants(n Network, samples int, seed int64) error {
 	}
 	return nil
 }
+
+// CheckReplication verifies the invariants the recovery protocol rests on for
+// a replica placement over n:
+//  1. the factor is at least 1 and every peer of n has a placement entry;
+//  2. each primary has min(factor−1, size−1) replicas, all distinct peers of
+//     the network and none of them the primary itself;
+//  3. the placement is deterministic: rebuilding it from the same network
+//     yields the identical assignment;
+//  4. ReplicaSet is consistent with the per-primary placement: for every
+//     peer's zone, ReplicaSet(zone) contains exactly that peer's replicas
+//     plus those of any other peer whose zone intersects it.
+func CheckReplication(n Network, m *ReplicaMap) error {
+	if m.Factor() < 1 {
+		return fmt.Errorf("replication factor %d < 1", m.Factor())
+	}
+	nodes := n.Nodes()
+	byID := make(map[string]bool, len(nodes))
+	for _, w := range nodes {
+		byID[w.ID()] = true
+	}
+	want := m.Factor() - 1
+	if want > len(nodes)-1 {
+		want = len(nodes) - 1
+	}
+	for _, w := range nodes {
+		reps := m.Replicas(w.ID())
+		if len(reps) != want {
+			return fmt.Errorf("primary %s has %d replicas, want %d", w.ID(), len(reps), want)
+		}
+		seen := map[string]bool{w.ID(): true}
+		for _, rep := range reps {
+			if !byID[rep.ID()] {
+				return fmt.Errorf("primary %s replicated on %s, not a peer of the network", w.ID(), rep.ID())
+			}
+			if seen[rep.ID()] {
+				return fmt.Errorf("primary %s replica set repeats or includes itself: %s", w.ID(), rep.ID())
+			}
+			seen[rep.ID()] = true
+		}
+	}
+	// 3. Determinism: an independent rebuild must agree peer for peer.
+	fresh := BuildReplicas(n, m.Factor())
+	for _, w := range nodes {
+		a, b := m.Replicas(w.ID()), fresh.Replicas(w.ID())
+		if len(a) != len(b) {
+			return fmt.Errorf("primary %s: rebuild yields %d replicas, placement has %d", w.ID(), len(b), len(a))
+		}
+		for i := range a {
+			if a[i].ID() != b[i].ID() {
+				return fmt.Errorf("primary %s replica %d: placement %s, rebuild %s", w.ID(), i, a[i].ID(), b[i].ID())
+			}
+		}
+	}
+	// 4. ReplicaSet over each peer's own zone must include exactly the
+	// replicas of every primary whose zone intersects it.
+	for _, w := range nodes {
+		got := make(map[string]bool)
+		for _, rep := range m.ReplicaSet(w.Zone()) {
+			if got[rep.ID()] {
+				return fmt.Errorf("ReplicaSet(%s zone) repeats %s", w.ID(), rep.ID())
+			}
+			got[rep.ID()] = true
+		}
+		expect := make(map[string]bool)
+		for _, u := range nodes {
+			if u.Zone().Intersect(w.Zone()).IsEmpty() {
+				continue
+			}
+			for _, rep := range m.Replicas(u.ID()) {
+				expect[rep.ID()] = true
+			}
+		}
+		if len(got) != len(expect) {
+			return fmt.Errorf("ReplicaSet(%s zone) has %d peers, want %d", w.ID(), len(got), len(expect))
+		}
+		for id := range expect {
+			if !got[id] {
+				return fmt.Errorf("ReplicaSet(%s zone) missing replica %s", w.ID(), id)
+			}
+		}
+	}
+	return nil
+}

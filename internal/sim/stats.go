@@ -33,9 +33,17 @@ type Stats struct {
 	// the paper's communication-overhead notion.
 	TuplesSent int
 
-	// RPCFailures counts link traversals abandoned after retry exhaustion:
-	// each one is a subtree whose answers are missing.
+	// RPCFailures counts link traversals abandoned after retry exhaustion
+	// AND replica failover (when replication is on): each one is a subtree
+	// whose answers are missing.
 	RPCFailures int
+	// Recovered counts lost link traversals whose restriction region a zone
+	// replica served on the dead primary's behalf: subtrees that would have
+	// been holes in the answer without replication.
+	Recovered int
+	// Failovers counts replica dispatches attempted during recovery
+	// (successful or not); Recovered ≤ Failovers.
+	Failovers int
 	// Retries counts extra delivery attempts spent recovering flaky links
 	// (successful or not) beyond each link's first try.
 	Retries int
@@ -92,6 +100,8 @@ func (s *Stats) Add(other *Stats) {
 	s.TuplesSent += other.TuplesSent
 	s.QueryMsgs += other.QueryMsgs
 	s.RPCFailures += other.RPCFailures
+	s.Recovered += other.Recovered
+	s.Failovers += other.Failovers
 	s.Retries += other.Retries
 	s.TimedOut += other.TimedOut
 	s.Partial = s.Partial || other.Partial
@@ -108,11 +118,15 @@ func (s *Stats) Add(other *Stats) {
 func (s *Stats) String() string {
 	base := fmt.Sprintf("latency=%d hops, congestion=%d msgs, peers=%d, tuples=%d",
 		s.Latency, s.QueryMsgs, s.PeersReached(), s.TuplesSent)
-	if s.RPCFailures == 0 && s.Retries == 0 && !s.Partial {
+	if s.RPCFailures == 0 && s.Retries == 0 && s.Recovered == 0 && s.Failovers == 0 && !s.Partial {
 		return base
 	}
-	return fmt.Sprintf("%s, failures=%d (timeouts=%d), retries=%d, partial=%t",
+	out := fmt.Sprintf("%s, failures=%d (timeouts=%d), retries=%d, partial=%t",
 		base, s.RPCFailures, s.TimedOut, s.Retries, s.Partial)
+	if s.Recovered > 0 || s.Failovers > 0 {
+		out += fmt.Sprintf(", recovered=%d (failovers=%d)", s.Recovered, s.Failovers)
+	}
+	return out
 }
 
 // Aggregate summarises a batch of per-query Stats, as every figure of the
@@ -126,6 +140,8 @@ type Aggregate struct {
 	MeanTuplesSent  float64
 	MeanPeersUnique float64
 	MeanFailures    float64
+	MeanRecovered   float64
+	MeanFailovers   float64
 	MeanRetries     float64
 	// PartialRate is the fraction of queries whose answer set was marked
 	// partial — the batch-level availability metric of the fault experiments.
@@ -144,6 +160,8 @@ func (a *Aggregate) Observe(s *Stats) {
 	a.MeanTuplesSent += (float64(s.TuplesSent) - a.MeanTuplesSent) / n
 	a.MeanPeersUnique += (float64(s.PeersReached()) - a.MeanPeersUnique) / n
 	a.MeanFailures += (float64(s.RPCFailures) - a.MeanFailures) / n
+	a.MeanRecovered += (float64(s.Recovered) - a.MeanRecovered) / n
+	a.MeanFailovers += (float64(s.Failovers) - a.MeanFailovers) / n
 	a.MeanRetries += (float64(s.Retries) - a.MeanRetries) / n
 	partial := 0.0
 	if s.Partial {
@@ -170,6 +188,8 @@ func (a *Aggregate) Merge(b Aggregate) {
 	a.MeanTuplesSent = a.MeanTuplesSent*wa + b.MeanTuplesSent*wb
 	a.MeanPeersUnique = a.MeanPeersUnique*wa + b.MeanPeersUnique*wb
 	a.MeanFailures = a.MeanFailures*wa + b.MeanFailures*wb
+	a.MeanRecovered = a.MeanRecovered*wa + b.MeanRecovered*wb
+	a.MeanFailovers = a.MeanFailovers*wa + b.MeanFailovers*wb
 	a.MeanRetries = a.MeanRetries*wa + b.MeanRetries*wb
 	a.PartialRate = a.PartialRate*wa + b.PartialRate*wb
 	if b.MaxLatency > a.MaxLatency {

@@ -41,6 +41,11 @@ const (
 	OutcomeDelay   = "delay"   // delivered over a slow link
 	OutcomeTimeout = "timeout" // TCP only: retries exhausted on deadlines
 	OutcomeLost    = "lost"    // TCP only: retries exhausted, transport error
+
+	// OutcomeRecovered marks a traversal whose primary target was lost but
+	// whose subtree a zone replica executed on the primary's behalf (Span.Via
+	// names the replica). The subtree reported back: it is not Lost.
+	OutcomeRecovered = "recovered"
 )
 
 // Lost reports whether an outcome means the span's subtree never reported
@@ -64,6 +69,10 @@ type Span struct {
 	// Peer is the peer the traversal targeted (and that processed the
 	// delivery, unless the outcome lost it).
 	Peer string
+	// Via is the replica that physically executed (or was asked to execute)
+	// this span when it was a recovery dispatch on behalf of Peer; empty for
+	// ordinary traversals.
+	Via string
 	// Region is the restriction area delegated over the link — the part of
 	// the domain this subtree is responsible for.
 	Region overlay.Region

@@ -173,6 +173,10 @@ func canonical(b *strings.Builder, n *Node) {
 	if Lost(n.Outcome) {
 		b.WriteString("|lost")
 	}
+	if n.Outcome == OutcomeRecovered {
+		b.WriteString("|recovered:")
+		b.WriteString(n.Via)
+	}
 	keys := make([]string, len(n.Children))
 	kids := make(map[string]*Node, len(n.Children))
 	for i, c := range n.Children {
@@ -232,6 +236,9 @@ func (n *Node) line() string {
 	var b strings.Builder
 	if Lost(n.Outcome) {
 		fmt.Fprintf(&b, "✗ %s [%s] region=%s", n.Peer, n.Outcome, compactRegion(n.Region))
+		if n.Via != "" {
+			fmt.Fprintf(&b, " via=%s", n.Via)
+		}
 		if n.Attempt > 0 {
 			fmt.Fprintf(&b, " retries=%d", n.Attempt)
 		}
@@ -239,6 +246,9 @@ func (n *Node) line() string {
 		return b.String()
 	}
 	fmt.Fprintf(&b, "%s [%s r=%s] t=%d region=%s", n.Peer, n.Phase, rString(n.R), n.Arrive, compactRegion(n.Region))
+	if n.Outcome == OutcomeRecovered {
+		fmt.Fprintf(&b, " (recovered via %s)", n.Via)
+	}
 	if n.StateTuples > 0 || n.AnswerTuples > 0 {
 		fmt.Fprintf(&b, " tuples(state=%d answer=%d)", n.StateTuples, n.AnswerTuples)
 	}

@@ -44,6 +44,13 @@ type Call struct {
 	R         int
 	Hops      int // logical arrival time of this message
 
+	// ActAs, when non-empty, asks the receiving peer to process this call on
+	// behalf of the named dead peer (a recovery dispatch): it executes the
+	// primary's replicated share — zone, tuples and links — so the recovered
+	// subtree is exactly the subtree the primary would have executed. The
+	// receiver must hold a replica of that peer's share or fail the call.
+	ActAs string
+
 	// Trace context. When Traced is set, the receiving peer records a span
 	// for itself — identified by SpanID, which the caller derived (the caller
 	// owns the traversal, exactly like the in-process engines) — and returns
@@ -83,6 +90,11 @@ type Reply struct {
 	Failures int
 	Retries  int
 	TimedOut int
+	// Recovered counts lost traversals a zone replica served on the dead
+	// primary's behalf (they do not mark the reply partial); Failovers the
+	// replica dispatches attempted doing so, successful or not.
+	Recovered int
+	Failovers int
 
 	// Spans carries the subtree's hop-tree spans upstream when the call was
 	// traced: the replying peer's own span, spans it recorded for lost
@@ -97,6 +109,8 @@ func (r *Reply) MergeFaults(child *Reply) {
 	r.Failures += child.Failures
 	r.Retries += child.Retries
 	r.TimedOut += child.TimedOut
+	r.Recovered += child.Recovered
+	r.Failovers += child.Failovers
 }
 
 // RecordLostLink marks one unrecoverable link covering the given region.
