@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build test race test-race test-faults verify ripple-vet staticcheck govulncheck lint tools bench bench-smoke bench-json bench-recovery examples results results-paper trace-demo clean
+.PHONY: all build test race test-race test-faults verify ripple-vet staticcheck govulncheck lint tools bench bench-smoke bench-smoke-storage bench-json bench-recovery bench-storage examples results results-paper trace-demo clean
 
 all: build test
 
@@ -30,15 +30,21 @@ test-race:
 # Seeded fault matrix: every fault-injection, replication, and recovery test
 # re-runs under the race detector with several shuffle seeds, so scheduling-
 # dependent failover bugs surface instead of hiding behind one lucky order.
-FAULT_SEEDS = 1 7 42
-FAULT_TESTS = 'Fault|Recover|Failover|Replica|Killed|Churn|Partial|Canonical'
+# The matrix is two-dimensional since PR 7: each seed runs once per storage
+# engine (RIPPLE_STORAGE=scan|rtree), so recovery and failover are exercised
+# over the R-tree stores too, not just the flat-scan baseline.
+FAULT_SEEDS   = 1 7 42
+FAULT_ENGINES = scan rtree
+FAULT_TESTS = 'Fault|Recover|Failover|Replica|Killed|Churn|Partial|Canonical|Storage'
 FAULT_PKGS  = ./internal/faults/ ./internal/overlay/ ./internal/core/ \
               ./internal/netpeer/ ./internal/bench/ .
 
 test-faults:
-	@for seed in $(FAULT_SEEDS); do \
-		echo "== fault matrix: -race -shuffle=$$seed =="; \
-		$(GO) test -race -shuffle=$$seed -run $(FAULT_TESTS) $(FAULT_PKGS) || exit 1; \
+	@for eng in $(FAULT_ENGINES); do \
+		for seed in $(FAULT_SEEDS); do \
+			echo "== fault matrix: -race -shuffle=$$seed RIPPLE_STORAGE=$$eng =="; \
+			RIPPLE_STORAGE=$$eng $(GO) test -race -shuffle=$$seed -run $(FAULT_TESTS) $(FAULT_PKGS) || exit 1; \
+		done; \
 	done
 
 # ripple-vet: the repository's own invariant checker (internal/lint). It
@@ -87,6 +93,12 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# Storage bench smoke: one iteration of every paired scan-vs-rtree benchmark,
+# including the 1M-tuple fixtures, so the committed BENCH_PR7.json can always
+# be regenerated. Part of CI.
+bench-smoke-storage:
+	$(GO) test -run=NONE -bench=BenchmarkStorage -benchtime=1x ./internal/storage/
+
 # Hot-path benchmark packages measured for the committed baseline.
 BENCH_JSON_PKGS = ./internal/wire/ ./internal/topk/ ./internal/netpeer/ .
 
@@ -100,6 +112,12 @@ bench-json:
 bench-recovery:
 	$(GO) run ./cmd/ripple-bench -fig recovery -scale default -json results
 	cp results/recovery.json BENCH_PR6.json
+
+# Regenerate the committed storage baseline: paired scan-vs-rtree local
+# compute (top-k state/answer, kNN, MBR search) at 10k/100k/1M tuples per
+# peer (BENCH_PR7.json).
+bench-storage:
+	$(GO) test -run=NONE -bench=BenchmarkStorage -benchmem ./internal/storage/ | $(GO) run ./cmd/ripple-benchjson > BENCH_PR7.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -39,6 +39,7 @@ func main() {
 	at := flag.String("at", "", "query point for knn/range/diversify, e.g. 0.5,0.5 (default: first tuple)")
 	radius := flag.Float64("radius", 0.1, "radius for range queries")
 	showTrace := flag.Bool("trace", false, "render the query's hop tree (topk, skyline and knn)")
+	storageFlag := flag.String("storage", "", "peer-local storage engine: scan | rtree (default: $RIPPLE_STORAGE, then scan)")
 	flag.Parse()
 
 	if *data == "" {
@@ -60,7 +61,15 @@ func main() {
 	dims := len(ts[0].Vec)
 	fmt.Printf("loaded %d tuples (%d dims); building %d-peer MIDAS overlay\n", len(ts), dims, *peers)
 
-	net := ripple.BuildMIDASWithData(*peers, ripple.MIDASOptions{Dims: dims, Seed: *seed, PreferBorder: true}, ts)
+	mopts := ripple.MIDASOptions{Dims: dims, Seed: *seed, PreferBorder: true}
+	if *storageFlag != "" {
+		kind, err := ripple.ParseStorageKind(*storageFlag)
+		if err != nil {
+			fatal(err)
+		}
+		mopts.Storage = kind
+	}
+	net := ripple.BuildMIDASWithData(*peers, mopts, ts)
 	initiator := net.Peers()[0]
 	r := parseR(*rFlag)
 
@@ -93,9 +102,8 @@ func main() {
 		fmt.Printf("cost: %v\n", &stats)
 	case "knn":
 		if *showTrace {
-			f := ripple.Nearest{Center: center, Metric: ripple.L2}
-			res := ripple.RunTraced(initiator, &ripple.TopKProcessor{F: f, K: *k}, r)
-			printTuples(ripple.TopKSelect(res.Answers, f, *k))
+			res := ripple.RunTraced(initiator, &ripple.KNNProcessor{Center: center, K: *k, Metric: ripple.L2}, r)
+			printTuples(ripple.KNNSelect(res.Answers, center, *k, ripple.L2))
 			printTrace(res)
 			return
 		}

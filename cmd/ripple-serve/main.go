@@ -3,8 +3,10 @@
 // client issuing a query against a running deployment.
 //
 //	ripple-serve -config deploy/peer-000.json        # run one peer
+//	ripple-serve -config deploy/peer-000.json -storage rtree
 //	ripple-serve -call 127.0.0.1:7400 -query topk -k 5 -r slow
 //	ripple-serve -call 127.0.0.1:7400 -query skyline
+//	ripple-serve -call 127.0.0.1:7400 -query knn -k 3 -at 0.2,0.8
 package main
 
 import (
@@ -13,14 +15,18 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"ripple/internal/diversify"
 	"ripple/internal/faults"
+	"ripple/internal/geom"
+	"ripple/internal/knn"
 	"ripple/internal/metrics"
 	"ripple/internal/netpeer"
 	"ripple/internal/skyline"
+	"ripple/internal/storage"
 	"ripple/internal/topk"
 )
 
@@ -28,8 +34,10 @@ func main() {
 	def := netpeer.DefaultOptions()
 	config := flag.String("config", "", "peer config written by ripple-plan (server mode)")
 	call := flag.String("call", "", "peer address to query (client mode)")
-	queryKind := flag.String("query", "topk", "client query type: topk | skyline")
-	k := flag.Int("k", 10, "result size for topk")
+	queryKind := flag.String("query", "topk", "client query type: topk | skyline | knn")
+	k := flag.Int("k", 10, "result size for topk and knn")
+	at := flag.String("at", "", "knn query point as comma-separated coordinates (default: domain center)")
+	metricName := flag.String("metric", "L2", "knn distance metric: L1 | L2")
 	dims := flag.Int("dims", 0, "data dimensionality (client mode; read from answers if 0)")
 	rFlag := flag.String("r", "fast", "ripple parameter: fast | slow | integer")
 	callTimeout := flag.Duration("call-timeout", def.CallTimeout, "end-to-end deadline per peer RPC (and for the client call)")
@@ -45,9 +53,17 @@ func main() {
 	faultDelay := flag.Duration("fault-delay", 50*time.Millisecond, "server mode: duration of an injected delay")
 	faultSeed := flag.Int64("fault-seed", 1, "server mode: fault-injection seed (decisions are deterministic per link)")
 	metricsAddr := flag.String("metrics-addr", "", "server mode: serve Prometheus /metrics and /debug/pprof on this address")
+	storageFlag := flag.String("storage", "", "server mode: peer-local storage engine: scan | rtree (default: $RIPPLE_STORAGE, then scan)")
 	flag.Parse()
 
 	opts := def
+	if *storageFlag != "" {
+		kind, err := storage.ParseKind(*storageFlag)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Storage = kind
+	}
 	opts.CallTimeout = *callTimeout
 	opts.DialTimeout = *dialTimeout
 	opts.Retry.MaxRetries = *retries
@@ -69,7 +85,7 @@ func main() {
 	case *config != "":
 		serve(*config, opts, *metricsAddr)
 	case *call != "":
-		client(*call, *queryKind, *k, *dims, parseR(*rFlag), *callTimeout)
+		client(*call, *queryKind, *k, *dims, parseR(*rFlag), *callTimeout, *at, *metricName)
 	default:
 		fmt.Fprintln(os.Stderr, "need -config (server) or -call (client); see -help")
 		os.Exit(2)
@@ -93,7 +109,7 @@ func serve(path string, opts netpeer.Options, metricsAddr string) {
 		fmt.Printf("metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n",
 			metricsAddr, metricsAddr)
 	}
-	srv := netpeer.NewServerOpts(fc.Peer, opts, topk.WireCodec{}, skyline.WireCodec{}, diversify.WireCodec{})
+	srv := netpeer.NewServerOpts(fc.Peer, opts, topk.WireCodec{}, skyline.WireCodec{}, diversify.WireCodec{}, knn.WireCodec{})
 	if opts.Faults.Enabled() {
 		fmt.Printf("fault injection armed: %+v\n", opts.Faults.Config())
 	}
@@ -110,7 +126,7 @@ func serve(path string, opts netpeer.Options, metricsAddr string) {
 	fmt.Printf("peer %s stopped\n", fc.Peer.ID)
 }
 
-func client(addr, queryKind string, k, dims, r int, timeout time.Duration) {
+func client(addr, queryKind string, k, dims, r int, timeout time.Duration, at, metricName string) {
 	if dims <= 0 {
 		dims = probeDims(addr)
 	}
@@ -138,9 +154,59 @@ func client(addr, queryKind string, k, dims, r int, timeout time.Duration) {
 			fmt.Printf("%3d. %v\n", i+1, t)
 		}
 		report(res)
+	case "knn":
+		center := parsePoint(at, dims)
+		m := parseMetric(metricName)
+		params, err := (knn.WireCodec{}).EncodeParams(center, k, m)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := netpeer.QueryDetailed(addr, "knn", params, dims, r, timeout)
+		if err != nil {
+			fatal(err)
+		}
+		for i, t := range knn.Select(res.Answers, center, k, m) {
+			fmt.Printf("%3d. %v  dist %.4f\n", i+1, t, m.Dist(center, t.Vec))
+		}
+		report(res)
 	default:
-		fatal(fmt.Errorf("client mode supports topk and skyline, not %q", queryKind))
+		fatal(fmt.Errorf("client mode supports topk, skyline and knn, not %q", queryKind))
 	}
+}
+
+// parsePoint reads a comma-separated coordinate list, defaulting to the
+// center of the unit domain.
+func parsePoint(s string, dims int) geom.Point {
+	p := make(geom.Point, dims)
+	if s == "" {
+		for i := range p {
+			p[i] = 0.5
+		}
+		return p
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != dims {
+		fatal(fmt.Errorf("-at has %d coordinates, data is %d-dimensional", len(parts), dims))
+	}
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -at coordinate %q", part))
+		}
+		p[i] = v
+	}
+	return p
+}
+
+func parseMetric(name string) geom.Metric {
+	switch name {
+	case "L1":
+		return geom.L1
+	case "L2", "":
+		return geom.L2
+	}
+	fatal(fmt.Errorf("bad -metric %q (want L1 or L2)", name))
+	return nil
 }
 
 // report prints the query cost and, for a degraded answer, which parts of the

@@ -25,6 +25,7 @@ import (
 	"ripple/internal/dataset"
 	"ripple/internal/faults"
 	"ripple/internal/overlay"
+	"ripple/internal/storage"
 	"ripple/internal/trace"
 )
 
@@ -37,6 +38,7 @@ type Cluster struct {
 	reps    *overlay.ReplicaMap // nil: no recovery, losses are final
 	budget  int                 // max replica dispatches per lost traversal (0: all)
 	redials int                 // extra injector rolls per replica dispatch
+	view    func(overlay.Node) overlay.Node // storage lens (ClusterOptions.Storage)
 
 	mu       sync.Mutex
 	res      *core.Result
@@ -143,6 +145,10 @@ type ClusterOptions struct {
 	// RecoveryRetries is the number of extra injector rolls per replica
 	// dispatch (see core.Options.RecoveryRetries).
 	RecoveryRetries int
+	// Storage selects the storage-engine view processors see (see
+	// core.Options.Storage): KindScan hides node-provided stores behind the
+	// flat-scan baseline; KindAuto and KindRTree defer to each node's engine.
+	Storage storage.Kind
 }
 
 // NewClusterOpts is the fully general constructor: fault injection plus the
@@ -153,6 +159,10 @@ func NewClusterOpts(net overlay.Network, proc core.Processor, opts ClusterOption
 	c := &Cluster{
 		actors: make(map[string]*actor), inj: opts.Faults,
 		reps: opts.Replicas, budget: opts.RecoveryBudget, redials: opts.RecoveryRetries,
+		view: func(w overlay.Node) overlay.Node { return w },
+	}
+	if opts.Storage == storage.KindScan {
+		c.view = overlay.ScanOnly
 	}
 	for _, n := range net.Nodes() {
 		a := &actor{
@@ -411,6 +421,10 @@ func (a *actor) onQuery(m queryMsg) {
 		}
 		node = overlay.ActingNode{Primary: primary.node, Via: a.node}
 	}
+	// Apply the storage lens once the executing identity is resolved; the
+	// wrapper delegates ID/Zone/Links, so routing and spans are unaffected,
+	// while traverse keeps addressing the physical actor (a.node) directly.
+	node = a.cluster.view(node)
 	a.cluster.recordQuery(node.ID(), m.time)
 
 	local := a.proc.LocalState(node, m.global)

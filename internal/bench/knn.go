@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/knn"
+	"ripple/internal/midas"
+	"ripple/internal/sim"
+	"ripple/internal/storage"
+)
+
+// KNNQuery measures the kNN instantiation — the first query family added on
+// top of the paper's three — with the same protocol as the top-k figures:
+// latency and congestion vs overlay size, one series per ripple setting.
+// Overlays run the R-tree engine, so local steps are best-first descents.
+func KNNQuery(cfg Config) *Result {
+	res := &Result{
+		Fig: "kNN", Title: fmt.Sprintf("kNN vs overlay size (SYNTH, d=%d, k=%d, rtree)", cfg.DefaultDims, cfg.DefaultK),
+		XLabel: "size", Series: rippleSeriesNames,
+	}
+	for _, size := range cfg.OverlaySizes {
+		aggs := make([]sim.Aggregate, len(rippleSeriesNames))
+		for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
+			seed := cfg.Seed + 13000 + int64(netIdx)
+			ts := dataset.Synth(dataset.SynthConfig{
+				N: cfg.SynthSize, Dims: cfg.DefaultDims, Centers: cfg.SynthSize / 20, Skew: 0.1, Seed: seed,
+			})
+			n := midas.BuildWithData(size, midas.Options{Dims: cfg.DefaultDims, Seed: seed, Storage: storage.KindRTree}, ts)
+			rs := rippleValues(n.MaxDepth())
+			rng := rand.New(rand.NewSource(seed + 7))
+			for q := 0; q < cfg.TopKQueries; q++ {
+				w := n.RandomPeer(rng)
+				center := make(geom.Point, cfg.DefaultDims)
+				for i := range center {
+					center[i] = rng.Float64()
+				}
+				for i, r := range rs {
+					_, st := knn.Run(w, center, cfg.DefaultK, nil, r)
+					aggs[i].Observe(&st)
+				}
+			}
+		}
+		res.AddRow(fmt.Sprint(size), aggs)
+	}
+	return res
+}

@@ -24,6 +24,7 @@ func Runners() []Runner {
 		{Name: "fig10", Desc: "Figure 10: diversification vs dimensionality (SYNTH)", Run: Fig10},
 		{Name: "fig11", Desc: "Figure 11: diversification vs result size (MIRFLICKR)", Run: Fig11},
 		{Name: "fig12", Desc: "Figure 12: diversification vs rel/div trade-off (MIRFLICKR)", Run: Fig12},
+		{Name: "knn", Desc: "New instantiation: kNN vs overlay size (SYNTH), per ripple setting", Run: KNNQuery},
 		{Name: "churn", Desc: "§7.1 dynamic topology: increasing + decreasing stages", Run: Churn},
 		{Name: "trace-depth", Desc: "Trace-derived: hop-tree depth distribution and size vs r (NBA)", Run: TraceDepth},
 		{Name: "churn-faults", Desc: "Robustness: top-k recall vs injected link-failure rate under churn", Run: ChurnFaults},

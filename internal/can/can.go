@@ -15,16 +15,21 @@ package can
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
+	"ripple/internal/storage"
 )
 
 // Options configures a CAN network.
 type Options struct {
 	Dims int
 	Seed int64
+	// Storage selects the engine peers serve their zone share with
+	// (default/KindAuto: the flat-scan baseline).
+	Storage storage.Kind
 }
 
 // Network is a simulated CAN overlay. Zones are tracked as the leaves of the
@@ -57,6 +62,9 @@ type Peer struct {
 	leaf   *node
 	seq    int // stable identifier
 	tuples []dataset.Tuple
+
+	storeMu sync.Mutex
+	store   storage.Store // lazy; dropped whenever the share changes
 }
 
 // New creates a network of one peer owning the whole domain.
@@ -132,6 +140,7 @@ func (n *Network) locatePeer(p geom.Point) *Peer {
 func (n *Network) Insert(t dataset.Tuple) {
 	w := n.locatePeer(t.Vec)
 	w.tuples = append(w.tuples, t)
+	w.dropStore()
 }
 
 // RandomPeer returns a uniformly random peer.
@@ -190,6 +199,8 @@ func (n *Network) Join() *Peer {
 		host.tuples = append(host.tuples, t)
 	}
 
+	oldPeer.dropStore()
+	newPeer.dropStore()
 	n.count++
 	for nd := target; nd != nil; nd = nd.parent {
 		nd.size = nd.left.size + nd.right.size
@@ -223,6 +234,8 @@ func (n *Network) Leave(p *Peer) {
 		survivor.leaf = parent
 		n.count--
 		p.leaf, p.tuples = nil, nil
+		survivor.dropStore()
+		p.dropStore()
 		for nd := parent; nd != nil; nd = nd.parent {
 			if !nd.isLeaf() {
 				nd.size = nd.left.size + nd.right.size
@@ -243,6 +256,9 @@ func (n *Network) Leave(p *Peer) {
 	leaf.peer = donor
 	n.count--
 	p.leaf, p.tuples = nil, nil
+	keeper.dropStore()
+	donor.dropStore()
+	p.dropStore()
 	for nd := q; nd != nil; nd = nd.parent {
 		if nd.isLeaf() {
 			nd.size = 1
@@ -289,6 +305,24 @@ func (p *Peer) Rect() geom.Rect { return p.leaf.rect }
 
 // Tuples implements overlay.Node.
 func (p *Peer) Tuples() []dataset.Tuple { return p.tuples }
+
+// Store implements storage.Provider: the peer's zone share behind the engine
+// selected by Options.Storage, built lazily and dropped whenever the share
+// changes (inserts, zone splits on join, departures).
+func (p *Peer) Store() storage.Store {
+	p.storeMu.Lock()
+	defer p.storeMu.Unlock()
+	if p.store == nil {
+		p.store = storage.New(p.net.opts.Storage, p.tuples)
+	}
+	return p.store
+}
+
+func (p *Peer) dropStore() {
+	p.storeMu.Lock()
+	p.store = nil
+	p.storeMu.Unlock()
+}
 
 // FaceNeighbors returns the peers whose zones abut the given face of p's
 // zone (side = -1 for the lower face along dim, +1 for the upper face).

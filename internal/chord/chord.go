@@ -13,10 +13,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
+	"ripple/internal/storage"
 )
 
 // Network is a simulated Chord ring over the one-dimensional unit domain.
@@ -24,6 +26,9 @@ type Network struct {
 	peers []*Peer // sorted by key
 	rng   *rand.Rand
 	seq   int
+	// storage is the engine peers serve their arc share with. Chord has no
+	// options struct, so Build reads RIPPLE_STORAGE (storage.EnvKind).
+	storage storage.Kind
 }
 
 // Peer is a Chord participant at a fixed ring position.
@@ -32,11 +37,14 @@ type Peer struct {
 	key    float64
 	seq    int
 	tuples []dataset.Tuple
+
+	storeMu sync.Mutex
+	store   storage.Store // lazy; dropped whenever the share changes
 }
 
 // Build creates a ring of size peers at uniformly random positions.
 func Build(size int, seed int64) *Network {
-	n := &Network{rng: rand.New(rand.NewSource(seed))}
+	n := &Network{rng: rand.New(rand.NewSource(seed)), storage: storage.EnvKind()}
 	for i := 0; i < size; i++ {
 		n.Join()
 	}
@@ -70,6 +78,8 @@ func (n *Network) Join() *Peer {
 			}
 		}
 		pred.tuples, p.tuples = keep, give
+		pred.dropStore()
+		p.dropStore()
 	}
 	return p
 }
@@ -85,6 +95,8 @@ func (n *Network) Leave(p *Peer) {
 	pred.tuples = append(pred.tuples, p.tuples...)
 	n.peers = append(n.peers[:idx], n.peers[idx+1:]...)
 	p.tuples = nil
+	pred.dropStore()
+	p.dropStore()
 }
 
 func (n *Network) indexOf(p *Peer) int {
@@ -126,6 +138,7 @@ func (n *Network) owner(k float64) *Peer {
 func (n *Network) Insert(t dataset.Tuple) {
 	w := n.owner(t.Vec[0])
 	w.tuples = append(w.tuples, t)
+	w.dropStore()
 }
 
 // RandomPeer returns a uniformly random peer.
@@ -138,6 +151,23 @@ func (p *Peer) ID() string { return fmt.Sprintf("chord-%d@%.6f", p.seq, p.key) }
 
 // Tuples implements overlay.Node.
 func (p *Peer) Tuples() []dataset.Tuple { return p.tuples }
+
+// Store implements storage.Provider: the peer's arc share behind the engine
+// selected at Build time, built lazily and dropped whenever the share changes.
+func (p *Peer) Store() storage.Store {
+	p.storeMu.Lock()
+	defer p.storeMu.Unlock()
+	if p.store == nil {
+		p.store = storage.New(p.net.storage, p.tuples)
+	}
+	return p.store
+}
+
+func (p *Peer) dropStore() {
+	p.storeMu.Lock()
+	p.store = nil
+	p.storeMu.Unlock()
+}
 
 // successor returns the next peer clockwise.
 func (p *Peer) successor() *Peer {

@@ -27,6 +27,7 @@ import (
 	"ripple/internal/faults"
 	"ripple/internal/overlay"
 	"ripple/internal/sim"
+	"ripple/internal/storage"
 	"ripple/internal/trace"
 )
 
@@ -123,6 +124,15 @@ type Options struct {
 	// redial). 0 matches a transport with retries disabled; set it to the
 	// transport's MaxRetries when comparing against a netpeer deployment.
 	RecoveryRetries int
+
+	// Storage selects the storage-engine view processors see. KindScan hides
+	// node-provided stores, so every local computation runs over the flat-scan
+	// baseline — the reference arm of the scan-vs-indexed equivalence suite.
+	// KindAuto and KindRTree defer to each node's own engine (a node serves
+	// the engine it was built with; the engine cannot re-index a zone per
+	// query). Routing, fault identity and replica failover always see the
+	// original node either way.
+	Storage storage.Kind
 }
 
 // Run executes query processing from the given initiator with ripple
@@ -150,6 +160,7 @@ func RunOpts(initiator overlay.Node, p Processor, r int, opts Options) *Result {
 	e := &executor{
 		p: p, res: &Result{}, answered: make(map[string]bool), inj: opts.Faults,
 		reps: opts.Replicas, budget: opts.RecoveryBudget, redials: opts.RecoveryRetries,
+		view: storageView(opts.Storage),
 	}
 	if opts.Trace {
 		e.rec = trace.NewRecorder()
@@ -211,6 +222,21 @@ type executor struct {
 	budget   int                 // max replica dispatches per lost traversal (0: all)
 	redials  int                 // extra injector rolls per replica dispatch
 	rec      *trace.Recorder     // nil: tracing disabled
+
+	// view is the storage-engine lens applied to a node right before any
+	// Processor method sees it (Options.Storage). Dispatch, span naming and
+	// answer dedup keep the original node: PhysicalID and replica failover
+	// type-switch on the concrete node type.
+	view func(overlay.Node) overlay.Node
+}
+
+// storageView maps an Options.Storage selection to the node lens processors
+// run behind.
+func storageView(k storage.Kind) func(overlay.Node) overlay.Node {
+	if k == storage.KindScan {
+		return overlay.ScanOnly
+	}
+	return func(w overlay.Node) overlay.Node { return w }
 }
 
 // decide consults the injector for one delivery attempt from the physical
@@ -315,20 +341,21 @@ func (e *executor) dispatch(w overlay.Node, l overlay.Link, sub overlay.Region, 
 func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r int, spanID uint64, depth, arrive int) (states []State, latency int) {
 	e.res.Stats.Touch(w.ID())
 
-	local := e.p.LocalState(w, global)
-	wGlobal := e.p.GlobalState(w, global, local)
+	pw := e.view(w) // the node as processors see it (Options.Storage)
+	local := e.p.LocalState(pw, global)
+	wGlobal := e.p.GlobalState(pw, global, local)
 
 	if r > 0 {
 		// Slow phase (first loop of Algorithm 3): visit links in priority
 		// order, waiting for each link's states before deciding the next.
-		links := e.sortedLinks(w)
+		links := e.sortedLinks(w, pw)
 		seq := 0
 		for _, l := range links {
 			sub := l.Region.Intersect(restrict)
 			if sub.IsEmpty() {
 				continue
 			}
-			if !e.p.LinkRelevant(w, sub, wGlobal) {
+			if !e.p.LinkRelevant(pw, sub, wGlobal) {
 				continue
 			}
 			target, childID, extra, ok := e.dispatch(w, l, sub, r-1, depth, arrive+latency, spanID, &seq)
@@ -341,10 +368,10 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 			for _, s := range remote {
 				e.res.Stats.TuplesSent += e.p.StateTuples(s)
 			}
-			local = e.p.MergeStates(w, append([]State{local}, remote...))
-			wGlobal = e.p.GlobalState(w, global, local)
+			local = e.p.MergeStates(pw, append([]State{local}, remote...))
+			wGlobal = e.p.GlobalState(pw, global, local)
 		}
-		e.emitAnswer(w, local, spanID)
+		e.emitAnswer(w, pw, local, spanID)
 		if e.rec != nil {
 			e.rec.SetStateTuples(spanID, e.p.StateTuples(local))
 		}
@@ -362,7 +389,7 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 		if sub.IsEmpty() {
 			continue
 		}
-		if !e.p.LinkRelevant(w, sub, wGlobal) {
+		if !e.p.LinkRelevant(pw, sub, wGlobal) {
 			continue
 		}
 		target, childID, extra, ok := e.dispatch(w, l, sub, 0, depth, arrive, spanID, &seq)
@@ -376,7 +403,7 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 		states = append(states, remote...)
 	}
 	states[0] = local
-	e.emitAnswer(w, local, spanID)
+	e.emitAnswer(w, pw, local, spanID)
 	if e.rec != nil {
 		e.rec.SetStateTuples(spanID, e.p.StateTuples(local))
 	}
@@ -388,12 +415,12 @@ func (e *executor) exec(w overlay.Node, global State, restrict overlay.Region, r
 // a neighbour's zone (CAN), a peer can legitimately receive several disjoint
 // restriction fragments — every later fragment is processed and forwarded,
 // but the local answer has already been sent.
-func (e *executor) emitAnswer(w overlay.Node, local State, spanID uint64) {
+func (e *executor) emitAnswer(w, pw overlay.Node, local State, spanID uint64) {
 	if e.answered[w.ID()] {
 		return
 	}
 	e.answered[w.ID()] = true
-	a := e.p.LocalAnswer(w, local)
+	a := e.p.LocalAnswer(pw, local)
 	if len(a) > 0 {
 		e.res.Stats.AnswerMsgs++
 		e.res.Stats.TuplesSent += len(a)
@@ -402,14 +429,14 @@ func (e *executor) emitAnswer(w overlay.Node, local State, spanID uint64) {
 	}
 }
 
-func (e *executor) sortedLinks(w overlay.Node) []overlay.Link {
+func (e *executor) sortedLinks(w, pw overlay.Node) []overlay.Link {
 	type ranked struct {
 		link overlay.Link
 		prio float64
 	}
 	rs := make([]ranked, 0, len(w.Links()))
 	for _, l := range w.Links() {
-		rs = append(rs, ranked{link: l, prio: e.p.LinkPriority(w, l.Region)})
+		rs = append(rs, ranked{link: l, prio: e.p.LinkPriority(pw, l.Region)})
 	}
 	sort.SliceStable(rs, func(i, j int) bool { return rs[i].prio < rs[j].prio })
 	links := make([]overlay.Link, len(rs))

@@ -19,6 +19,7 @@ import (
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
 	"ripple/internal/sim"
+	"ripple/internal/storage"
 )
 
 // Query carries the k-diversification parameters: the query point, the
@@ -205,22 +206,24 @@ func (p *Processor) InitialState() core.State { return state(p.Tau0) }
 func (p *Processor) StateTuples(core.State) int { return 0 }
 
 // bestLocal is the paper's getMostDiverseLocalObject: the eligible local
-// tuple with the lowest φ score (ties by ID), or nil.
+// tuple with the lowest φ score (ties by ID), or nil. Excluded tuples are
+// keyed +Inf, so the store's best-first minimum — which on an R-tree only
+// opens subtrees whose φ⁻ can still win — lands on the same tuple the
+// original insertion-order scan selected.
 func (p *Processor) bestLocal(w overlay.Node) (*dataset.Tuple, float64) {
 	p.prepare()
-	var best *dataset.Tuple
-	bestScore := math.Inf(1)
-	for i := range w.Tuples() {
-		t := &w.Tuples()[i]
+	key := func(t dataset.Tuple) float64 {
 		if p.Exclude[t.ID] {
-			continue
+			return math.Inf(1)
 		}
-		s := p.Query.phiCtx(t.Vec, p.Base, p.ctx)
-		if s < bestScore || (s == bestScore && best != nil && t.ID < best.ID) {
-			best, bestScore = t, s
-		}
+		return p.Query.phiCtx(t.Vec, p.Base, p.ctx)
 	}
-	return best, bestScore
+	lower := func(b geom.Rect) float64 { return p.Query.phiLowerRectCtx(b, p.Base, p.ctx) }
+	t, s, ok := storage.MinBy(storage.Of(w), key, lower)
+	if !ok {
+		return nil, math.Inf(1)
+	}
+	return &t, s
 }
 
 // LocalState implements computeLocalState (Algorithm 16).

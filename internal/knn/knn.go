@@ -1,0 +1,196 @@
+// Package knn instantiates RIPPLE for k-nearest-neighbour queries: given a
+// query point q and a metric, find the k stored tuples closest to q. kNN is
+// the mirror image of top-k under the scoring function f(x) = −dist(x, q)
+// (the topk.Nearest scorer), but it is the natural first query type of the
+// storage engine era: a peer's local step is a best-first R-tree descent, so
+// this package states it directly in distance space — the RIPPLE state is the
+// pair (m, ρ) asserting that m tuples within distance ρ of q have already
+// been located, links prune by the minimum distance of their restriction
+// region to q, and local answers are range scans Within(q, ρ).
+//
+// The duality is exact: for the same overlay, query and r, this processor's
+// hop tree, statistics and per-peer answers are byte-identical to running
+// topk.Processor with the Nearest scorer (pinned by TestKNNMatchesNearestTopK).
+package knn
+
+import (
+	"math"
+	"sort"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+	"ripple/internal/sim"
+	"ripple/internal/storage"
+)
+
+// state is the kNN RIPPLE state (m, ρ): m tuples at distance at most ρ from
+// the query point are known. The neutral state is (0, −Inf) — no tuples, no
+// radius claim — mirroring top-k's (0, +Inf) under τ = −ρ.
+type state struct {
+	m   int
+	rho float64
+}
+
+// Processor is the RIPPLE plug-in for kNN queries.
+type Processor struct {
+	Center geom.Point
+	K      int
+	// Metric defaults to Euclidean distance when nil.
+	Metric geom.Metric
+}
+
+var _ core.Processor = (*Processor)(nil)
+
+func (p *Processor) metric() geom.Metric {
+	if p.Metric == nil {
+		return geom.L2
+	}
+	return p.Metric
+}
+
+// InitialState implements core.Processor.
+func (p *Processor) InitialState() core.State { return state{m: 0, rho: math.Inf(-1)} }
+
+// StateTuples implements core.Processor: kNN states carry only (m, ρ).
+func (p *Processor) StateTuples(core.State) int { return 0 }
+
+// regionMinDist is d⁻(q, region): the smallest distance from the query point
+// to any point of the union-of-boxes region.
+func (p *Processor) regionMinDist(r overlay.Region) float64 {
+	m := p.metric()
+	best := math.Inf(1)
+	for _, b := range r.Boxes {
+		if d := m.MinDist(p.Center, b); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// LocalState implements computeLocalState: gather up to K local tuples
+// strictly inside the global radius, topping up with farther tuples while the
+// global count is still short of K. On an R-tree zone the distance spectrum
+// is a best-first descent that only opens nodes within the running frontier.
+func (p *Processor) LocalState(w overlay.Node, global core.State) core.State {
+	g := global.(state)
+	st := storage.Of(w)
+	dists := storage.NearestDists(st, p.Center, p.K, p.metric())
+	n := st.Len()
+
+	within := 0
+	for _, d := range dists {
+		if d < g.rho && within < p.K {
+			within++
+		}
+	}
+	take := within
+	if g.m+within < p.K {
+		take += min(p.K-g.m-within, n-within)
+	}
+	if take == 0 {
+		return state{m: 0, rho: math.Inf(-1)}
+	}
+	return state{m: take, rho: dists[take-1]}
+}
+
+// GlobalState implements computeGlobalState: the tightest radius guaranteed
+// to cover at least K tuples (the top-k Algorithm 7 combine, mirrored).
+func (p *Processor) GlobalState(w overlay.Node, global, local core.State) core.State {
+	return p.MergeStates(w, []core.State{global, local})
+}
+
+// MergeStates implements updateLocalState: accumulate claims from the
+// smallest radius upward until K tuples are covered.
+func (p *Processor) MergeStates(w overlay.Node, states []core.State) core.State {
+	ss := make([]state, len(states))
+	for i, s := range states {
+		ss[i] = s.(state)
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].rho < ss[j].rho })
+	merged := state{m: 0, rho: math.Inf(-1)}
+	for _, s := range ss {
+		if s.m == 0 {
+			continue
+		}
+		merged.m += s.m
+		merged.rho = s.rho
+		if merged.m >= p.K {
+			break
+		}
+	}
+	return merged
+}
+
+// LinkRelevant implements the content half of isLinkRelevant: a region is
+// worth visiting while fewer than K tuples are known, or when it comes closer
+// to the query point than the current radius.
+func (p *Processor) LinkRelevant(w overlay.Node, region overlay.Region, global core.State) bool {
+	g := global.(state)
+	return g.m < p.K || p.regionMinDist(region) <= g.rho
+}
+
+// LinkPriority implements comp: regions nearest the query point first.
+func (p *Processor) LinkPriority(w overlay.Node, region overlay.Region) float64 {
+	return p.regionMinDist(region)
+}
+
+// LocalAnswer implements computeLocalAnswer: every local tuple within the
+// final local radius, in canonical (distance ascending, ID ascending) order.
+func (p *Processor) LocalAnswer(w overlay.Node, local core.State) []dataset.Tuple {
+	l := local.(state)
+	if l.m == 0 {
+		return nil
+	}
+	return storage.Within(storage.Of(w), p.Center, l.rho, p.metric())
+}
+
+// Run processes a kNN query from the given initiator with ripple parameter r,
+// returning the exact k nearest tuples (ties broken by tuple ID) and the cost.
+// A nil metric means Euclidean.
+func Run(initiator overlay.Node, center geom.Point, k int, m geom.Metric, r int) ([]dataset.Tuple, sim.Stats) {
+	res := core.Run(initiator, &Processor{Center: center, K: k, Metric: m}, r)
+	return Select(res.Answers, center, k, m), res.Stats
+}
+
+// Select extracts the k nearest tuples from a candidate set: the initiator's
+// final merge step. Ties break by ascending tuple ID and duplicate IDs are
+// dropped, so the result is deterministic.
+func Select(candidates []dataset.Tuple, center geom.Point, k int, m geom.Metric) []dataset.Tuple {
+	if m == nil {
+		m = geom.L2
+	}
+	type keyed struct {
+		d float64
+		t dataset.Tuple
+	}
+	seen := make(map[uint64]bool, len(candidates))
+	uniq := make([]keyed, 0, len(candidates))
+	for _, t := range candidates {
+		if !seen[t.ID] {
+			seen[t.ID] = true
+			uniq = append(uniq, keyed{d: m.Dist(center, t.Vec), t: t})
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].d != uniq[j].d {
+			return uniq[i].d < uniq[j].d
+		}
+		return uniq[i].t.ID < uniq[j].t.ID
+	})
+	if len(uniq) > k {
+		uniq = uniq[:k]
+	}
+	out := make([]dataset.Tuple, len(uniq))
+	for i := range uniq {
+		out[i] = uniq[i].t
+	}
+	return out
+}
+
+// Brute computes the exact kNN over a full tuple slice; the reference answer
+// used by tests and sanity checks.
+func Brute(ts []dataset.Tuple, center geom.Point, k int, m geom.Metric) []dataset.Tuple {
+	return Select(append([]dataset.Tuple(nil), ts...), center, k, m)
+}

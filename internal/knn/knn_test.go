@@ -1,0 +1,163 @@
+package knn
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+func knnOverlay() (*midas.Network, []dataset.Tuple) {
+	n := midas.Build(24, midas.Options{Dims: 3, Seed: 5})
+	data := dataset.Uniform(600, 3, 7)
+	overlay.Load(n, data)
+	return n, data
+}
+
+func TestKNNMatchesBrute(t *testing.T) {
+	n, data := knnOverlay()
+	init := n.Peers()[3]
+	center := geom.Point{0.3, 0.6, 0.5}
+	for _, m := range []geom.Metric{nil, geom.L1, geom.L2} {
+		for _, k := range []int{1, 5, 20} {
+			want := Brute(data, center, k, m)
+			for _, r := range []int{0, 1, 2, 1 << 20} {
+				got, stats := Run(init, center, k, m, r)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("m=%v k=%d r=%d: answers differ from brute force", m, k, r)
+				}
+				if stats.QueryMsgs == 0 {
+					t.Fatalf("m=%v k=%d r=%d: no query messages recorded", m, k, r)
+				}
+			}
+		}
+	}
+}
+
+// TestKNNMatchesNearestTopK pins the duality this package documents: for the
+// same overlay, query and r, the kNN processor must produce byte-identical
+// answers, statistics and hop trees to top-k with the Nearest scorer.
+func TestKNNMatchesNearestTopK(t *testing.T) {
+	n, _ := knnOverlay()
+	init := n.Peers()[7]
+	center := geom.Point{0.25, 0.5, 0.75}
+	for _, k := range []int{1, 4, 16} {
+		for _, r := range []int{0, 2, 1 << 20} {
+			kp := &Processor{Center: center, K: k, Metric: geom.L2}
+			tp := &topk.Processor{F: topk.Nearest{Center: center, Metric: geom.L2}, K: k}
+			resK := core.RunOpts(init, kp, r, core.Options{Trace: true})
+			resT := core.RunOpts(init, tp, r, core.Options{Trace: true})
+			if !reflect.DeepEqual(resK.Answers, resT.Answers) {
+				t.Fatalf("k=%d r=%d: answers diverge from Nearest top-k", k, r)
+			}
+			if resK.Stats.String() != resT.Stats.String() {
+				t.Fatalf("k=%d r=%d: stats diverge:\nknn:  %s\ntopk: %s",
+					k, r, resK.Stats.String(), resT.Stats.String())
+			}
+			if resK.Trace.Canonical() != resT.Trace.Canonical() {
+				t.Fatalf("k=%d r=%d: hop trees diverge", k, r)
+			}
+		}
+	}
+}
+
+func TestSelectDedupAndTies(t *testing.T) {
+	center := geom.Point{0, 0}
+	ts := []dataset.Tuple{
+		{ID: 3, Vec: geom.Point{0.5, 0}},
+		{ID: 1, Vec: geom.Point{0, 0.5}}, // same distance as ID 3: tie by ID
+		{ID: 3, Vec: geom.Point{0.5, 0}}, // duplicate, dropped
+		{ID: 2, Vec: geom.Point{0.1, 0}},
+	}
+	got := Select(ts, center, 2, geom.L2)
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 1 {
+		t.Fatalf("Select = %v, want IDs [2 1]", got)
+	}
+	if got := Select(nil, center, 3, nil); len(got) != 0 {
+		t.Fatalf("Select(nil) = %v", got)
+	}
+}
+
+func TestWireCodecRoundTrip(t *testing.T) {
+	c := WireCodec{}
+	if c.Name() != "knn" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	center := geom.Point{0.1, 0.9}
+	params, err := c.EncodeParams(center, 7, geom.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic encoding: same query, same bytes.
+	params2, err := c.EncodeParams(center, 7, geom.L1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(params, params2) {
+		t.Fatal("EncodeParams is not deterministic")
+	}
+	proc, err := c.NewProcessor(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := proc.(*Processor)
+	if p.K != 7 || !reflect.DeepEqual(p.Center, center) || p.Metric.Name() != "L1" {
+		t.Fatalf("decoded processor %+v", p)
+	}
+
+	for _, s := range []state{
+		{m: 0, rho: math.Inf(-1)},
+		{m: 3, rho: 0.25},
+		{m: 10, rho: 0},
+	} {
+		b, err := c.EncodeState(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.DecodeState(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.(state) != s {
+			t.Fatalf("state round trip: %+v -> %+v", s, got)
+		}
+	}
+	neutral, err := c.DecodeState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := neutral.(state); s.m != 0 || !math.IsInf(s.rho, -1) {
+		t.Fatalf("neutral state = %+v", s)
+	}
+
+	if _, err := c.EncodeParams(center, 1, geom.LpMetric{P: 3}); err == nil {
+		t.Fatal("expected error for non-wire metric")
+	}
+}
+
+func TestMergeStatesNeutralAndAccumulation(t *testing.T) {
+	p := &Processor{Center: geom.Point{0, 0}, K: 5}
+	merged := p.MergeStates(nil, []core.State{
+		state{m: 0, rho: math.Inf(-1)},
+		state{m: 2, rho: 0.3},
+		state{m: 2, rho: 0.1},
+		state{m: 4, rho: 0.7},
+	}).(state)
+	// Smallest radii first: 2@0.1 + 2@0.3 + 4@0.7 reaches K=5 at rho 0.7.
+	if merged.m != 8 || merged.rho != 0.7 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	neutral := p.MergeStates(nil, []core.State{
+		state{m: 0, rho: math.Inf(-1)},
+		state{m: 0, rho: math.Inf(-1)},
+	}).(state)
+	if neutral.m != 0 || !math.IsInf(neutral.rho, -1) {
+		t.Fatalf("neutral merge = %+v", neutral)
+	}
+}

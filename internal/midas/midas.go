@@ -19,10 +19,12 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
+	"ripple/internal/storage"
 )
 
 // SplitPolicy selects the dimension a zone is split along when a peer joins.
@@ -46,6 +48,9 @@ type Options struct {
 	PreferBorder bool
 	// Split selects the split-dimension policy (default SplitAlternate).
 	Split SplitPolicy
+	// Storage selects the engine peers serve their zone share with
+	// (default/KindAuto: the flat-scan baseline).
+	Storage storage.Kind
 }
 
 // Network is a simulated MIDAS overlay.
@@ -76,6 +81,9 @@ type Peer struct {
 	net    *Network
 	leaf   *node
 	tuples []dataset.Tuple
+
+	storeMu sync.Mutex
+	store   storage.Store // lazy; dropped whenever the share changes
 }
 
 // New creates a network of a single peer owning the whole domain.
@@ -200,6 +208,7 @@ func (n *Network) locatePeer(p geom.Point) *Peer {
 func (n *Network) Insert(t dataset.Tuple) {
 	w := n.locatePeer(t.Vec)
 	w.tuples = append(w.tuples, t)
+	w.dropStore()
 	for nd := w.leaf; nd != nil; nd = nd.parent {
 		nd.load++
 	}
@@ -315,6 +324,8 @@ func (n *Network) tryJoinAt(at *Peer) *Peer {
 	}
 
 	left.load, right.load = len(left.peer.tuples), len(right.peer.tuples)
+	oldPeer.dropStore()
+	newPeer.dropStore()
 	n.count++
 	n.refreshSizeUp(target)
 	n.refreshBorderLeaf(left)
@@ -396,6 +407,8 @@ func (n *Network) Leave(p *Peer) {
 		survivor.leaf = parent
 		n.count--
 		p.leaf, p.tuples = nil, nil
+		survivor.dropStore()
+		p.dropStore()
 		n.refreshSizeUp(parent)
 		n.refreshBorderUp(parent)
 		return
@@ -416,6 +429,9 @@ func (n *Network) Leave(p *Peer) {
 
 	n.count--
 	p.leaf, p.tuples = nil, nil
+	keeper.dropStore()
+	donor.dropStore()
+	p.dropStore()
 	n.refreshSizeUp(q)
 	n.refreshBorderUp(q)
 	n.refreshBorderUp(leaf)
@@ -554,6 +570,26 @@ func (p *Peer) Rect() geom.Rect { return p.leaf.rect }
 
 // Tuples implements overlay.Node.
 func (p *Peer) Tuples() []dataset.Tuple { return p.tuples }
+
+// Store implements storage.Provider: the peer's zone share behind the engine
+// selected by Options.Storage. The store is built lazily on first use and
+// dropped whenever the share changes (inserts, zone splits on join,
+// departures), so the steady state — many queries between rare topology
+// changes — reuses one index.
+func (p *Peer) Store() storage.Store {
+	p.storeMu.Lock()
+	defer p.storeMu.Unlock()
+	if p.store == nil {
+		p.store = storage.New(p.net.opts.Storage, p.tuples)
+	}
+	return p.store
+}
+
+func (p *Peer) dropStore() {
+	p.storeMu.Lock()
+	p.store = nil
+	p.storeMu.Unlock()
+}
 
 // Links implements overlay.Node: link i targets a peer inside the sibling
 // subtree rooted at depth i+1 of the peer's path, and its region is that

@@ -35,6 +35,7 @@ import (
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
 	"ripple/internal/sim"
+	"ripple/internal/storage"
 	"ripple/internal/trace"
 	"ripple/internal/wire"
 )
@@ -93,17 +94,19 @@ type ReplicaShare struct {
 
 // Server is a RIPPLE peer process.
 type Server struct {
-	mu     sync.RWMutex
-	cfg    Config
-	codecs map[string]wire.Codec
-	opts   Options
-	ins    instruments
-	pool   *connPool // nil when Options.DisableConnPool
-	mux    *muxTable // nil when Options.DisableMux
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed chan struct{}
-	once   sync.Once
+	mu        sync.RWMutex
+	cfg       Config
+	store     storage.Store            // the peer's own share behind Options.Storage
+	repStores map[string]storage.Store // one per mirrored replica share
+	codecs    map[string]wire.Codec
+	opts      Options
+	ins       instruments
+	pool      *connPool // nil when Options.DisableConnPool
+	mux       *muxTable // nil when Options.DisableMux
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	once      sync.Once
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -130,6 +133,8 @@ func NewServerOpts(cfg Config, opts Options, codecs ...wire.Codec) *Server {
 		closed: make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 	}
+	s.store = storage.New(s.opts.Storage, cfg.Tuples)
+	s.setReplicaStores(cfg.Replicas)
 	if !s.opts.DisableConnPool {
 		s.pool = newConnPool(s.opts.MaxIdleConnsPerPeer, s.opts.IdleConnTimeout, s.ins.evictions)
 	}
@@ -162,11 +167,22 @@ func (s *Server) SetLinks(links []LinkSpec) {
 
 // SetReplicas installs the mirrored shares this peer serves recovery
 // dispatches from (done after all servers of a deployment have bound their
-// addresses, like SetLinks).
+// addresses, like SetLinks). Each share gets its own store so a recovery
+// dispatch runs with the same engine the dead primary would have used.
 func (s *Server) SetReplicas(shares []ReplicaShare) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cfg.Replicas = shares
+	s.setReplicaStores(shares)
+}
+
+// setReplicaStores rebuilds the per-share store table; callers hold s.mu (or
+// are the constructor, before the server is shared).
+func (s *Server) setReplicaStores(shares []ReplicaShare) {
+	s.repStores = make(map[string]storage.Store, len(shares))
+	for _, sh := range shares {
+		s.repStores[sh.ID] = storage.New(s.opts.Storage, sh.Tuples)
+	}
 }
 
 // Close stops serving: the listener is closed, every open connection is torn
@@ -392,6 +408,7 @@ func (s *Server) safeProcess(call *wire.Call) (reply *wire.Reply) {
 // processor callback sees the same scoring key.
 type node struct {
 	cfg *Config
+	st  storage.Store
 	ix  *overlay.Index
 }
 
@@ -400,11 +417,16 @@ func (n *node) Zone() overlay.Region    { return n.cfg.Zone }
 func (n *node) Links() []overlay.Link   { return nil } // links live in LinkSpec form
 func (n *node) Tuples() []dataset.Tuple { return n.cfg.Tuples }
 
+// Store implements storage.Provider: the share's store, built once per server
+// (or per installed replica share), not per call.
+func (n *node) Store() storage.Store { return n.st }
+
 // ScoreIndex implements overlay.ScoreIndexer: built on first use, reused by
-// every later callback of the same call.
+// every later callback of the same call. The index is a sorted view over the
+// share's tuples, not a second copy (the share is immutable for the call).
 func (n *node) ScoreIndex(key func(geom.Point) float64) *overlay.Index {
 	if n.ix == nil {
-		n.ix = overlay.BuildIndex(n.cfg.Tuples, key)
+		n.ix = overlay.IndexView(n.cfg.Tuples, key)
 	}
 	return n.ix
 }
@@ -417,6 +439,7 @@ func (n *node) ScoreIndex(key func(geom.Point) float64) *overlay.Index {
 func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 	s.mu.RLock()
 	cfg := s.cfg
+	st := s.store
 	s.mu.RUnlock()
 
 	if call.ActAs != "" && call.ActAs != cfg.ID {
@@ -425,6 +448,12 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 			return nil, fmt.Errorf("netpeer %s: no replica share for peer %q", cfg.ID, call.ActAs)
 		}
 		cfg = Config{ID: share.ID, Zone: share.Zone, Tuples: share.Tuples, Links: share.Links}
+		s.mu.RLock()
+		st = s.repStores[share.ID]
+		s.mu.RUnlock()
+		if st == nil { // share installed without SetReplicas (hand-built Config)
+			st = storage.New(s.opts.Storage, share.Tuples)
+		}
 	}
 
 	codec := s.codecs[call.QueryType]
@@ -445,7 +474,7 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 		}
 	}
 
-	w := &node{cfg: &cfg}
+	w := &node{cfg: &cfg, st: st}
 	local := proc.LocalState(w, global)
 	wGlobal := proc.GlobalState(w, global, local)
 

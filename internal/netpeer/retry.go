@@ -9,6 +9,7 @@ import (
 
 	"ripple/internal/faults"
 	"ripple/internal/metrics"
+	"ripple/internal/storage"
 	"ripple/internal/wire"
 )
 
@@ -122,6 +123,10 @@ type Options struct {
 	// registry across its servers and serves it on /metrics. Nil disables
 	// instrumentation at zero cost.
 	Metrics *metrics.Registry
+	// Storage selects the engine the peer serves its share — and any mirrored
+	// replica shares — with. KindAuto (the zero value) defers to the
+	// RIPPLE_STORAGE environment variable, defaulting to the scan baseline.
+	Storage storage.Kind
 }
 
 // DefaultOptions returns the production defaults.
@@ -179,6 +184,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logf == nil {
 		o.Logf = d.Logf
+	}
+	if o.Storage == storage.KindAuto {
+		o.Storage = storage.EnvKind()
 	}
 	return o
 }

@@ -12,42 +12,54 @@ import (
 // binary searches instead of O(n) rescans, and top-k prefixes are free. Ties
 // are broken by ascending tuple ID, so the order — and everything derived
 // from it — is a pure function of the tuple set and the scoring key.
+//
+// The index is a permutation over a base slice, not a second sorted copy of
+// the tuples: IndexView sorts only the (key, position) pairs and leaves the
+// base slice untouched, which is what lets it serve directly over a storage
+// engine's insertion-ordered tuples.
 type Index struct {
-	tuples []dataset.Tuple // sorted by (key desc, ID asc)
-	keys   []float64       // keys[i] is the score of tuples[i]
+	base  []dataset.Tuple // unsorted tuples (copied by BuildIndex, aliased by IndexView)
+	order []int32         // base positions sorted by (key desc, ID asc)
+	keys  []float64       // keys[i] is the score of base[order[i]]
 }
 
 // BuildIndex scores every tuple exactly once with key and returns the sorted
 // index. The input slice is copied; the index never aliases caller memory.
+// Prefer IndexView when the tuple slice is owned by a store and immutable for
+// the query's duration.
 func BuildIndex(ts []dataset.Tuple, key func(geom.Point) float64) *Index {
-	ix := &Index{
-		tuples: append([]dataset.Tuple(nil), ts...),
-		keys:   make([]float64, len(ts)),
+	return newIndex(append([]dataset.Tuple(nil), ts...), key)
+}
+
+// IndexView indexes ts without copying it: the index holds only the sorted
+// permutation. ts must not be mutated or reordered while the view is in use.
+func IndexView(ts []dataset.Tuple, key func(geom.Point) float64) *Index {
+	return newIndex(ts, key)
+}
+
+func newIndex(base []dataset.Tuple, key func(geom.Point) float64) *Index {
+	n := len(base)
+	ix := &Index{base: base, order: make([]int32, n), keys: make([]float64, n)}
+	raw := make([]float64, n)
+	for i, t := range base {
+		raw[i] = key(t.Vec)
+		ix.order[i] = int32(i)
 	}
-	for i, t := range ix.tuples {
-		ix.keys[i] = key(t.Vec)
+	sort.Slice(ix.order, func(a, b int) bool {
+		i, j := ix.order[a], ix.order[b]
+		if raw[i] != raw[j] {
+			return raw[i] > raw[j]
+		}
+		return base[i].ID < base[j].ID
+	})
+	for i, p := range ix.order {
+		ix.keys[i] = raw[p]
 	}
-	sort.Sort(byKeyDesc{ix})
 	return ix
 }
 
-// byKeyDesc co-sorts the index's keys and tuples.
-type byKeyDesc struct{ ix *Index }
-
-func (s byKeyDesc) Len() int { return len(s.ix.tuples) }
-func (s byKeyDesc) Less(i, j int) bool {
-	if s.ix.keys[i] != s.ix.keys[j] {
-		return s.ix.keys[i] > s.ix.keys[j]
-	}
-	return s.ix.tuples[i].ID < s.ix.tuples[j].ID
-}
-func (s byKeyDesc) Swap(i, j int) {
-	s.ix.keys[i], s.ix.keys[j] = s.ix.keys[j], s.ix.keys[i]
-	s.ix.tuples[i], s.ix.tuples[j] = s.ix.tuples[j], s.ix.tuples[i]
-}
-
 // Len returns the number of indexed tuples.
-func (ix *Index) Len() int { return len(ix.tuples) }
+func (ix *Index) Len() int { return len(ix.base) }
 
 // TopScores returns the k highest scores in descending order (fewer if the
 // index is smaller). The slice aliases the index: callers must not modify or
@@ -62,11 +74,15 @@ func (ix *Index) TopScores(k int) []float64 {
 	return ix.keys[:k]
 }
 
-// Above returns the tuples scoring at least tau, best first. The slice
-// aliases the index: callers that retain or extend the result must copy it.
+// Above returns the tuples scoring at least tau, best first (key descending,
+// ID ascending). The returned slice is freshly allocated.
 func (ix *Index) Above(tau float64) []dataset.Tuple {
 	n := sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] < tau })
-	return ix.tuples[:n]
+	out := make([]dataset.Tuple, n)
+	for i := 0; i < n; i++ {
+		out[i] = ix.base[ix.order[i]]
+	}
+	return out
 }
 
 // ScoreIndexer is implemented by Node types that can cache a score index for

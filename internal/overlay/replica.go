@@ -19,6 +19,7 @@ import (
 
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
+	"ripple/internal/storage"
 )
 
 // ReplicaMap is the deterministic placement of zone replicas over a network
@@ -134,10 +135,16 @@ func (a ActingNode) Tuples() []dataset.Tuple { return a.Primary.Tuples() }
 // ScoreIndex builds a per-step score index over the primary's tuples.
 // ActingNode values are created per recovery step, so no caching is needed;
 // delegating to the primary would violate ScoreIndexer's one-query contract
-// when the primary outlives queries (simulation nodes do).
+// when the primary outlives queries (simulation nodes do). The index is a
+// view: it aliases the primary's tuple slice without copying it.
 func (a ActingNode) ScoreIndex(key func(geom.Point) float64) *Index {
-	return BuildIndex(a.Primary.Tuples(), key)
+	return IndexView(a.Primary.Tuples(), key)
 }
+
+// Store returns the storage engine serving the primary's zone, so a recovery
+// step processes against the mirrored share with the same engine (and the
+// same pruning) the primary would have used.
+func (a ActingNode) Store() storage.Store { return storage.Of(a.Primary) }
 
 // PhysicalID returns the ID of the peer physically executing w: the replica
 // for an acting step, w itself otherwise. Fault decisions key on physical

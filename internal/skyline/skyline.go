@@ -16,6 +16,7 @@ import (
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
 	"ripple/internal/sim"
+	"ripple/internal/storage"
 )
 
 // Compute returns the skyline of ts: every tuple not dominated by another.
@@ -120,20 +121,6 @@ type Processor struct {
 	Constraint *geom.Rect
 }
 
-// constrainedTuples filters a peer's tuples by the constraint box.
-func (p *Processor) constrainedTuples(w overlay.Node) []dataset.Tuple {
-	if p.Constraint == nil {
-		return w.Tuples()
-	}
-	var out []dataset.Tuple
-	for _, t := range w.Tuples() {
-		if p.Constraint.Contains(t.Vec) {
-			out = append(out, t)
-		}
-	}
-	return out
-}
-
 var _ core.Processor = (*Processor)(nil)
 
 type state []dataset.Tuple
@@ -146,8 +133,11 @@ func (p *Processor) StateTuples(s core.State) int { return len(s.(state)) }
 
 // LocalState implements computeLocalState (Algorithm 10): the local skyline,
 // restricted to the tuples that survive against the received global state.
+// The store computes the local skyline branch-and-bound style — on an R-tree
+// zone, subtrees dominated by an accepted tuple are never opened — with
+// output byte-identical to Compute over the constrained tuple slice.
 func (p *Processor) LocalState(w overlay.Node, global core.State) core.State {
-	localSky := Compute(p.constrainedTuples(w))
+	localSky := storage.Skyline(storage.Of(w), p.Constraint)
 	merged := Merge(global.(state), localSky)
 	inMerged := idSet(merged)
 	var out state

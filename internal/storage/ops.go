@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"math"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+)
+
+// The operations in this file are the storage-level halves of the RIPPLE
+// local algorithms (computeLocalState / computeLocalAnswer for top-k,
+// skyline, diversification, and kNN). Each is written once against
+// Store.Ascend, so the scan baseline and the R-tree return byte-identical
+// results by construction; only the amount of work differs.
+
+// TopScores returns the min(k, Len) highest scores in descending order.
+// upper must bound score from above over any closed box (it may be nil, which
+// only disables R-tree pruning).
+func TopScores(st Store, k int, score func(geom.Point) float64, upper func(geom.Rect) float64) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	q := Query{Key: func(t dataset.Tuple) float64 { return -score(t.Vec) }}
+	if upper != nil {
+		q.Lower = func(b geom.Rect) float64 { return -upper(b) }
+	}
+	out := make([]float64, 0, k)
+	st.Ascend(q, func(_ dataset.Tuple, key float64) bool {
+		out = append(out, -key)
+		return len(out) < k
+	})
+	return out
+}
+
+// Above returns every tuple scoring at least tau, ordered by (score
+// descending, ID ascending) — the canonical local-answer order for
+// threshold queries.
+func Above(st Store, tau float64, score func(geom.Point) float64, upper func(geom.Rect) float64) []dataset.Tuple {
+	q := Query{Key: func(t dataset.Tuple) float64 { return -score(t.Vec) }}
+	if upper != nil {
+		q.Lower = func(b geom.Rect) float64 { return -upper(b) }
+	}
+	var out []dataset.Tuple
+	st.Ascend(q, func(t dataset.Tuple, key float64) bool {
+		if -key < tau {
+			return false
+		}
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// KNN returns the k tuples nearest to center under m, ordered by (distance
+// ascending, ID ascending): a best-first search that, on the R-tree, expands
+// only nodes whose MBR MinDist beats the current frontier.
+func KNN(st Store, center geom.Point, k int, m geom.Metric) []dataset.Tuple {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]dataset.Tuple, 0, k)
+	st.Ascend(nearQuery(center, m), func(t dataset.Tuple, _ float64) bool {
+		out = append(out, t)
+		return len(out) < k
+	})
+	return out
+}
+
+// NearestDists returns the min(k, Len) smallest distances from center in
+// ascending order: the distance spectrum kNN's computeLocalState consumes.
+func NearestDists(st Store, center geom.Point, k int, m geom.Metric) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]float64, 0, k)
+	st.Ascend(nearQuery(center, m), func(_ dataset.Tuple, key float64) bool {
+		out = append(out, key)
+		return len(out) < k
+	})
+	return out
+}
+
+// Within returns every tuple at distance at most rho from center, ordered by
+// (distance ascending, ID ascending): kNN's computeLocalAnswer.
+func Within(st Store, center geom.Point, rho float64, m geom.Metric) []dataset.Tuple {
+	var out []dataset.Tuple
+	st.Ascend(nearQuery(center, m), func(t dataset.Tuple, key float64) bool {
+		if key > rho {
+			return false
+		}
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+func nearQuery(center geom.Point, m geom.Metric) Query {
+	return Query{
+		Key:   func(t dataset.Tuple) float64 { return m.Dist(center, t.Vec) },
+		Lower: func(b geom.Rect) float64 { return m.MinDist(center, b) },
+	}
+}
+
+// MinBy returns the tuple minimising key (ties by ascending ID). Keys of
+// +Inf mark ineligible tuples (diversification's exclusion set); ok is false
+// when no eligible tuple exists. lower must bound key from below over any
+// closed box of *eligible* tuples (ineligible ones score +Inf, above any
+// bound) and may be nil.
+func MinBy(st Store, key func(t dataset.Tuple) float64, lower func(b geom.Rect) float64) (dataset.Tuple, float64, bool) {
+	var (
+		best  dataset.Tuple
+		score float64
+		found bool
+	)
+	st.Ascend(Query{Key: key, Lower: lower}, func(t dataset.Tuple, k float64) bool {
+		best, score, found = t, k, true
+		return false
+	})
+	if !found || math.IsInf(score, 1) {
+		return dataset.Tuple{}, math.Inf(1), false
+	}
+	return best, score, true
+}
+
+// Skyline returns the skyline of the stored tuples (optionally restricted to
+// the half-open constraint box), byte-identical to skyline.Compute over the
+// constrained tuple slice: ascending (coordinate-sum, ID) traversal with a
+// forward dominance filter. The R-tree additionally prunes subtrees that lie
+// outside the constraint or are wholly dominated by an accepted tuple — the
+// branch-and-bound skyline of Papadias et al., sound because an accepted
+// tuple s with s ≼ b.Lo dominates (or equals) every point of the closed box b.
+func Skyline(st Store, constraint *geom.Rect) []dataset.Tuple {
+	var sky []dataset.Tuple
+	seen := make(map[uint64]bool)
+	q := Query{
+		Key: func(t dataset.Tuple) float64 {
+			s := 0.0
+			for _, v := range t.Vec {
+				s += v
+			}
+			return s
+		},
+		Lower: func(b geom.Rect) float64 {
+			s := 0.0
+			for _, v := range b.Lo {
+				s += v
+			}
+			return s
+		},
+		Skip: func(b geom.Rect) bool {
+			if constraint != nil && !closedOverlapsQuery(b, *constraint) {
+				return true
+			}
+			for _, s := range sky {
+				if geom.DominatesRect(s.Vec, b) {
+					return true
+				}
+			}
+			return false
+		},
+	}
+	st.Ascend(q, func(t dataset.Tuple, _ float64) bool {
+		if constraint != nil && !constraint.Contains(t.Vec) {
+			return true
+		}
+		if seen[t.ID] {
+			return true
+		}
+		for _, s := range sky {
+			if s.Vec.Dominates(t.Vec) || s.Vec.Equal(t.Vec) {
+				return true
+			}
+		}
+		sky = append(sky, t)
+		seen[t.ID] = true
+		return true
+	})
+	return sky
+}

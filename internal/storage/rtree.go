@@ -1,0 +1,518 @@
+package storage
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+)
+
+// R-tree node fan-out. The 2..8 band follows the in-memory spatial indexes
+// this engine is modelled on: small enough that a node scan stays in one or
+// two cache lines, large enough that a million tuples fit in ~7 levels.
+const (
+	rtreeMinEntries = 2
+	rtreeMaxEntries = 8
+)
+
+// RTree is a thread-safe in-memory R-tree over a zone's tuples. Bulk
+// construction uses sort-tile-recursive packing; single inserts use Guttman's
+// quadratic split. All tie-breaks (split seeds, subtree choice, traversal
+// order) are deterministic, so the same tuple sequence always yields the same
+// tree and the same visit order — a repository-wide invariant (DESIGN.md §10).
+//
+// An RWMutex guards the tree structure; queries hold the read lock for their
+// whole traversal, so Insert is safe concurrently with reads but must not be
+// called from inside a visit callback.
+type RTree struct {
+	mu     sync.RWMutex
+	dims   int
+	root   *rnode
+	all    []dataset.Tuple
+	nodes  int
+	height int
+}
+
+// rnode MBRs are closed boxes ([Lo, Hi] inclusive): a zone's point-set bound
+// must include its maximum coordinates, unlike the half-open overlay zones.
+type rnode struct {
+	leaf     bool
+	mbr      geom.Rect
+	children []*rnode
+	tuples   []dataset.Tuple
+}
+
+// NewRTree bulk-loads ts with STR packing, taking ownership of the slice
+// (which keeps serving Tuples() in insertion order; the tree holds its own
+// sorted arrangement).
+func NewRTree(ts []dataset.Tuple) *RTree {
+	t := &RTree{all: ts}
+	if len(ts) == 0 {
+		return t
+	}
+	t.dims = len(ts[0].Vec)
+	work := append([]dataset.Tuple(nil), ts...)
+	var tiles [][]dataset.Tuple
+	strTiles(work, 0, t.dims, &tiles)
+
+	level := make([]*rnode, len(tiles))
+	for i, tile := range tiles {
+		n := &rnode{leaf: true, tuples: tile, mbr: pointRect(tile[0].Vec)}
+		for _, tp := range tile[1:] {
+			n.mbr = extendPoint(n.mbr, tp.Vec)
+		}
+		level[i] = n
+	}
+	t.nodes = len(level)
+	t.height = 1
+	for len(level) > 1 {
+		groups := evenGroups(len(level), rtreeMaxEntries)
+		parents := make([]*rnode, 0, len(groups))
+		start := 0
+		for _, size := range groups {
+			kids := level[start : start+size]
+			start += size
+			p := &rnode{children: kids, mbr: cloneRect(kids[0].mbr)}
+			for _, c := range kids[1:] {
+				p.mbr = extendRect(p.mbr, c.mbr)
+			}
+			parents = append(parents, p)
+		}
+		t.nodes += len(parents)
+		t.height++
+		level = parents
+	}
+	t.root = level[0]
+	return t
+}
+
+// strTiles recursively slices ts into leaf tiles of at most rtreeMaxEntries
+// tuples: sort by the current dimension, cut into ~P^(1/d) slabs, recurse on
+// the next dimension, and chunk evenly on the last. Sort ties fall back to
+// tuple ID so packing is deterministic.
+func strTiles(ts []dataset.Tuple, dim, dims int, out *[][]dataset.Tuple) {
+	if len(ts) <= rtreeMaxEntries {
+		*out = append(*out, ts)
+		return
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i].Vec[dim], ts[j].Vec[dim]
+		if a != b {
+			return a < b
+		}
+		return ts[i].ID < ts[j].ID
+	})
+	if dim >= dims-1 {
+		for _, size := range evenGroups(len(ts), rtreeMaxEntries) {
+			*out = append(*out, ts[:size])
+			ts = ts[size:]
+		}
+		return
+	}
+	leaves := (len(ts) + rtreeMaxEntries - 1) / rtreeMaxEntries
+	rest := dims - dim
+	slabs := int(math.Ceil(math.Pow(float64(leaves), 1/float64(rest))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	slabSize := (len(ts) + slabs - 1) / slabs
+	for i := 0; i < len(ts); i += slabSize {
+		end := i + slabSize
+		if end > len(ts) {
+			end = len(ts)
+		}
+		strTiles(ts[i:end], dim+1, dims, out)
+	}
+}
+
+// evenGroups splits n items into ceil(n/max) groups whose sizes differ by at
+// most one, so no tail group degenerates below the minimum fill.
+func evenGroups(n, max int) []int {
+	g := (n + max - 1) / max
+	base, rem := n/g, n%g
+	sizes := make([]int, g)
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// Len implements Store.
+func (t *RTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.all)
+}
+
+// Tuples implements Store: insertion order, independent of tree arrangement.
+func (t *RTree) Tuples() []dataset.Tuple {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.all
+}
+
+// Bounds implements Store.
+func (t *RTree) Bounds() (geom.Rect, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == nil {
+		return geom.Rect{}, false
+	}
+	return cloneRect(t.root.mbr), true
+}
+
+// Stats implements Store.
+func (t *RTree) Stats() Stats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return Stats{Kind: KindRTree, Len: len(t.all), Height: t.height, Nodes: t.nodes}
+}
+
+// Insert implements Store with Guttman's algorithm: descend by least volume
+// enlargement (ties: smaller volume, then first child), quadratic split on
+// overflow, root split grows the tree.
+func (t *RTree) Insert(tp dataset.Tuple) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dims == 0 {
+		t.dims = len(tp.Vec)
+	}
+	t.all = append(t.all, tp)
+	if t.root == nil {
+		t.root = &rnode{leaf: true, tuples: []dataset.Tuple{tp}, mbr: pointRect(tp.Vec)}
+		t.nodes, t.height = 1, 1
+		return
+	}
+	if split := t.insertAt(t.root, tp); split != nil {
+		old := t.root
+		t.root = &rnode{
+			children: []*rnode{old, split},
+			mbr:      extendRect(cloneRect(old.mbr), split.mbr),
+		}
+		t.nodes++
+		t.height++
+	}
+}
+
+func (t *RTree) insertAt(n *rnode, tp dataset.Tuple) *rnode {
+	n.mbr = extendPoint(n.mbr, tp.Vec)
+	if n.leaf {
+		n.tuples = append(n.tuples, tp)
+		if len(n.tuples) > rtreeMaxEntries {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	child := chooseSubtree(n.children, tp.Vec)
+	if split := t.insertAt(child, tp); split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > rtreeMaxEntries {
+			return t.splitInternal(n)
+		}
+	}
+	return nil
+}
+
+func chooseSubtree(children []*rnode, p geom.Point) *rnode {
+	best := children[0]
+	bestEnl, bestVol := enlargement(best.mbr, p), volClosed(best.mbr)
+	for _, c := range children[1:] {
+		enl := enlargement(c.mbr, p)
+		vol := volClosed(c.mbr)
+		if enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = c, enl, vol
+		}
+	}
+	return best
+}
+
+func (t *RTree) splitLeaf(n *rnode) *rnode {
+	rects := make([]geom.Rect, len(n.tuples))
+	for i, tp := range n.tuples {
+		rects[i] = pointRect(tp.Vec)
+	}
+	ga, gb := quadraticPartition(rects)
+	keep := pickTuples(n.tuples, ga)
+	give := pickTuples(n.tuples, gb)
+	n.tuples = keep
+	n.mbr = tuplesMBR(keep)
+	t.nodes++
+	return &rnode{leaf: true, tuples: give, mbr: tuplesMBR(give)}
+}
+
+func (t *RTree) splitInternal(n *rnode) *rnode {
+	rects := make([]geom.Rect, len(n.children))
+	for i, c := range n.children {
+		rects[i] = c.mbr
+	}
+	ga, gb := quadraticPartition(rects)
+	keep := pickNodes(n.children, ga)
+	give := pickNodes(n.children, gb)
+	n.children = keep
+	n.mbr = nodesMBR(keep)
+	t.nodes++
+	return &rnode{children: give, mbr: nodesMBR(give)}
+}
+
+// quadraticPartition splits entry indices 0..len(rects)-1 into two groups per
+// Guttman's quadratic method. Every comparison uses strict improvement so the
+// first candidate wins ties, keeping the partition deterministic.
+func quadraticPartition(rects []geom.Rect) (ga, gb []int) {
+	n := len(rects)
+	// Seeds: the pair whose combined box wastes the most volume.
+	seedA, seedB, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			u := extendRect(cloneRect(rects[i]), rects[j])
+			waste := volClosed(u) - volClosed(rects[i]) - volClosed(rects[j])
+			if waste > worst {
+				seedA, seedB, worst = i, j, waste
+			}
+		}
+	}
+	ga, gb = []int{seedA}, []int{seedB}
+	mbrA, mbrB := cloneRect(rects[seedA]), cloneRect(rects[seedB])
+	rest := make([]int, 0, n-2)
+	for i := 0; i < n; i++ {
+		if i != seedA && i != seedB {
+			rest = append(rest, i)
+		}
+	}
+	for len(rest) > 0 {
+		// Fill a group that cannot otherwise reach minimum occupancy.
+		if len(ga)+len(rest) <= rtreeMinEntries {
+			ga = append(ga, rest...)
+			return ga, gb
+		}
+		if len(gb)+len(rest) <= rtreeMinEntries {
+			gb = append(gb, rest...)
+			return ga, gb
+		}
+		// Next entry: maximal preference between the groups.
+		pick, pickAt, pref := rest[0], 0, math.Inf(-1)
+		var pickDA, pickDB float64
+		for at, i := range rest {
+			dA := volClosed(extendRect(cloneRect(mbrA), rects[i])) - volClosed(mbrA)
+			dB := volClosed(extendRect(cloneRect(mbrB), rects[i])) - volClosed(mbrB)
+			if d := math.Abs(dA - dB); d > pref {
+				pick, pickAt, pref = i, at, d
+				pickDA, pickDB = dA, dB
+			}
+		}
+		rest = append(rest[:pickAt], rest[pickAt+1:]...)
+		toA := pickDA < pickDB
+		if pickDA == pickDB {
+			volA, volB := volClosed(mbrA), volClosed(mbrB)
+			if volA != volB {
+				toA = volA < volB
+			} else {
+				toA = len(ga) <= len(gb)
+			}
+		}
+		if toA {
+			ga = append(ga, pick)
+			mbrA = extendRect(mbrA, rects[pick])
+		} else {
+			gb = append(gb, pick)
+			mbrB = extendRect(mbrB, rects[pick])
+		}
+	}
+	return ga, gb
+}
+
+func pickTuples(ts []dataset.Tuple, idx []int) []dataset.Tuple {
+	out := make([]dataset.Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = ts[j]
+	}
+	return out
+}
+
+func pickNodes(ns []*rnode, idx []int) []*rnode {
+	out := make([]*rnode, len(idx))
+	for i, j := range idx {
+		out[i] = ns[j]
+	}
+	return out
+}
+
+func tuplesMBR(ts []dataset.Tuple) geom.Rect {
+	mbr := pointRect(ts[0].Vec)
+	for _, tp := range ts[1:] {
+		mbr = extendPoint(mbr, tp.Vec)
+	}
+	return mbr
+}
+
+func nodesMBR(ns []*rnode) geom.Rect {
+	mbr := cloneRect(ns[0].mbr)
+	for _, c := range ns[1:] {
+		mbr = extendRect(mbr, c.mbr)
+	}
+	return mbr
+}
+
+func volClosed(r geom.Rect) float64 {
+	v := 1.0
+	for i := range r.Lo {
+		d := r.Hi[i] - r.Lo[i]
+		if d < 0 {
+			d = 0
+		}
+		v *= d
+	}
+	return v
+}
+
+func enlargement(r geom.Rect, p geom.Point) float64 {
+	ext := extendPoint(cloneRect(r), p)
+	return volClosed(ext) - volClosed(r)
+}
+
+// Search implements Store: descend only subtrees whose closed MBR meets the
+// half-open query box, then report matches in ascending ID order.
+func (t *RTree) Search(b geom.Rect, visit func(dataset.Tuple) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var hits []dataset.Tuple
+	collectSearch(t.root, b, &hits)
+	sort.Slice(hits, func(i, j int) bool { return hits[i].ID < hits[j].ID })
+	for _, tp := range hits {
+		if !visit(tp) {
+			return
+		}
+	}
+}
+
+func collectSearch(n *rnode, b geom.Rect, hits *[]dataset.Tuple) {
+	if n == nil || !closedOverlapsQuery(n.mbr, b) {
+		return
+	}
+	if n.leaf {
+		for _, tp := range n.tuples {
+			if b.Contains(tp.Vec) {
+				*hits = append(*hits, tp)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		collectSearch(c, b, hits)
+	}
+}
+
+// Ascend implements Store as a best-first traversal: a priority queue holds
+// subtrees keyed by Query.Lower and tuples keyed by Query.Key. At equal
+// priority, subtrees expand before tuples emit (a subtree at the bound may
+// still contain an equal-keyed tuple with a smaller ID) and tuples tie-break
+// by ID — which is exactly what makes the visit order identical to the scan
+// store's for any sound Lower.
+func (t *RTree) Ascend(q Query, visit func(dataset.Tuple, float64) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.root == nil {
+		return
+	}
+	lower := func(b geom.Rect) float64 {
+		if q.Lower == nil {
+			return math.Inf(-1)
+		}
+		return q.Lower(b)
+	}
+	var h bfHeap
+	var seq uint64
+	h.push(bfEntry{key: lower(t.root.mbr), node: t.root})
+	for len(h) > 0 {
+		e := h.pop()
+		if e.tup {
+			if !visit(e.t, e.key) {
+				return
+			}
+			continue
+		}
+		n := e.node
+		if q.Skip != nil && q.Skip(n.mbr) {
+			continue
+		}
+		if n.leaf {
+			for _, tp := range n.tuples {
+				h.push(bfEntry{key: q.Key(tp), tup: true, ord: tp.ID, t: tp})
+			}
+		} else {
+			for _, c := range n.children {
+				seq++
+				h.push(bfEntry{key: lower(c.mbr), ord: seq, node: c})
+			}
+		}
+	}
+}
+
+// bfEntry orders the best-first frontier by (key, kind, ord): nodes (tup ==
+// false) sort before tuples at the same key, tuples tie-break by ID, and
+// nodes by push sequence so heap order never depends on pointer values.
+type bfEntry struct {
+	key  float64
+	tup  bool
+	ord  uint64
+	node *rnode
+	t    dataset.Tuple
+}
+
+type bfHeap []bfEntry
+
+func (h bfHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.tup != b.tup {
+		return !a.tup
+	}
+	return a.ord < b.ord
+}
+
+func (h *bfHeap) push(e bfEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *bfHeap) pop() bfEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = bfEntry{}
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= len(s) {
+			break
+		}
+		best := left
+		if right := left + 1; right < len(s) && s.less(right, left) {
+			best = right
+		}
+		if !s.less(best, i) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
+}

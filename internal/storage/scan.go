@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"sort"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+)
+
+// ScanStore is the flat-slice reference baseline: the exact layout peers used
+// before the storage engine existed. Ascend evaluates the key for every tuple
+// and drains an index heap, so results match the R-tree's best-first order
+// while the cost stays the familiar O(n) (+ O(log n) per visited tuple).
+//
+// Reads are safe concurrently; Insert requires external synchronisation with
+// reads (overlay mutations happen between queries, never during one).
+type ScanStore struct {
+	ts []dataset.Tuple
+}
+
+// NewScan builds a scan store over ts, taking ownership of the slice.
+func NewScan(ts []dataset.Tuple) *ScanStore {
+	return &ScanStore{ts: ts}
+}
+
+// Len implements Store.
+func (s *ScanStore) Len() int { return len(s.ts) }
+
+// Tuples implements Store: the backing slice itself, in insertion order.
+func (s *ScanStore) Tuples() []dataset.Tuple { return s.ts }
+
+// Insert implements Store.
+func (s *ScanStore) Insert(t dataset.Tuple) { s.ts = append(s.ts, t) }
+
+// Bounds implements Store by scanning; it is not cached because nothing on
+// the query path needs it and caching would make reads racy.
+func (s *ScanStore) Bounds() (geom.Rect, bool) {
+	if len(s.ts) == 0 {
+		return geom.Rect{}, false
+	}
+	mbr := pointRect(s.ts[0].Vec)
+	for _, t := range s.ts[1:] {
+		mbr = extendPoint(mbr, t.Vec)
+	}
+	return mbr, true
+}
+
+// Search implements Store.
+func (s *ScanStore) Search(b geom.Rect, visit func(dataset.Tuple) bool) {
+	var hits []dataset.Tuple
+	for _, t := range s.ts {
+		if b.Contains(t.Vec) {
+			hits = append(hits, t)
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].ID < hits[j].ID })
+	for _, t := range hits {
+		if !visit(t) {
+			return
+		}
+	}
+}
+
+// Ascend implements Store: keys are evaluated once per tuple, then an index
+// min-heap ordered by (key, ID) is drained, stopping as soon as visit does.
+// Early-terminating queries (top-k, kNN) therefore pay O(n) key evaluations
+// but only k log n heap pops.
+func (s *ScanStore) Ascend(q Query, visit func(dataset.Tuple, float64) bool) {
+	n := len(s.ts)
+	if n == 0 {
+		return
+	}
+	keys := make([]float64, n)
+	idx := make([]int32, n)
+	for i, t := range s.ts {
+		keys[i] = q.Key(t)
+		idx[i] = int32(i)
+	}
+	h := scanHeap{ts: s.ts, keys: keys, idx: idx}
+	for i := n/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	for len(h.idx) > 0 {
+		top := h.idx[0]
+		if !visit(s.ts[top], keys[top]) {
+			return
+		}
+		last := len(h.idx) - 1
+		h.idx[0] = h.idx[last]
+		h.idx = h.idx[:last]
+		h.siftDown(0)
+	}
+}
+
+// Stats implements Store.
+func (s *ScanStore) Stats() Stats {
+	return Stats{Kind: KindScan, Len: len(s.ts)}
+}
+
+// scanHeap is a binary min-heap over tuple indices ordered by (key, ID).
+type scanHeap struct {
+	ts   []dataset.Tuple
+	keys []float64
+	idx  []int32
+}
+
+func (h *scanHeap) less(a, b int32) bool {
+	if h.keys[a] != h.keys[b] {
+		return h.keys[a] < h.keys[b]
+	}
+	return h.ts[a].ID < h.ts[b].ID
+}
+
+func (h *scanHeap) siftDown(i int) {
+	n := len(h.idx)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && h.less(h.idx[right], h.idx[left]) {
+			best = right
+		}
+		if !h.less(h.idx[best], h.idx[i]) {
+			return
+		}
+		h.idx[i], h.idx[best] = h.idx[best], h.idx[i]
+		i = best
+	}
+}
+
+// pointRect is the degenerate closed box holding exactly p. Lo and Hi are
+// fresh copies so later extension never writes through to tuple vectors.
+func pointRect(p geom.Point) geom.Rect {
+	lo := make(geom.Point, len(p))
+	hi := make(geom.Point, len(p))
+	copy(lo, p)
+	copy(hi, p)
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// extendPoint grows the closed box r in place to cover p.
+func extendPoint(r geom.Rect, p geom.Point) geom.Rect {
+	for i, v := range p {
+		if v < r.Lo[i] {
+			r.Lo[i] = v
+		}
+		if v > r.Hi[i] {
+			r.Hi[i] = v
+		}
+	}
+	return r
+}
+
+// extendRect grows the closed box r in place to cover the closed box b.
+func extendRect(r geom.Rect, b geom.Rect) geom.Rect {
+	for i := range r.Lo {
+		if b.Lo[i] < r.Lo[i] {
+			r.Lo[i] = b.Lo[i]
+		}
+		if b.Hi[i] > r.Hi[i] {
+			r.Hi[i] = b.Hi[i]
+		}
+	}
+	return r
+}
+
+// cloneRect deep-copies a closed box so in-place extension stays local.
+func cloneRect(r geom.Rect) geom.Rect {
+	lo := make(geom.Point, len(r.Lo))
+	hi := make(geom.Point, len(r.Hi))
+	copy(lo, r.Lo)
+	copy(hi, r.Hi)
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// closedOverlapsQuery reports whether the closed box mbr intersects the
+// half-open query box b ([b.Lo, b.Hi)). Used for MBR search, where the query
+// box follows overlay zone semantics but tree bounds are closed.
+func closedOverlapsQuery(mbr, b geom.Rect) bool {
+	for i := range mbr.Lo {
+		if mbr.Lo[i] >= b.Hi[i] || mbr.Hi[i] < b.Lo[i] {
+			return false
+		}
+	}
+	return true
+}

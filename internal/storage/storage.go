@@ -1,0 +1,162 @@
+// Package storage is the peer-local storage engine: every peer's zone share
+// lives behind the Store interface instead of a raw tuple slice, so local
+// query processing (computeLocalState / computeLocalAnswer) can prune with
+// spatial and score bounds instead of scanning.
+//
+// Two implementations ship:
+//
+//   - ScanStore: the repository's original flat-slice layout, kept as the
+//     always-available reference baseline. Every derived operation is a full
+//     pass over the tuples.
+//   - RTree: a thread-safe in-memory R-tree (quadratic split for inserts, STR
+//     bulk load, best-first priority-queue traversal), which answers the same
+//     operations by expanding only the subtrees whose bounds can qualify.
+//
+// The two are interchangeable by construction: every query-facing operation
+// is defined through Ascend, a deterministic best-first traversal that visits
+// tuples in ascending (key, tuple ID) order, so for any sound bound functions
+// both stores produce byte-identical results — the property the cross-runtime
+// equivalence suite pins down (DESIGN.md §14).
+package storage
+
+import (
+	"fmt"
+	"os"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+)
+
+// Kind names a storage engine selection.
+type Kind string
+
+const (
+	// KindAuto defers to the node's own engine: nodes exposing a Store keep
+	// it, everything else falls back to a flat scan. It is the zero value, so
+	// untouched Options behave exactly as before this subsystem existed.
+	KindAuto Kind = ""
+	// KindScan selects the flat-slice reference baseline.
+	KindScan Kind = "scan"
+	// KindRTree selects the R-tree engine.
+	KindRTree Kind = "rtree"
+)
+
+// ParseKind validates a -storage flag value.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case KindAuto, KindScan, KindRTree:
+		return Kind(s), nil
+	}
+	return KindAuto, fmt.Errorf("storage: unknown engine %q (want scan or rtree)", s)
+}
+
+// EnvKind returns the engine selected by the RIPPLE_STORAGE environment
+// variable, defaulting to the scan baseline when unset or unparseable. It is
+// the default for network- and server-level options, which is what lets the
+// seeded fault matrix re-run the whole suite over the R-tree engine without
+// touching every test (`RIPPLE_STORAGE=rtree make test-faults`).
+func EnvKind() Kind {
+	if k, err := ParseKind(os.Getenv("RIPPLE_STORAGE")); err == nil && k != KindAuto {
+		return k
+	}
+	return KindScan
+}
+
+// Query is a best-first traversal specification for Store.Ascend.
+//
+// Bound boxes passed to Lower and Skip are subtree minimum bounding
+// rectangles with CLOSED semantics — both faces inclusive, unlike the
+// half-open zone boxes of the overlay layer. The geometric bound helpers used
+// throughout the repository (Metric.MinDist/MaxDist, DominatesRect, corner
+// evaluations) are continuous and treat boxes closed already, so they are
+// sound here as-is.
+type Query struct {
+	// Key is the traversal key: tuples are visited in ascending (Key, ID)
+	// order. Required.
+	Key func(t dataset.Tuple) float64
+	// Lower returns a lower bound of Key over every tuple inside the closed
+	// box b. Optional (nil disables bound-based ordering/pruning for the
+	// R-tree); the scan store never calls it.
+	Lower func(b geom.Rect) float64
+	// Skip prunes a whole subtree: when it returns true for a subtree's
+	// closed MBR, none of that subtree's tuples are visited. It must be
+	// sound with respect to the visit callback — Skip(b) may only be true
+	// when visit would reject (continue past) every tuple in b — because the
+	// scan store ignores Skip and visits everything. Optional.
+	Skip func(b geom.Rect) bool
+}
+
+// Store is a peer-local tuple store. Implementations guarantee:
+//
+//   - Tuples() preserves insertion order (construction order, then Insert
+//     order), so a store is a drop-in replacement for the raw slice a peer
+//     used to hold and overlay snapshots remain byte-stable.
+//   - Ascend visits tuples in ascending (Query.Key, tuple ID) order; together
+//     with sound bounds this makes every derived operation (ops.go)
+//     implementation-independent.
+//   - Concurrent reads are safe. Insert may run concurrently with reads on
+//     the R-tree; the scan store requires external synchronisation between
+//     Insert and reads (the engine mutates only between queries).
+type Store interface {
+	// Len returns the number of stored tuples.
+	Len() int
+	// Tuples returns the stored tuples in insertion order. The slice aliases
+	// the store; callers must not modify it.
+	Tuples() []dataset.Tuple
+	// Insert adds one tuple.
+	Insert(t dataset.Tuple)
+	// Bounds returns the closed minimum bounding rectangle of the stored
+	// tuples; ok is false for an empty store.
+	Bounds() (mbr geom.Rect, ok bool)
+	// Search visits every tuple inside the half-open box b in ascending
+	// tuple-ID order, stopping early when visit returns false.
+	Search(b geom.Rect, visit func(t dataset.Tuple) bool)
+	// Ascend runs the best-first traversal described by q, stopping early
+	// when visit returns false. visit receives each tuple with its key.
+	Ascend(q Query, visit func(t dataset.Tuple, key float64) bool)
+	// Stats describes the store for planners and diagnostics.
+	Stats() Stats
+}
+
+// Stats summarises a store instance. Height and Nodes are zero for flat
+// stores. These are the per-zone statistics an adaptive planner (ROADMAP
+// item 3) reads to cost local work.
+type Stats struct {
+	Kind   Kind
+	Len    int
+	Height int
+	Nodes  int
+}
+
+// Provider is implemented by node types that own a Store for their share.
+// The engine asks via Of; nodes without one are served by a scan view.
+type Provider interface {
+	Store() Store
+}
+
+// TupleSource is the subset of overlay.Node the storage layer needs
+// (declared locally to keep the import direction overlay -> storage).
+type TupleSource interface {
+	Tuples() []dataset.Tuple
+}
+
+// Of returns w's own store when it provides one, or a scan view over its
+// tuples otherwise. This is the single entry point processors use, so a node
+// type gains indexed local processing by just implementing Provider.
+func Of(w TupleSource) Store {
+	if p, ok := w.(Provider); ok {
+		if st := p.Store(); st != nil {
+			return st
+		}
+	}
+	return NewScan(w.Tuples())
+}
+
+// New builds a store of the given kind over ts, taking ownership of the
+// slice. KindAuto builds the scan baseline.
+func New(kind Kind, ts []dataset.Tuple) Store {
+	if kind == KindRTree {
+		return NewRTree(ts)
+	}
+	return NewScan(ts)
+}

@@ -1,0 +1,377 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+)
+
+// testSets yields seeded tuple sets of assorted sizes and dimensionalities,
+// including duplicate-coordinate sets that stress tie-breaking.
+func testSets(t *testing.T) []([]dataset.Tuple) {
+	t.Helper()
+	var sets [][]dataset.Tuple
+	for _, cfg := range []struct {
+		n, dims int
+		seed    int64
+	}{
+		{0, 2, 1}, {1, 2, 2}, {7, 2, 3}, {8, 2, 4}, {9, 2, 5},
+		{64, 2, 6}, {200, 3, 7}, {333, 4, 8}, {500, 2, 9},
+	} {
+		sets = append(sets, dataset.Uniform(cfg.n, cfg.dims, cfg.seed))
+	}
+	// Heavy ties: every coordinate drawn from {0, 0.25, 0.5, 0.75}.
+	rng := rand.New(rand.NewSource(99))
+	tied := make([]dataset.Tuple, 150)
+	for i := range tied {
+		vec := make(geom.Point, 2)
+		for d := range vec {
+			vec[d] = float64(rng.Intn(4)) / 4
+		}
+		tied[i] = dataset.Tuple{ID: uint64(i + 1), Vec: vec}
+	}
+	sets = append(sets, tied)
+	return sets
+}
+
+func bothStores(ts []dataset.Tuple) (scan, rtree Store) {
+	own := append([]dataset.Tuple(nil), ts...)
+	return NewScan(own), NewRTree(append([]dataset.Tuple(nil), ts...))
+}
+
+// visitSeq drains Ascend fully and records the (ID, key) sequence.
+func visitSeq(st Store, q Query, limit int) [][2]float64 {
+	var seq [][2]float64
+	st.Ascend(q, func(t dataset.Tuple, key float64) bool {
+		seq = append(seq, [2]float64{float64(t.ID), key})
+		return limit <= 0 || len(seq) < limit
+	})
+	return seq
+}
+
+func TestAscendVisitOrderMatchesScan(t *testing.T) {
+	center := geom.Point{0.3, 0.7}
+	for si, ts := range testSets(t) {
+		scan, rtree := bothStores(ts)
+		dims := 2
+		if len(ts) > 0 {
+			dims = len(ts[0].Vec)
+		}
+		c := center
+		if dims != len(center) {
+			c = make(geom.Point, dims)
+			for i := range c {
+				c[i] = 0.4
+			}
+		}
+		q := nearQuery(c, geom.L2)
+		for _, limit := range []int{0, 1, 5, len(ts)} {
+			a := visitSeq(scan, q, limit)
+			b := visitSeq(rtree, q, limit)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("set %d limit %d: scan and rtree visit sequences differ:\n%v\n%v", si, limit, a, b)
+			}
+		}
+		// Without Lower the R-tree degenerates to exhaustive best-first; order
+		// must still match.
+		noLower := Query{Key: q.Key}
+		if a, b := visitSeq(scan, noLower, 0), visitSeq(rtree, noLower, 0); !reflect.DeepEqual(a, b) {
+			t.Fatalf("set %d: visit sequences differ without Lower", si)
+		}
+	}
+}
+
+func TestOpsEquivalenceScanVsRTree(t *testing.T) {
+	for si, ts := range testSets(t) {
+		if len(ts) == 0 {
+			continue
+		}
+		dims := len(ts[0].Vec)
+		center := make(geom.Point, dims)
+		for i := range center {
+			center[i] = 0.42
+		}
+		score := func(p geom.Point) float64 {
+			s := 0.0
+			for _, v := range p {
+				s += 1 - v
+			}
+			return s
+		}
+		upper := func(r geom.Rect) float64 { return score(r.Lo) }
+
+		scan, rtree := bothStores(ts)
+		for _, k := range []int{0, 1, 3, 10, len(ts), len(ts) + 5} {
+			if a, b := TopScores(scan, k, score, upper), TopScores(rtree, k, score, upper); !reflect.DeepEqual(a, b) {
+				t.Fatalf("set %d k=%d: TopScores differ\n%v\n%v", si, k, a, b)
+			}
+			if a, b := KNN(scan, center, k, geom.L2), KNN(rtree, center, k, geom.L2); !reflect.DeepEqual(a, b) {
+				t.Fatalf("set %d k=%d: KNN differ", si, k)
+			}
+			if a, b := NearestDists(scan, center, k, geom.L1), NearestDists(rtree, center, k, geom.L1); !reflect.DeepEqual(a, b) {
+				t.Fatalf("set %d k=%d: NearestDists differ", si, k)
+			}
+		}
+		for _, tau := range []float64{math.Inf(1), 1.2, 0.5, 0, math.Inf(-1)} {
+			if a, b := Above(scan, tau, score, upper), Above(rtree, tau, score, upper); !reflect.DeepEqual(a, b) {
+				t.Fatalf("set %d tau=%v: Above differ", si, tau)
+			}
+		}
+		for _, rho := range []float64{0, 0.1, 0.4, 2} {
+			if a, b := Within(scan, center, rho, geom.L2), Within(rtree, center, rho, geom.L2); !reflect.DeepEqual(a, b) {
+				t.Fatalf("set %d rho=%v: Within differ", si, rho)
+			}
+		}
+		if a, b := Skyline(scan, nil), Skyline(rtree, nil); !reflect.DeepEqual(a, b) {
+			t.Fatalf("set %d: Skyline differ\n%v\n%v", si, a, b)
+		}
+		lo, hi := make(geom.Point, dims), make(geom.Point, dims)
+		for i := range lo {
+			lo[i], hi[i] = 0.2, 0.8
+		}
+		constraint := geom.Rect{Lo: lo, Hi: hi}
+		if a, b := Skyline(scan, &constraint), Skyline(rtree, &constraint); !reflect.DeepEqual(a, b) {
+			t.Fatalf("set %d: constrained Skyline differ", si)
+		}
+		// MinBy with an exclusion set, diversification-style.
+		exclude := map[uint64]bool{ts[0].ID: true}
+		key := func(tp dataset.Tuple) float64 {
+			if exclude[tp.ID] {
+				return math.Inf(1)
+			}
+			return geom.L1.Dist(center, tp.Vec)
+		}
+		lowerK := func(b geom.Rect) float64 { return geom.L1.MinDist(center, b) }
+		at, ak, aok := MinBy(scan, key, lowerK)
+		bt, bk, bok := MinBy(rtree, key, lowerK)
+		if aok != bok || ak != bk || at.ID != bt.ID {
+			t.Fatalf("set %d: MinBy differ: (%v %v %v) vs (%v %v %v)", si, at.ID, ak, aok, bt.ID, bk, bok)
+		}
+	}
+}
+
+func TestInsertBuiltTreeMatchesBulk(t *testing.T) {
+	for si, ts := range testSets(t) {
+		bulk := NewRTree(append([]dataset.Tuple(nil), ts...))
+		inc := NewRTree(nil)
+		for _, tp := range ts {
+			inc.Insert(tp)
+		}
+		if !reflect.DeepEqual(bulk.Tuples(), inc.Tuples()) && len(ts) > 0 {
+			t.Fatalf("set %d: insertion order not preserved", si)
+		}
+		if len(ts) == 0 {
+			continue
+		}
+		center := make(geom.Point, len(ts[0].Vec))
+		q := nearQuery(center, geom.L2)
+		if a, b := visitSeq(bulk, q, 0), visitSeq(inc, q, 0); !reflect.DeepEqual(a, b) {
+			t.Fatalf("set %d: bulk vs incremental visit sequences differ", si)
+		}
+	}
+}
+
+func TestSearchMatchesScanAndIsHalfOpen(t *testing.T) {
+	ts := dataset.Uniform(300, 2, 17)
+	scan, rtree := bothStores(ts)
+	boxes := []geom.Rect{
+		{Lo: geom.Point{0.1, 0.1}, Hi: geom.Point{0.6, 0.9}},
+		{Lo: geom.Point{0, 0}, Hi: geom.Point{1, 1}},
+		{Lo: geom.Point{0.5, 0.5}, Hi: geom.Point{0.5, 0.9}}, // empty: Lo==Hi in dim 0
+	}
+	// A box whose Hi face passes exactly through a stored point: half-open
+	// semantics must exclude it in both stores.
+	p := ts[0].Vec
+	boxes = append(boxes, geom.Rect{Lo: geom.Point{0, 0}, Hi: geom.Point{p[0], 1}})
+	for bi, b := range boxes {
+		collect := func(st Store) []uint64 {
+			var ids []uint64
+			st.Search(b, func(tp dataset.Tuple) bool {
+				ids = append(ids, tp.ID)
+				return true
+			})
+			return ids
+		}
+		got, want := collect(rtree), collect(scan)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("box %d: rtree %v want %v", bi, got, want)
+		}
+		for _, id := range want {
+			for _, tp := range ts {
+				if tp.ID == id && !b.Contains(tp.Vec) {
+					t.Fatalf("box %d: returned tuple %d outside box", bi, id)
+				}
+			}
+		}
+	}
+}
+
+// TestRTreeInvariants walks the tree: every node's MBR covers its entries,
+// fan-out stays within [min, max] (root excepted), and all leaves sit at the
+// same depth.
+func TestRTreeInvariants(t *testing.T) {
+	for si, ts := range testSets(t) {
+		for mode, tree := range map[string]*RTree{
+			"bulk": NewRTree(append([]dataset.Tuple(nil), ts...)),
+			"incremental": func() *RTree {
+				tr := NewRTree(nil)
+				for _, tp := range ts {
+					tr.Insert(tp)
+				}
+				return tr
+			}(),
+		} {
+			if tree.root == nil {
+				if len(ts) != 0 {
+					t.Fatalf("set %d %s: nil root with %d tuples", si, mode, len(ts))
+				}
+				continue
+			}
+			var leafDepths []int
+			var count, nodes int
+			var walk func(n *rnode, depth int, isRoot bool)
+			walk = func(n *rnode, depth int, isRoot bool) {
+				nodes++
+				if n.leaf {
+					leafDepths = append(leafDepths, depth)
+					if !isRoot && (len(n.tuples) < rtreeMinEntries || len(n.tuples) > rtreeMaxEntries) {
+						t.Fatalf("set %d %s: leaf fan-out %d", si, mode, len(n.tuples))
+					}
+					for _, tp := range n.tuples {
+						count++
+						for d := range tp.Vec {
+							if tp.Vec[d] < n.mbr.Lo[d] || tp.Vec[d] > n.mbr.Hi[d] {
+								t.Fatalf("set %d %s: tuple %d outside leaf MBR", si, mode, tp.ID)
+							}
+						}
+					}
+					return
+				}
+				if len(n.children) < rtreeMinEntries || len(n.children) > rtreeMaxEntries {
+					if !isRoot || len(n.children) < 2 {
+						t.Fatalf("set %d %s: internal fan-out %d", si, mode, len(n.children))
+					}
+				}
+				for _, c := range n.children {
+					for d := range n.mbr.Lo {
+						if c.mbr.Lo[d] < n.mbr.Lo[d] || c.mbr.Hi[d] > n.mbr.Hi[d] {
+							t.Fatalf("set %d %s: child MBR escapes parent", si, mode)
+						}
+					}
+					walk(c, depth+1, false)
+				}
+			}
+			walk(tree.root, 1, true)
+			for _, d := range leafDepths {
+				if d != leafDepths[0] {
+					t.Fatalf("set %d %s: leaves at depths %v", si, mode, leafDepths)
+				}
+			}
+			if count != len(ts) {
+				t.Fatalf("set %d %s: tree holds %d tuples, want %d", si, mode, count, len(ts))
+			}
+			st := tree.Stats()
+			if st.Height != leafDepths[0] || st.Nodes != nodes || st.Len != len(ts) {
+				t.Fatalf("set %d %s: Stats %+v vs walked height=%d nodes=%d len=%d",
+					si, mode, st, leafDepths[0], nodes, len(ts))
+			}
+		}
+	}
+}
+
+func TestRTreeConcurrentReadsAndInserts(t *testing.T) {
+	tree := NewRTree(dataset.Uniform(500, 2, 23))
+	extra := dataset.Uniform(200, 2, 24)
+	center := geom.Point{0.5, 0.5}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				KNN(tree, center, 10, geom.L2)
+				tree.Bounds()
+				tree.Stats()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range extra {
+			// Fresh IDs so determinism of the final set is checkable.
+			tp := extra[i]
+			tp.ID += 1 << 32
+			tree.Insert(tp)
+		}
+	}()
+	wg.Wait()
+	if tree.Len() != 700 {
+		t.Fatalf("Len = %d after concurrent inserts, want 700", tree.Len())
+	}
+}
+
+func TestKindSelection(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+		ok   bool
+	}{
+		{"", KindAuto, true}, {"scan", KindScan, true}, {"rtree", KindRTree, true},
+		{"btree", KindAuto, false}, {"RTREE", KindAuto, false},
+	} {
+		got, err := ParseKind(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParseKind(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	t.Setenv("RIPPLE_STORAGE", "")
+	if k := EnvKind(); k != KindScan {
+		t.Fatalf("EnvKind() with empty env = %v, want scan", k)
+	}
+	t.Setenv("RIPPLE_STORAGE", "rtree")
+	if k := EnvKind(); k != KindRTree {
+		t.Fatalf("EnvKind() = %v, want rtree", k)
+	}
+	t.Setenv("RIPPLE_STORAGE", "bogus")
+	if k := EnvKind(); k != KindScan {
+		t.Fatalf("EnvKind() with bogus env = %v, want scan", k)
+	}
+
+	ts := dataset.Uniform(10, 2, 1)
+	if _, ok := New(KindRTree, ts).(*RTree); !ok {
+		t.Fatal("New(rtree) did not build an R-tree")
+	}
+	if _, ok := New(KindScan, ts).(*ScanStore); !ok {
+		t.Fatal("New(scan) did not build a scan store")
+	}
+	if _, ok := New(KindAuto, ts).(*ScanStore); !ok {
+		t.Fatal("New(auto) should default to the scan baseline")
+	}
+}
+
+type providerNode struct{ st Store }
+
+func (p providerNode) Tuples() []dataset.Tuple { return p.st.Tuples() }
+func (p providerNode) Store() Store            { return p.st }
+
+type plainSource struct{ ts []dataset.Tuple }
+
+func (p plainSource) Tuples() []dataset.Tuple { return p.ts }
+
+func TestOf(t *testing.T) {
+	ts := dataset.Uniform(10, 2, 1)
+	rt := NewRTree(ts)
+	if Of(providerNode{st: rt}) != Store(rt) {
+		t.Fatal("Of should return the node's own store")
+	}
+	st := Of(plainSource{ts: ts})
+	if _, ok := st.(*ScanStore); !ok || st.Len() != 10 {
+		t.Fatal("Of should wrap plain nodes in a scan view")
+	}
+}

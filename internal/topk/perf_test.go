@@ -8,7 +8,7 @@ import (
 
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
-	"ripple/internal/overlay"
+	"ripple/internal/storage"
 )
 
 // localScoresReference is the pre-heap implementation of the local score
@@ -86,22 +86,23 @@ func TestTopScoresMatchesFullSort(t *testing.T) {
 	}
 }
 
-// indexedStub wraps stubNode with a per-instance cached score index, the way
-// a networked peer does for the duration of one query.
+// indexedStub wraps stubNode with an R-tree store, the way a peer whose zone
+// runs the indexed engine exposes it to processors.
 type indexedStub struct {
 	stubNode
-	ix *overlay.Index
+	st storage.Store
 }
 
-func (s *indexedStub) ScoreIndex(key func(geom.Point) float64) *overlay.Index {
-	if s.ix == nil {
-		s.ix = overlay.BuildIndex(s.tuples, key)
+func (s *indexedStub) Store() storage.Store {
+	if s.st == nil {
+		s.st = storage.NewRTree(s.tuples)
 	}
-	return s.ix
+	return s.st
 }
 
-// TestIndexedPathsMatchScanPaths: LocalState must be identical and
-// LocalAnswer set-equal whether the node exposes a score index or not.
+// TestIndexedPathsMatchScanPaths: LocalState and LocalAnswer must be
+// byte-identical whether the node's zone is served by the scan baseline or
+// the R-tree engine.
 func TestIndexedPathsMatchScanPaths(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for _, size := range []int{0, 1, 3, 40, 200} {
@@ -129,18 +130,9 @@ func TestIndexedPathsMatchScanPaths(t *testing.T) {
 				if len(ap) != len(ai) {
 					t.Fatalf("size %d k %d: answer sizes %d != %d", size, k, len(ap), len(ai))
 				}
-				ids := func(ts []dataset.Tuple) []uint64 {
-					out := make([]uint64, len(ts))
-					for i, u := range ts {
-						out[i] = u.ID
-					}
-					sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-					return out
-				}
-				ip, ii := ids(ap), ids(ai)
-				for i := range ip {
-					if ip[i] != ii[i] {
-						t.Fatalf("size %d k %d: answer sets differ: %v vs %v", size, k, ip, ii)
+				for i := range ap {
+					if ap[i].ID != ai[i].ID {
+						t.Fatalf("size %d k %d: answers differ at %d: %v vs %v", size, k, i, ap[i].ID, ai[i].ID)
 					}
 				}
 			}
@@ -157,15 +149,15 @@ func TestIndexedLocalAnswerIsCopied(t *testing.T) {
 	if len(a) == 0 {
 		t.Fatal("expected a non-empty answer")
 	}
-	// Appending to the answer (as reply assembly does) must not corrupt the
-	// index backing the node.
-	before := append([]dataset.Tuple(nil), w.ix.Above(math.Inf(-1))...)
+	// Appending to and overwriting the answer (as reply assembly does) must
+	// not corrupt the store backing the node.
+	before := append([]dataset.Tuple(nil), w.Store().Tuples()...)
 	_ = append(a, dataset.Tuple{ID: 999})
 	a[0] = dataset.Tuple{ID: 888}
-	after := w.ix.Above(math.Inf(-1))
+	after := w.Store().Tuples()
 	for i := range before {
 		if before[i].ID != after[i].ID {
-			t.Fatalf("index mutated through the answer slice at %d", i)
+			t.Fatalf("store mutated through the answer slice at %d", i)
 		}
 	}
 }

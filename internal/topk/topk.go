@@ -15,6 +15,7 @@ import (
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
 	"ripple/internal/sim"
+	"ripple/internal/storage"
 )
 
 // Scorer is the paper's unimodal scoring function f together with the upper
@@ -126,15 +127,11 @@ func (p *Processor) regionBound(r overlay.Region) float64 {
 func (p *Processor) LocalState(w overlay.Node, global core.State) core.State {
 	g := global.(state)
 	// Only the K best local scores can ever be taken (take ≤ K ≤ len(scores)
-	// below), so a bounded heap — or an index prefix — replaces the full sort.
-	var scores []float64
-	var n int
-	if ix := overlay.IndexOf(w, p.F.Score); ix != nil {
-		scores, n = ix.TopScores(p.K), ix.Len()
-	} else {
-		ts := w.Tuples()
-		scores, n = topScores(ts, p.F, p.K), len(ts)
-	}
+	// below), so the store's best-first traversal replaces the full sort; on
+	// an R-tree zone, only subtrees whose f⁺ can still qualify are expanded.
+	st := storage.Of(w)
+	scores := storage.TopScores(st, p.K, p.F.Score, p.F.UpperBound)
+	n := st.Len()
 
 	above := 0
 	for _, s := range scores {
@@ -198,25 +195,15 @@ func (p *Processor) LinkPriority(w overlay.Node, region overlay.Region) float64 
 }
 
 // LocalAnswer implements computeLocalAnswer (Algorithm 6): all local tuples
-// scoring at least the final local threshold. (The paper says "better than";
-// we use >= so the threshold tuple itself is never dropped.)
+// scoring at least the final local threshold, in canonical (score descending,
+// ID ascending) order. (The paper says "better than"; we use >= so the
+// threshold tuple itself is never dropped.)
 func (p *Processor) LocalAnswer(w overlay.Node, local core.State) []dataset.Tuple {
 	l := local.(state)
 	if l.m == 0 {
 		return nil
 	}
-	if ix := overlay.IndexOf(w, p.F.Score); ix != nil {
-		// Copy: Above aliases the index, and reply assembly appends to the
-		// returned slice.
-		return append([]dataset.Tuple(nil), ix.Above(l.tau)...)
-	}
-	var out []dataset.Tuple
-	for _, t := range w.Tuples() {
-		if p.F.Score(t.Vec) >= l.tau {
-			out = append(out, t)
-		}
-	}
-	return out
+	return storage.Above(storage.Of(w), l.tau, p.F.Score, p.F.UpperBound)
 }
 
 // scoreHeap is a min-heap of float64 scores: the root is the worst of the

@@ -33,6 +33,7 @@ import (
 	"ripple/internal/dataset"
 	"ripple/internal/diversify"
 	"ripple/internal/geom"
+	"ripple/internal/knn"
 	"ripple/internal/midas"
 	"ripple/internal/netpeer"
 	"ripple/internal/overlay"
@@ -40,6 +41,7 @@ import (
 	"ripple/internal/rangeq"
 	"ripple/internal/sim"
 	"ripple/internal/skyline"
+	"ripple/internal/storage"
 	"ripple/internal/topk"
 	"ripple/internal/trace"
 	"ripple/internal/wire"
@@ -245,6 +247,10 @@ type (
 	SkylineProcessor = skyline.Processor
 	// DiversifyProcessor is the single-tuple diversification plug-in (§6.2).
 	DiversifyProcessor = diversify.Processor
+	// KNNProcessor is the k-nearest-neighbour plug-in, stated directly in
+	// distance space over the storage engine (the exact dual of top-k with
+	// the Nearest scorer).
+	KNNProcessor = knn.Processor
 
 	// Cluster is the asynchronous actor runtime: one goroutine per peer,
 	// queries as real messages, validated to match the structural engine.
@@ -262,10 +268,23 @@ func Range(initiator Node, area RangeShape) ([]Tuple, Stats) {
 	return rangeq.Run(initiator, area)
 }
 
-// KNN answers a k-nearest-neighbour query under the given metric by running
-// a top-k rank query with a distance scorer.
+// KNN answers a k-nearest-neighbour query under the given metric with the
+// dedicated kNN processor: local steps are best-first descents of the peer's
+// storage engine, and answers are byte-identical to running a top-k rank
+// query with the Nearest distance scorer (the two are exact duals). A nil
+// metric means Euclidean.
 func KNN(initiator Node, center Point, k int, m Metric, r int) ([]Tuple, Stats) {
-	return topk.Run(initiator, Nearest{Center: center, Metric: m}, k, r)
+	return knn.Run(initiator, center, k, m, r)
+}
+
+// KNNBrute is the centralized kNN reference answer.
+func KNNBrute(ts []Tuple, center Point, k int, m Metric) []Tuple {
+	return knn.Brute(ts, center, k, m)
+}
+
+// KNNSelect merges convergecast answers into the final k nearest tuples.
+func KNNSelect(answers []Tuple, center Point, k int, m Metric) []Tuple {
+	return knn.Select(answers, center, k, m)
 }
 
 // NewCluster starts the asynchronous actor runtime over an overlay snapshot
@@ -308,7 +327,35 @@ type (
 	TopKWire = topk.WireCodec
 	// SkylineWire serialises skyline queries.
 	SkylineWire = skyline.WireCodec
+	// KNNWire serialises k-nearest-neighbour queries.
+	KNNWire = knn.WireCodec
 )
+
+// Peer-local storage engine (DESIGN.md §14): every peer serves its zone share
+// through the Store interface, with a flat-scan baseline and an R-tree.
+type (
+	// Store is the peer-local storage engine interface.
+	Store = storage.Store
+	// StorageKind selects a storage engine by name.
+	StorageKind = storage.Kind
+)
+
+// Storage engine selections for overlay, engine and server options.
+const (
+	// StorageAuto defers to the node's own engine (options zero value).
+	StorageAuto = storage.KindAuto
+	// StorageScan selects the flat-slice reference baseline.
+	StorageScan = storage.KindScan
+	// StorageRTree selects the R-tree engine.
+	StorageRTree = storage.KindRTree
+)
+
+// ParseStorageKind validates a -storage flag value ("scan" or "rtree").
+func ParseStorageKind(s string) (StorageKind, error) { return storage.ParseKind(s) }
+
+// StoreOf returns the storage engine serving a node's tuples: the node's own
+// store when it provides one, a flat scan view otherwise.
+func StoreOf(w Node) Store { return overlay.StoreOf(w) }
 
 // DeployTCP starts one TCP server per peer of an overlay snapshot on
 // loopback addresses and wires the neighbour tables. Close every returned
