@@ -1,13 +1,19 @@
 // Command ripple-vet is the repository's invariant checker: a multichecker
-// over the internal/lint analyzers (determinism, statealias, lockcheck,
-// ctxdeadline, errlost). It runs as part of `make verify` and CI; see
-// DESIGN.md §10 for the enforced invariants and the suppression convention.
+// over the internal/lint analyzers — the syntactic five (determinism,
+// statealias, lockcheck, ctxdeadline, errlost) plus the flow-sensitive five
+// built on the per-function CFG and cross-package fact base (poolcheck,
+// wiredet, lockorder, storeinval, goroleak). Stale //lint:ignore
+// suppressions are reported too. It runs as part of `make verify` and CI;
+// see DESIGN.md §10 for the enforced invariants and the suppression
+// convention.
 //
 // Usage:
 //
 //	ripple-vet ./...                  # the pre-merge gate
 //	ripple-vet -list                  # what is enforced
 //	ripple-vet -analyzers errlost ./internal/netpeer
+//	ripple-vet -json ./...            # findings as a JSON array
+//	ripple-vet -sarif ./...           # findings as SARIF 2.1.0 (CI artifact)
 package main
 
 import (

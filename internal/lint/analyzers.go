@@ -2,7 +2,9 @@ package lint
 
 import "strings"
 
-// Analyzers returns the full ripple-vet suite.
+// Analyzers returns the full ripple-vet suite: the five syntactic matchers
+// from PR 3 plus the five flow-sensitive analyzers built on the CFG/facts
+// layer (cfg.go, facts.go).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -10,6 +12,11 @@ func Analyzers() []*Analyzer {
 		LockCheckAnalyzer,
 		CtxDeadlineAnalyzer,
 		ErrLostAnalyzer,
+		PoolCheckAnalyzer,
+		WireDetAnalyzer,
+		LockOrderAnalyzer,
+		StoreInvalAnalyzer,
+		GoroLeakAnalyzer,
 	}
 }
 
@@ -29,12 +36,22 @@ var DefaultScope = map[string][]string{
 		"internal/overlay", "internal/midas", "internal/can", "internal/chord",
 		"internal/baton",
 	},
-	"statealias": {},
-	"lockcheck":  {"internal/metrics", "internal/async", "internal/netpeer"},
+	"statealias":  {},
+	"lockcheck":   {"internal/metrics", "internal/async", "internal/netpeer"},
 	"ctxdeadline": {"internal/netpeer"},
 	"errlost": {
 		"internal/core", "internal/async", "internal/netpeer", "internal/metrics",
 	},
+	// The flow-sensitive analyzers self-limit: poolcheck only fires where a
+	// pool-like type is used, storeinval where a storage.Provider is defined,
+	// goroleak where a shutdown-owning component lives, lockorder on the
+	// whole-program acquisition graph, and wiredet needs map-ordered taint
+	// plus an encode sink in the same function. Empty scope = run everywhere.
+	"poolcheck":  {},
+	"wiredet":    {},
+	"lockorder":  {},
+	"storeinval": {},
+	"goroleak":   {},
 }
 
 // InScope reports whether an analyzer's default scope covers a package.

@@ -1,0 +1,509 @@
+// Per-function control-flow graphs over go/ast, built for the flow-sensitive
+// analyzers (poolcheck, storeinval). The graph is deliberately coarse: a block
+// is a maximal straight-line run of statements, expressions never branch
+// (short-circuit operators stay inside their statement node), and function
+// literals are opaque nodes of the enclosing statement. That is exactly the
+// granularity the analyzers reason at — "does every path from this statement
+// to the function exit pass a release/invalidate call" — and it keeps the
+// builder small enough to audit by eye.
+//
+// Terminators are classified three ways:
+//   - return statements and falling off the end edge into the synthetic exit
+//     block: these are the paths a resource can leak on;
+//   - panic(...): also an edge into exit — a panic unwinds out of the
+//     function past any non-deferred cleanup, so a Put that only happens on
+//     the normal path is a leak on the panic path;
+//   - os.Exit / log.Fatal* / runtime.Goexit: an edge into a dead-end halt
+//     block with no successors. The process (or goroutine) is gone; nothing
+//     "leaks" in a way any invariant cares about.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one straight-line run of statements.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock // synthetic: every return and the fall-off-the-end path
+	halt   *cfgBlock // synthetic dead end: os.Exit/log.Fatal-style terminators
+	blocks []*cfgBlock
+}
+
+type loopFrame struct {
+	label     string
+	brk, cont *cfgBlock // cont nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	g      *funcCFG
+	cur    *cfgBlock
+	frames []loopFrame
+	labels map[string]*cfgBlock // goto targets
+	// fallthroughTo is the next case body while building a switch case.
+	fallthroughTo *cfgBlock
+	// pendingLabel names the loop statement a LabeledStmt wraps, so labeled
+	// break/continue resolve to the right frame.
+	pendingLabel string
+	// info lets the builder classify terminator calls; may be nil in tests.
+	info typesInfoLite
+}
+
+// typesInfoLite is the single lookup the builder needs from go/types, kept as
+// an interface so cfg unit tests can run on parsed-but-unchecked sources.
+type typesInfoLite interface {
+	calleePathName(call *ast.CallExpr) (pkgPath, name string, ok bool)
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// buildCFG constructs the graph for one function body. info may be nil, in
+// which case only the predeclared panic is recognised as a terminator.
+func buildCFG(body *ast.BlockStmt, info typesInfoLite) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g, labels: make(map[string]*cfgBlock), info: info}
+	g.exit = &cfgBlock{}
+	g.halt = &cfgBlock{}
+	g.entry = b.newBlock()
+	b.cur = g.entry
+	b.stmts(body.List)
+	edge(b.cur, g.exit)
+	g.blocks = append(g.blocks, g.exit, g.halt)
+	return g
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+// dead parks the builder on an unreachable block after a jump.
+func (b *cfgBuilder) dead() { b.cur = b.newBlock() }
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		edge(head, then)
+		var alt *cfgBlock
+		if s.Else != nil {
+			alt = b.newBlock()
+			edge(head, alt)
+		} else {
+			edge(head, after)
+		}
+		b.cur = then
+		b.stmts(s.Body.List)
+		edge(b.cur, after)
+		if alt != nil {
+			b.cur = alt
+			b.stmt(s.Else)
+			edge(b.cur, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			edge(head, after) // an uncond. loop only exits via break/return
+		}
+		cont := head
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		body := b.newBlock()
+		edge(head, body)
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmts(s.Body.List)
+		if post != nil {
+			edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+		}
+		edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		edge(b.cur, head)
+		head.nodes = append(head.nodes, s.X, s)
+		after := b.newBlock()
+		body := b.newBlock()
+		edge(head, body)
+		edge(head, after)
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmts(s.Body.List)
+		edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, brk: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			edge(head, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmts(cc.Body)
+			edge(b.cur, after)
+		}
+		if len(s.Body.List) == 0 {
+			edge(head, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+	case *ast.ReturnStmt:
+		b.add(s)
+		edge(b.cur, b.g.exit)
+		b.dead()
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			switch b.terminatorClass(call) {
+			case termPanic:
+				edge(b.cur, b.g.exit)
+				b.dead()
+			case termHalt:
+				edge(b.cur, b.g.halt)
+				b.dead()
+			}
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Assign, Decl, Defer, Go, Send, IncDec, ...: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) switchStmt(s ast.Stmt) {
+	label := b.takeLabel()
+	var init ast.Stmt
+	var clauses []ast.Stmt
+	var tag ast.Node
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init, tag, clauses = s.Init, s.Tag, s.Body.List
+	case *ast.TypeSwitchStmt:
+		init, tag, clauses = s.Init, s.Assign, s.Body.List
+	}
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	head := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	caseBlocks := make([]*cfgBlock, len(clauses))
+	for i, c := range clauses {
+		caseBlocks[i] = b.newBlock()
+		edge(head, caseBlocks[i])
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		edge(head, after)
+	}
+	b.frames = append(b.frames, loopFrame{label: label, brk: after})
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = caseBlocks[i]
+		if i+1 < len(caseBlocks) {
+			b.fallthroughTo = caseBlocks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmts(cc.Body)
+		edge(b.cur, after)
+	}
+	b.fallthroughTo = nil
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if name == "" || f.label == name {
+				edge(b.cur, f.brk)
+				b.dead()
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.cont != nil && (name == "" || f.label == name) {
+				edge(b.cur, f.cont)
+				b.dead()
+				return
+			}
+		}
+	case token.GOTO:
+		if name != "" {
+			edge(b.cur, b.labelBlock(name))
+			b.dead()
+			return
+		}
+	case token.FALLTHROUGH:
+		if b.fallthroughTo != nil {
+			edge(b.cur, b.fallthroughTo)
+			b.dead()
+			return
+		}
+	}
+	// Unresolvable branch (malformed input): fall through conservatively.
+	b.add(s)
+}
+
+func (b *cfgBuilder) labelBlock(name string) *cfgBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+type termClass int
+
+const (
+	termNone termClass = iota
+	termPanic
+	termHalt
+)
+
+// terminatorClass classifies a call statement that never returns.
+func (b *cfgBuilder) terminatorClass(call *ast.CallExpr) termClass {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		return termPanic
+	}
+	if b.info == nil {
+		return termNone
+	}
+	path, name, ok := b.info.calleePathName(call)
+	if !ok {
+		return termNone
+	}
+	switch {
+	case path == "os" && name == "Exit",
+		path == "runtime" && name == "Goexit",
+		path == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln"):
+		return termHalt
+	}
+	return termNone
+}
+
+// ---- queries ----
+
+// findNode locates the block and node index containing n (by position).
+func (g *funcCFG) findNode(n ast.Node) (*cfgBlock, int) {
+	for _, blk := range g.blocks {
+		for i, node := range blk.nodes {
+			if node == n {
+				return blk, i
+			}
+		}
+	}
+	// Fall back to containment: n may be a subexpression of a statement node.
+	for _, blk := range g.blocks {
+		for i, node := range blk.nodes {
+			if node.Pos() <= n.Pos() && n.End() <= node.End() {
+				return blk, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// mustReach reports whether every path from the statement after start to the
+// function exit passes a node satisfying sat. When it does not, the returned
+// witness is the last node of one escaping path (typically the return
+// statement the resource leaks through); witness may be nil when the escape
+// is the implicit fall-off-the-end return.
+func (g *funcCFG) mustReach(start ast.Node, sat func(ast.Node) bool) (bool, ast.Node) {
+	startBlk, idx := g.findNode(start)
+	if startBlk == nil {
+		return true, nil // not in the graph: nothing to prove
+	}
+	// The remainder of the start block satisfies the requirement directly.
+	for _, n := range startBlk.nodes[idx+1:] {
+		if sat(n) {
+			return true, nil
+		}
+	}
+	// clean[b]: from the start of b there is a path to exit that never passes
+	// a satisfying node. Computed by reverse propagation from exit.
+	blockSat := make(map[*cfgBlock]bool, len(g.blocks))
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			if sat(n) {
+				blockSat[blk] = true
+				break
+			}
+		}
+	}
+	clean := map[*cfgBlock]bool{g.exit: true}
+	preds := make(map[*cfgBlock][]*cfgBlock)
+	for _, blk := range g.blocks {
+		for _, s := range blk.succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+	work := []*cfgBlock{g.exit}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range preds[blk] {
+			if clean[p] || blockSat[p] {
+				continue
+			}
+			clean[p] = true
+			work = append(work, p)
+		}
+	}
+	for _, s := range startBlk.succs {
+		if clean[s] {
+			return false, g.witness(s, clean)
+		}
+	}
+	return true, nil
+}
+
+// witness walks one clean path to exit and returns its last real node.
+func (g *funcCFG) witness(from *cfgBlock, clean map[*cfgBlock]bool) ast.Node {
+	var last ast.Node
+	seen := make(map[*cfgBlock]bool)
+	for blk := from; blk != nil && blk != g.exit && !seen[blk]; {
+		seen[blk] = true
+		if len(blk.nodes) > 0 {
+			last = blk.nodes[len(blk.nodes)-1]
+		}
+		var next *cfgBlock
+		for _, s := range blk.succs {
+			if clean[s] {
+				next = s
+				break
+			}
+		}
+		blk = next
+	}
+	return last
+}
+
+// reachableUses calls visit for every node on some path strictly after start,
+// stopping a path when visit returns false (e.g. the tracked variable was
+// reassigned). Used for use-after-Put detection.
+func (g *funcCFG) reachableUses(start ast.Node, visit func(ast.Node) bool) {
+	startBlk, idx := g.findNode(start)
+	if startBlk == nil {
+		return
+	}
+	for _, n := range startBlk.nodes[idx+1:] {
+		if !visit(n) {
+			return
+		}
+	}
+	seen := map[*cfgBlock]bool{}
+	var walk func(blk *cfgBlock)
+	walk = func(blk *cfgBlock) {
+		if seen[blk] {
+			return
+		}
+		seen[blk] = true
+		for _, n := range blk.nodes {
+			if !visit(n) {
+				return
+			}
+		}
+		for _, s := range blk.succs {
+			walk(s)
+		}
+	}
+	for _, s := range startBlk.succs {
+		walk(s)
+	}
+}

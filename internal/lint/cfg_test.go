@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses one function body from a source fragment; the CFG builder
+// runs on unchecked ASTs, so no type information is needed.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// callNamed reports whether the subtree contains a call to the bare
+// identifier name.
+func callNamed(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// findStmt locates the expression statement calling name (not an enclosing
+// compound statement, which would also "contain" the call).
+func findStmt(t *testing.T, body *ast.BlockStmt, name string) ast.Stmt {
+	t.Helper()
+	var hit ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		if s, ok := n.(*ast.ExprStmt); ok && callNamed(s, name) {
+			hit = s
+			return false
+		}
+		return true
+	})
+	if hit == nil {
+		t.Fatalf("no statement calling %s in fixture", name)
+	}
+	return hit
+}
+
+// stubInfo resolves pkg.Name selector calls syntactically, standing in for
+// go/types in terminator classification.
+type stubInfo struct{}
+
+func (stubInfo) calleePathName(call *ast.CallExpr) (string, string, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkg, ok := sel.X.(*ast.Ident); ok {
+			return pkg.Name, sel.Sel.Name, true
+		}
+	}
+	return "", "", false
+}
+
+// checkReach builds the CFG for body and asks whether every path from the
+// get() statement to the exit passes a rel() call.
+func checkReach(t *testing.T, body string) bool {
+	t.Helper()
+	b := parseBody(t, body)
+	g := buildCFG(b, stubInfo{})
+	start := findStmt(t, b, "get")
+	ok, _ := g.mustReach(start, func(n ast.Node) bool { return callNamed(n, "rel") })
+	return ok
+}
+
+func TestMustReachStraightLine(t *testing.T) {
+	if !checkReach(t, "get()\nrel()") {
+		t.Error("straight-line release not reached")
+	}
+}
+
+func TestMustReachMissingOnBranch(t *testing.T) {
+	if checkReach(t, "get()\nif c {\n\trel()\n}") {
+		t.Error("release only on one branch should not satisfy mustReach")
+	}
+}
+
+func TestMustReachBothBranches(t *testing.T) {
+	if !checkReach(t, "get()\nif c {\n\trel()\n} else {\n\trel()\n}") {
+		t.Error("release on both branches should satisfy mustReach")
+	}
+}
+
+func TestMustReachEarlyReturnLeaks(t *testing.T) {
+	if checkReach(t, "get()\nif c {\n\treturn\n}\nrel()") {
+		t.Error("early return before the release should fail mustReach")
+	}
+}
+
+func TestMustReachAfterLoop(t *testing.T) {
+	if !checkReach(t, "get()\nfor i := 0; i < n; i++ {\n\twork()\n}\nrel()") {
+		t.Error("release after a loop should satisfy mustReach")
+	}
+}
+
+func TestMustReachPanicUnwinds(t *testing.T) {
+	// A panic exits the function past the non-deferred release.
+	if checkReach(t, "get()\nif c {\n\tpanic(\"x\")\n}\nrel()") {
+		t.Error("panic path skips the release; mustReach should fail")
+	}
+}
+
+func TestMustReachHaltExempt(t *testing.T) {
+	// os.Exit never returns: the process is gone, nothing leaks.
+	if !checkReach(t, "get()\nif c {\n\tos.Exit(1)\n}\nrel()") {
+		t.Error("os.Exit path should be exempt from the release obligation")
+	}
+}
+
+func TestMustReachSwitchNeedsDefault(t *testing.T) {
+	if checkReach(t, "get()\nswitch x {\ncase 1:\n\trel()\n}") {
+		t.Error("switch without default has a releasing-free path")
+	}
+	if !checkReach(t, "get()\nswitch x {\ncase 1:\n\trel()\ndefault:\n\trel()\n}") {
+		t.Error("release in every case including default should satisfy mustReach")
+	}
+}
+
+func TestMustReachLoopBreak(t *testing.T) {
+	if checkReach(t, "get()\nfor {\n\tif c {\n\t\tbreak\n\t}\n\trel()\n\treturn\n}") {
+		t.Error("break path exits the loop without releasing")
+	}
+}
+
+func TestReachableUsesStrictlyAfter(t *testing.T) {
+	b := parseBody(t, "get()\nuse()\nrel()")
+	g := buildCFG(b, stubInfo{})
+	start := findStmt(t, b, "get")
+	var names []string
+	g.reachableUses(start, func(n ast.Node) bool {
+		for _, name := range []string{"get", "use", "rel"} {
+			if callNamed(n, name) {
+				names = append(names, name)
+			}
+		}
+		return true
+	})
+	if len(names) != 2 || names[0] != "use" || names[1] != "rel" {
+		t.Errorf("reachableUses visited %v, want [use rel] (strictly after start)", names)
+	}
+}
+
+func TestReachableUsesStopsPath(t *testing.T) {
+	b := parseBody(t, "get()\nstop()\nuse()")
+	g := buildCFG(b, stubInfo{})
+	start := findStmt(t, b, "get")
+	sawUse := false
+	g.reachableUses(start, func(n ast.Node) bool {
+		if callNamed(n, "use") {
+			sawUse = true
+		}
+		return !callNamed(n, "stop")
+	})
+	if sawUse {
+		t.Error("visit returning false should stop the path before use()")
+	}
+}

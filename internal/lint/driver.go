@@ -4,13 +4,23 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Main is the ripple-vet multichecker entry point: it loads the packages
-// matching the patterns (default ./...), runs every analyzer over its scoped
-// packages, and prints findings as `file:line:col: analyzer: message`.
+// matching the patterns (default ./...), computes the cross-package fact
+// base once, runs every analyzer over its scoped packages — packages in
+// parallel, analyzers serially within each so suppression bookkeeping needs
+// no locks — and prints findings as `file:line:col: analyzer: message`
+// (or JSON / SARIF 2.1.0 with -json / -sarif).
+//
+// After the analyzers, reasoned //lint:ignore directives that suppressed
+// nothing are reported as stale — provided every analyzer they name actually
+// ran on that package, since otherwise the absence of findings proves
+// nothing.
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or load failure — so `make
 // verify` and CI fail on any violation.
@@ -21,11 +31,14 @@ func Main(stdout, stderr io.Writer, dir string, args []string) int {
 		list     = fs.Bool("list", false, "list the analyzers and exit")
 		only     = fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 		unscoped = fs.Bool("unscoped", false, "ignore the default package scopes and run every analyzer everywhere")
+		jsonOut  = fs.Bool("json", false, "print findings as a JSON array")
+		sarifOut = fs.Bool("sarif", false, "print findings as a SARIF 2.1.0 log")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: ripple-vet [flags] [packages]\n\n"+
 			"ripple-vet enforces RIPPLE's determinism, aliasing, locking, deadline,\n"+
-			"and failure-accounting invariants (DESIGN.md §10).\n\n")
+			"failure-accounting, pool-hygiene, wire-order, lock-order, store-invalidation,\n"+
+			"and shutdown-coverage invariants (DESIGN.md §10).\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -36,6 +49,10 @@ func Main(stdout, stderr io.Writer, dir string, args []string) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "ripple-vet: -json and -sarif are mutually exclusive")
+		return 2
 	}
 	selected, err := selectAnalyzers(*only)
 	if err != nil {
@@ -51,39 +68,103 @@ func Main(stdout, stderr io.Writer, dir string, args []string) int {
 		fmt.Fprintln(stderr, "ripple-vet:", err)
 		return 2
 	}
-	var all []Diagnostic
-	var fsets []*Package
-	for _, pkg := range pkgs {
+
+	// One fact base over the whole load, so whole-program analyzers
+	// (lockorder) and helper-aware ones (poolcheck, storeinval, goroleak)
+	// see across package boundaries.
+	facts := ComputeFacts(pkgs)
+
+	// Packages analysed in parallel; analyzers run serially within each
+	// package so a package's directive usage and diagnostics need no locks.
+	pkgDiags := make([][]Diagnostic, len(pkgs))
+	pkgErrs := make([]error, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ran := make(map[string]bool, len(selected))
+			var diags []Diagnostic
+			for _, a := range selected {
+				if !*unscoped && !InScope(a.Name, pkg.Path) {
+					continue
+				}
+				ds, err := RunWithFacts(a, pkg, facts)
+				if err != nil {
+					pkgErrs[i] = err
+					return
+				}
+				ran[a.Name] = true
+				diags = append(diags, ds...)
+			}
+			diags = append(diags, staleIgnores(pkg, ran)...)
+			pkgDiags[i] = diags
+		}(i, pkg)
+	}
+	wg.Wait()
+	for _, err := range pkgErrs {
+		if err != nil {
+			fmt.Fprintln(stderr, "ripple-vet:", err)
+			return 2
+		}
+	}
+
+	var all []locatedDiag
+	for i, pkg := range pkgs {
+		for _, d := range pkgDiags[i] {
+			pos := pkg.Fset.Position(d.Pos)
+			all = append(all, locatedDiag{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	switch {
+	case *jsonOut:
+		if err := writeJSON(stdout, all); err != nil {
+			fmt.Fprintln(stderr, "ripple-vet:", err)
+			return 2
+		}
+	case *sarifOut:
+		rules := make([]sarifRuleDoc, 0, len(selected)+1)
 		for _, a := range selected {
-			if !*unscoped && !InScope(a.Name, pkg.Path) {
-				continue
-			}
-			diags, err := Run(a, pkg)
-			if err != nil {
-				fmt.Fprintln(stderr, "ripple-vet:", err)
-				return 2
-			}
-			for range diags {
-				fsets = append(fsets, pkg)
-			}
-			all = append(all, diags...)
+			rules = append(rules, sarifRuleDoc{ID: a.Name, Doc: a.Doc})
 		}
-	}
-	type located struct {
-		pos  string
-		line string
-	}
-	out := make([]located, len(all))
-	for i, d := range all {
-		pos := fsets[i].Fset.Position(d.Pos)
-		out[i] = located{
-			pos:  pos.String(),
-			line: fmt.Sprintf("%s: %s: %s", pos, d.Analyzer, d.Message),
+		rules = append(rules, sarifRuleDoc{
+			ID:  suppressionAnalyzer,
+			Doc: "suppression hygiene: //lint:ignore directives must carry a reason and still suppress something",
+		})
+		if err := writeSARIF(stdout, dir, rules, all); err != nil {
+			fmt.Fprintln(stderr, "ripple-vet:", err)
+			return 2
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
-	for _, l := range out {
-		fmt.Fprintln(stdout, l.line)
+	default:
+		for _, d := range all {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+		}
 	}
 	if len(all) > 0 {
 		fmt.Fprintf(stderr, "ripple-vet: %d finding(s)\n", len(all))

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -66,5 +67,168 @@ func TestMainUnknownAnalyzer(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := Main(&stdout, &stderr, ".", []string{"-analyzers", "nope"}); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestMainJSON: -json emits a machine-readable array with the same findings
+// and the same exit code as the text mode.
+func TestMainJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main(&stdout, &stderr, ".",
+		[]string{"-json", "-analyzers", "poolcheck", "./testdata/poolcheck/bad"})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output is empty, want the seeded findings")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Analyzer != "poolcheck" || d.Message == "" {
+			t.Errorf("malformed JSON finding: %+v", d)
+		}
+	}
+}
+
+// TestMainJSONClean: a clean run emits an empty array (not null) and exits
+// zero, so consumers can index the output unconditionally.
+func TestMainJSONClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main(&stdout, &stderr, ".",
+		[]string{"-json", "-analyzers", "poolcheck", "./testdata/poolcheck/clean"})
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestMainSARIF validates the -sarif output against the SARIF 2.1.0
+// structure scanners consume: schema/version identifiers, a named tool
+// driver with rules, and results whose ruleId/ruleIndex resolve into the
+// rules array and whose locations carry a file and a 1-based region.
+func TestMainSARIF(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main(&stdout, &stderr, ".",
+		[]string{"-sarif", "-analyzers", "poolcheck", "./testdata/poolcheck/bad"})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("$schema = %q, want the SARIF 2.1.0 schema URI", log.Schema)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want exactly 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "ripple-vet" {
+		t.Errorf("tool.driver.name = %q, want ripple-vet", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) == 0 {
+		t.Fatal("tool.driver.rules is empty")
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("results is empty, want the seeded findings")
+	}
+	for i, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Errorf("result %d: ruleIndex %d out of range", i, r.RuleIndex)
+			continue
+		}
+		if got := run.Tool.Driver.Rules[r.RuleIndex].ID; got != r.RuleID {
+			t.Errorf("result %d: ruleIndex resolves to %q, ruleId says %q", i, got, r.RuleID)
+		}
+		if r.Level != "error" {
+			t.Errorf("result %d: level = %q, want error", i, r.Level)
+		}
+		if r.Message.Text == "" {
+			t.Errorf("result %d: empty message", i)
+		}
+		if len(r.Locations) != 1 {
+			t.Errorf("result %d: locations = %d, want 1", i, len(r.Locations))
+			continue
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("result %d: bad artifact URI %q", i, loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine <= 0 || loc.Region.StartColumn <= 0 {
+			t.Errorf("result %d: region %+v not 1-based", i, loc.Region)
+		}
+	}
+}
+
+// TestMainJSONAndSARIFExclusive: asking for both formats is a usage error.
+func TestMainJSONAndSARIFExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main(&stdout, &stderr, ".", []string{"-json", "-sarif"}); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestMainStaleSuppression: the driver surfaces a stale reasoned directive
+// as a finding with exit code 1.
+func TestMainStaleSuppression(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main(&stdout, &stderr, ".",
+		[]string{"-unscoped", "-analyzers", "determinism", "./testdata/ignore/stale"})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stdout: %s stderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "stale //lint:ignore") {
+		t.Errorf("stale-directive finding missing from output:\n%s", stdout.String())
 	}
 }

@@ -95,6 +95,70 @@ func TestErrLostFixtures(t *testing.T) {
 	runFixture(t, ErrLostAnalyzer, "clean")
 }
 
+func TestPoolCheckFixtures(t *testing.T) {
+	runFixture(t, PoolCheckAnalyzer, "bad")
+	runFixture(t, PoolCheckAnalyzer, "clean")
+}
+
+func TestWireDetFixtures(t *testing.T) {
+	runFixture(t, WireDetAnalyzer, "bad")
+	runFixture(t, WireDetAnalyzer, "clean")
+}
+
+func TestLockOrderFixtures(t *testing.T) {
+	runFixture(t, LockOrderAnalyzer, "bad")
+	runFixture(t, LockOrderAnalyzer, "clean")
+}
+
+func TestStoreInvalFixtures(t *testing.T) {
+	runFixture(t, StoreInvalAnalyzer, "bad")
+	runFixture(t, StoreInvalAnalyzer, "clean")
+}
+
+func TestGoroLeakFixtures(t *testing.T) {
+	runFixture(t, GoroLeakAnalyzer, "bad")
+	runFixture(t, GoroLeakAnalyzer, "clean")
+}
+
+// TestStaleIgnores: a reasoned directive that suppresses nothing is reported
+// as stale — but only once every analyzer it names has actually run, since
+// otherwise the absence of findings proves nothing.
+func TestStaleIgnores(t *testing.T) {
+	pkg, err := LoadDir(".", filepath.Join("testdata", "ignore", "stale"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(DeterminismAnalyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected analyzer diagnostics: %v", diags)
+	}
+	stale := staleIgnores(pkg, map[string]bool{"determinism": true})
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "stale //lint:ignore") {
+		t.Errorf("staleIgnores with determinism ran = %v, want one stale-directive finding", stale)
+	}
+	if got := staleIgnores(pkg, map[string]bool{}); len(got) != 0 {
+		t.Errorf("staleIgnores without the analyzer having run = %v, want none", got)
+	}
+}
+
+// TestUsedIgnoreNotStale: the wire/pool.go-style deliberate drop — a
+// directive that does suppress a finding — must not be reported stale.
+func TestUsedIgnoreNotStale(t *testing.T) {
+	pkg, err := LoadDir(".", filepath.Join("testdata", "ignore", "bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(DeterminismAnalyzer, pkg); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range staleIgnores(pkg, map[string]bool{"determinism": true}) {
+		t.Errorf("used directive reported stale: %s", d.Message)
+	}
+}
+
 // TestIgnoreDirectives checks both halves of the suppression convention: a
 // directive with a reason silences exactly its line, and a reason-less
 // directive silences nothing and is itself a finding.

@@ -1,0 +1,304 @@
+// goroleak: shutdown coverage for long-lived components (DESIGN.md §10.10).
+// A component that owns a shutdown signal — a struct with a chan struct{}
+// field that the package close()s — promises its goroutines die when it is
+// closed: Server.Close waits on its WaitGroup, tests leak-check with the
+// race detector, and the soak harness (ROADMAP item 4) restarts components
+// in place. Two statically checkable obligations follow for every function
+// that is a method of (or constructs) such a component:
+//
+//   - a `go` statement must be tied to shutdown: a WaitGroup Add before the
+//     spawn with a Done in the goroutine body (directly or in the callee,
+//     via facts), a receive from the shutdown channel in the body, or a
+//     send to a function-local channel the spawner drains (bounded fan-out);
+//   - time.Sleep is banned: a sleeping goroutine ignores the shutdown
+//     signal for the whole duration, delaying Close by up to the sleep —
+//     select on the channel and a timer instead.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var GoroLeakAnalyzer = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines of shutdown-owning components must be joined or signalled; no shutdown-blind sleeps",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	owners := shutdownOwners(pass)
+	if len(owners) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !ownerScoped(pass, fd, owners) {
+				continue
+			}
+			checkGoroutines(pass, fd)
+			checkSleeps(pass, fd)
+		}
+	}
+	return nil
+}
+
+// shutdownOwners finds named struct types with a chan struct{} field that is
+// close()d somewhere in this package.
+func shutdownOwners(pass *Pass) map[*types.Named]bool {
+	// Fields of type chan struct{} that are closed: close(x.f).
+	closedFields := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "close" {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+				if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil {
+					closedFields[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	out := make(map[*types.Named]bool)
+	for _, name := range pass.Pkg.Scope().Names() {
+		tn, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if !closedFields[fld] {
+				continue
+			}
+			ch, ok := fld.Type().Underlying().(*types.Chan)
+			if !ok {
+				continue
+			}
+			if s, ok := ch.Elem().Underlying().(*types.Struct); ok && s.NumFields() == 0 {
+				out[named] = true
+			}
+		}
+	}
+	return out
+}
+
+// ownerScoped: the function is a method of a shutdown owner, or constructs
+// one (a result type is an owner) — the places whose goroutines live as
+// long as the component.
+func ownerScoped(pass *Pass, fd *ast.FuncDecl, owners map[*types.Named]bool) bool {
+	isOwner := func(t types.Type) bool {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && owners[named]
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]; ok && isOwner(tv.Type) {
+			return true
+		}
+		// Receiver types are type expressions; Types may miss them, fall back
+		// to the declared object.
+		if len(fd.Recv.List[0].Names) == 1 {
+			if obj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]; obj != nil && isOwner(obj.Type()) {
+				return true
+			}
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, res := range fd.Type.Results.List {
+			if tv, ok := pass.TypesInfo.Types[res.Type]; ok && isOwner(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkSleeps(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn != nil && funcPkgPath(fn) == "time" && fn.Name() == "Sleep" {
+			pass.Reportf(call.Pos(),
+				"time.Sleep in a component with a shutdown channel ignores Close for the whole duration; select on the channel and a timer instead")
+		}
+		return true
+	})
+}
+
+func checkGoroutines(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if goroutineTied(pass, fd, g) {
+			return true
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine can outlive Close: pair it with WaitGroup Add/Done, or select on the shutdown channel in its body")
+		return true
+	})
+}
+
+// goroutineTied checks the three accepted shutdown ties.
+func goroutineTied(pass *Pass, fd *ast.FuncDecl, g *ast.GoStmt) bool {
+	info := pass.TypesInfo
+	// (a) WaitGroup: an Add before the spawn and a Done in the body.
+	if wgAddBefore(info, fd.Body, g.Pos()) && goroutineCallsDone(pass, g) {
+		return true
+	}
+	// (b) the body receives from a shutdown channel (directly or via callee).
+	if goroutineReadsShutdown(pass, g) {
+		return true
+	}
+	// (c) bounded fan-out: the body sends on a channel this function drains.
+	if rendezvousChannel(info, fd, g) {
+		return true
+	}
+	return false
+}
+
+func wgAddBefore(info *types.Info, body *ast.BlockStmt, before token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= before {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		if fn != nil && fn.Name() == "Add" && recvIsSyncType(fn, "WaitGroup") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func goroutineCallsDone(pass *Pass, g *ast.GoStmt) bool {
+	info := pass.TypesInfo
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			if fn.Name() == "Done" && recvIsSyncType(fn, "WaitGroup") {
+				found = true
+			}
+			if pass.Facts.wgDone[fn] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	fn := calleeFunc(info, g.Call)
+	return fn != nil && pass.Facts.wgDone[fn]
+}
+
+func goroutineReadsShutdown(pass *Pass, g *ast.GoStmt) bool {
+	info := pass.TypesInfo
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && isShutdownChan(info, n.X) {
+					found = true
+				}
+			case *ast.RangeStmt:
+				if isShutdownChan(info, n.X) {
+					found = true
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, n); fn != nil && pass.Facts.readsShutdown[fn] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	fn := calleeFunc(info, g.Call)
+	return fn != nil && pass.Facts.readsShutdown[fn]
+}
+
+// rendezvousChannel: the goroutine sends on a channel object that the
+// spawning function receives from outside the goroutine — the bounded
+// fan-out/fan-in shape where the spawner cannot return before the goroutine
+// finishes its send.
+func rendezvousChannel(info *types.Info, fd *ast.FuncDecl, g *ast.GoStmt) bool {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	sent := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			if obj := exprObj(info, s.Chan); obj != nil {
+				sent[obj] = true
+			}
+		}
+		return true
+	})
+	if len(sent) == 0 {
+		return false
+	}
+	drained := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil || drained {
+			return false
+		}
+		// Skip the goroutine body itself.
+		if n == lit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := exprObj(info, n.X); obj != nil && sent[obj] {
+					drained = true
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := exprObj(info, n.X); obj != nil && sent[obj] {
+				drained = true
+			}
+		}
+		return !drained
+	})
+	return drained
+}

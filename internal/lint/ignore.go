@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -16,6 +17,10 @@ type ignoreDirective struct {
 	analyzers map[string]bool
 	reason    string
 	pos       token.Pos
+	// used is set when the directive suppresses at least one diagnostic in
+	// the current run; the driver reports reasoned-but-unused directives as
+	// stale once every analyzer they name has run on the package.
+	used bool
 }
 
 const ignorePrefix = "//lint:ignore"
@@ -24,8 +29,8 @@ const ignorePrefix = "//lint:ignore"
 // Directives with no reason are returned with reason == "" and reported by
 // applyIgnores: a suppression that does not explain itself is itself a
 // finding (the acceptance bar is "zero suppressions left unexplained").
-func parseIgnores(pkg *Package) []ignoreDirective {
-	var out []ignoreDirective
+func parseIgnores(pkg *Package) []*ignoreDirective {
+	var out []*ignoreDirective
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -34,7 +39,7 @@ func parseIgnores(pkg *Package) []ignoreDirective {
 				}
 				rest := strings.TrimPrefix(c.Text, ignorePrefix)
 				fields := strings.Fields(rest)
-				d := ignoreDirective{
+				d := &ignoreDirective{
 					analyzers: make(map[string]bool),
 					pos:       c.Pos(),
 				}
@@ -60,7 +65,7 @@ func parseIgnores(pkg *Package) []ignoreDirective {
 // naming this analyzer are converted into diagnostics so they cannot silently
 // disable a check.
 func applyIgnores(analyzer string, pkg *Package, diags []Diagnostic) []Diagnostic {
-	directives := parseIgnores(pkg)
+	directives := pkg.directives()
 	var out []Diagnostic
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
@@ -71,6 +76,7 @@ func applyIgnores(analyzer string, pkg *Package, diags []Diagnostic) []Diagnosti
 			}
 			if dir.file == pos.Filename && (dir.line == pos.Line || dir.line == pos.Line-1) {
 				suppressed = true
+				dir.used = true
 				break
 			}
 		}
@@ -86,6 +92,44 @@ func applyIgnores(analyzer string, pkg *Package, diags []Diagnostic) []Diagnosti
 				Message:  "malformed //lint:ignore directive: missing reason (write `//lint:ignore " + analyzer + " <why this is safe>`)",
 			})
 		}
+	}
+	return out
+}
+
+// suppressionAnalyzer names the driver-level suppression-hygiene checks in
+// diagnostics and SARIF rules; it has no Run of its own.
+const suppressionAnalyzer = "suppression"
+
+// staleIgnores reports every reasoned directive that suppressed nothing even
+// though all the analyzers it names ran on the package: the code it excused
+// has been fixed (or rewritten), so the suppression is dead weight that
+// would silently swallow a future regression. Directives naming an analyzer
+// that did not run (deselected or out of scope this invocation) are left
+// alone — absence of findings proves nothing then.
+func staleIgnores(pkg *Package, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range pkg.directives() {
+		if dir.reason == "" || dir.used || len(dir.analyzers) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(dir.analyzers))
+		allRan := true
+		for name := range dir.analyzers {
+			names = append(names, name)
+			if !ran[name] {
+				allRan = false
+			}
+		}
+		if !allRan {
+			continue
+		}
+		sort.Strings(names)
+		out = append(out, Diagnostic{
+			Pos:      dir.pos,
+			Analyzer: suppressionAnalyzer,
+			Message: "stale //lint:ignore directive: " + strings.Join(names, ",") +
+				" no longer reports anything on this line; remove the suppression",
+		})
 	}
 	return out
 }

@@ -47,8 +47,26 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the cross-package knowledge base for the whole load (the
+	// driver computes it once over every target package; Run falls back to
+	// single-package facts for fixtures).
+	Facts *Facts
 
 	diags []Diagnostic
+	cfgs  map[*ast.BlockStmt]*funcCFG
+}
+
+// cfgOf builds (and memoises) the control-flow graph of one function body.
+func (p *Pass) cfgOf(body *ast.BlockStmt) *funcCFG {
+	if p.cfgs == nil {
+		p.cfgs = make(map[*ast.BlockStmt]*funcCFG)
+	}
+	if g, ok := p.cfgs[body]; ok {
+		return g
+	}
+	g := buildCFG(body, infoAdapter{p.TypesInfo})
+	p.cfgs[body] = g
+	return g
 }
 
 // Reportf records a violation at pos.
@@ -65,12 +83,21 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // removed, and malformed or reason-less directives are themselves reported
 // (a suppression must explain itself; see DESIGN.md §10).
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	return RunWithFacts(a, pkg, pkg.facts())
+}
+
+// RunWithFacts is Run with an explicit cross-package fact base: the driver
+// computes one Facts over every loaded package so whole-program analyzers
+// (lockorder) and helper-aware ones (poolcheck, storeinval) see past package
+// boundaries.
+func RunWithFacts(a *Analyzer, pkg *Package, facts *Facts) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
+		Facts:     facts,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, and type-checked package.
@@ -26,6 +27,26 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	factsOnce   sync.Once
+	singleFacts *Facts
+	ignoreOnce  sync.Once
+	ignores     []*ignoreDirective
+}
+
+// facts returns a fact base computed from this package alone — the fixture
+// path. The driver passes a whole-load Facts to RunWithFacts instead.
+func (p *Package) facts() *Facts {
+	p.factsOnce.Do(func() { p.singleFacts = ComputeFacts([]*Package{p}) })
+	return p.singleFacts
+}
+
+// directives returns the package's parsed //lint:ignore comments, with
+// usage tracked across every analyzer run on this package (for the stale-
+// suppression audit).
+func (p *Package) directives() []*ignoreDirective {
+	p.ignoreOnce.Do(func() { p.ignores = parseIgnores(p) })
+	return p.ignores
 }
 
 // listedPkg is the subset of `go list -json` output the loader consumes.
@@ -74,10 +95,45 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
-// goList runs `go list -deps -export` and splits the output into target
-// packages (matching the patterns) and an export-data index covering every
-// dependency.
+// goListCache memoises `go list -deps -export` by (dir, patterns) for the
+// lifetime of the process. One ripple-vet invocation (and one `go test` run
+// of this package) lists the same package graph many times — every analyzer
+// selection in the driver, every fixture's import set in LoadDir — and the
+// sources cannot change underneath a single run, so the first listing
+// answers all of them. Cached values are shared, not copied: callers treat
+// the listing and export index as read-only.
+var goListCache = struct {
+	sync.Mutex
+	m map[string]goListEntry
+}{m: make(map[string]goListEntry)}
+
+type goListEntry struct {
+	targets []listedPkg
+	exports map[string]string
+}
+
+// goList runs `go list -deps -export` (memoised per process) and splits the
+// output into target packages (matching the patterns) and an export-data
+// index covering every dependency.
 func goList(dir string, patterns []string) ([]listedPkg, map[string]string, error) {
+	key := dir + "\x00" + strings.Join(patterns, "\x00")
+	goListCache.Lock()
+	if e, ok := goListCache.m[key]; ok {
+		goListCache.Unlock()
+		return e.targets, e.exports, nil
+	}
+	goListCache.Unlock()
+	targets, exports, err := goListUncached(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	goListCache.Lock()
+	goListCache.m[key] = goListEntry{targets: targets, exports: exports}
+	goListCache.Unlock()
+	return targets, exports, nil
+}
+
+func goListUncached(dir string, patterns []string) ([]listedPkg, map[string]string, error) {
 	args := []string{"list", "-deps", "-export",
 		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Error"}
 	args = append(args, patterns...)

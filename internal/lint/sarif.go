@@ -1,0 +1,156 @@
+// SARIF 2.1.0 and JSON output for ripple-vet, so CI can publish findings as
+// a machine-readable artifact (code-scanning upload, diff tooling) instead
+// of scraping the text stream. The structs cover the minimal valid subset of
+// the schema — tool.driver with rules, results with ruleId/ruleIndex/level/
+// message/locations — which is what scanners actually consume.
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// locatedDiag is one finding with its position resolved to file/line/column
+// — the driver's output unit for every format.
+type locatedDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the findings as a JSON array (empty array, not null, when
+// clean — consumers index into it unconditionally).
+func writeJSON(w io.Writer, diags []locatedDiag) error {
+	if diags == nil {
+		diags = []locatedDiag{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+const (
+	sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	sarifVersion   = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifRuleDoc is one reportable rule: the analyzers that ran plus the
+// driver-level suppression-hygiene rule.
+type sarifRuleDoc struct {
+	ID  string
+	Doc string
+}
+
+// writeSARIF emits a single-run SARIF 2.1.0 log. File URIs are made relative
+// to root (the directory the tool ran in) with forward slashes, the form
+// code-scanning uploads expect.
+func writeSARIF(w io.Writer, root string, rules []sarifRuleDoc, diags []locatedDiag) error {
+	ruleIndex := make(map[string]int, len(rules))
+	sr := make([]sarifRule, len(rules))
+	for i, r := range rules {
+		ruleIndex[r.ID] = i
+		sr[i] = sarifRule{ID: r.ID, ShortDescription: sarifMessage{Text: r.Doc}}
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		idx, ok := ruleIndex[d.Analyzer]
+		if !ok {
+			idx = len(sr)
+			ruleIndex[d.Analyzer] = idx
+			sr = append(sr, sarifRule{ID: d.Analyzer, ShortDescription: sarifMessage{Text: d.Analyzer}})
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relativeURI(root, d.File)},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "ripple-vet", Rules: sr}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// relativeURI rewrites an absolute source path relative to root using
+// forward slashes; paths outside root stay absolute.
+func relativeURI(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,206 @@
+// storeinval: the storage.Provider mutation-invalidation contract (DESIGN.md
+// §10.9). Since PR 7 every peer type answers local queries from a lazily
+// built storage.Store derived from its tuple share; a write to the share
+// that is not followed by a store invalidation (dropStore) leaves the index
+// answering from deleted or missing tuples — silently, because the flat-scan
+// engine and the stale index often agree on small fixtures. The contract:
+// any write to a Provider's tuple-share fields must be post-dominated by an
+// invalidation call, i.e. every path from the write to the function exit
+// passes one.
+//
+// Invalidation is matched on the same variable when the receiver is
+// syntactically identifiable, falling back to any invalidator call on the
+// same Provider type for aliased writes (redistribution loops write through
+// a alias and invalidate both sources afterwards).
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var StoreInvalAnalyzer = &Analyzer{
+	Name: "storeinval",
+	Doc:  "writes to a Provider's tuple share must be post-dominated by a store invalidation",
+	Run:  runStoreInval,
+}
+
+func runStoreInval(pass *Pass) error {
+	providers := providerTypes(pass.Pkg)
+	if len(providers) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn != nil && pass.Facts.invalidates[fn] {
+				continue // the invalidator itself
+			}
+			checkStoreWrites(pass, fd.Body, providers)
+		}
+	}
+	return nil
+}
+
+// providerTypes finds the named types in this package with a Store() method
+// returning storage.Store — the storage.Provider implementations.
+func providerTypes(pkg *types.Package) map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if m.Name() != "Store" {
+				continue
+			}
+			sig, ok := m.Type().(*types.Signature)
+			if !ok || sig.Results().Len() != 1 {
+				continue
+			}
+			if isStoreType(sig.Results().At(0).Type()) {
+				out[named] = true
+			}
+		}
+	}
+	return out
+}
+
+// guardedField reports whether sel writes a tuple-share field of a Provider
+// type: a []dataset.Tuple field, or a field named links or zone.
+func guardedField(pass *Pass, providers map[*types.Named]bool, sel *ast.SelectorExpr) (types.Object, *types.Named, bool) {
+	fieldObj := pass.TypesInfo.Uses[sel.Sel]
+	if fieldObj == nil {
+		return nil, nil, false
+	}
+	if _, ok := fieldObj.(*types.Var); !ok {
+		return nil, nil, false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return nil, nil, false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !providers[named] {
+		return nil, nil, false
+	}
+	if !isTupleShareField(fieldObj.Type()) && sel.Sel.Name != "links" && sel.Sel.Name != "zone" {
+		return nil, nil, false
+	}
+	return exprObj(pass.TypesInfo, sel.X), named, true
+}
+
+// isTupleShareField: a slice of dataset.Tuple.
+func isTupleShareField(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	path, name := namedPathName(sl.Elem())
+	return name == "Tuple" && strings.HasSuffix(path, "internal/dataset")
+}
+
+func checkStoreWrites(pass *Pass, body *ast.BlockStmt, providers map[*types.Named]bool) {
+	var g *funcCFG
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			e := ast.Unparen(lhs)
+			if ix, ok := e.(*ast.IndexExpr); ok {
+				e = ast.Unparen(ix.X)
+			}
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			recvObj, owner, ok := guardedField(pass, providers, sel)
+			if !ok {
+				continue
+			}
+			if g == nil {
+				g = pass.cfgOf(body)
+			}
+			sat := func(n ast.Node) bool { return nodeInvalidates(pass, n, recvObj, owner) }
+			if ok, witness := g.mustReach(as, sat); !ok {
+				extra := ""
+				if witness != nil {
+					extra = " (path exits via line " + itoa(pass.Fset.Position(witness.Pos()).Line) + ")"
+				}
+				pass.Reportf(as.Pos(),
+					"write to %s.%s is not followed by a store invalidation on every path%s; the lazy store would keep answering from the old share (storage.Provider contract)",
+					owner.Obj().Name(), sel.Sel.Name, extra)
+			}
+		}
+		return true
+	})
+}
+
+// nodeInvalidates: the node calls an invalidator (per facts) on the same
+// variable — or, when the write went through an alias, on any value of the
+// same Provider type — or assigns the store field directly.
+func nodeInvalidates(pass *Pass, n ast.Node, recvObj types.Object, owner *types.Named) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, m)
+			if fn == nil || !pass.Facts.invalidates[fn] {
+				return true
+			}
+			sel, ok := m.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if recvObj != nil && exprObj(info, sel.X) == recvObj {
+				found = true
+				return false
+			}
+			// Alias fallback: same Provider type.
+			if tv, ok := info.Types[sel.X]; ok {
+				t := tv.Type
+				if ptr, ok := t.Underlying().(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if named, ok := t.(*types.Named); ok && named.Obj() == owner.Obj() {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if obj := info.Uses[sel.Sel]; obj != nil && isStoreType(obj.Type()) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,37 @@
+// Package fixture spawns goroutines a Close can never stop, and sleeps
+// through the shutdown signal.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+// Worker owns a shutdown channel (closed below), so its methods carry the
+// shutdown-coverage obligation.
+type Worker struct {
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Close signals shutdown and waits for the joined goroutines.
+func (w *Worker) Close() {
+	close(w.closed)
+	w.wg.Wait()
+}
+
+// Start spawns a loop nothing can stop: no WaitGroup tie, no shutdown read.
+func (w *Worker) Start() {
+	go func() { // want `goroutine can outlive Close`
+		for {
+			work()
+		}
+	}()
+}
+
+// Poll ignores Close for a full second per iteration.
+func (w *Worker) Poll() {
+	time.Sleep(time.Second) // want `time\.Sleep in a component with a shutdown channel`
+}
+
+func work() {}

@@ -1,0 +1,63 @@
+// Package fixture shows the three accepted shutdown ties; no diagnostics.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+// Worker owns a shutdown channel.
+type Worker struct {
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Close signals shutdown and waits for the joined goroutines.
+func (w *Worker) Close() {
+	close(w.closed)
+	w.wg.Wait()
+}
+
+// Start joins the goroutine to the WaitGroup and reads the shutdown channel.
+func (w *Worker) Start() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			select {
+			case <-w.closed:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Delay is the shutdown-aware sleep: a timer raced against the channel.
+func (w *Worker) Delay(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-w.closed:
+		return false
+	}
+}
+
+// Collect is the bounded fan-out shape: the spawner drains the channel the
+// goroutines send on, so it cannot return before they finish.
+func (w *Worker) Collect(n int) int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) { ch <- i * i }(i)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch
+	}
+	return total
+}
+
+func work() {}

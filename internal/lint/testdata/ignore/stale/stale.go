@@ -1,0 +1,10 @@
+// Package fixture carries a reasoned suppression whose finding was fixed
+// long ago: the directive suppresses nothing and the driver reports it as
+// stale once the analyzer it names has run.
+package fixture
+
+// Value used to read the wall clock; the suppression outlived the fix.
+func Value() int64 {
+	//lint:ignore determinism replay uses the sim clock here
+	return 42
+}

@@ -1,0 +1,26 @@
+// Package fixture acquires two mutexes in opposite orders from two call
+// paths — the classic AB/BA deadlock only a rare interleaving exposes.
+package fixture
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// AB takes A then B.
+func AB() {
+	muA.Lock()
+	muB.Lock() // want `acquiring bad\.muB while holding bad\.muA completes a lock-order cycle`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// BA takes B then A — the reverse order.
+func BA() {
+	muB.Lock()
+	muA.Lock() // want `acquiring bad\.muA while holding bad\.muB completes a lock-order cycle`
+	muA.Unlock()
+	muB.Unlock()
+}

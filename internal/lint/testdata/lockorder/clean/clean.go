@@ -1,0 +1,35 @@
+// Package fixture acquires the same mutexes under one global order, and
+// releases before taking the other on the second path; no diagnostics.
+package fixture
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// Ordered takes A then B — the canonical order.
+func Ordered() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// AlsoOrdered takes the same order from another path.
+func AlsoOrdered() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+// Sequential never holds both at once, so no edge exists in either
+// direction.
+func Sequential() {
+	muB.Lock()
+	muB.Unlock()
+	muA.Lock()
+	muA.Unlock()
+}

@@ -26,9 +26,9 @@ func (p *proc) GlobalState(w overlay.Node, global, local core.State) core.State 
 }
 
 func (p *proc) MergeStates(w overlay.Node, states []core.State) core.State {
-	p.keep = states // want `MergeStates stores the engine-owned \[\]core\.State slice "states"`
+	p.keep = states        // want `MergeStates stores the engine-owned \[\]core\.State slice "states"`
 	lastBatch = states[1:] // want `MergeStates stores the engine-owned \[\]core\.State slice "states"`
-	states[0] = nil // want `MergeStates mutates the engine-owned \[\]core\.State slice "states" in place`
+	states[0] = nil        // want `MergeStates mutates the engine-owned \[\]core\.State slice "states" in place`
 	return states[0]
 }
 

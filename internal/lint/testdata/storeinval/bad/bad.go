@@ -1,0 +1,37 @@
+// Package fixture mirrors the runtime peers: a tuple share plus a lazily
+// built store, mutated without invalidation.
+package fixture
+
+import (
+	"ripple/internal/dataset"
+	"ripple/internal/storage"
+)
+
+// Peer is a storage.Provider: a tuple share with a lazy index over it.
+type Peer struct {
+	tuples []dataset.Tuple
+	store  storage.Store
+}
+
+// Store returns the lazily built index.
+func (p *Peer) Store() storage.Store { return p.store }
+
+// dropStore invalidates the lazy index.
+func (p *Peer) dropStore() { p.store = nil }
+
+// Insert grows the share but leaves the stale index answering queries.
+func (p *Peer) Insert(t dataset.Tuple) {
+	p.tuples = append(p.tuples, t) // want `write to Peer\.tuples is not followed by a store invalidation`
+}
+
+// Trim invalidates on one path only.
+func (p *Peer) Trim(n int, keep bool) {
+	if keep {
+		return
+	}
+	p.tuples = p.tuples[:n] // want `write to Peer\.tuples is not followed by a store invalidation`
+	if n == 0 {
+		return
+	}
+	p.dropStore()
+}

@@ -1,0 +1,41 @@
+// Package fixture upholds the mutation-invalidation contract; no
+// diagnostics.
+package fixture
+
+import (
+	"ripple/internal/dataset"
+	"ripple/internal/storage"
+)
+
+// Peer is a storage.Provider: a tuple share with a lazy index over it.
+type Peer struct {
+	tuples []dataset.Tuple
+	store  storage.Store
+}
+
+// Store returns the lazily built index.
+func (p *Peer) Store() storage.Store { return p.store }
+
+// dropStore invalidates the lazy index.
+func (p *Peer) dropStore() { p.store = nil }
+
+// Insert invalidates through the helper.
+func (p *Peer) Insert(t dataset.Tuple) {
+	p.tuples = append(p.tuples, t)
+	p.dropStore()
+}
+
+// Rebuild invalidates by assigning the store field directly.
+func (p *Peer) Rebuild(ts []dataset.Tuple) {
+	p.tuples = ts
+	p.store = nil
+}
+
+// Redistribute writes through an alias and invalidates both ends — the
+// same-type fallback the midas split path needs.
+func Redistribute(from, to *Peer, t dataset.Tuple) {
+	host := from
+	host.tuples = append(host.tuples, t)
+	from.dropStore()
+	to.dropStore()
+}

@@ -1,0 +1,36 @@
+// Package fixture sorts before encoding; no diagnostics.
+package fixture
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+)
+
+// EncodeSorted sorts the keys before they reach the encoder.
+func EncodeSorted(m map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(keys); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Launder shows that order-insensitive derivations (len) are not taint.
+func Launder(m map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	count := len(keys)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(count); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -221,6 +221,24 @@ const (
 	acceptBackoffMax  = 250 * time.Millisecond
 )
 
+// sleep pauses for d unless the server is closed first, reporting whether
+// the full duration elapsed. Every wait inside the server goes through this
+// so Close is never delayed by a backoff or an injected fault: a plain
+// time.Sleep would hold the WaitGroup for the whole duration (goroleak).
+func (s *Server) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.closed:
+		return false
+	}
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	backoff := acceptBackoffBase
@@ -233,7 +251,9 @@ func (s *Server) acceptLoop() {
 			default:
 				// Transient accept failure (e.g. fd exhaustion): capped
 				// exponential backoff instead of spinning.
-				time.Sleep(backoff)
+				if !s.sleep(backoff) {
+					return
+				}
 				if backoff *= 2; backoff > acceptBackoffMax {
 					backoff = acceptBackoffMax
 				}
@@ -717,7 +737,9 @@ func (s *Server) callPeer(to LinkSpec, call *wire.Call) (*wire.Reply, int, error
 			s.ins.backoffs.Inc()
 			u := faults.Uniform01(s.opts.Faults.Config().Seed,
 				s.cfg.ID, to.key(), "backoff", strconv.Itoa(attempt))
-			time.Sleep(s.opts.Retry.Backoff(attempt, u))
+			if !s.sleep(s.opts.Retry.Backoff(attempt, u)) {
+				return nil, retries, lastErr
+			}
 		}
 		reply, err := s.callOnce(to, call, attempt)
 		if err == nil {
@@ -749,7 +771,9 @@ func (s *Server) callOnce(to LinkSpec, call *wire.Call, attempt int) (*wire.Repl
 	case faults.Crash:
 		crashed = true // perform the RPC (the work happens), lose the reply
 	case faults.Delay:
-		time.Sleep(s.opts.Faults.Config().Delay)
+		if !s.sleep(s.opts.Faults.Config().Delay) {
+			return nil, errMuxClosed
+		}
 	}
 	start := time.Now()
 	defer func() { s.ins.rpcSeconds.Observe(time.Since(start).Seconds()) }()

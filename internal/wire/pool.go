@@ -156,6 +156,7 @@ func (p *gobPool) appendEncode(dst []byte, v interface{}) ([]byte, error) {
 	if p.broken.Load() {
 		return freshEncode(dst, v)
 	}
+	//lint:ignore poolcheck an encoder that errored (or saw a value-dependent descriptor) has unknown stream state and must not be re-pooled
 	w, _ := p.encs.Get().(*warmEnc)
 	if w == nil {
 		if w = p.newWarmEnc(); w == nil {
@@ -195,6 +196,7 @@ func (p *gobPool) decode(b []byte, v interface{}) error {
 		}
 		// Unparseable by the narrow fast path; let gob judge the message.
 	}
+	//lint:ignore poolcheck a decoder that errored has unknown stream state and must not be re-pooled; the message gets one fresh-path attempt instead
 	w, _ := p.decs.Get().(*warmDec)
 	if w == nil {
 		if w = p.newWarmDec(); w == nil {
