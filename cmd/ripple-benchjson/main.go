@@ -3,10 +3,18 @@
 //
 //	go test -run=NONE -bench=. -benchmem ./... | ripple-benchjson > BENCH.json
 //
-// See `make bench-json`.
+// With -check it gates instead of records: the fresh run on stdin is compared
+// against a committed baseline, and any benchmark regressing past -max-ratio
+// (or missing entirely) fails the run loudly:
+//
+//	go test -run=NONE -bench=. -benchtime=1x ./... | \
+//	    ripple-benchjson -check BENCH.json -max-ratio 3 -min-ns 100000
+//
+// See `make bench-json` and the bench-smoke-* targets.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -14,17 +22,46 @@ import (
 )
 
 func main() {
+	check := flag.String("check", "", "committed baseline JSON to gate against instead of emitting JSON")
+	maxRatio := flag.Float64("max-ratio", 3, "fail when fresh ns/op exceeds this multiple of the committed ns/op")
+	minNs := flag.Float64("min-ns", 0, "skip the ratio gate for baseline rows faster than this (timer noise floor)")
+	flag.Parse()
+
 	results, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ripple-benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "ripple-benchjson: no benchmark lines on stdin")
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	if *check == "" {
+		if err := benchfmt.WriteJSON(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	f, err := os.Open(*check)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := benchfmt.ReadBaseline(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *check, err))
+	}
+	if violations := benchfmt.Check(results, base, *maxRatio, *minNs); len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "ripple-benchjson: %d regression(s) against %s:\n", len(violations), *check)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
 		os.Exit(1)
 	}
-	if err := benchfmt.WriteJSON(os.Stdout, results); err != nil {
-		fmt.Fprintln(os.Stderr, "ripple-benchjson:", err)
-		os.Exit(1)
-	}
+	fmt.Fprintf(os.Stderr, "ripple-benchjson: %d benchmarks within %.1fx of %s\n", len(base), *maxRatio, *check)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ripple-benchjson:", err)
+	os.Exit(1)
 }

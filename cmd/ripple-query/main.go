@@ -40,6 +40,8 @@ func main() {
 	radius := flag.Float64("radius", 0.1, "radius for range queries")
 	showTrace := flag.Bool("trace", false, "render the query's hop tree (topk, skyline and knn)")
 	storageFlag := flag.String("storage", "", "peer-local storage engine: scan | rtree (default: $RIPPLE_STORAGE, then scan)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache (every -repeat run re-executes the query)")
+	repeat := flag.Int("repeat", 1, "run the query this many times (repeats hit the result cache unless -no-cache)")
 	flag.Parse()
 
 	if *data == "" {
@@ -78,18 +80,30 @@ func main() {
 		center = parsePoint(*at, dims)
 	}
 
+	// The result cache turns repeated identical queries (-repeat) into cache
+	// hits; -no-cache re-executes every run, which is also what the traced
+	// paths do (a cached answer has no hop tree to render).
+	var rc *ripple.ResultCache
+	if !*noCache {
+		rc = ripple.NewResultCache(ripple.ResultCacheOptions{MaxBytes: 8 << 20})
+	}
+
 	switch *queryKind {
 	case "topk":
+		f := ripple.UniformLinear(dims)
 		if *showTrace {
-			f := ripple.UniformLinear(dims)
 			res := ripple.RunTraced(initiator, &ripple.TopKProcessor{F: f, K: *k}, r)
 			printTuples(ripple.TopKSelect(res.Answers, f, *k))
 			printTrace(res)
 			return
 		}
-		res, stats := ripple.TopK(initiator, ripple.UniformLinear(dims), *k, r)
-		printTuples(res)
-		fmt.Printf("cost: %v\n", &stats)
+		params, err := (ripple.TopKWire{}).EncodeParams(f, *k)
+		if err != nil {
+			fatal(err)
+		}
+		res := runRepeated(initiator, &ripple.TopKProcessor{F: f, K: *k}, r, rc, "topk", params, dims, *repeat)
+		printTuples(ripple.TopKSelect(res.Answers, f, *k))
+		fmt.Printf("cost: %v\n", &res.Stats)
 	case "skyline":
 		if *showTrace {
 			res := ripple.RunTraced(initiator, &ripple.SkylineProcessor{}, r)
@@ -97,9 +111,9 @@ func main() {
 			printTrace(res)
 			return
 		}
-		res, stats := ripple.Skyline(initiator, r)
-		printTuples(res)
-		fmt.Printf("cost: %v\n", &stats)
+		res := runRepeated(initiator, &ripple.SkylineProcessor{}, r, rc, "skyline", nil, dims, *repeat)
+		printTuples(ripple.SkylineBrute(res.Answers))
+		fmt.Printf("cost: %v\n", &res.Stats)
 	case "knn":
 		if *showTrace {
 			res := ripple.RunTraced(initiator, &ripple.KNNProcessor{Center: center, K: *k, Metric: ripple.L2}, r)
@@ -107,9 +121,13 @@ func main() {
 			printTrace(res)
 			return
 		}
-		res, stats := ripple.KNN(initiator, center, *k, ripple.L2, r)
-		printTuples(res)
-		fmt.Printf("cost: %v\n", &stats)
+		params, err := (ripple.KNNWire{}).EncodeParams(center, *k, ripple.L2)
+		if err != nil {
+			fatal(err)
+		}
+		res := runRepeated(initiator, &ripple.KNNProcessor{Center: center, K: *k, Metric: ripple.L2}, r, rc, "knn", params, dims, *repeat)
+		printTuples(ripple.KNNSelect(res.Answers, center, *k, ripple.L2))
+		fmt.Printf("cost: %v\n", &res.Stats)
 	case "range":
 		res, stats := ripple.Range(initiator, ripple.RangeBall{Center: center, Radius: *radius, Metric: ripple.L2})
 		printTuples(res)
@@ -122,6 +140,28 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown query type %q", *queryKind))
 	}
+}
+
+// runRepeated executes the query `repeat` times through the result cache,
+// reporting how many runs were served from it, and returns the last result.
+func runRepeated(initiator ripple.Node, p ripple.Processor, r int, rc *ripple.ResultCache, queryType string, params []byte, dims, repeat int) *ripple.Result {
+	opts := ripple.RunOptions{}
+	if rc != nil {
+		opts.Cache = rc
+		opts.CacheKey = ripple.CacheKey(queryType, params, dims, r, ripple.Region{})
+	}
+	var res *ripple.Result
+	hits := 0
+	for i := 0; i < repeat; i++ {
+		res = ripple.RunWithOptions(initiator, p, r, opts)
+		if res.CacheHit {
+			hits++
+		}
+	}
+	if repeat > 1 {
+		fmt.Printf("%d runs, %d served from the result cache\n", repeat, hits)
+	}
+	return res
 }
 
 func printTuples(ts []ripple.Tuple) {

@@ -4,9 +4,12 @@
 //
 //	ripple-serve -config deploy/peer-000.json        # run one peer
 //	ripple-serve -config deploy/peer-000.json -storage rtree
+//	ripple-serve -config deploy/peer-000.json -cache-size 8388608 -cache-ttl 30s
 //	ripple-serve -call 127.0.0.1:7400 -query topk -k 5 -r slow
 //	ripple-serve -call 127.0.0.1:7400 -query skyline
 //	ripple-serve -call 127.0.0.1:7400 -query knn -k 3 -at 0.2,0.8
+//	ripple-serve -call 127.0.0.1:7400 -query insert -id 99 -at 0.4,0.6
+//	ripple-serve -call 127.0.0.1:7400 -query delete -id 99 -at 0.4,0.6
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"ripple/internal/dataset"
 	"ripple/internal/diversify"
 	"ripple/internal/faults"
 	"ripple/internal/geom"
@@ -54,6 +58,9 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "server mode: fault-injection seed (decisions are deterministic per link)")
 	metricsAddr := flag.String("metrics-addr", "", "server mode: serve Prometheus /metrics and /debug/pprof on this address")
 	storageFlag := flag.String("storage", "", "server mode: peer-local storage engine: scan | rtree (default: $RIPPLE_STORAGE, then scan)")
+	cacheSize := flag.Int64("cache-size", 0, "server mode: result-cache budget in bytes (0 disables caching)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "server mode: result-cache entry lifetime (0 uses the cache default)")
+	tupleID := flag.Uint64("id", 0, "client mode: tuple id for -query insert | delete")
 	flag.Parse()
 
 	opts := def
@@ -71,6 +78,8 @@ func main() {
 	opts.MaxConcurrentCalls = *maxConcurrent
 	opts.MaxCallQueue = *maxQueue
 	opts.DisableMux = *disableMux
+	opts.CacheSize = *cacheSize
+	opts.CacheTTL = *cacheTTL
 	if *faultDrop > 0 || *faultCrash > 0 || *faultDelayRate > 0 {
 		opts.Faults = faults.New(faults.Config{
 			Seed:      *faultSeed,
@@ -85,7 +94,7 @@ func main() {
 	case *config != "":
 		serve(*config, opts, *metricsAddr)
 	case *call != "":
-		client(*call, *queryKind, *k, *dims, parseR(*rFlag), *callTimeout, *at, *metricName)
+		client(*call, *queryKind, *k, *dims, parseR(*rFlag), *callTimeout, *at, *metricName, *tupleID)
 	default:
 		fmt.Fprintln(os.Stderr, "need -config (server) or -call (client); see -help")
 		os.Exit(2)
@@ -126,9 +135,23 @@ func serve(path string, opts netpeer.Options, metricsAddr string) {
 	fmt.Printf("peer %s stopped\n", fc.Peer.ID)
 }
 
-func client(addr, queryKind string, k, dims, r int, timeout time.Duration, at, metricName string) {
+func client(addr, queryKind string, k, dims, r int, timeout time.Duration, at, metricName string, tupleID uint64) {
 	if dims <= 0 {
 		dims = probeDims(addr)
+	}
+	switch queryKind {
+	case "insert", "delete":
+		t := dataset.Tuple{ID: tupleID, Vec: parsePoint(at, dims)}
+		mutate := netpeer.Insert
+		if queryKind == "delete" {
+			mutate = netpeer.Delete
+		}
+		acks, err := mutate(addr, t, timeout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s %v: applied at %d peer(s)\n", queryKind, t, acks)
+		return
 	}
 	switch queryKind {
 	case "topk":
@@ -170,7 +193,7 @@ func client(addr, queryKind string, k, dims, r int, timeout time.Duration, at, m
 		}
 		report(res)
 	default:
-		fatal(fmt.Errorf("client mode supports topk, skyline and knn, not %q", queryKind))
+		fatal(fmt.Errorf("client mode supports topk, skyline, knn, insert and delete, not %q", queryKind))
 	}
 }
 

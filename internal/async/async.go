@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ripple/internal/cache"
 	"ripple/internal/core"
 	"ripple/internal/dataset"
 	"ripple/internal/faults"
@@ -35,10 +36,14 @@ type Cluster struct {
 	wg      sync.WaitGroup
 	insts   int64
 	inj     *faults.Injector
-	reps    *overlay.ReplicaMap // nil: no recovery, losses are final
-	budget  int                 // max replica dispatches per lost traversal (0: all)
-	redials int                 // extra injector rolls per replica dispatch
-	view    func(overlay.Node) overlay.Node // storage lens (ClusterOptions.Storage)
+	reps    *overlay.ReplicaMap             // nil: no recovery, losses are final
+	budget  int                             // max replica dispatches per lost traversal (0: all)
+	redials int                             // extra injector rolls per replica dispatch
+	view    func(overlay.Node) overlay.Node // storage+scope lens (ClusterOptions)
+
+	scope    overlay.Region // ClusterOptions.Scope: the query restriction region
+	cache    *cache.Cache   // ClusterOptions.Cache: nil when caching is off
+	cacheKey []byte
 
 	mu       sync.Mutex
 	res      *core.Result
@@ -149,6 +154,18 @@ type ClusterOptions struct {
 	// core.Options.Storage): KindScan hides node-provided stores behind the
 	// flat-scan baseline; KindAuto and KindRTree defer to each node's engine.
 	Storage storage.Kind
+
+	// Scope restricts every query this cluster runs to a sub-region of the
+	// domain (see core.Options.Scope). Scope is a cluster-level option here
+	// because a cluster is already bound to one (processor, params) pair —
+	// exactly the granularity of a cache identity.
+	Scope overlay.Region
+
+	// Cache + CacheKey enable the result cache for this cluster's query (see
+	// core.Options.Cache): consulted before a Run, filled after a complete
+	// one. Traced runs bypass it.
+	Cache    *cache.Cache
+	CacheKey []byte
 }
 
 // NewClusterOpts is the fully general constructor: fault injection plus the
@@ -159,10 +176,15 @@ func NewClusterOpts(net overlay.Network, proc core.Processor, opts ClusterOption
 	c := &Cluster{
 		actors: make(map[string]*actor), inj: opts.Faults,
 		reps: opts.Replicas, budget: opts.RecoveryBudget, redials: opts.RecoveryRetries,
-		view: func(w overlay.Node) overlay.Node { return w },
+		view:  func(w overlay.Node) overlay.Node { return w },
+		scope: opts.Scope, cache: opts.Cache, cacheKey: opts.CacheKey,
 	}
 	if opts.Storage == storage.KindScan {
 		c.view = overlay.ScanOnly
+	}
+	if !opts.Scope.IsEmpty() {
+		base, scope := c.view, opts.Scope
+		c.view = func(w overlay.Node) overlay.Node { return overlay.Restricted(base(w), scope) }
 	}
 	for _, n := range net.Nodes() {
 		a := &actor{
@@ -209,6 +231,21 @@ func (c *Cluster) run(initiatorID string, r int, traced bool) *core.Result {
 		panic("async: unknown initiator " + initiatorID)
 	}
 	d := init.node.Zone().Boxes[0].Dims()
+	region := overlay.Whole(d)
+	if !c.scope.IsEmpty() {
+		region = c.scope
+	}
+
+	useCache := c.cache != nil && len(c.cacheKey) > 0 && !traced
+	var gen cache.Gen
+	if useCache {
+		if val, ok := c.cache.Get(c.cacheKey); ok {
+			if ans, err := cache.DecodeAnswers(val); err == nil {
+				return &core.Result{Answers: ans, CacheHit: true}
+			}
+		}
+		gen = c.cache.Begin()
+	}
 
 	c.mu.Lock()
 	c.res = &core.Result{}
@@ -220,7 +257,7 @@ func (c *Cluster) run(initiatorID string, r int, traced bool) *core.Result {
 		c.rec.Record(trace.Span{
 			ID:      trace.RootID,
 			Peer:    initiatorID,
-			Region:  overlay.Whole(d),
+			Region:  region,
 			Phase:   phaseOf(r),
 			R:       r,
 			Outcome: trace.OutcomeOK,
@@ -232,7 +269,7 @@ func (c *Cluster) run(initiatorID string, r int, traced bool) *core.Result {
 		inst:     c.nextInst(),
 		parent:   "",
 		global:   init.proc.InitialState(),
-		restrict: overlay.Whole(d),
+		restrict: region,
 		r:        r,
 		time:     0,
 		spanID:   trace.RootID,
@@ -243,6 +280,9 @@ func (c *Cluster) run(initiatorID string, r int, traced bool) *core.Result {
 	c.res.FailedRegions = overlay.CanonicalRegions(c.res.FailedRegions)
 	if c.rec != nil {
 		c.res.Trace = trace.Build(c.rec.Spans())
+	}
+	if useCache && !c.res.Partial() {
+		c.cache.Put(c.cacheKey, cache.EncodeAnswers(c.res.Answers), d, c.scope, gen)
 	}
 	return c.res
 }

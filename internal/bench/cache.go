@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ripple/internal/dataset"
+	"ripple/internal/faults"
+	"ripple/internal/geom"
+	"ripple/internal/midas"
+	"ripple/internal/netpeer"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+// The result-cache experiment reuses the throughput harness shape: a real
+// 8-peer loopback deployment with a 0.5ms injected stall per inter-peer RPC,
+// so a cache miss pays the full multi-hop propagation cost a real network
+// would charge while a cache hit is answered by the initiator alone.
+const (
+	cacheWindow = 400 * time.Millisecond
+	cacheDelay  = 500 * time.Microsecond
+
+	// cachePoolSize is how many distinct scoped queries the workload draws
+	// from; their popularity follows the zipfian rank distribution.
+	cachePoolSize = 64
+
+	// cacheBudget is the cache-on arm's byte budget — large enough that the
+	// whole pool stays resident, so the measured effect is invalidation and
+	// skew, not capacity pressure.
+	cacheBudget = 16 << 20
+)
+
+// ZipfCache measures what the hot-region result cache buys under a skewed
+// query workload with a write mix: aggregate queries/s and cache hit rate,
+// cache on vs off, as the zipf exponent of query popularity grows. Inserts
+// are routed through the wire-level mutation path, so every mutation
+// exercises the z-order invalidation broadcast against the cached entries.
+func ZipfCache(cfg Config) *Result {
+	res := &Result{
+		Fig: "ZipfCache",
+		Title: fmt.Sprintf(
+			"result cache under zipfian load (loopback TCP, 8 peers, 0.5ms link delay, %.0f%% inserts)",
+			cfg.MutateRate*100),
+		XLabel: "zipf skew",
+		Series: []string{"cache-on", "cache-off"},
+
+		MetricA: "throughput (queries/s)",
+		MetricB: "cache hit rate (%)",
+	}
+	for _, skew := range cfg.ZipfSkews {
+		on := measureZipfCache(skew, cfg.MutateRate, cacheBudget)
+		off := measureZipfCache(skew, cfg.MutateRate, 0)
+		res.Rows = append(res.Rows, Row{
+			X:          fmt.Sprintf("%.1f", skew),
+			Latency:    []float64{on.qps, off.qps},
+			Congestion: []float64{on.hitPct, off.hitPct},
+		})
+	}
+	return res
+}
+
+type cacheCell struct {
+	qps    float64
+	hitPct float64
+}
+
+// measureZipfCache runs one (skew, cache budget) cell: deploy a fresh fleet,
+// warm the pool once so both arms start from the same steady state, then
+// drive the mixed read/write workload for the measurement window.
+func measureZipfCache(skew, mutateRate float64, cacheBytes int64) cacheCell {
+	servers := deployCacheFleet(cacheBytes)
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	c := netpeer.NewClient(servers[0].Addr(), 0)
+	defer c.Close()
+
+	w := newZipfWorkload(skew, mutateRate, 7)
+	if err := w.warm(c); err != nil {
+		panic(err) // loopback warm-up failing is a harness bug, not a result
+	}
+
+	queries, hits := 0, 0
+	start := time.Now()
+	deadline := start.Add(cacheWindow)
+	for time.Now().Before(deadline) {
+		hit, mutated, err := w.step(c)
+		if err != nil {
+			panic(err)
+		}
+		if mutated {
+			continue
+		}
+		queries++
+		if hit {
+			hits++
+		}
+	}
+	elapsed := time.Since(start)
+
+	cell := cacheCell{qps: float64(queries) / elapsed.Seconds()}
+	if queries > 0 {
+		cell.hitPct = 100 * float64(hits) / float64(queries)
+	}
+	return cell
+}
+
+// deployCacheFleet starts the 8-peer loopback fleet the cache experiment and
+// benchmark share. cacheBytes == 0 disables the result cache entirely.
+func deployCacheFleet(cacheBytes int64) []*netpeer.Server {
+	net := midas.Build(8, midas.Options{Dims: 2, Seed: 23})
+	overlay.Load(net, dataset.Uniform(500, 2, 29))
+	opts := netpeer.Options{
+		Logf:      func(string, ...interface{}) {},
+		CacheSize: cacheBytes,
+		Faults: faults.New(faults.Config{
+			Seed:      1,
+			DelayRate: 1,
+			Delay:     cacheDelay,
+		}),
+	}
+	servers, _, err := netpeer.DeployOpts(net, opts, topk.WireCodec{})
+	if err != nil {
+		panic(err) // loopback deploy failing is a harness bug, not a result
+	}
+	return servers
+}
+
+// zipfWorkload is a deterministic mixed read/write stream: scoped top-k
+// queries drawn zipfian from a fixed pool, interleaved with fresh-tuple
+// inserts at the configured rate. Two workloads built with the same
+// parameters and seed replay the identical operation sequence, which is what
+// makes the cache-on/cache-off comparison apples-to-apples.
+type zipfWorkload struct {
+	z      *Zipf
+	scopes []overlay.Region
+	params []byte
+	mutate float64
+	nextID uint64
+}
+
+func newZipfWorkload(skew, mutateRate float64, seed int64) *zipfWorkload {
+	params, err := (topk.WireCodec{}).EncodeParams(topk.UniformLinear(2), 16)
+	if err != nil {
+		panic(err)
+	}
+	w := &zipfWorkload{
+		z:      NewZipf(cachePoolSize, skew, seed),
+		params: params,
+		mutate: mutateRate,
+		nextID: 1 << 30, // clear of the loaded dataset's tuple ids
+	}
+	// The query pool: small scope boxes scattered over the domain. Scopes are
+	// drawn from an independent fixed-seed stream so the pool is identical
+	// across cells no matter how each cell's operation stream unfolds.
+	boxes := rand.New(rand.NewSource(41))
+	for i := 0; i < cachePoolSize; i++ {
+		cx := 0.12 + 0.76*boxes.Float64()
+		cy := 0.12 + 0.76*boxes.Float64()
+		w.scopes = append(w.scopes, overlay.FromRect(geom.Rect{
+			Lo: geom.Point{cx - 0.1, cy - 0.1},
+			Hi: geom.Point{cx + 0.1, cy + 0.1},
+		}))
+	}
+	return w
+}
+
+// warm issues every pool query once, filling the cache (when one is
+// configured) so the measurement starts from steady state; the one-off cold
+// fill amortises to nothing over a real workload's lifetime.
+func (w *zipfWorkload) warm(c *netpeer.Client) error {
+	for _, scope := range w.scopes {
+		if _, err := c.QueryScoped("topk", w.params, 2, 0, scope); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step performs one workload operation: an insert with probability
+// w.mutate, otherwise a zipf-ranked scoped query. It reports whether the
+// query was served from the initiator's result cache.
+func (w *zipfWorkload) step(c *netpeer.Client) (hit, mutated bool, err error) {
+	if w.mutate > 0 && w.z.Float64() < w.mutate {
+		w.nextID++
+		t := dataset.Tuple{ID: w.nextID, Vec: geom.Point{w.z.Float64(), w.z.Float64()}}
+		_, err := c.Insert(t)
+		return false, true, err
+	}
+	res, err := c.QueryScoped("topk", w.params, 2, 0, w.scopes[w.z.Next()])
+	if err != nil {
+		return false, false, err
+	}
+	return res.CacheHit, false, nil
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"ripple/internal/netpeer"
+)
+
+// BenchmarkZipfCache is the committed-baseline form of the zipf-cache
+// experiment (BENCH_PR9.json): per-operation latency of the mixed zipfian
+// workload against a warmed 8-peer loopback fleet, cache on vs off. The
+// acceptance property is the ns/op ratio at skew >= 1.0 — with the cache on,
+// the hot queries skip the delayed inter-peer propagation entirely.
+func BenchmarkZipfCache(b *testing.B) {
+	for _, skew := range []float64{0.9, 1.1} {
+		for _, cacheBytes := range []int64{cacheBudget, 0} {
+			state := "on"
+			if cacheBytes == 0 {
+				state = "off"
+			}
+			b.Run(fmt.Sprintf("skew=%.1f/cache=%s", skew, state), func(b *testing.B) {
+				servers := deployCacheFleet(cacheBytes)
+				defer func() {
+					for _, s := range servers {
+						s.Close()
+					}
+				}()
+				c := netpeer.NewClient(servers[0].Addr(), 0)
+				defer c.Close()
+				// 1% writes: enough to keep the mutation + invalidation path
+				// inside the measured loop without mutation-induced misses
+				// dominating the cache-on arm (the ZipfCache experiment sweeps
+				// the heavier configurable mix).
+				w := newZipfWorkload(skew, 0.01, 7)
+				if err := w.warm(c); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := w.step(c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestZipfDistribution pins the sampler's two contractual properties: the
+// skew-0 case is uniform-ish, higher skews concentrate mass on low ranks,
+// and identical seeds replay identical streams.
+func TestZipfDistribution(t *testing.T) {
+	const n, draws = 16, 20000
+	counts := func(skew float64) []int {
+		z := NewZipf(n, skew, 3)
+		c := make([]int, n)
+		for i := 0; i < draws; i++ {
+			r := z.Next()
+			if r < 0 || r >= n {
+				t.Fatalf("rank %d outside [0,%d)", r, n)
+			}
+			c[r]++
+		}
+		return c
+	}
+	flat := counts(0)
+	for r, c := range flat {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Fatalf("skew 0: rank %d drawn %d times, want near %d", r, c, draws/n)
+		}
+	}
+	skewed := counts(1.1)
+	if skewed[0] <= flat[0]*2 {
+		t.Fatalf("skew 1.1 rank 0 drawn %d times, not concentrated vs uniform %d", skewed[0], flat[0])
+	}
+	if skewed[n-1] >= flat[n-1] {
+		t.Fatalf("skew 1.1 tail rank drawn %d times, want below uniform %d", skewed[n-1], flat[n-1])
+	}
+
+	a, b := NewZipf(n, 0.9, 5), NewZipf(n, 0.9, 5)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+}
+
+// TestZipfCacheExperiment is the runner's smoke test: at high skew the
+// cache-on arm must beat cache-off on throughput and actually hit.
+func TestZipfCacheExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deploys loopback fleets")
+	}
+	cfg := Quick()
+	cfg.ZipfSkews = []float64{1.1}
+	res := ZipfCache(cfg)
+	if len(res.Rows) != 1 || len(res.Series) != 2 {
+		t.Fatalf("shape: %d rows x %d series, want 1x2", len(res.Rows), len(res.Series))
+	}
+	onQPS := res.Value(0, "cache-on", false)
+	offQPS := res.Value(0, "cache-off", false)
+	if onQPS <= offQPS {
+		t.Fatalf("cache-on %.0f qps not above cache-off %.0f qps", onQPS, offQPS)
+	}
+	if hit := res.Value(0, "cache-on", true); hit <= 0 {
+		t.Fatalf("cache-on hit rate %.1f%%, want > 0", hit)
+	}
+	if hit := res.Value(0, "cache-off", true); hit != 0 {
+		t.Fatalf("cache-off hit rate %.1f%%, want 0", hit)
+	}
+}

@@ -32,6 +32,7 @@ func Runners() []Runner {
 		{Name: "ablation-border", Desc: "Ablation: §5.2 border-link optimisation on/off", Run: AblationBorder},
 		{Name: "ablation-overlay", Desc: "Ablation: RIPPLE over MIDAS vs over CAN", Run: AblationOverlay},
 		{Name: "throughput", Desc: "Transport: aggregate QPS and p95 latency vs client concurrency, mux vs sequential", Run: Throughput},
+		{Name: "zipf-cache", Desc: "Result cache: QPS and hit rate vs zipf skew under a write mix, cache on/off", Run: ZipfCache},
 	}
 }
 

@@ -1,0 +1,92 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BaselineRow is one committed measurement in a BENCH_*.json baseline.
+type BaselineRow struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	Iters    int64   `json:"iters"`
+}
+
+// Baseline is a committed benchmark baseline: canonical benchmark key (the
+// name, package-qualified when WriteJSON had to disambiguate) to measurement.
+type Baseline map[string]BaselineRow
+
+// ReadBaseline parses a committed BENCH_*.json file. Baselines with a
+// different schema (e.g. the figure-shaped BENCH_PR6.json) fail to decode
+// into the flat name->row object and return an error.
+func ReadBaseline(r io.Reader) (Baseline, error) {
+	var b Baseline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("benchfmt: baseline: %w", err)
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("benchfmt: baseline has no benchmarks")
+	}
+	return b, nil
+}
+
+// Check compares a fresh run against a committed baseline and returns one
+// message per violation, sorted for stable output. A baseline benchmark that
+// did not run at all is a violation (the baseline is stale — regenerate it);
+// one whose fresh ns/op exceeds maxRatio times the committed ns/op is a
+// regression. Baseline rows faster than minNs are held to presence only:
+// below that floor a single smoke iteration is dominated by timer noise, so
+// a ratio gate would flake rather than gate.
+func Check(results []Result, base Baseline, maxRatio, minNs float64) []string {
+	fresh := make(map[string][]Result)
+	for _, r := range results {
+		fresh[r.Name] = append(fresh[r.Name], r)
+	}
+	var out []string
+	for key, want := range base {
+		name, pkg := key, ""
+		// A qualified key is "pkg.BenchmarkName"; the name itself never
+		// contains the qualifying dot before the Benchmark prefix.
+		if i := strings.LastIndex(key, ".Benchmark"); i >= 0 {
+			name, pkg = key[i+1:], key[:i]
+		}
+		cands := fresh[name]
+		if pkg != "" {
+			kept := cands[:0:0]
+			for _, c := range cands {
+				if c.Package == pkg {
+					kept = append(kept, c)
+				}
+			}
+			cands = kept
+		}
+		if len(cands) == 0 {
+			out = append(out, fmt.Sprintf("%s: in baseline but did not run (stale baseline? regenerate it)", key))
+			continue
+		}
+		if want.NsOp < minNs {
+			continue
+		}
+		// With an unqualified key and duplicate names, gate on the fastest
+		// candidate: a regression fires only when every candidate regressed,
+		// never spuriously against the wrong package's benchmark.
+		best := cands[0].NsOp
+		for _, c := range cands[1:] {
+			if c.NsOp < best {
+				best = c.NsOp
+			}
+		}
+		if best > want.NsOp*maxRatio {
+			out = append(out, fmt.Sprintf("%s: %.0f ns/op vs %.0f ns/op committed (%.1fx > %.1fx budget)",
+				key, best, want.NsOp, best/want.NsOp, maxRatio))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

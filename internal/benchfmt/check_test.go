@@ -1,0 +1,71 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadBaselineRejectsFigureSchema(t *testing.T) {
+	// BENCH_PR6.json is figure-shaped, not a flat name->row object; the
+	// checker must refuse it rather than silently gate nothing.
+	if _, err := ReadBaseline(strings.NewReader(`{"fig": "Recovery", "series": []}`)); err == nil {
+		t.Fatal("figure-shaped baseline decoded without error")
+	}
+	if _, err := ReadBaseline(strings.NewReader(`{}`)); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+	b, err := ReadBaseline(strings.NewReader(`{"BenchmarkX": {"ns_op":100,"b_op":1,"allocs_op":1,"iters":10}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b["BenchmarkX"].NsOp != 100 {
+		t.Fatalf("baseline row = %+v", b["BenchmarkX"])
+	}
+}
+
+func TestCheckFlagsRegressionsAndStaleRows(t *testing.T) {
+	base := Baseline{
+		"BenchmarkFast":                     {NsOp: 1000},
+		"BenchmarkSlow":                     {NsOp: 1000000},
+		"BenchmarkGone":                     {NsOp: 1000000},
+		"BenchmarkCrawl":                    {NsOp: 500}, // under the noise floor
+		"ripple/internal/wire.BenchmarkDup": {NsOp: 1000000},
+	}
+	fresh := []Result{
+		{Name: "BenchmarkFast", NsOp: 900},
+		{Name: "BenchmarkSlow", NsOp: 4000000}, // 4x: regression
+		{Name: "BenchmarkCrawl", NsOp: 100000}, // 200x but below min-ns: skipped
+		{Name: "BenchmarkDup", Package: "ripple/internal/wire", NsOp: 1100000},
+		{Name: "BenchmarkDup", Package: "ripple/internal/topk", NsOp: 9000000},
+	}
+	got := Check(fresh, base, 3, 1000)
+	if len(got) != 2 {
+		t.Fatalf("Check = %d violations %v; want 2 (slow regression + gone row)", len(got), got)
+	}
+	for _, want := range []string{"BenchmarkGone", "BenchmarkSlow"} {
+		found := false
+		for _, v := range got {
+			if strings.Contains(v, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("violations %v missing %s", got, want)
+		}
+	}
+}
+
+func TestCheckUnqualifiedDuplicateUsesFastest(t *testing.T) {
+	base := Baseline{"BenchmarkDup": {NsOp: 1000000}}
+	fresh := []Result{
+		{Name: "BenchmarkDup", Package: "a", NsOp: 9000000},
+		{Name: "BenchmarkDup", Package: "b", NsOp: 1100000},
+	}
+	if got := Check(fresh, base, 3, 0); len(got) != 0 {
+		t.Fatalf("fastest duplicate within budget still flagged: %v", got)
+	}
+	fresh[1].NsOp = 5000000
+	if got := Check(fresh, base, 3, 0); len(got) != 1 {
+		t.Fatalf("all duplicates regressed but Check = %v", got)
+	}
+}

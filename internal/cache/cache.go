@@ -1,0 +1,359 @@
+// Package cache implements the hot-region result cache of DESIGN.md §15: a
+// bounded, sharded map from canonical query keys to canonically encoded
+// answer sets, with TTL + LRU eviction and precise region-keyed invalidation.
+//
+// Invalidation is the interesting part. Every cached entry carries a
+// *footprint*: the set of aligned z-order cells (internal/zorder blocks)
+// covering its restriction region. A tuple mutation at point p bumps the
+// generation of the O(TotalBits) aligned cells that contain p — the ancestor
+// chain of p's z-key — under a single small mutex, without touching any
+// shard. An entry is stale exactly when one of its footprint cells carries a
+// generation newer than the entry's own stamp; staleness is detected lazily
+// on the next Get (or Put) of that entry, so invalidation never takes shard
+// locks and the locking discipline stays flat (no lock is ever acquired
+// while another cache lock is held — see ripple-vet's lockorder analyzer).
+//
+// The race between an in-flight query and a concurrent mutation is closed by
+// generation stamping: callers take a Begin() snapshot before running the
+// query and pass it to Put, which rejects the fill when any footprint cell
+// was invalidated after the snapshot. A result computed from pre-mutation
+// shares therefore never enters the cache after the mutation.
+//
+// All methods are nil-receiver safe, so runtimes thread a *Cache through
+// unconditionally and pay nothing when caching is disabled.
+package cache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ripple/internal/geom"
+	"ripple/internal/metrics"
+	"ripple/internal/overlay"
+	"ripple/internal/zorder"
+)
+
+// Options configures a Cache.
+type Options struct {
+	// MaxBytes bounds the total size of cached keys+values (approximate:
+	// each entry is charged a small fixed overhead on top of its bytes).
+	// Non-positive disables the cache: New returns nil.
+	MaxBytes int64
+	// TTL bounds entry lifetime; zero means DefaultTTL.
+	TTL time.Duration
+	// Shards is the number of independently locked segments (default 8).
+	Shards int
+	// Metrics, when non-nil, registers the cache series
+	// (ripple_cache_{hits,misses,invalidations,evictions}_total and
+	// ripple_cache_bytes) on the given registry.
+	Metrics *metrics.Registry
+	// Now is the clock (test seam); nil means time.Now.
+	Now func() time.Time
+}
+
+// DefaultTTL bounds staleness for caches that are not on a mutation's
+// invalidation path (e.g. an initiator cache that missed a broadcast).
+const DefaultTTL = 30 * time.Second
+
+// entryOverhead approximates the per-entry bookkeeping cost charged against
+// MaxBytes on top of the key and value bytes.
+const entryOverhead = 128
+
+// maxCells bounds the cell-generation table; when exceeded the table is
+// cleared and the generation floor raised, which conservatively invalidates
+// every entry stamped before the reset.
+const maxCells = 1 << 16
+
+// Gen is a generation snapshot taken before running a query (Begin) and
+// presented when filling the result (Put).
+type Gen uint64
+
+type cellKey struct {
+	dims   uint8
+	free   uint8
+	prefix uint64
+}
+
+type entry struct {
+	key     string
+	val     []byte
+	cells   []cellKey
+	gen     uint64
+	expires time.Time
+	size    int64
+	elem    *list.Element
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used
+	bytes   int64
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Invalidations, Evictions int64
+	Bytes                                  int64
+	Entries                                int
+}
+
+// Cache is a sharded result cache with z-order-cell invalidation. The zero
+// value is not usable; construct with New. A nil *Cache is a valid disabled
+// cache.
+type Cache struct {
+	shards        []*shard
+	maxShardBytes int64
+	ttl           time.Duration
+	now           func() time.Time
+
+	gen    atomic.Uint64
+	cellMu sync.Mutex
+	cells  map[cellKey]uint64
+	floor  uint64 // entries stamped before this generation are stale
+
+	hits, misses, invals, evicts atomic.Int64
+	bytes                        atomic.Int64
+
+	mHits, mMisses, mInvals, mEvicts *metrics.Counter
+	mBytes                           *metrics.Gauge
+}
+
+// New builds a cache; it returns nil (a valid, disabled cache) when
+// opts.MaxBytes is non-positive.
+func New(opts Options) *Cache {
+	if opts.MaxBytes <= 0 {
+		return nil
+	}
+	n := opts.Shards
+	if n <= 0 {
+		n = 8
+	}
+	ttl := opts.TTL
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	c := &Cache{
+		shards:        make([]*shard, n),
+		maxShardBytes: (opts.MaxBytes + int64(n) - 1) / int64(n),
+		ttl:           ttl,
+		now:           now,
+		cells:         make(map[cellKey]uint64),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{entries: make(map[string]*entry), lru: list.New()}
+	}
+	if opts.Metrics != nil {
+		c.mHits = opts.Metrics.Counter("ripple_cache_hits_total", "result cache hits")
+		c.mMisses = opts.Metrics.Counter("ripple_cache_misses_total", "result cache misses")
+		c.mInvals = opts.Metrics.Counter("ripple_cache_invalidations_total", "cached entries dropped or rejected because a mutation touched their region footprint")
+		c.mEvicts = opts.Metrics.Counter("ripple_cache_evictions_total", "cached entries evicted by the byte budget or TTL")
+		c.mBytes = opts.Metrics.Gauge("ripple_cache_bytes", "approximate bytes held by the result cache")
+	}
+	return c
+}
+
+func (c *Cache) shardOf(key []byte) *shard {
+	h := fnv.New64a()
+	h.Write(key)
+	return c.shards[h.Sum64()%uint64(len(c.shards))]
+}
+
+// Begin returns a generation snapshot to stamp a query that is about to run.
+func (c *Cache) Begin() Gen {
+	if c == nil {
+		return 0
+	}
+	return Gen(c.gen.Load())
+}
+
+// Get returns the cached value for key, nil when absent, expired, or
+// invalidated by a mutation since it was stored. The returned slice is shared
+// and must be treated as read-only.
+func (c *Cache) Get(key []byte) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shardOf(key)
+	k := string(key)
+	now := c.now()
+
+	sh.mu.Lock()
+	e := sh.entries[k]
+	if e == nil {
+		sh.mu.Unlock()
+		c.count(&c.misses, c.mMisses)
+		return nil, false
+	}
+	if now.After(e.expires) {
+		c.removeLocked(sh, e)
+		sh.mu.Unlock()
+		c.count(&c.evicts, c.mEvicts)
+		c.count(&c.misses, c.mMisses)
+		return nil, false
+	}
+	sh.lru.MoveToFront(e.elem)
+	val, cells, gen := e.val, e.cells, e.gen
+	sh.mu.Unlock()
+
+	if c.staleAt(cells, gen) {
+		sh.mu.Lock()
+		if sh.entries[k] == e {
+			c.removeLocked(sh, e)
+		}
+		sh.mu.Unlock()
+		c.count(&c.invals, c.mInvals)
+		c.count(&c.misses, c.mMisses)
+		return nil, false
+	}
+	c.count(&c.hits, c.mHits)
+	return val, true
+}
+
+// Put stores val under key with the footprint of scope (empty scope = the
+// whole d-dimensional domain). gen must be the Begin() snapshot taken before
+// the query ran; the fill is rejected when a mutation has touched the
+// footprint since, so a pre-mutation result can never be served post-mutation.
+func (c *Cache) Put(key, val []byte, dims int, scope overlay.Region, gen Gen) {
+	if c == nil || dims <= 0 {
+		return
+	}
+	cells := footprint(dims, scope)
+	if c.staleAt(cells, uint64(gen)) {
+		c.count(&c.invals, c.mInvals)
+		return
+	}
+	size := int64(len(key)+len(val)) + entryOverhead
+	if size > c.maxShardBytes {
+		return // larger than a whole shard's budget: not cacheable
+	}
+	e := &entry{
+		key:     string(key),
+		val:     val,
+		cells:   cells,
+		gen:     uint64(gen),
+		expires: c.now().Add(c.ttl),
+		size:    size,
+	}
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if old := sh.entries[e.key]; old != nil {
+		c.removeLocked(sh, old)
+	}
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[e.key] = e
+	sh.bytes += size
+	c.addBytes(size)
+	var evicted int64
+	for sh.bytes > c.maxShardBytes {
+		tail := sh.lru.Back()
+		if tail == nil || tail.Value.(*entry) == e {
+			break
+		}
+		c.removeLocked(sh, tail.Value.(*entry))
+		evicted++
+	}
+	sh.mu.Unlock()
+	for ; evicted > 0; evicted-- {
+		c.count(&c.evicts, c.mEvicts)
+	}
+}
+
+// InvalidatePoint records a tuple mutation at p: the generations of the
+// aligned z-order cells containing p (its z-key's ancestor chain) are bumped,
+// so every cached entry whose region footprint covers p reads as stale from
+// now on. O(bits) work; no shard locks taken.
+func (c *Cache) InvalidatePoint(p geom.Point) {
+	if c == nil || len(p) == 0 {
+		return
+	}
+	cv := zorder.New(len(p))
+	key := cv.Encode(p)
+	g := c.gen.Add(1)
+	c.cellMu.Lock()
+	if len(c.cells) > maxCells {
+		c.cells = make(map[cellKey]uint64)
+		c.floor = g
+	}
+	for free := 0; free <= cv.TotalBits(); free++ {
+		prefix := key &^ (uint64(1)<<uint(free) - 1)
+		c.cells[cellKey{dims: uint8(len(p)), free: uint8(free), prefix: prefix}] = g
+	}
+	c.cellMu.Unlock()
+}
+
+// staleAt reports whether any of cells was invalidated after generation gen.
+func (c *Cache) staleAt(cells []cellKey, gen uint64) bool {
+	c.cellMu.Lock()
+	defer c.cellMu.Unlock()
+	if gen < c.floor {
+		return true
+	}
+	for _, ck := range cells {
+		if c.cells[ck] > gen {
+			return true
+		}
+	}
+	return false
+}
+
+// removeLocked unlinks e from sh; sh.mu must be held.
+func (c *Cache) removeLocked(sh *shard, e *entry) {
+	delete(sh.entries, e.key)
+	sh.lru.Remove(e.elem)
+	sh.bytes -= e.size
+	c.addBytes(-e.size)
+}
+
+func (c *Cache) addBytes(n int64) {
+	c.bytes.Add(n)
+	if c.mBytes != nil {
+		c.mBytes.Add(n)
+	}
+}
+
+func (c *Cache) count(a *atomic.Int64, m *metrics.Counter) {
+	a.Add(1)
+	m.Inc()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invals.Load(),
+		Evictions:     c.evicts.Load(),
+		Bytes:         c.bytes.Load(),
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Entries += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}

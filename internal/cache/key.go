@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"ripple/internal/geom"
+	"ripple/internal/overlay"
+	"ripple/internal/zorder"
+)
+
+// keyVersion tags the canonical key layout; bump it whenever the encoding
+// changes so entries written by an older layout can never alias a new key.
+const keyVersion = "rqc1"
+
+// Key renders the canonical cache key of a query: query type, the codec's
+// canonical parameter encoding (wire.Codec.EncodeParams output), the domain
+// dimensionality, the ripple radius r and the restriction region with its
+// boxes sorted into a canonical order. An empty scope means the whole domain.
+// Two queries get the same key exactly when every runtime is bound to return
+// them byte-identical answers. That identity includes r: the engine's Answers
+// are the candidate set peers emit during propagation — a superset of the
+// refined answer whose pruning depends on how much state the ripple
+// accumulated, so different radii legitimately return different candidate
+// sets. It deliberately excludes the initiator, which is safe only because
+// every cache is peer-local: within one cache the initiator is fixed.
+func Key(queryType string, params []byte, dims, r int, scope overlay.Region) []byte {
+	buf := make([]byte, 0, 32+len(params)+len(scope.Boxes)*2*8*dims)
+	buf = append(buf, keyVersion...)
+	buf = append(buf, queryType...)
+	buf = append(buf, 0)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(params)))
+	buf = append(buf, params...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(dims))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r))
+
+	boxes := make([][]byte, len(scope.Boxes))
+	for i, b := range scope.Boxes {
+		boxes[i] = encodeRect(b)
+	}
+	sort.Slice(boxes, func(i, j int) bool { return bytes.Compare(boxes[i], boxes[j]) < 0 })
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(boxes)))
+	for _, b := range boxes {
+		buf = append(buf, b...)
+	}
+	return buf
+}
+
+func encodeRect(r geom.Rect) []byte {
+	out := make([]byte, 0, 16*len(r.Lo))
+	for _, v := range r.Lo {
+		out = binary.BigEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	for _, v := range r.Hi {
+		out = binary.BigEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// maxFootprintDepth bounds the z-cell cover of a region: a block that still
+// straddles the region boundary after this many binary splits is kept whole.
+// Overapproximating the footprint is always safe — it can only cause extra
+// invalidations, never a stale read. Depth 6 caps the cover at 64 cells per
+// region box.
+const maxFootprintDepth = 6
+
+// footprint covers scope (empty = whole domain) with aligned z-order cells.
+func footprint(dims int, scope overlay.Region) []cellKey {
+	cv := zorder.New(dims)
+	root := zorder.Block{Start: 0, FreeBits: cv.TotalBits()}
+	if scope.IsEmpty() {
+		return []cellKey{blockCell(dims, root)}
+	}
+	seen := make(map[cellKey]bool)
+	var out []cellKey
+	for _, box := range scope.Boxes {
+		coverRect(cv, dims, root, box, maxFootprintDepth, seen, &out)
+	}
+	return out
+}
+
+func coverRect(cv zorder.Curve, dims int, b zorder.Block, r geom.Rect, depth int, seen map[cellKey]bool, out *[]cellKey) {
+	br := cv.Rect(b)
+	if !br.Overlaps(r) {
+		return
+	}
+	if depth == 0 || b.FreeBits == 0 || r.ContainsRect(br) {
+		ck := blockCell(dims, b)
+		if !seen[ck] {
+			seen[ck] = true
+			*out = append(*out, ck)
+		}
+		return
+	}
+	half := b.FreeBits - 1
+	coverRect(cv, dims, zorder.Block{Start: b.Start, FreeBits: half}, r, depth-1, seen, out)
+	coverRect(cv, dims, zorder.Block{Start: b.Start + uint64(1)<<uint(half), FreeBits: half}, r, depth-1, seen, out)
+}
+
+// blockCell names an aligned block as an invalidation cell: a block with
+// FreeBits low bits free contains a point exactly when the point's z-key with
+// those bits cleared equals the block start — the same cell InvalidatePoint
+// bumps at level free=FreeBits of the point's ancestor chain.
+func blockCell(dims int, b zorder.Block) cellKey {
+	return cellKey{dims: uint8(dims), free: uint8(b.FreeBits), prefix: b.Start}
+}

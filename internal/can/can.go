@@ -143,6 +143,21 @@ func (n *Network) Insert(t dataset.Tuple) {
 	w.dropStore()
 }
 
+// Delete implements overlay.Deleter: it removes the tuple with t.ID from the
+// peer owning t.Vec, rebuilding the share into a fresh backing array so
+// snapshots taken by in-flight queries stay intact.
+func (n *Network) Delete(t dataset.Tuple) bool {
+	w := n.locatePeer(t.Vec)
+	for i, u := range w.tuples {
+		if u.ID == t.ID {
+			w.tuples = append(w.tuples[:i:i], w.tuples[i+1:]...)
+			w.dropStore()
+			return true
+		}
+	}
+	return false
+}
+
 // RandomPeer returns a uniformly random peer.
 func (n *Network) RandomPeer(rng *rand.Rand) *Peer {
 	nd := n.root

@@ -23,6 +23,7 @@ package core
 import (
 	"sort"
 
+	"ripple/internal/cache"
 	"ripple/internal/dataset"
 	"ripple/internal/faults"
 	"ripple/internal/overlay"
@@ -80,6 +81,11 @@ type Result struct {
 	// Trace is the query's reconstructed hop tree when tracing was requested
 	// (Options.Trace); nil otherwise.
 	Trace *trace.Tree
+
+	// CacheHit marks a result served from Options.Cache: Answers were decoded
+	// from the canonical cached form (ID order) and Stats are zero — no
+	// propagation happened.
+	CacheHit bool
 }
 
 // Partial reports that at least one link traversal was lost to faults, so
@@ -133,6 +139,23 @@ type Options struct {
 	// query). Routing, fault identity and replica failover always see the
 	// original node either way.
 	Storage storage.Kind
+
+	// Scope, when non-empty, restricts the query to a sub-region of the
+	// domain: the traversal's root restriction area becomes Scope and every
+	// peer's local computation sees only its tuples inside Scope (via the
+	// overlay.Restricted lens, which — like the scan view — always computes
+	// the scoped answer from a flat scan, so every runtime and engine
+	// produces byte-identical scoped answers). Empty means the whole domain.
+	Scope overlay.Region
+
+	// Cache, when non-nil together with CacheKey, consults the result cache
+	// before running and fills it afterwards. CacheKey must be the canonical
+	// key of (query type, encoded params, Scope) — see cache.Key; the engine
+	// cannot derive it because it never sees the query type's wire encoding.
+	// Traced runs bypass the cache (a cached reply has no hop tree), and
+	// partial results are never cached.
+	Cache    *cache.Cache
+	CacheKey []byte
 }
 
 // Run executes query processing from the given initiator with ripple
@@ -157,28 +180,47 @@ func RunInjected(initiator overlay.Node, p Processor, r int, inj *faults.Injecto
 // RunOpts is the fully general entry point: Run with fault injection and/or
 // hop-tree tracing.
 func RunOpts(initiator overlay.Node, p Processor, r int, opts Options) *Result {
+	d := dimsOf(initiator)
+	region := overlay.Whole(d)
+	if !opts.Scope.IsEmpty() {
+		region = opts.Scope
+	}
+
+	useCache := opts.Cache != nil && len(opts.CacheKey) > 0 && !opts.Trace
+	var gen cache.Gen
+	if useCache {
+		if val, ok := opts.Cache.Get(opts.CacheKey); ok {
+			if ans, err := cache.DecodeAnswers(val); err == nil {
+				return &Result{Answers: ans, CacheHit: true}
+			}
+		}
+		gen = opts.Cache.Begin()
+	}
+
 	e := &executor{
 		p: p, res: &Result{}, answered: make(map[string]bool), inj: opts.Faults,
 		reps: opts.Replicas, budget: opts.RecoveryBudget, redials: opts.RecoveryRetries,
-		view: storageView(opts.Storage),
+		view: queryView(opts),
 	}
 	if opts.Trace {
 		e.rec = trace.NewRecorder()
 		e.rec.Record(trace.Span{
 			ID:      trace.RootID,
 			Peer:    initiator.ID(),
-			Region:  overlay.Whole(dimsOf(initiator)),
+			Region:  region,
 			Phase:   phaseOf(r),
 			R:       r,
 			Outcome: trace.OutcomeOK,
 		})
 	}
-	d := dimsOf(initiator)
-	_, latency := e.exec(initiator, p.InitialState(), overlay.Whole(d), r, trace.RootID, 0, 0)
+	_, latency := e.exec(initiator, p.InitialState(), region, r, trace.RootID, 0, 0)
 	e.res.Stats.Latency = latency
 	e.res.FailedRegions = overlay.CanonicalRegions(e.res.FailedRegions)
 	if e.rec != nil {
 		e.res.Trace = trace.Build(e.rec.Spans())
+	}
+	if useCache && !e.res.Partial() {
+		opts.Cache.Put(opts.CacheKey, cache.EncodeAnswers(e.res.Answers), d, opts.Scope, gen)
 	}
 	return e.res
 }
@@ -237,6 +279,18 @@ func storageView(k storage.Kind) func(overlay.Node) overlay.Node {
 		return overlay.ScanOnly
 	}
 	return func(w overlay.Node) overlay.Node { return w }
+}
+
+// queryView composes the storage lens with the scope lens: processors see the
+// node under the selected engine, further restricted to the query's scope.
+// The unscoped path returns the storage lens unchanged — zero extra work.
+func queryView(opts Options) func(overlay.Node) overlay.Node {
+	base := storageView(opts.Storage)
+	if opts.Scope.IsEmpty() {
+		return base
+	}
+	scope := opts.Scope
+	return func(w overlay.Node) overlay.Node { return overlay.Restricted(base(w), scope) }
 }
 
 // decide consults the injector for one delivery attempt from the physical

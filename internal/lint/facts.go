@@ -190,10 +190,8 @@ func (f *Facts) scanFunc(info *types.Info, fn *types.Func, fd *ast.FuncDecl) []p
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range n.Lhs {
-				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
-					if obj := info.Uses[sel.Sel]; obj != nil && isStoreType(obj.Type()) {
-						f.invalidates[fn] = true
-					}
+				if invalidatesStoreLHS(info, lhs) {
+					f.invalidates[fn] = true
 				}
 			}
 		case *ast.ReturnStmt:
@@ -394,7 +392,9 @@ func recvIsSyncType(fn *types.Func, name string) bool {
 
 // poolLikeType reports whether t (or *t) declares both a Get/get and a
 // Put/put method — the structural signature of an object pool. sync.Pool
-// matches; so do project-local pools like netpeer's connPool.
+// matches; so do project-local pools like netpeer's connPool. A Get whose
+// last result is a comma-ok bool is a lookup (cache.Cache, map wrappers),
+// not a pool acquisition: its result is owned by the caller, never returned.
 func poolLikeType(t types.Type) bool {
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
@@ -408,6 +408,12 @@ func poolLikeType(t types.Type) bool {
 	for i := 0; i < ms.Len(); i++ {
 		switch ms.At(i).Obj().Name() {
 		case "Get", "get":
+			sig, ok := ms.At(i).Obj().Type().(*types.Signature)
+			if ok && sig.Results().Len() >= 2 {
+				if b, ok := sig.Results().At(sig.Results().Len() - 1).Type().(*types.Basic); ok && b.Kind() == types.Bool {
+					continue
+				}
+			}
 			hasGet = true
 		case "Put", "put":
 			hasPut = true
@@ -480,6 +486,30 @@ func isStoreType(t types.Type) bool {
 	path, name := namedPathName(t)
 	return name == "Store" &&
 		(path == "ripple/internal/storage" || strings.HasSuffix(path, "internal/storage"))
+}
+
+// invalidatesStoreLHS reports whether an assignment target drops or rebuilds
+// a lazy store: a storage.Store field (p.store = nil), the whole store table
+// (s.repStores = make(...)), or one entry of it (s.repStores[id] =
+// storage.New(...)).
+func invalidatesStoreLHS(info *types.Info, lhs ast.Expr) bool {
+	e := ast.Unparen(lhs)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	t := obj.Type()
+	if m, ok := t.Underlying().(*types.Map); ok {
+		t = m.Elem()
+	}
+	return isStoreType(t)
 }
 
 // lockClassOf names the lock an expression denotes, stably across functions:

@@ -12,6 +12,16 @@
 // syntactically identifiable, falling back to any invalidator call on the
 // same Provider type for aliased writes (redistribution loops write through
 // a alias and invalidate both sources afterwards).
+//
+// Since PR 9 the wire-level mutation path extends the contract to the
+// transport server: netpeer.Server is not a storage.Provider, but it owns a
+// lazy store (and a per-replica store table) derived from tuple shares
+// nested inside its config struct. The analyzer therefore also guards types
+// that declare a storage.Store field (or a map of them), unwraps nested
+// selector/index chains (s.cfg.Tuples) to the owning root, guards
+// replica-share slices (fields of []struct{... Tuples []dataset.Tuple ...}
+// shape), and counts an assignment into a map of stores
+// (s.repStores[id] = storage.New(...)) as an invalidation.
 package lint
 
 import (
@@ -27,7 +37,7 @@ var StoreInvalAnalyzer = &Analyzer{
 }
 
 func runStoreInval(pass *Pass) error {
-	providers := providerTypes(pass.Pkg)
+	providers := storeOwnerTypes(pass.Pkg)
 	if len(providers) == 0 {
 		return nil
 	}
@@ -78,8 +88,42 @@ func providerTypes(pkg *types.Package) map[*types.Named]bool {
 	return out
 }
 
-// guardedField reports whether sel writes a tuple-share field of a Provider
-// type: a []dataset.Tuple field, or a field named links or zone.
+// storeOwnerTypes extends providerTypes with named struct types that own a
+// lazy store directly — a storage.Store field or a map of them — without
+// implementing the Provider interface (netpeer.Server's shape).
+func storeOwnerTypes(pkg *types.Package) map[*types.Named]bool {
+	out := providerTypes(pkg)
+	for _, name := range pkg.Scope().Names() {
+		tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			t := st.Field(i).Type()
+			if m, ok := t.Underlying().(*types.Map); ok {
+				t = m.Elem()
+			}
+			if isStoreType(t) {
+				out[named] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// guardedField reports whether sel writes a tuple-share field owned by a
+// guarded type: a []dataset.Tuple field or a replica-share slice anywhere
+// down a selector/index chain rooted at an owner (s.cfg.Tuples), or a field
+// named links or zone directly on a Provider.
 func guardedField(pass *Pass, providers map[*types.Named]bool, sel *ast.SelectorExpr) (types.Object, *types.Named, bool) {
 	fieldObj := pass.TypesInfo.Uses[sel.Sel]
 	if fieldObj == nil {
@@ -88,22 +132,41 @@ func guardedField(pass *Pass, providers map[*types.Named]bool, sel *ast.Selector
 	if _, ok := fieldObj.(*types.Var); !ok {
 		return nil, nil, false
 	}
-	tv, ok := pass.TypesInfo.Types[sel.X]
-	if !ok {
+	shareField := isTupleShareField(fieldObj.Type()) || isReplicaShareField(fieldObj.Type())
+	if !shareField && sel.Sel.Name != "links" && sel.Sel.Name != "zone" {
 		return nil, nil, false
 	}
-	t := tv.Type
-	if ptr, ok := t.Underlying().(*types.Pointer); ok {
-		t = ptr.Elem()
+	// The links/zone name guard predates nested-config shapes and stays
+	// shallow; share fields are matched through any chain depth.
+	return chainOwner(pass, providers, sel.X, !shareField)
+}
+
+// chainOwner walks e's selector/index chain inward until it reaches a prefix
+// whose type is a guarded owner, returning that prefix's object (the write
+// receiver invalidations are matched against). directOnly restricts the
+// match to the immediate operand.
+func chainOwner(pass *Pass, owners map[*types.Named]bool, e ast.Expr, directOnly bool) (types.Object, *types.Named, bool) {
+	for {
+		e = ast.Unparen(e)
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = ix.X
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[e]; ok {
+			t := tv.Type
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && owners[named] {
+				return exprObj(pass.TypesInfo, e), named, true
+			}
+		}
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || directOnly {
+			return nil, nil, false
+		}
+		e = sel.X
 	}
-	named, ok := t.(*types.Named)
-	if !ok || !providers[named] {
-		return nil, nil, false
-	}
-	if !isTupleShareField(fieldObj.Type()) && sel.Sel.Name != "links" && sel.Sel.Name != "zone" {
-		return nil, nil, false
-	}
-	return exprObj(pass.TypesInfo, sel.X), named, true
 }
 
 // isTupleShareField: a slice of dataset.Tuple.
@@ -114,6 +177,26 @@ func isTupleShareField(t types.Type) bool {
 	}
 	path, name := namedPathName(sl.Elem())
 	return name == "Tuple" && strings.HasSuffix(path, "internal/dataset")
+}
+
+// isReplicaShareField: a slice of structs that themselves carry a tuple
+// share (netpeer's Replicas []ReplicaShare) — rewriting the slice swaps the
+// shares the per-replica stores were built from.
+func isReplicaShareField(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	st, ok := sl.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isTupleShareField(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
 }
 
 func checkStoreWrites(pass *Pass, body *ast.BlockStmt, providers map[*types.Named]bool) {
@@ -193,10 +276,8 @@ func nodeInvalidates(pass *Pass, n ast.Node, recvObj types.Object, owner *types.
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range m.Lhs {
-				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
-					if obj := info.Uses[sel.Sel]; obj != nil && isStoreType(obj.Type()) {
-						found = true
-					}
+				if invalidatesStoreLHS(info, lhs) {
+					found = true
 				}
 			}
 		}

@@ -35,3 +35,33 @@ func (p *Peer) Trim(n int, keep bool) {
 	}
 	p.dropStore()
 }
+
+// Share is one mirrored tuple share, the replica-slice element shape.
+type Share struct {
+	ID     string
+	Tuples []dataset.Tuple
+}
+
+// Config nests the tuple shares a Server's stores are built from.
+type Config struct {
+	Tuples   []dataset.Tuple
+	Replicas []Share
+}
+
+// Server owns lazy stores without implementing storage.Provider: a store
+// over its own share plus a per-replica store table.
+type Server struct {
+	cfg       Config
+	store     storage.Store
+	repStores map[string]storage.Store
+}
+
+// Apply rewrites the nested share but keeps answering from the stale store.
+func (s *Server) Apply(ts []dataset.Tuple) {
+	s.cfg.Tuples = ts // want `write to Server\.Tuples is not followed by a store invalidation`
+}
+
+// SwapShares rewrites the replica shares without rebuilding their stores.
+func (s *Server) SwapShares(shares []Share) {
+	s.cfg.Replicas = shares // want `write to Server\.Replicas is not followed by a store invalidation`
+}

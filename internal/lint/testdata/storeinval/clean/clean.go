@@ -39,3 +39,47 @@ func Redistribute(from, to *Peer, t dataset.Tuple) {
 	from.dropStore()
 	to.dropStore()
 }
+
+// Share is one mirrored tuple share, the replica-slice element shape.
+type Share struct {
+	ID     string
+	Tuples []dataset.Tuple
+}
+
+// Config nests the tuple shares a Server's stores are built from.
+type Config struct {
+	Tuples   []dataset.Tuple
+	Replicas []Share
+}
+
+// Server owns lazy stores without implementing storage.Provider: a store
+// over its own share plus a per-replica store table.
+type Server struct {
+	cfg       Config
+	store     storage.Store
+	repStores map[string]storage.Store
+}
+
+// Apply rebuilds the store after rewriting the nested share.
+func (s *Server) Apply(ts []dataset.Tuple) {
+	s.cfg.Tuples = ts
+	s.store = nil
+}
+
+// SwapShares invalidates through a helper that rebuilds the store table.
+func (s *Server) SwapShares(shares []Share) {
+	s.cfg.Replicas = shares
+	s.rebuildStores(shares)
+}
+
+func (s *Server) rebuildStores(shares []Share) {
+	s.repStores = make(map[string]storage.Store, len(shares))
+}
+
+// ApplyShare copy-on-writes one replica share; assigning the share's slot in
+// the store table counts as its invalidation.
+func (s *Server) ApplyShare(i int, ts []dataset.Tuple, shares []Share) {
+	shares[i].Tuples = ts
+	s.cfg.Replicas = shares
+	s.repStores[shares[i].ID] = nil
+}

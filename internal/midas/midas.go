@@ -214,6 +214,24 @@ func (n *Network) Insert(t dataset.Tuple) {
 	}
 }
 
+// Delete implements overlay.Deleter: it removes the tuple with t.ID from the
+// peer owning t.Vec. The surviving share is rebuilt into a fresh backing
+// array so snapshots taken by in-flight queries stay intact.
+func (n *Network) Delete(t dataset.Tuple) bool {
+	w := n.locatePeer(t.Vec)
+	for i, u := range w.tuples {
+		if u.ID == t.ID {
+			w.tuples = append(w.tuples[:i:i], w.tuples[i+1:]...)
+			w.dropStore()
+			for nd := w.leaf; nd != nil; nd = nd.parent {
+				nd.load--
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // RandomPeer returns a uniformly random peer, used to pick query initiators.
 func (n *Network) RandomPeer(rng *rand.Rand) *Peer {
 	nd := n.root

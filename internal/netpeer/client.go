@@ -12,14 +12,22 @@ import (
 	"ripple/internal/wire"
 )
 
-// buildCall assembles the initiator's root call.
-func buildCall(queryType string, params []byte, dims, r int, traced bool) *wire.Call {
+// buildCall assembles the initiator's root call. A non-empty scope restricts
+// the query to that sub-region: it prunes the traversal (the root restriction
+// starts at the scope instead of the whole domain, mirroring what the
+// in-process engines do) and rides every sub-call so peers filter their local
+// answers to it.
+func buildCall(queryType string, params []byte, dims, r int, traced bool, scope overlay.Region) *wire.Call {
 	call := &wire.Call{
 		QueryType: queryType,
 		Params:    params,
 		Restrict:  overlay.Whole(dims),
+		Scope:     scope,
 		R:         r,
 		Hops:      0,
+	}
+	if !scope.IsEmpty() {
+		call.Restrict = scope
 	}
 	if traced {
 		call.Traced = true
@@ -33,6 +41,7 @@ func resultFromReply(reply *wire.Reply, traced bool) *QueryResult {
 	res := &QueryResult{
 		Answers:       reply.Answers,
 		FailedRegions: reply.FailedRegions,
+		CacheHit:      reply.CacheHit,
 	}
 	for _, p := range reply.Peers {
 		res.Stats.Touch(p)
@@ -232,8 +241,8 @@ func (c *Client) doSequential(call *wire.Call) (*wire.Reply, error) {
 }
 
 // query is the shared body of the Query variants.
-func (c *Client) query(queryType string, params []byte, dims, r int, traced bool) (*QueryResult, error) {
-	reply, err := c.do(buildCall(queryType, params, dims, r, traced))
+func (c *Client) query(queryType string, params []byte, dims, r int, traced bool, scope overlay.Region) (*QueryResult, error) {
+	reply, err := c.do(buildCall(queryType, params, dims, r, traced, scope))
 	if err != nil {
 		return nil, err
 	}
@@ -245,7 +254,7 @@ func (c *Client) query(queryType string, params []byte, dims, r int, traced bool
 
 // Query runs a query over the warm connection; see the package-level Query.
 func (c *Client) Query(queryType string, params []byte, dims, r int) ([]dataset.Tuple, sim.Stats, error) {
-	res, err := c.query(queryType, params, dims, r, false)
+	res, err := c.query(queryType, params, dims, r, false, overlay.Region{})
 	if err != nil {
 		return nil, sim.Stats{}, err
 	}
@@ -255,10 +264,44 @@ func (c *Client) Query(queryType string, params []byte, dims, r int) ([]dataset.
 // QueryDetailed runs a query over the warm connection and returns the full
 // result including partial-answer accounting.
 func (c *Client) QueryDetailed(queryType string, params []byte, dims, r int) (*QueryResult, error) {
-	return c.query(queryType, params, dims, r, false)
+	return c.query(queryType, params, dims, r, false, overlay.Region{})
+}
+
+// QueryScoped is QueryDetailed restricted to a sub-region of the domain: only
+// tuples inside scope qualify, and the traversal is pruned to it. An empty
+// scope behaves exactly like QueryDetailed.
+func (c *Client) QueryScoped(queryType string, params []byte, dims, r int, scope overlay.Region) (*QueryResult, error) {
+	return c.query(queryType, params, dims, r, false, scope)
 }
 
 // QueryTraced is QueryDetailed with hop-tree tracing.
 func (c *Client) QueryTraced(queryType string, params []byte, dims, r int) (*QueryResult, error) {
-	return c.query(queryType, params, dims, r, true)
+	return c.query(queryType, params, dims, r, true, overlay.Region{})
+}
+
+// Insert applies an insert mutation through this peer: the tuple is routed to
+// the owner of its point, applied there, mirrored onto the owner's zone
+// replicas, and result caches across the deployment are invalidated before
+// the call returns. It reports how many peers applied the op (owner plus
+// mirrors).
+func (c *Client) Insert(t dataset.Tuple) (int, error) {
+	return c.mutate(wire.OpInsert, t)
+}
+
+// Delete applies a delete mutation through this peer; the tuple is matched by
+// ID at the owner of t.Vec. It reports how many peers applied the op — zero
+// when no such tuple exists.
+func (c *Client) Delete(t dataset.Tuple) (int, error) {
+	return c.mutate(wire.OpDelete, t)
+}
+
+func (c *Client) mutate(op string, t dataset.Tuple) (int, error) {
+	reply, err := c.do(&wire.Call{Op: op, Tuple: t})
+	if err != nil {
+		return 0, err
+	}
+	if reply.Error != "" {
+		return 0, replyErr(c.addr, reply)
+	}
+	return reply.Acks, nil
 }

@@ -82,12 +82,12 @@ func PlanOpts(net_ overlay.Network, host string, basePort, factor int) ([]*FileC
 	}
 	out := make([]*FileConfig, len(nodes))
 	for i, n := range nodes {
-		out[i] = &FileConfig{
-			Addr: addrs[n.ID()],
-			Dims: net_.Dims(),
-			Peer: Config{ID: n.ID(), Zone: n.Zone(), Tuples: n.Tuples(),
-				Links: linkSpecsFor(n, addrs, rm), Replicas: holders[n.ID()]},
+		peer := Config{ID: n.ID(), Zone: n.Zone(), Tuples: n.Tuples(),
+			Links: linkSpecsFor(n, addrs, rm), Replicas: holders[n.ID()]}
+		if rm != nil {
+			peer.Mirrors = replicaAddrs(rm, n.ID(), addrs)
 		}
+		out[i] = &FileConfig{Addr: addrs[n.ID()], Dims: net_.Dims(), Peer: peer}
 	}
 	return out, nil
 }

@@ -1,0 +1,280 @@
+package netpeer
+
+import (
+	"fmt"
+
+	"ripple/internal/dataset"
+	"ripple/internal/overlay"
+	"ripple/internal/storage"
+	"ripple/internal/wire"
+)
+
+// The wire-level data-mutation path (DESIGN.md §15). A mutation call names a
+// tuple and an operation; whichever peer receives it routes it greedily to
+// the owner of the tuple's point — each hop forwards along the one link whose
+// region contains it — and the owner applies it, updates its zone mirrors,
+// and floods a cache-invalidation event to every peer. Replies carry the
+// number of peers that applied the op (owner plus mirrors).
+//
+// Consistency model: once the initiating client's call returns, no peer's
+// result cache can serve a pre-mutation answer for a region covering the
+// point — the invalidation broadcast completes before the owner acks, and
+// generation stamps (cache.Begin/Put) close the race against queries already
+// in flight. Peers the broadcast could not reach (partitioned, restarting)
+// fall back to the cache TTL as a staleness bound. There is no anti-entropy:
+// a primary that was down while its mirrors applied mutations serves its
+// pre-crash share when it returns.
+
+// maxMutationHops bounds greedy routing (and the invalidation flood) against
+// cyclic or stale link tables; contains-based routing on a healthy overlay
+// terminates in at most the overlay diameter.
+const maxMutationHops = 64
+
+// processMutation handles one OpInsert/OpDelete delivery.
+func (s *Server) processMutation(call *wire.Call) (*wire.Reply, error) {
+	t := call.Tuple
+	if len(t.Vec) == 0 {
+		return nil, fmt.Errorf("netpeer: %s call without tuple", call.Op)
+	}
+	s.mu.RLock()
+	cfg := s.cfg
+	s.mu.RUnlock()
+
+	if call.ActAs != "" && call.ActAs != cfg.ID {
+		return s.mutateAs(cfg, call)
+	}
+	if cfg.Zone.Contains(t.Vec) {
+		return s.applyOwned(cfg, call)
+	}
+	return s.routeMutation(cfg, call)
+}
+
+// applyOwned applies a mutation this peer owns: rewrite the share, rebuild
+// the store, fan out to the peers mirroring this share, then flood the
+// invalidation. A delete whose tuple is not in the share acks zero peers and
+// skips the fan-out — nothing changed, nothing can be stale.
+func (s *Server) applyOwned(cfg Config, call *wire.Call) (*wire.Reply, error) {
+	t := call.Tuple
+	s.mu.Lock()
+	tuples, changed := applyOp(s.cfg.Tuples, call.Op, t)
+	if changed {
+		s.cfg.Tuples = tuples
+		s.store = storage.New(s.opts.Storage, tuples)
+	}
+	mirrors := s.cfg.Mirrors
+	s.mu.Unlock()
+	if !changed {
+		return &wire.Reply{}, nil
+	}
+	s.cache.InvalidatePoint(t.Vec)
+
+	reply := &wire.Reply{Acks: 1}
+	for _, m := range mirrors {
+		mc := *call
+		mc.ActAs = cfg.ID
+		mc.Hops = 0
+		mrep, retries, err := s.callPeer(LinkSpec{ID: m.ID, Addr: m.Addr}, &mc)
+		reply.Retries += retries
+		if err != nil {
+			// A mirror that cannot be updated is indistinguishable from a
+			// dead one; it re-mirrors on the next SetReplicas. Failover reads
+			// from it may serve pre-mutation data until then.
+			s.opts.Logf("netpeer %s: mirror %s missed %s: %v", cfg.ID, m.ID, call.Op, err)
+			reply.Failures++
+			continue
+		}
+		reply.Acks += mrep.Acks
+	}
+	// The flood's receipts are coverage accounting for the invalidation
+	// subtree, not mutation applies — wait for it (the consistency model
+	// acks only after the broadcast) but keep them out of reply.Acks.
+	s.floodInvalidation(cfg.Links, t, overlay.Whole(len(t.Vec)), 0, &wire.Reply{})
+	return reply, nil
+}
+
+// mutateAs handles a mutation addressed to a dead peer this peer mirrors.
+// Two cases, told apart by the share's zone: the point is in it — the dead
+// peer owned it, so apply the op to the mirrored share (the caller dispatches
+// the same call to every other mirror, so all survivors converge) — or it is
+// not, and the dead peer was mid-route: route onward via the share's links as
+// the dead peer would have, marking the reply Forwarded so the caller stops
+// after this one dispatch instead of routing once per replica.
+func (s *Server) mutateAs(cfg Config, call *wire.Call) (*wire.Reply, error) {
+	t := call.Tuple
+	share := findShare(cfg.Replicas, call.ActAs)
+	if share == nil {
+		return nil, fmt.Errorf("netpeer %s: no replica share for peer %q", cfg.ID, call.ActAs)
+	}
+	if !share.Zone.Contains(t.Vec) {
+		fwd := *call
+		fwd.ActAs = ""
+		shareCfg := Config{ID: share.ID, Zone: share.Zone, Links: share.Links}
+		reply, err := s.routeMutation(shareCfg, &fwd)
+		if err != nil {
+			return nil, err
+		}
+		reply.Forwarded = true
+		return reply, nil
+	}
+	s.mu.Lock()
+	i := shareIndex(s.cfg.Replicas, call.ActAs)
+	if i < 0 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("netpeer %s: no replica share for peer %q", cfg.ID, call.ActAs)
+	}
+	tuples, changed := applyOp(s.cfg.Replicas[i].Tuples, call.Op, t)
+	if changed {
+		// Copy-on-write on the shares slice: queries snapshot cfg under the
+		// read lock and keep reading the old backing array race-free.
+		shares := make([]ReplicaShare, len(s.cfg.Replicas))
+		copy(shares, s.cfg.Replicas)
+		shares[i].Tuples = tuples
+		s.cfg.Replicas = shares
+		s.repStores[shares[i].ID] = storage.New(s.opts.Storage, tuples)
+	}
+	s.mu.Unlock()
+	if !changed {
+		return &wire.Reply{}, nil
+	}
+	s.cache.InvalidatePoint(t.Vec)
+	return &wire.Reply{Acks: 1}, nil
+}
+
+// routeMutation forwards a mutation one hop toward the owner: the link whose
+// region contains the point. A dead next hop fails over to its replicas —
+// the first to accept either routed onward (Forwarded) or applied to its
+// mirror, in which case the remaining replicas get the same dispatch so every
+// surviving mirror converges.
+func (s *Server) routeMutation(cfg Config, call *wire.Call) (*wire.Reply, error) {
+	t := call.Tuple
+	if call.Hops >= maxMutationHops {
+		return nil, fmt.Errorf("netpeer %s: %s for %v exceeded %d hops", cfg.ID, call.Op, t.Vec, maxMutationHops)
+	}
+	for _, l := range cfg.Links {
+		if !l.Region.Contains(t.Vec) {
+			continue
+		}
+		fwd := *call
+		fwd.Hops++
+		reply, retries, err := s.callPeer(l, &fwd)
+		if err == nil {
+			reply.Retries += retries
+			return reply, nil
+		}
+		s.opts.Logf("netpeer %s: lost mutation link to %s after %d retries: %v",
+			cfg.ID, l.key(), retries, err)
+		reply = &wire.Reply{Retries: retries, Failures: 1}
+		applied := false
+		for _, rep := range l.Replicas {
+			repCall := fwd
+			repCall.ActAs = l.key()
+			rrep, rretries, rerr := s.callPeer(LinkSpec{ID: rep.ID, Addr: rep.Addr}, &repCall)
+			reply.Retries += rretries
+			reply.Failovers++
+			if rerr != nil {
+				s.opts.Logf("netpeer %s: replica %s could not apply %s for %s: %v",
+					cfg.ID, rep.ID, call.Op, l.key(), rerr)
+				continue
+			}
+			applied = applied || rrep.Acks > 0
+			reply.Acks += rrep.Acks
+			reply.Recovered++
+			if rrep.Forwarded {
+				return reply, nil
+			}
+		}
+		if !applied {
+			return nil, fmt.Errorf("netpeer %s: %s for %v lost: peer %s and all replicas unreachable",
+				cfg.ID, call.Op, t.Vec, l.key())
+		}
+		return reply, nil
+	}
+	return nil, fmt.Errorf("netpeer %s: no link covers %v", cfg.ID, t.Vec)
+}
+
+// processInvalidate handles one OpInvalidate delivery: drop cached results
+// covering the point and keep flooding under the restriction partition.
+func (s *Server) processInvalidate(call *wire.Call) (*wire.Reply, error) {
+	t := call.Tuple
+	if len(t.Vec) == 0 {
+		return nil, fmt.Errorf("netpeer: %s call without tuple", call.Op)
+	}
+	s.mu.RLock()
+	links := s.cfg.Links
+	s.mu.RUnlock()
+	s.cache.InvalidatePoint(t.Vec)
+	reply := &wire.Reply{Acks: 1}
+	if call.Hops < maxMutationHops {
+		s.floodInvalidation(links, t, call.Restrict, call.Hops+1, reply)
+	}
+	return reply, nil
+}
+
+// floodInvalidation fans an invalidation event out to every link whose region
+// intersects restrict, concurrently, partitioning the restriction exactly
+// like a fast-phase query so each peer of the overlay receives the event
+// once. Delivery is best-effort: an unreachable subtree is logged and its
+// peers fall back to the cache TTL; the mutation itself is not failed.
+func (s *Server) floodInvalidation(links []LinkSpec, t dataset.Tuple, restrict overlay.Region, hops int, reply *wire.Reply) {
+	type out struct {
+		reply *wire.Reply
+		link  LinkSpec
+		err   error
+	}
+	var calls []chan out
+	for _, l := range links {
+		sub := l.Region.Intersect(restrict)
+		if sub.IsEmpty() {
+			continue
+		}
+		ch := make(chan out, 1)
+		calls = append(calls, ch)
+		go func(l LinkSpec, sub overlay.Region) {
+			fwd := &wire.Call{Op: wire.OpInvalidate, Tuple: t, Restrict: sub, Hops: hops}
+			r, _, err := s.callPeer(l, fwd)
+			ch <- out{reply: r, link: l, err: err}
+		}(l, sub)
+	}
+	for _, ch := range calls {
+		o := <-ch
+		if o.err != nil {
+			s.opts.Logf("netpeer %s: invalidation flood lost link to %s: %v",
+				s.cfg.ID, o.link.key(), o.err)
+			continue
+		}
+		reply.Acks += o.reply.Acks
+	}
+}
+
+// applyOp rewrites a tuple slice under a mutation op, into a fresh backing
+// array so snapshots held by in-flight queries stay intact. It reports
+// whether anything changed (a delete of an absent tuple does not).
+func applyOp(tuples []dataset.Tuple, op string, t dataset.Tuple) ([]dataset.Tuple, bool) {
+	switch op {
+	case wire.OpInsert:
+		out := make([]dataset.Tuple, len(tuples)+1)
+		copy(out, tuples)
+		out[len(tuples)] = t
+		return out, true
+	case wire.OpDelete:
+		for i, u := range tuples {
+			if u.ID == t.ID {
+				out := make([]dataset.Tuple, 0, len(tuples)-1)
+				out = append(out, tuples[:i]...)
+				out = append(out, tuples[i+1:]...)
+				return out, true
+			}
+		}
+	}
+	return tuples, false
+}
+
+// shareIndex locates a mirrored share by primary id; -1 when absent.
+func shareIndex(shares []ReplicaShare, id string) int {
+	for i := range shares {
+		if shares[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,226 @@
+package netpeer
+
+import (
+	"testing"
+	"time"
+
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/knn"
+	"ripple/internal/midas"
+	"ripple/internal/overlay"
+	"ripple/internal/topk"
+)
+
+// mutateFixture deploys a loopback fleet for the mutation-path tests: knn is
+// the query family (an inserted tuple at the query center has distance zero,
+// so share freshness is directly observable in the answers).
+func mutateFixture(t *testing.T, replication int, cacheBytes int64) ([]*Server, map[string]string) {
+	t.Helper()
+	net := midas.Build(16, midas.Options{Dims: 2, Seed: 7})
+	overlay.Load(net, dataset.Uniform(400, 2, 29))
+	opts := quietOpts(t)
+	opts.Replication = replication
+	opts.CacheSize = cacheBytes
+	servers, addrs, err := DeployOpts(net, opts, knn.WireCodec{}, topk.WireCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	return servers, addrs
+}
+
+func knnTestParams(t *testing.T, center geom.Point, k int) []byte {
+	t.Helper()
+	params, err := (knn.WireCodec{}).EncodeParams(center, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params
+}
+
+func hasID(ts []dataset.Tuple, id uint64) bool {
+	for _, tt := range ts {
+		if tt.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerAndOutsider splits the fleet around a point: the server whose zone
+// contains it, and one that neither owns it nor is the given initiator.
+func ownerAndOutsider(t *testing.T, servers []*Server, p geom.Point) (owner, outsider *Server) {
+	t.Helper()
+	for _, s := range servers {
+		if s.cfg.Zone.Contains(p) {
+			owner = s
+		} else if outsider == nil {
+			outsider = s
+		}
+	}
+	if owner == nil || outsider == nil {
+		t.Fatal("fixture did not partition the domain")
+	}
+	return owner, outsider
+}
+
+// TestInsertRoutesToOwnerAndRefreshesAnswers: an insert issued at a peer
+// that does not own the tuple's point must be routed greedily to the owner,
+// and subsequent queries through any peer must see the new tuple. Deleting
+// it restores the original answers; a second identical delete changes
+// nothing and acks zero peers.
+func TestInsertRoutesToOwnerAndRefreshesAnswers(t *testing.T) {
+	servers, _ := mutateFixture(t, 1, 0)
+	center := geom.Point{0.31, 0.62}
+	params := knnTestParams(t, center, 3)
+	_, outsider := ownerAndOutsider(t, servers, center)
+
+	base, err := QueryDetailed(servers[0].Addr(), "knn", params, 2, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := dataset.Tuple{ID: 1 << 40, Vec: center.Clone()}
+	if hasID(base.Answers, tup.ID) {
+		t.Fatal("fixture already contains the sentinel tuple")
+	}
+
+	acks, err := Insert(outsider.Addr(), tup, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acks != 1 {
+		t.Fatalf("unreplicated insert acked %d peers, want 1", acks)
+	}
+	res, err := QueryDetailed(servers[0].Addr(), "knn", params, 2, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasID(res.Answers, tup.ID) {
+		t.Fatalf("inserted tuple (distance 0 from the query center) missing from answers %v", res.Answers)
+	}
+
+	acks, err = Delete(outsider.Addr(), tup, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acks != 1 {
+		t.Fatalf("delete acked %d peers, want 1", acks)
+	}
+	res, err = QueryDetailed(servers[0].Addr(), "knn", params, 2, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasID(res.Answers, tup.ID) {
+		t.Fatal("deleted tuple still answered")
+	}
+
+	acks, err = Delete(outsider.Addr(), tup, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acks != 0 {
+		t.Fatalf("deleting an absent tuple acked %d peers, want 0 (nothing changed)", acks)
+	}
+}
+
+// TestMutationFanOutKeepsMirrorsFresh: with replication 2 an insert must be
+// applied at the owner and fanned out to its mirror, so that after the owner
+// dies a failover query still sees the tuple — the mirrored share the
+// replica answers from was kept in sync by the mutation path.
+func TestMutationFanOutKeepsMirrorsFresh(t *testing.T) {
+	servers, _ := mutateFixture(t, 2, 0)
+	center := geom.Point{0.31, 0.62}
+	params := knnTestParams(t, center, 3)
+	owner, outsider := ownerAndOutsider(t, servers, center)
+
+	tup := dataset.Tuple{ID: 1 << 41, Vec: center.Clone()}
+	acks, err := Insert(outsider.Addr(), tup, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acks < 2 {
+		t.Fatalf("replicated insert acked %d peers, want owner + mirror(s)", acks)
+	}
+
+	owner.Close()
+	res, err := QueryDetailed(outsider.Addr(), "knn", params, 2, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial() {
+		t.Fatalf("failover left a partial answer: %v", res.FailedRegions)
+	}
+	if !hasID(res.Answers, tup.ID) {
+		t.Fatal("tuple inserted before the owner died is missing from the failover answer; mirror fan-out lost it")
+	}
+}
+
+// TestMutationInvalidatesCachesFleetWide: every peer caches at its own
+// initiator boundary; a mutation anywhere must invalidate the covering
+// entries at all of them (the invalidation flood follows the fast-mode
+// restriction partition), while an unchanged mutation invalidates nothing.
+func TestMutationInvalidatesCachesFleetWide(t *testing.T) {
+	servers, _ := mutateFixture(t, 1, 8<<20)
+	center := geom.Point{0.31, 0.62}
+	params := knnTestParams(t, center, 3)
+	a, b := servers[1], servers[3]
+
+	warm := func(s *Server) {
+		t.Helper()
+		if _, err := QueryDetailed(s.Addr(), "knn", params, 2, 0, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		res, err := QueryDetailed(s.Addr(), "knn", params, 2, 0, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CacheHit {
+			t.Fatalf("peer %s: repeated identical query not served from cache", s.cfg.ID)
+		}
+	}
+	warm(a)
+	warm(b)
+
+	// A no-op mutation must leave every cached entry valid.
+	if _, err := Delete(servers[5].Addr(), dataset.Tuple{ID: 1 << 42, Vec: center.Clone()}, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := QueryDetailed(a.Addr(), "knn", params, 2, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("no-op delete invalidated a cached entry")
+	}
+
+	// A real insert must invalidate at every initiator, and the refreshed
+	// answers must carry the new tuple.
+	tup := dataset.Tuple{ID: 1 << 42, Vec: center.Clone()}
+	if _, err := Insert(servers[5].Addr(), tup, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Server{a, b} {
+		res, err := QueryDetailed(s.Addr(), "knn", params, 2, 0, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheHit {
+			t.Fatalf("peer %s served a cached answer across a mutation", s.cfg.ID)
+		}
+		if !hasID(res.Answers, tup.ID) {
+			t.Fatalf("peer %s: refreshed answer misses the inserted tuple", s.cfg.ID)
+		}
+		again, err := QueryDetailed(s.Addr(), "knn", params, 2, 0, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.CacheHit {
+			t.Fatalf("peer %s: cache did not refill after invalidation", s.cfg.ID)
+		}
+	}
+}

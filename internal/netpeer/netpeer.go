@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"ripple/internal/cache"
 	"ripple/internal/core"
 	"ripple/internal/dataset"
 	"ripple/internal/faults"
@@ -81,6 +82,12 @@ type Config struct {
 	// replication, DESIGN.md §13). A wire.Call with ActAs naming one of them
 	// is served from that share — the peer acts as the dead primary.
 	Replicas []ReplicaShare
+
+	// Mirrors are the peers holding a replica of THIS peer's share. After
+	// applying a mutation it owns, the peer fans the mutation out to them so
+	// failover reads never serve pre-mutation data. Empty when replication is
+	// off.
+	Mirrors []ReplicaAddr
 }
 
 // ReplicaShare is a mirrored copy of another peer's share: everything needed
@@ -98,6 +105,7 @@ type Server struct {
 	cfg       Config
 	store     storage.Store            // the peer's own share behind Options.Storage
 	repStores map[string]storage.Store // one per mirrored replica share
+	cache     *cache.Cache             // result cache; nil when Options.CacheSize is zero
 	codecs    map[string]wire.Codec
 	opts      Options
 	ins       instruments
@@ -135,6 +143,11 @@ func NewServerOpts(cfg Config, opts Options, codecs ...wire.Codec) *Server {
 	}
 	s.store = storage.New(s.opts.Storage, cfg.Tuples)
 	s.setReplicaStores(cfg.Replicas)
+	s.cache = cache.New(cache.Options{
+		MaxBytes: s.opts.CacheSize,
+		TTL:      s.opts.CacheTTL,
+		Metrics:  s.opts.Metrics,
+	})
 	if !s.opts.DisableConnPool {
 		s.pool = newConnPool(s.opts.MaxIdleConnsPerPeer, s.opts.IdleConnTimeout, s.ins.evictions)
 	}
@@ -174,6 +187,15 @@ func (s *Server) SetReplicas(shares []ReplicaShare) {
 	defer s.mu.Unlock()
 	s.cfg.Replicas = shares
 	s.setReplicaStores(shares)
+}
+
+// SetMirrors installs the addresses of the peers mirroring this peer's own
+// share, the targets of mutation fan-out (done after all servers of a
+// deployment have bound their addresses, like SetLinks).
+func (s *Server) SetMirrors(mirrors []ReplicaAddr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.Mirrors = mirrors
 }
 
 // setReplicaStores rebuilds the per-share store table; callers hold s.mu (or
@@ -451,12 +473,62 @@ func (n *node) ScoreIndex(key func(geom.Point) float64) *overlay.Index {
 	return n.ix
 }
 
-// process executes this peer's slice of Algorithm 3 for one delivery. A call
-// carrying ActAs is a recovery dispatch: the peer serves it from the named
-// dead primary's mirrored share, so everything below — links followed, zone
-// answered for, the identity on replies and spans — is the primary's, while
-// the transport identity (fault decisions, logs) stays this peer's own.
+// process dispatches one delivery: mutation and invalidation ops go to the
+// wire-level data-mutation path (mutate.go), queries to processQuery — the
+// latter through the result cache when the call is an initiator query this
+// peer can answer from a prior identical one.
 func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
+	switch call.Op {
+	case "":
+		// Query call.
+	case wire.OpInsert, wire.OpDelete:
+		return s.processMutation(call)
+	case wire.OpInvalidate:
+		return s.processInvalidate(call)
+	default:
+		return nil, fmt.Errorf("netpeer: unknown op %q", call.Op)
+	}
+	// Only initiator calls consult the cache: sub-calls carry the parent's
+	// encoded global state (so their answers depend on traversal position,
+	// not just the query), recovery dispatches answer for another peer, and
+	// traced runs exist to observe propagation. Cache identity includes r —
+	// the radius shapes the candidate set the query returns — and excludes
+	// only the initiator peer, which this per-server cache fixes anyway.
+	initiator := call.ActAs == "" && len(call.Global) == 0 && !call.Traced
+	if s.cache == nil || !initiator {
+		return s.processQuery(call)
+	}
+	s.mu.RLock()
+	dims := regionDims(s.cfg.Zone)
+	s.mu.RUnlock()
+	key := cache.Key(call.QueryType, call.Params, dims, call.R, call.Scope)
+	if val, ok := s.cache.Get(key); ok {
+		if ans, err := cache.DecodeAnswers(val); err == nil {
+			return &wire.Reply{Answers: ans, CacheHit: true}, nil
+		}
+	}
+	gen := s.cache.Begin()
+	reply, err := s.processQuery(call)
+	if err == nil && reply.Error == "" && !reply.Partial {
+		s.cache.Put(key, cache.EncodeAnswers(reply.Answers), dims, call.Scope, gen)
+	}
+	return reply, err
+}
+
+// regionDims reports the dimensionality of a region's boxes (0 when empty).
+func regionDims(r overlay.Region) int {
+	if len(r.Boxes) == 0 {
+		return 0
+	}
+	return len(r.Boxes[0].Lo)
+}
+
+// processQuery executes this peer's slice of Algorithm 3 for one delivery. A
+// call carrying ActAs is a recovery dispatch: the peer serves it from the
+// named dead primary's mirrored share, so everything below — links followed,
+// zone answered for, the identity on replies and spans — is the primary's,
+// while the transport identity (fault decisions, logs) stays this peer's own.
+func (s *Server) processQuery(call *wire.Call) (*wire.Reply, error) {
 	s.mu.RLock()
 	cfg := s.cfg
 	st := s.store
@@ -495,8 +567,14 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 	}
 
 	w := &node{cfg: &cfg, st: st}
-	local := proc.LocalState(w, global)
-	wGlobal := proc.GlobalState(w, global, local)
+	// Scoped queries see the share through the restriction lens: the
+	// processor reads only in-scope tuples, and overlay.Restricted hides the
+	// store and score index so every runtime and storage engine falls back to
+	// the same flat scan over the filtered share — scoped answers stay
+	// byte-identical everywhere. An empty scope is the identity.
+	pw := overlay.Restricted(w, call.Scope)
+	local := proc.LocalState(pw, global)
+	wGlobal := proc.GlobalState(pw, global, local)
 
 	reply := &wire.Reply{QueryMsgs: 1, Peers: []string{cfg.ID}}
 	tr := newTracer(call)
@@ -504,12 +582,12 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 	if call.R > 0 {
 		// Slow phase: one link at a time in priority order, folding each
 		// link's states back in before deciding the next.
-		links := sortLinks(cfg.Links, proc, w)
+		links := sortLinks(cfg.Links, proc, pw)
 		cursor := call.Hops
 		contacted := 0
 		for _, l := range links {
 			sub := l.Region.Intersect(call.Restrict)
-			if sub.IsEmpty() || !proc.LinkRelevant(w, sub, wGlobal) {
+			if sub.IsEmpty() || !proc.LinkRelevant(pw, sub, wGlobal) {
 				continue
 			}
 			childID := tr.child(l.key())
@@ -523,6 +601,7 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 				Params:    call.Params,
 				Global:    encGlobal,
 				Restrict:  sub,
+				Scope:     call.Scope,
 				R:         call.R - 1,
 				Hops:      cursor + 1,
 			}
@@ -555,13 +634,13 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 				reply.StateMsgs++
 				reply.TuplesSent += proc.StateTuples(st)
 			}
-			local = proc.MergeStates(w, states)
-			wGlobal = proc.GlobalState(w, global, local)
+			local = proc.MergeStates(pw, states)
+			wGlobal = proc.GlobalState(pw, global, local)
 			cursor = childReply.Completion
 			absorbChild(reply, childReply)
 		}
 		s.ins.fanout.Observe(float64(contacted))
-		own := finishReply(reply, codec, proc, w, local, cursor)
+		own := finishReply(reply, codec, proc, pw, local, cursor)
 		tr.finish(reply, cfg.ID, proc.StateTuples(local), own)
 		return reply, nil
 	}
@@ -584,7 +663,7 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 	}
 	for _, l := range cfg.Links {
 		sub := l.Region.Intersect(call.Restrict)
-		if sub.IsEmpty() || !proc.LinkRelevant(w, sub, wGlobal) {
+		if sub.IsEmpty() || !proc.LinkRelevant(pw, sub, wGlobal) {
 			continue
 		}
 		childID := tr.child(l.key())
@@ -593,6 +672,7 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 			Params:    call.Params,
 			Global:    encGlobal,
 			Restrict:  sub,
+			Scope:     call.Scope,
 			R:         0,
 			Hops:      call.Hops + 1,
 		}
@@ -633,7 +713,7 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 		}
 		absorbChild(reply, o.reply)
 	}
-	own := finishReply(reply, codec, proc, w, local, completion)
+	own := finishReply(reply, codec, proc, pw, local, completion)
 	tr.finish(reply, cfg.ID, proc.StateTuples(local), own)
 	reply.States = append(reply.States, childStates...)
 	return reply, nil
@@ -695,7 +775,7 @@ func (s *Server) failover(l LinkSpec, childCall *wire.Call, reply *wire.Reply, t
 
 // finishReply attaches this peer's own state, answer and completion time,
 // returning the number of answer tuples this peer contributed itself.
-func finishReply(reply *wire.Reply, codec wire.Codec, proc core.Processor, w *node, local core.State, completion int) int {
+func finishReply(reply *wire.Reply, codec wire.Codec, proc core.Processor, w overlay.Node, local core.State, completion int) int {
 	enc, err := codec.EncodeState(local)
 	if err == nil {
 		reply.States = append([][]byte{enc}, reply.States...)
@@ -871,7 +951,7 @@ func roundTrip(conn net.Conn, call *wire.Call, timeout time.Duration) (*wire.Rep
 	return &reply, nil
 }
 
-func sortLinks(links []LinkSpec, proc core.Processor, w *node) []LinkSpec {
+func sortLinks(links []LinkSpec, proc core.Processor, w overlay.Node) []LinkSpec {
 	type ranked struct {
 		link LinkSpec
 		prio float64
@@ -898,6 +978,10 @@ type QueryResult struct {
 	Stats         sim.Stats
 	FailedRegions []overlay.Region
 	Trace         *trace.Tree // reconstructed hop tree; nil unless QueryTraced
+	// CacheHit marks an answer served from the initiator peer's result cache:
+	// the answers are the canonical (ID-ordered) form of a prior identical
+	// query's, and the cost counters are zero — no propagation happened.
+	CacheHit bool
 }
 
 // Partial reports whether any subtree was lost; it derives from the stats so
@@ -922,7 +1006,15 @@ func Query(addr, queryType string, params []byte, dims, r int) ([]dataset.Tuple,
 // initiator peer itself failed to process the query — is returned as an
 // error.
 func QueryDetailed(addr, queryType string, params []byte, dims, r int, timeout time.Duration) (*QueryResult, error) {
-	return queryCall(addr, queryType, params, dims, r, timeout, false)
+	return queryCall(addr, queryType, params, dims, r, timeout, false, overlay.Region{})
+}
+
+// QueryScoped is QueryDetailed restricted to a sub-region of the domain: only
+// tuples inside scope qualify as answers and the traversal is pruned to it.
+// An empty scope behaves exactly like QueryDetailed. Scope — unlike r or the
+// peer queried — is part of the result's cache identity on the serving peer.
+func QueryScoped(addr, queryType string, params []byte, dims, r int, scope overlay.Region, timeout time.Duration) (*QueryResult, error) {
+	return queryCall(addr, queryType, params, dims, r, timeout, false, scope)
 }
 
 // QueryTraced is QueryDetailed with hop-tree tracing: every peer records its
@@ -931,7 +1023,44 @@ func QueryDetailed(addr, queryType string, params []byte, dims, r int, timeout t
 // in-process engines produce for the same overlay and r, with lost subtrees
 // marked.
 func QueryTraced(addr, queryType string, params []byte, dims, r int, timeout time.Duration) (*QueryResult, error) {
-	return queryCall(addr, queryType, params, dims, r, timeout, true)
+	return queryCall(addr, queryType, params, dims, r, timeout, true, overlay.Region{})
+}
+
+// Insert applies an insert mutation through the peer at addr: the tuple is
+// routed greedily to the owner of its point, applied there, mirrored onto the
+// owner's zone replicas, and every peer's result cache is invalidated before
+// the call returns. It reports how many peers applied the op.
+func Insert(addr string, t dataset.Tuple, timeout time.Duration) (int, error) {
+	return mutateCall(addr, wire.OpInsert, t, timeout)
+}
+
+// Delete applies a delete mutation through the peer at addr; the tuple is
+// matched by ID at the owner of t.Vec. It reports how many peers applied the
+// op — zero when no such tuple exists.
+func Delete(addr string, t dataset.Tuple, timeout time.Duration) (int, error) {
+	return mutateCall(addr, wire.OpDelete, t, timeout)
+}
+
+// mutateCall is the one-shot client half of the mutation path.
+//
+//ripplevet:transport
+func mutateCall(addr, op string, t dataset.Tuple, timeout time.Duration) (int, error) {
+	if timeout == 0 {
+		timeout = DefaultOptions().CallTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	reply, err := roundTrip(conn, &wire.Call{Op: op, Tuple: t}, timeout)
+	if err != nil {
+		return 0, err
+	}
+	if reply.Error != "" {
+		return 0, replyErr(addr, reply)
+	}
+	return reply.Acks, nil
 }
 
 // queryCall is the one-shot client half of the wire protocol: it dials the
@@ -941,7 +1070,7 @@ func QueryTraced(addr, queryType string, params []byte, dims, r int, timeout tim
 // trip; workloads issuing concurrent queries use Client, which negotiates.
 //
 //ripplevet:transport
-func queryCall(addr, queryType string, params []byte, dims, r int, timeout time.Duration, traced bool) (*QueryResult, error) {
+func queryCall(addr, queryType string, params []byte, dims, r int, timeout time.Duration, traced bool, scope overlay.Region) (*QueryResult, error) {
 	if timeout == 0 {
 		timeout = DefaultOptions().CallTimeout
 	}
@@ -950,7 +1079,7 @@ func queryCall(addr, queryType string, params []byte, dims, r int, timeout time.
 		return nil, err
 	}
 	defer conn.Close()
-	reply, err := roundTrip(conn, buildCall(queryType, params, dims, r, traced), timeout)
+	reply, err := roundTrip(conn, buildCall(queryType, params, dims, r, traced, scope), timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -1010,9 +1139,19 @@ func DeployOpts(net_ overlay.Network, opts Options, codecs ...wire.Codec) ([]*Se
 			if shares := holders[n.ID()]; shares != nil {
 				servers[i].SetReplicas(shares)
 			}
+			servers[i].SetMirrors(replicaAddrs(rm, n.ID(), addrs))
 		}
 	}
 	return servers, addrs, nil
+}
+
+// replicaAddrs resolves a peer's replica holders to wire addresses.
+func replicaAddrs(rm *overlay.ReplicaMap, id string, addrs map[string]string) []ReplicaAddr {
+	var out []ReplicaAddr
+	for _, rep := range rm.Replicas(id) {
+		out = append(out, ReplicaAddr{ID: rep.ID(), Addr: addrs[rep.ID()]})
+	}
+	return out
 }
 
 // linkSpecsFor converts a node's overlay links to wire form, attaching each

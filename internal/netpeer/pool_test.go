@@ -142,7 +142,7 @@ func TestExchangeRecoversStaleConn(t *testing.T) {
 
 	caller := NewServerOpts(Config{ID: "a", Zone: overlay.Whole(2)}, poolOpts(t, reg), topk.WireCodec{})
 	defer caller.pool.close()
-	call := buildCall("topk", topkParams(t, 2, 3), 2, 0, false)
+	call := buildCall("topk", topkParams(t, 2, 3), 2, 0, false, overlay.Region{})
 
 	if _, err := caller.exchange(addr, call); err != nil {
 		t.Fatalf("warm-up exchange: %v", err)

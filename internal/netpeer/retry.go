@@ -127,6 +127,15 @@ type Options struct {
 	// replica shares — with. KindAuto (the zero value) defers to the
 	// RIPPLE_STORAGE environment variable, defaulting to the scan baseline.
 	Storage storage.Kind
+	// CacheSize bounds the peer's result cache in bytes (internal/cache):
+	// initiator queries processed by this peer are answered from the cache
+	// when a prior identical query's answer is still valid. Zero disables
+	// caching entirely (the pre-cache behaviour, at zero cost).
+	CacheSize int64
+	// CacheTTL bounds how long a cached answer may be served. Zero means the
+	// cache default (cache.DefaultTTL). The TTL is the staleness backstop for
+	// peers a mutation's invalidation broadcast could not reach.
+	CacheTTL time.Duration
 }
 
 // DefaultOptions returns the production defaults.

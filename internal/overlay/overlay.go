@@ -127,3 +127,12 @@ func Load(n Network, ts []dataset.Tuple) {
 		n.Insert(t)
 	}
 }
+
+// Deleter is implemented by networks that can remove a stored tuple again.
+// The wire-level mutation path (DESIGN.md §15) type-asserts on it; overlays
+// that do not implement it simply reject delete operations.
+type Deleter interface {
+	// Delete removes the tuple with t's ID from the peer owning t.Vec,
+	// reporting whether a tuple was actually removed.
+	Delete(t dataset.Tuple) bool
+}

@@ -35,6 +35,20 @@ type Codec interface {
 	DecodeState(b []byte) (core.State, error)
 }
 
+// Mutation operations carried by Call.Op. An empty Op marks a query call;
+// the constants below select the wire-level data-mutation path (v1, added
+// with the result cache of DESIGN.md §15 — gob omits zero-valued fields, so
+// query calls encode exactly as they did before the fields existed).
+const (
+	OpInsert = "insert"
+	OpDelete = "delete"
+	// OpInvalidate is the cache-invalidation broadcast the owner floods after
+	// applying a mutation: every peer drops cached results whose footprint
+	// covers Tuple.Vec, propagating along links under the same restriction
+	// partition a fast-mode query uses, so each peer receives it exactly once.
+	OpInvalidate = "invalidate"
+)
+
 // Call is the downstream message: "process this query within this area".
 type Call struct {
 	QueryType string
@@ -43,6 +57,20 @@ type Call struct {
 	Restrict  overlay.Region
 	R         int
 	Hops      int // logical arrival time of this message
+
+	// Scope, when non-empty, restricts the query to a sub-region of the
+	// domain: traversal is pruned to it and every peer filters its local
+	// answer to tuples inside it. Unlike Restrict — which narrows per hop as
+	// the traversal partitions the domain — Scope is constant across the
+	// whole query and is part of the result's cache identity.
+	Scope overlay.Region
+
+	// Op selects the data-mutation path: OpInsert or OpDelete apply Tuple at
+	// the peer owning Tuple.Vec (routing greedily via link regions), update
+	// the owner's R-1 zone mirrors, and invalidate result caches along the
+	// way. Empty means a query call.
+	Op    string
+	Tuple dataset.Tuple
 
 	// ActAs, when non-empty, asks the receiving peer to process this call on
 	// behalf of the named dead peer (a recovery dispatch): it executes the
@@ -100,6 +128,19 @@ type Reply struct {
 	// traced: the replying peer's own span, spans it recorded for lost
 	// children, and everything its reachable children reported.
 	Spans []trace.Span
+
+	// CacheHit marks a reply served from the peer's result cache (answers
+	// decoded from canonical form; cost counters are then zero by
+	// construction — no propagation happened).
+	CacheHit bool
+	// Acks counts the peers that applied a mutation call: the owner plus
+	// each mirror that acknowledged the update.
+	Acks int
+	// Forwarded marks a mutation reply from a replica that routed the call
+	// onward (acting as the dead peer) instead of applying it to a mirrored
+	// share: the caller must not dispatch the same mutation to the remaining
+	// replicas, or the owner would apply it once per replica.
+	Forwarded bool
 }
 
 // MergeFaults folds a child subtree's fault accounting into r.

@@ -27,6 +27,7 @@ import (
 
 	"ripple/internal/async"
 	"ripple/internal/bench"
+	"ripple/internal/cache"
 	"ripple/internal/can"
 	"ripple/internal/chord"
 	"ripple/internal/core"
@@ -34,10 +35,10 @@ import (
 	"ripple/internal/diversify"
 	"ripple/internal/geom"
 	"ripple/internal/knn"
+	"ripple/internal/metrics"
 	"ripple/internal/midas"
 	"ripple/internal/netpeer"
 	"ripple/internal/overlay"
-	"ripple/internal/metrics"
 	"ripple/internal/rangeq"
 	"ripple/internal/sim"
 	"ripple/internal/skyline"
@@ -369,6 +370,67 @@ func DeployTCP(net Network, codecs ...QueryCodec) ([]*PeerServer, map[string]str
 func QueryTCP(addr, queryType string, params []byte, dims, r int) ([]Tuple, Stats, error) {
 	return netpeer.Query(addr, queryType, params, dims, r)
 }
+
+// Hot-region result cache and wire-level data mutation (DESIGN.md §15).
+type (
+	// ResultCache is the bounded, sharded query-result cache with z-order
+	// cell invalidation: cached answers are dropped exactly when a mutation
+	// lands inside a region their query covered (plus a TTL backstop).
+	ResultCache = cache.Cache
+	// ResultCacheOptions configures a ResultCache (size budget, TTL, shards).
+	ResultCacheOptions = cache.Options
+	// RunOptions tunes a single engine run: tracing, storage engine override,
+	// query scope, and the result cache to consult.
+	RunOptions = core.Options
+	// ClusterOptions tunes the async actor runtime the same way.
+	ClusterOptions = async.ClusterOptions
+	// PeerOptions tunes a TCP peer server (fault tolerance, storage, cache).
+	PeerOptions = netpeer.Options
+)
+
+// NewResultCache builds a result cache; a zero MaxBytes returns nil, which
+// every cache operation treats as "caching disabled".
+func NewResultCache(opts ResultCacheOptions) *ResultCache { return cache.New(opts) }
+
+// CacheKey derives the canonical cache identity of a query: its type, encoded
+// parameters, dimensionality, ripple radius r and scope. r is part of the
+// identity because Answers are the propagation's candidate set, which the
+// radius shapes; only the initiating peer is excluded, which is safe because
+// caches are peer-local.
+func CacheKey(queryType string, params []byte, dims, r int, scope Region) []byte {
+	return cache.Key(queryType, params, dims, r, scope)
+}
+
+// RunWithOptions executes a Processor with explicit run options (scope,
+// cache, tracing, storage override).
+func RunWithOptions(initiator Node, p Processor, r int, opts RunOptions) *Result {
+	return core.RunOpts(initiator, p, r, opts)
+}
+
+// NewClusterWithOptions starts the async actor runtime with explicit options.
+func NewClusterWithOptions(net Network, p Processor, opts ClusterOptions) *Cluster {
+	return async.NewClusterOpts(net, p, opts)
+}
+
+// Insert adds a tuple to a simulated overlay at the owner of its point.
+func Insert(n Network, t Tuple) { n.Insert(t) }
+
+// Delete removes the tuple with t.ID from the peer owning t.Vec, reporting
+// whether it was found. Overlays without delete support report false.
+func Delete(n Network, t Tuple) bool {
+	if d, ok := n.(overlay.Deleter); ok {
+		return d.Delete(t)
+	}
+	return false
+}
+
+// InsertTCP applies an insert mutation through the deployment peer at addr:
+// routed to the owner, applied, mirrored, and result caches invalidated
+// before the call returns. It reports how many peers applied the op.
+func InsertTCP(addr string, t Tuple) (int, error) { return netpeer.Insert(addr, t, 0) }
+
+// DeleteTCP applies a delete mutation through the deployment peer at addr.
+func DeleteTCP(addr string, t Tuple) (int, error) { return netpeer.Delete(addr, t, 0) }
 
 // Worst-case latency formulas of §3.2 (Lemmas 1-3) for RIPPLE over MIDAS.
 var (
