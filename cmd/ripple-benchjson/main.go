@@ -10,6 +10,15 @@
 //	go test -run=NONE -bench=. -benchtime=1x ./... | \
 //	    ripple-benchjson -check BENCH.json -max-ratio 3 -min-ns 100000
 //
+// With -check-recovery it gates a committed figure-shaped baseline instead:
+// the recovery figure (BENCH_PR6.json) is validated against its replication
+// invariants — recall within [0,1] and monotone in the replication factor,
+// and the highest factor recovering nearly everything — without reading
+// stdin (seeded figures regenerate bit-identically, so the gate checks the
+// committed values themselves):
+//
+//	ripple-benchjson -check-recovery BENCH_PR6.json
+//
 // See `make bench-json` and the bench-smoke-* targets.
 package main
 
@@ -25,7 +34,30 @@ func main() {
 	check := flag.String("check", "", "committed baseline JSON to gate against instead of emitting JSON")
 	maxRatio := flag.Float64("max-ratio", 3, "fail when fresh ns/op exceeds this multiple of the committed ns/op")
 	minNs := flag.Float64("min-ns", 0, "skip the ratio gate for baseline rows faster than this (timer noise floor)")
+	checkRecovery := flag.String("check-recovery", "", "committed recovery figure JSON to validate (no stdin)")
 	flag.Parse()
+
+	if *checkRecovery != "" {
+		f, err := os.Open(*checkRecovery)
+		if err != nil {
+			fatal(err)
+		}
+		fig, err := benchfmt.ReadFigure(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *checkRecovery, err))
+		}
+		if violations := benchfmt.CheckRecovery(fig); len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "ripple-benchjson: %d recovery violation(s) in %s:\n", len(violations), *checkRecovery)
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  "+v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ripple-benchjson: %s holds its replication invariants (%d rows x %d series)\n",
+			*checkRecovery, len(fig.Rows), len(fig.Series))
+		return
+	}
 
 	results, err := benchfmt.Parse(os.Stdin)
 	if err != nil {

@@ -6,6 +6,13 @@
 //	ripple-serve -call 127.0.0.1:7400 -query topk -k 5
 //
 // Without -data, a synthetic clustered dataset is generated.
+//
+// The plan subcommand explains what the adaptive query planner would choose
+// for a given query — against a fleet described by the sizing flags, or
+// against a peer config written by the deployment planner:
+//
+//	ripple-plan plan -query topk -k 10 -size 64 -dims 3
+//	ripple-plan plan -query skyline -config deploy/peer-000.json
 package main
 
 import (
@@ -17,9 +24,15 @@ import (
 	"ripple/internal/dataset"
 	"ripple/internal/midas"
 	"ripple/internal/netpeer"
+	"ripple/internal/plan"
+	"ripple/internal/storage"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "plan" {
+		explainPlan(os.Args[2:])
+		return
+	}
 	size := flag.Int("size", 8, "number of peers")
 	dims := flag.Int("dims", 0, "dimensionality (required without -data)")
 	data := flag.String("data", "", "CSV dataset (id + normalised coordinates); synthetic if empty")
@@ -77,6 +90,81 @@ func main() {
 	}
 	fmt.Printf("\n%d peers planned over %d tuples (%d dims); start them with:\n", len(plans), len(ts), d)
 	fmt.Printf("  for f in %s/peer-*.json; do ripple-serve -config $f & done\n", *out)
+}
+
+// explainPlan is the plan subcommand: it builds the planner's view of one
+// query — from a live peer config or from the sizing flags — and prints the
+// cold-start cost estimate of every candidate arm, marking the one a planning
+// peer would pick. The estimates are the closed-form priors of the paper's
+// fast/slow analysis; a long-running peer refines them online from observed
+// queries, so this is the decision a fresh fleet makes.
+func explainPlan(args []string) {
+	fs := flag.NewFlagSet("ripple-plan plan", flag.ExitOnError)
+	query := fs.String("query", "topk", "query family: topk | skyline | knn | diversify")
+	k := fs.Int("k", 10, "result size (topk/knn) or base-set size (diversify)")
+	size := fs.Int("size", 64, "overlay size the query would run against")
+	dims := fs.Int("dims", 3, "data dimensionality")
+	n := fs.Int("n", 10000, "fleet-wide tuple count (sets the per-peer load estimate)")
+	seed := fs.Int64("seed", 1, "seed for the synthetic per-peer share")
+	storageFlag := fs.String("storage", "", "peer storage engine: scan | rtree (default: $RIPPLE_STORAGE, then scan)")
+	config := fs.String("config", "", "peer config written by ripple-plan; overrides -size/-dims/-n")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	switch *query {
+	case "topk", "skyline", "knn", "diversify":
+	default:
+		fatal(fmt.Errorf("unknown query family %q", *query))
+	}
+
+	kind := storage.EnvKind()
+	if *storageFlag != "" {
+		var err error
+		kind, err = storage.ParseKind(*storageFlag)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	q := plan.Query{Family: *query, K: *k, Dims: *dims, OverlaySize: *size}
+	if *config != "" {
+		fc, err := netpeer.ReadConfigFile(*config)
+		if err != nil {
+			fatal(err)
+		}
+		q.Dims = fc.Dims
+		q.Degree = len(fc.Peer.Links)
+		q.OverlaySize = 0 // unknown from one config; the degree bounds the depth
+		q.Local = storage.New(kind, fc.Peer.Tuples).Stats()
+		fmt.Printf("peer %s: %d tuples, %d links, %s storage\n",
+			fc.Peer.ID, len(fc.Peer.Tuples), len(fc.Peer.Links), q.Local.Kind)
+	} else {
+		if *size < 1 {
+			fatal(fmt.Errorf("-size must be at least 1, got %d", *size))
+		}
+		share := dataset.Uniform(*n / *size, *dims, *seed)
+		q.Local = storage.New(kind, share).Stats()
+		fmt.Printf("planned fleet: %d peers, %d tuples (%d per peer), %d dims, %s storage\n",
+			*size, *n, len(share), *dims, q.Local.Kind)
+	}
+	if *query == "skyline" {
+		q.K = 0
+	}
+
+	p := plan.Default()
+	fmt.Printf("query: %s k=%d\n\n", *query, q.K)
+	fmt.Printf("%-10s %-10s %12s %14s  %s\n", "arm", "mode", "est. cost", "observations", "")
+	for _, a := range p.Explain(q) {
+		r := fmt.Sprintf("r=%d", a.R)
+		if a.Mode == plan.ModeSlow {
+			r = "r=slow"
+		}
+		mark := ""
+		if a.Chosen {
+			mark = "<- chosen"
+		}
+		fmt.Printf("%-10s %-10s %12.2f %14d  %s\n", r, a.Mode, a.Cost, a.Observations, mark)
+	}
 }
 
 func fatal(err error) {

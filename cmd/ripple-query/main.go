@@ -42,6 +42,7 @@ func main() {
 	storageFlag := flag.String("storage", "", "peer-local storage engine: scan | rtree (default: $RIPPLE_STORAGE, then scan)")
 	noCache := flag.Bool("no-cache", false, "disable the result cache (every -repeat run re-executes the query)")
 	repeat := flag.Int("repeat", 1, "run the query this many times (repeats hit the result cache unless -no-cache)")
+	planMode := flag.String("plan", "static", "auto lets the adaptive planner pick the mode/r per query (overrides -r)")
 	flag.Parse()
 
 	if *data == "" {
@@ -74,6 +75,14 @@ func main() {
 	net := ripple.BuildMIDASWithData(*peers, mopts, ts)
 	initiator := net.Peers()[0]
 	r := parseR(*rFlag)
+	switch *planMode {
+	case "static":
+	case "auto":
+		planner = ripple.DefaultPlanner()
+		r = ripple.RAuto
+	default:
+		fatal(fmt.Errorf("bad -plan %q (want auto or static)", *planMode))
+	}
 
 	center := ts[0].Vec
 	if *at != "" {
@@ -142,10 +151,27 @@ func main() {
 	}
 }
 
+// planner is the -plan=auto adaptive planner; nil for static runs.
+var planner *ripple.Planner
+
 // runRepeated executes the query `repeat` times through the result cache,
 // reporting how many runs were served from it, and returns the last result.
+// With -plan=auto the first run resolves the mode; the resolved r keys the
+// cache for the repeats (the cache identity includes r, so a planned query
+// must share entries with the static run it selected).
 func runRepeated(initiator ripple.Node, p ripple.Processor, r int, rc *ripple.ResultCache, queryType string, params []byte, dims, repeat int) *ripple.Result {
-	opts := ripple.RunOptions{}
+	opts := ripple.RunOptions{Planner: planner}
+	if planner != nil {
+		res := ripple.RunWithOptions(initiator, p, r, opts)
+		if res.Plan != nil {
+			fmt.Printf("plan: %s (r=%d)\n", res.Plan, res.Plan.R)
+			r = res.Plan.R
+		}
+		if repeat == 1 {
+			return res
+		}
+		repeat-- // the resolving run was the first repeat
+	}
 	if rc != nil {
 		opts.Cache = rc
 		opts.CacheKey = ripple.CacheKey(queryType, params, dims, r, ripple.Region{})
@@ -182,6 +208,8 @@ func parseR(s string) int {
 		return ripple.Fast
 	case "slow":
 		return ripple.Slow
+	case "auto":
+		return ripple.RAuto
 	}
 	v, err := strconv.Atoi(s)
 	if err != nil {

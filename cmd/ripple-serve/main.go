@@ -29,6 +29,7 @@ import (
 	"ripple/internal/knn"
 	"ripple/internal/metrics"
 	"ripple/internal/netpeer"
+	"ripple/internal/plan"
 	"ripple/internal/skyline"
 	"ripple/internal/storage"
 	"ripple/internal/topk"
@@ -61,7 +62,14 @@ func main() {
 	cacheSize := flag.Int64("cache-size", 0, "server mode: result-cache budget in bytes (0 disables caching)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "server mode: result-cache entry lifetime (0 uses the cache default)")
 	tupleID := flag.Uint64("id", 0, "client mode: tuple id for -query insert | delete")
+	planMode := flag.String("plan", "static", "server mode: auto resolves r=auto queries with the adaptive planner; client mode: auto sends r=auto (overrides -r)")
 	flag.Parse()
+
+	switch *planMode {
+	case "auto", "static":
+	default:
+		fatal(fmt.Errorf("bad -plan %q (want auto or static)", *planMode))
+	}
 
 	opts := def
 	if *storageFlag != "" {
@@ -92,16 +100,20 @@ func main() {
 
 	switch {
 	case *config != "":
-		serve(*config, opts, *metricsAddr)
+		serve(*config, opts, *metricsAddr, *planMode == "auto")
 	case *call != "":
-		client(*call, *queryKind, *k, *dims, parseR(*rFlag), *callTimeout, *at, *metricName, *tupleID)
+		r := parseR(*rFlag)
+		if *planMode == "auto" {
+			r = plan.RAuto
+		}
+		client(*call, *queryKind, *k, *dims, r, *callTimeout, *at, *metricName, *tupleID)
 	default:
 		fmt.Fprintln(os.Stderr, "need -config (server) or -call (client); see -help")
 		os.Exit(2)
 	}
 }
 
-func serve(path string, opts netpeer.Options, metricsAddr string) {
+func serve(path string, opts netpeer.Options, metricsAddr string, planAuto bool) {
 	fc, err := netpeer.ReadConfigFile(path)
 	if err != nil {
 		fatal(err)
@@ -118,6 +130,9 @@ func serve(path string, opts netpeer.Options, metricsAddr string) {
 		fmt.Printf("metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n",
 			metricsAddr, metricsAddr)
 	}
+	if planAuto {
+		opts.Planner = plan.New(plan.Options{Metrics: opts.Metrics})
+	}
 	srv := netpeer.NewServerOpts(fc.Peer, opts, topk.WireCodec{}, skyline.WireCodec{}, diversify.WireCodec{}, knn.WireCodec{})
 	if opts.Faults.Enabled() {
 		fmt.Printf("fault injection armed: %+v\n", opts.Faults.Config())
@@ -128,6 +143,12 @@ func serve(path string, opts netpeer.Options, metricsAddr string) {
 	}
 	fmt.Printf("peer %s serving on %s (%d tuples, %d links, %d replica shares)\n",
 		fc.Peer.ID, addr, len(fc.Peer.Tuples), len(fc.Peer.Links), len(fc.Peer.Replicas))
+	st := srv.StorageStats()
+	fmt.Printf("peer %s storage: engine=%s tuples=%d index_nodes=%d index_height=%d\n",
+		fc.Peer.ID, st.Kind, st.Len, st.Nodes, st.Height)
+	if planAuto {
+		fmt.Printf("peer %s adaptive planner armed: r=auto root queries resolve per query\n", fc.Peer.ID)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -235,6 +256,9 @@ func parseMetric(name string) geom.Metric {
 // report prints the query cost and, for a degraded answer, which parts of the
 // data space went unanswered.
 func report(res *netpeer.QueryResult) {
+	if res.Plan != "" {
+		fmt.Printf("plan: %s (r=%d)\n", res.Plan, res.PlanR)
+	}
 	fmt.Printf("cost: %v\n", &res.Stats)
 	if !res.Partial() {
 		return
@@ -268,6 +292,8 @@ func parseR(s string) int {
 		return 0
 	case "slow":
 		return 1 << 20
+	case "auto":
+		return plan.RAuto
 	}
 	v, err := strconv.Atoi(s)
 	if err != nil {

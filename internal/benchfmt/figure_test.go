@@ -1,0 +1,111 @@
+package benchfmt
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func validFigure() string {
+	return `{
+		"fig": "Recovery", "title": "t", "x_label": "drop rate",
+		"series": ["R=1", "R=2"],
+		"metric_a": "top-k recall", "metric_b": "unrecoverable regions/query",
+		"rows": [
+			{"x": "0.05", "a": [0.8, 1], "b": [150, 0]},
+			{"x": "0.25", "a": [0.1, 0.99], "b": [200, 0.5]}
+		]
+	}`
+}
+
+func TestReadFigure(t *testing.T) {
+	f, err := ReadFigure(strings.NewReader(validFigure()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Fig != "Recovery" || len(f.Series) != 2 || len(f.Rows) != 2 {
+		t.Fatalf("parsed %q: %d series, %d rows", f.Fig, len(f.Series), len(f.Rows))
+	}
+	if v := CheckRecovery(f); len(v) != 0 {
+		t.Fatalf("valid figure flagged: %v", v)
+	}
+}
+
+func TestReadFigureRejectsMalformed(t *testing.T) {
+	for name, in := range map[string]string{
+		"flat baseline":  `{"BenchmarkX": {"ns_op": 1, "b_op": 0, "allocs_op": 0, "iters": 1}}`,
+		"no rows":        `{"fig": "F", "series": ["a"], "rows": []}`,
+		"ragged row":     `{"fig": "F", "series": ["a", "b"], "rows": [{"x": "1", "a": [1], "b": [1, 2]}]}`,
+		"unknown fields": `{"fig": "F", "series": ["a"], "rows": [{"x": "1", "a": [1], "b": [1]}], "extra": 1}`,
+	} {
+		if _, err := ReadFigure(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCheckRecoveryViolations(t *testing.T) {
+	cases := map[string]struct {
+		rows string
+		want string
+	}{
+		"recall above one": {
+			rows: `[{"x": "0.1", "a": [0.5, 1.2], "b": [10, 0]}]`,
+			want: "outside [0,1]",
+		},
+		"replication hurts recall": {
+			rows: `[{"x": "0.1", "a": [0.9, 0.5], "b": [10, 0]}]`,
+			want: "recall degrades",
+		},
+		"replication adds holes": {
+			rows: `[{"x": "0.1", "a": [0.5, 0.96], "b": [1, 5]}]`,
+			want: "unrecoverable regions grow",
+		},
+		"max replication too lossy": {
+			rows: `[{"x": "0.1", "a": [0.5, 0.9], "b": [10, 0]}]`,
+			want: "below 0.95",
+		},
+		"max replication leaves holes": {
+			rows: `[{"x": "0.1", "a": [0.5, 0.96], "b": [10, 2]}]`,
+			want: "unrecoverable regions/query",
+		},
+	}
+	for name, tc := range cases {
+		in := `{"fig": "Recovery", "series": ["R=1", "R=2"], "rows": ` + tc.rows + `}`
+		f, err := ReadFigure(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		v := CheckRecovery(f)
+		if len(v) == 0 {
+			t.Errorf("%s: not flagged", name)
+			continue
+		}
+		found := false
+		for _, msg := range v {
+			if strings.Contains(msg, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v missing %q", name, v, tc.want)
+		}
+	}
+}
+
+// TestCheckRecoveryCommittedBaseline gates the actual committed baseline the
+// CI target reads, so a bad regeneration fails here before it fails in CI.
+func TestCheckRecoveryCommittedBaseline(t *testing.T) {
+	f, err := os.Open("../../BENCH_PR6.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	defer f.Close()
+	fig, err := ReadFigure(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CheckRecovery(fig); len(v) != 0 {
+		t.Fatalf("committed recovery baseline violates its invariants: %v", v)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"ripple/internal/dataset"
 	"ripple/internal/faults"
 	"ripple/internal/overlay"
+	"ripple/internal/plan"
 	"ripple/internal/sim"
 	"ripple/internal/storage"
 	"ripple/internal/trace"
@@ -86,6 +87,10 @@ type Result struct {
 	// from the canonical cached form (ID order) and Stats are zero — no
 	// propagation happened.
 	CacheHit bool
+
+	// Plan records the planner's decision when the run was invoked with
+	// r = plan.RAuto and Options.Planner resolved it; nil for static runs.
+	Plan *plan.Decision
 }
 
 // Partial reports that at least one link traversal was lost to faults, so
@@ -153,9 +158,18 @@ type Options struct {
 	// key of (query type, encoded params, Scope) — see cache.Key; the engine
 	// cannot derive it because it never sees the query type's wire encoding.
 	// Traced runs bypass the cache (a cached reply has no hop tree), and
-	// partial results are never cached.
+	// partial results are never cached. Cache identity includes r, so a
+	// caller combining Cache with Planner must compute CacheKey from the
+	// resolved decision (Planner.Choose), not from the RAuto sentinel.
 	Cache    *cache.Cache
 	CacheKey []byte
+
+	// Planner, when non-nil, resolves the ripple parameter of runs invoked
+	// with r = plan.RAuto (the query's mode and r are chosen per query from
+	// the self-tuning cost model) and receives every completed run's observed
+	// cost as feedback — static-r runs train it too. Without a planner,
+	// RAuto degrades to the fast algorithm (r = 0).
+	Planner *plan.Planner
 }
 
 // Run executes query processing from the given initiator with ripple
@@ -186,32 +200,53 @@ func RunOpts(initiator overlay.Node, p Processor, r int, opts Options) *Result {
 		region = opts.Scope
 	}
 
+	// Resolve the ripple parameter before anything reads it (phases, spans,
+	// the cache identity the caller computed). The planner only decides for
+	// the RAuto sentinel; every run — planned or static — reports its
+	// observed cost back below.
+	var planned *plan.Decision
+	var pq plan.Query
+	if opts.Planner != nil {
+		pq = planQuery(initiator, p, d)
+		if r == plan.RAuto {
+			dec := opts.Planner.Choose(pq)
+			planned, r = &dec, dec.R
+		}
+	}
+	if r < 0 {
+		r = 0 // RAuto without a planner degrades to fast
+	}
+
 	useCache := opts.Cache != nil && len(opts.CacheKey) > 0 && !opts.Trace
 	var gen cache.Gen
 	if useCache {
 		if val, ok := opts.Cache.Get(opts.CacheKey); ok {
 			if ans, err := cache.DecodeAnswers(val); err == nil {
-				return &Result{Answers: ans, CacheHit: true}
+				return &Result{Answers: ans, CacheHit: true, Plan: planned}
 			}
 		}
 		gen = opts.Cache.Begin()
 	}
 
 	e := &executor{
-		p: p, res: &Result{}, answered: make(map[string]bool), inj: opts.Faults,
+		p: p, res: &Result{Plan: planned}, answered: make(map[string]bool), inj: opts.Faults,
 		reps: opts.Replicas, budget: opts.RecoveryBudget, redials: opts.RecoveryRetries,
 		view: queryView(opts),
 	}
 	if opts.Trace {
-		e.rec = trace.NewRecorder()
-		e.rec.Record(trace.Span{
+		root := trace.Span{
 			ID:      trace.RootID,
 			Peer:    initiator.ID(),
 			Region:  region,
 			Phase:   phaseOf(r),
 			R:       r,
 			Outcome: trace.OutcomeOK,
-		})
+		}
+		if planned != nil {
+			root.Plan = planned.String()
+		}
+		e.rec = trace.NewRecorder()
+		e.rec.Record(root)
 	}
 	_, latency := e.exec(initiator, p.InitialState(), region, r, trace.RootID, 0, 0)
 	e.res.Stats.Latency = latency
@@ -222,7 +257,23 @@ func RunOpts(initiator overlay.Node, p Processor, r int, opts Options) *Result {
 	if useCache && !e.res.Partial() {
 		opts.Cache.Put(opts.CacheKey, cache.EncodeAnswers(e.res.Answers), d, opts.Scope, gen)
 	}
+	if opts.Planner != nil {
+		opts.Planner.Observe(pq, r, e.res.Stats.Latency, e.res.Stats.Messages())
+	}
 	return e.res
+}
+
+// planQuery describes a run to the planner: family and result size from the
+// processor's hints, overlay depth from the initiator's link count (over
+// MIDAS the degree tracks the virtual-tree depth), local work from the
+// initiator's store statistics.
+func planQuery(initiator overlay.Node, p Processor, dims int) plan.Query {
+	q := plan.Query{Dims: dims, Degree: len(initiator.Links()), Local: storage.Of(initiator).Stats()}
+	if h, ok := p.(plan.Hinter); ok {
+		hints := h.PlanHints()
+		q.Family, q.K = hints.Family, hints.K
+	}
+	return q
 }
 
 // RunMode is a convenience wrapper selecting the ripple parameter from a

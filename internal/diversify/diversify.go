@@ -18,6 +18,7 @@ import (
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
+	"ripple/internal/plan"
 	"ripple/internal/sim"
 	"ripple/internal/storage"
 )
@@ -196,6 +197,12 @@ func (p *Processor) prepare() {
 }
 
 var _ core.Processor = (*Processor)(nil)
+var _ plan.Hinter = (*Processor)(nil)
+
+// PlanHints implements plan.Hinter. One diversification pass retrieves a
+// single improvement candidate over the base set, so K counts the tuples the
+// pass must diversify against rather than a result size.
+func (p *Processor) PlanHints() plan.Hints { return plan.Hints{Family: "diversify", K: len(p.Base) + 1} }
 
 type state float64
 

@@ -21,6 +21,7 @@ import (
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
+	"ripple/internal/plan"
 	"ripple/internal/sim"
 	"ripple/internal/storage"
 )
@@ -42,6 +43,11 @@ type Processor struct {
 }
 
 var _ core.Processor = (*Processor)(nil)
+var _ plan.Hinter = (*Processor)(nil)
+
+// PlanHints implements plan.Hinter: the planner's cost model keys on the
+// query family and result size.
+func (p *Processor) PlanHints() plan.Hints { return plan.Hints{Family: "knn", K: p.K} }
 
 func (p *Processor) metric() geom.Metric {
 	if p.Metric == nil {

@@ -42,6 +42,8 @@ func resultFromReply(reply *wire.Reply, traced bool) *QueryResult {
 		Answers:       reply.Answers,
 		FailedRegions: reply.FailedRegions,
 		CacheHit:      reply.CacheHit,
+		Plan:          reply.Plan,
+		PlanR:         reply.PlanR,
 	}
 	for _, p := range reply.Peers {
 		res.Stats.Touch(p)

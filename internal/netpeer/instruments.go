@@ -2,6 +2,7 @@ package netpeer
 
 import (
 	"ripple/internal/metrics"
+	"ripple/internal/storage"
 )
 
 // instruments caches the server's metric handles so the RPC path never pays
@@ -25,10 +26,22 @@ type instruments struct {
 	muxFallbacks    *metrics.Counter
 	overloads       *metrics.Counter
 	inflight        *metrics.Gauge
+	storageTuples   *metrics.Gauge
+	storageNodes    *metrics.Gauge
+	storageHeight   *metrics.Gauge
 	rpcSeconds      *metrics.Histogram
 	fanout          *metrics.Histogram
 	queueWait       *metrics.Histogram
 	recoverySeconds *metrics.Histogram
+}
+
+// setStorage publishes the peer's primary-share storage statistics. Called at
+// construction and after every wire mutation, so the gauges track the live
+// share rather than the deployment-time snapshot.
+func (ins *instruments) setStorage(st storage.Stats) {
+	ins.storageTuples.Set(int64(st.Len))
+	ins.storageNodes.Set(int64(st.Nodes))
+	ins.storageHeight.Set(int64(st.Height))
 }
 
 func newInstruments(r *metrics.Registry) instruments {
@@ -49,6 +62,9 @@ func newInstruments(r *metrics.Registry) instruments {
 		muxFallbacks:    r.Counter("ripple_netpeer_mux_fallbacks_total", "remotes that negotiated down to the sequential protocol"),
 		overloads:       r.Counter("ripple_netpeer_overload_rejections_total", "calls rejected by admission control (worker pool and queue full)"),
 		inflight:        r.Gauge("ripple_netpeer_inflight_streams", "multiplexed calls admitted and not yet replied to"),
+		storageTuples:   r.Gauge("ripple_storage_tuples", "tuples in the peer's primary-share store"),
+		storageNodes:    r.Gauge("ripple_storage_index_nodes", "index nodes in the primary-share store (0 for the scan baseline)"),
+		storageHeight:   r.Gauge("ripple_storage_index_height", "index tree height of the primary-share store (0 for the scan baseline)"),
 		rpcSeconds:      r.Histogram("ripple_netpeer_rpc_seconds", "wall-clock duration of one RPC attempt", metrics.DefLatencyBuckets),
 		fanout:          r.Histogram("ripple_netpeer_fanout", "relevant links contacted per processed call", metrics.LinearBuckets(0, 1, 8)),
 		queueWait:       r.Histogram("ripple_netpeer_queue_wait_seconds", "time an admitted call waited for a mux worker", metrics.DefLatencyBuckets),

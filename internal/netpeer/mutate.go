@@ -60,6 +60,7 @@ func (s *Server) applyOwned(cfg Config, call *wire.Call) (*wire.Reply, error) {
 	if changed {
 		s.cfg.Tuples = tuples
 		s.store = storage.New(s.opts.Storage, tuples)
+		s.ins.setStorage(s.store.Stats())
 	}
 	mirrors := s.cfg.Mirrors
 	s.mu.Unlock()

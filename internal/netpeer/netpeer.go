@@ -35,6 +35,7 @@ import (
 	"ripple/internal/faults"
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
+	"ripple/internal/plan"
 	"ripple/internal/sim"
 	"ripple/internal/storage"
 	"ripple/internal/trace"
@@ -142,6 +143,7 @@ func NewServerOpts(cfg Config, opts Options, codecs ...wire.Codec) *Server {
 		conns:  make(map[net.Conn]struct{}),
 	}
 	s.store = storage.New(s.opts.Storage, cfg.Tuples)
+	s.ins.setStorage(s.store.Stats())
 	s.setReplicaStores(cfg.Replicas)
 	s.cache = cache.New(cache.Options{
 		MaxBytes: s.opts.CacheSize,
@@ -196,6 +198,15 @@ func (s *Server) SetMirrors(mirrors []ReplicaAddr) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cfg.Mirrors = mirrors
+}
+
+// StorageStats reports the live statistics of the peer's primary-share store:
+// the engine kind, tuple count, and index shape. The same numbers back the
+// ripple_storage_* gauges and the planner's local-work term.
+func (s *Server) StorageStats() storage.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.Stats()
 }
 
 // setReplicaStores rebuilds the per-share store table; callers hold s.mu (or
@@ -488,15 +499,38 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 	default:
 		return nil, fmt.Errorf("netpeer: unknown op %q", call.Op)
 	}
+	// A root query is one this peer initiates a propagation for (no inherited
+	// global state, not a recovery dispatch). The planner resolves its ripple
+	// parameter before anything reads it — the cache identity below includes
+	// r, so a planned query shares cache entries with the static run it
+	// selects.
+	rootQuery := call.ActAs == "" && len(call.Global) == 0
+	var planned *plan.Decision
+	var pq plan.Query
+	planning := rootQuery && s.opts.Planner != nil
+	if planning {
+		pq = s.planQuery(call)
+		if call.R == plan.RAuto {
+			dec := s.opts.Planner.Choose(pq)
+			planned, call.R = &dec, dec.R
+		}
+	}
+	if rootQuery && call.R < 0 {
+		call.R = 0 // RAuto without a planner degrades to fast
+	}
 	// Only initiator calls consult the cache: sub-calls carry the parent's
 	// encoded global state (so their answers depend on traversal position,
 	// not just the query), recovery dispatches answer for another peer, and
 	// traced runs exist to observe propagation. Cache identity includes r —
 	// the radius shapes the candidate set the query returns — and excludes
 	// only the initiator peer, which this per-server cache fixes anyway.
-	initiator := call.ActAs == "" && len(call.Global) == 0 && !call.Traced
+	initiator := rootQuery && !call.Traced
 	if s.cache == nil || !initiator {
-		return s.processQuery(call)
+		reply, err := s.processQuery(call)
+		if planning {
+			reply, err = s.finishPlan(pq, planned, call, reply, err)
+		}
+		return reply, err
 	}
 	s.mu.RLock()
 	dims := regionDims(s.cfg.Zone)
@@ -504,13 +538,65 @@ func (s *Server) process(call *wire.Call) (*wire.Reply, error) {
 	key := cache.Key(call.QueryType, call.Params, dims, call.R, call.Scope)
 	if val, ok := s.cache.Get(key); ok {
 		if ans, err := cache.DecodeAnswers(val); err == nil {
-			return &wire.Reply{Answers: ans, CacheHit: true}, nil
+			reply := &wire.Reply{Answers: ans, CacheHit: true}
+			if planned != nil {
+				reply.Plan, reply.PlanR = planned.String(), call.R
+			}
+			return reply, nil
 		}
 	}
 	gen := s.cache.Begin()
 	reply, err := s.processQuery(call)
+	if planning {
+		reply, err = s.finishPlan(pq, planned, call, reply, err)
+	}
 	if err == nil && reply.Error == "" && !reply.Partial {
 		s.cache.Put(key, cache.EncodeAnswers(reply.Answers), dims, call.Scope, gen)
+	}
+	return reply, err
+}
+
+// planQuery describes a root query call to the planner: family and result
+// size from the decoded processor's hints, dimensionality and link degree
+// from this peer's share, local work from its store statistics.
+func (s *Server) planQuery(call *wire.Call) plan.Query {
+	s.mu.RLock()
+	cfg := s.cfg
+	st := s.store
+	s.mu.RUnlock()
+	q := plan.Query{Family: call.QueryType, Dims: regionDims(cfg.Zone), Degree: len(cfg.Links), Local: st.Stats()}
+	if codec := s.codecs[call.QueryType]; codec != nil {
+		if proc, err := codec.NewProcessor(call.Params); err == nil {
+			if h, ok := proc.(plan.Hinter); ok {
+				hints := h.PlanHints()
+				q.Family, q.K = hints.Family, hints.K
+			}
+		}
+	}
+	return q
+}
+
+// finishPlan closes the planner loop on a completed root query: it feeds the
+// observed cost back to the model and stamps the decision onto the reply (and
+// onto the root span of a traced run, mirroring the in-process engines).
+// Failed queries teach the model nothing — their counters describe an
+// interrupted propagation, not the mode's cost.
+func (s *Server) finishPlan(pq plan.Query, planned *plan.Decision, call *wire.Call, reply *wire.Reply, err error) (*wire.Reply, error) {
+	if err != nil || reply == nil || reply.Error != "" {
+		return reply, err
+	}
+	if !reply.CacheHit {
+		s.opts.Planner.Observe(pq, call.R, reply.Completion, reply.QueryMsgs+reply.StateMsgs)
+	}
+	if planned != nil {
+		reply.Plan, reply.PlanR = planned.String(), call.R
+		if call.Traced {
+			for i := range reply.Spans {
+				if reply.Spans[i].ID == call.SpanID {
+					reply.Spans[i].Plan = planned.String()
+				}
+			}
+		}
 	}
 	return reply, err
 }
@@ -982,6 +1068,12 @@ type QueryResult struct {
 	// the answers are the canonical (ID-ordered) form of a prior identical
 	// query's, and the cost counters are zero — no propagation happened.
 	CacheHit bool
+	// Plan and PlanR surface the serving peer's adaptive-planner decision
+	// when the query was issued with r = RAuto against a planning peer: the
+	// rendered decision and the ripple parameter the query actually executed
+	// with. Plan is empty for static queries.
+	Plan  string
+	PlanR int
 }
 
 // Partial reports whether any subtree was lost; it derives from the stats so

@@ -9,6 +9,7 @@ import (
 
 	"ripple/internal/faults"
 	"ripple/internal/metrics"
+	"ripple/internal/plan"
 	"ripple/internal/storage"
 	"ripple/internal/wire"
 )
@@ -136,6 +137,12 @@ type Options struct {
 	// cache default (cache.DefaultTTL). The TTL is the staleness backstop for
 	// peers a mutation's invalidation broadcast could not reach.
 	CacheTTL time.Duration
+	// Planner, when non-nil, resolves root queries arriving with r =
+	// plan.RAuto into a concrete mode/r on this peer (the initiator side of
+	// the query), and is fed every completed root query's observed cost — so
+	// static-r queries train the model too. Decisions are reported back on
+	// wire.Reply.Plan/PlanR and as ripple_plan_* metrics when Metrics is set.
+	Planner *plan.Planner
 }
 
 // DefaultOptions returns the production defaults.

@@ -1,0 +1,206 @@
+package plan
+
+import (
+	"testing"
+
+	"ripple/internal/metrics"
+	"ripple/internal/storage"
+)
+
+func topkQuery(size int) Query {
+	return Query{Family: "topk", K: 10, Dims: 3, OverlaySize: size,
+		Local: storage.Stats{Kind: storage.KindScan, Len: 100}}
+}
+
+// TestPriorLatencyMatchesLemmas pins the reproduced closed forms to the
+// lemmas' fixed points: fast is ∆, slow is 2^∆−1, and ripple(r) is monotone
+// between them.
+func TestPriorLatencyMatchesLemmas(t *testing.T) {
+	for _, deltaMax := range []int{1, 4, 10} {
+		if got := priorLatency(deltaMax, 0); got != deltaMax {
+			t.Errorf("∆=%d fast: got %d, want %d", deltaMax, got, deltaMax)
+		}
+		if got, want := priorLatency(deltaMax, RSlow), (1<<uint(deltaMax))-1; got != want {
+			t.Errorf("∆=%d slow: got %d, want %d", deltaMax, got, want)
+		}
+		prev := priorLatency(deltaMax, 0)
+		for r := 1; r <= deltaMax; r++ {
+			cur := priorLatency(deltaMax, r)
+			if cur < prev {
+				t.Errorf("∆=%d: latency not monotone in r: L(%d)=%d < L(%d)=%d", deltaMax, r, cur, r-1, prev)
+			}
+			prev = cur
+		}
+	}
+	// Lemma 3 recurrence spot check: ∆=3, r=1 → L(0,1)=1+L(1,1)+L(1,0)
+	// = 1 + (1+L(2,1)+L(2,0)) + 2 = 1 + (1+1+1) + 2 = 6.
+	if got := priorLatency(3, 1); got != 6 {
+		t.Errorf("L_r(∆=3, r=1): got %d, want 6", got)
+	}
+}
+
+// TestPriorMessagesInterpolates: fast floods, slow prunes, and r interpolates
+// monotonically between them.
+func TestPriorMessagesInterpolates(t *testing.T) {
+	q := topkQuery(1024)
+	fast, slow := priorMessages(q, 0), priorMessages(q, RSlow)
+	if fast != 2*1024 {
+		t.Errorf("fast messages: got %.0f, want %d", fast, 2*1024)
+	}
+	if slow >= fast {
+		t.Errorf("slow messages %.0f not below fast %.0f", slow, fast)
+	}
+	prev := fast
+	for r := 1; r <= 8; r++ {
+		cur := priorMessages(q, r)
+		if cur > prev {
+			t.Errorf("messages not monotone in r: m(%d)=%.1f > m(%d)=%.1f", r, cur, r-1, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestColdStartDecisions: with priors only, the planner must avoid both
+// extremes' pathologies — never slow on a large overlay (exponential
+// latency), never a negative or absurd r.
+func TestColdStartDecisions(t *testing.T) {
+	p := New(Options{ExploreEvery: -1})
+	for _, fam := range []string{"topk", "skyline", "diversify", "knn"} {
+		q := topkQuery(4096)
+		q.Family = fam
+		d := p.Choose(q)
+		if d.R < 0 {
+			t.Errorf("%s: planner chose r=%d < 0", fam, d.R)
+		}
+		if d.Mode == ModeSlow {
+			t.Errorf("%s: planner chose slow on a 4096-peer overlay (worst-case latency 2^12−1)", fam)
+		}
+	}
+}
+
+// TestObserveConvergence: feeding consistent observed costs must converge the
+// chosen arm onto the measured optimum even when the priors preferred
+// another arm.
+func TestObserveConvergence(t *testing.T) {
+	p := New(Options{ExploreEvery: -1})
+	q := topkQuery(256)
+	// Report arm r=4 as dramatically cheap and every other arm as expensive.
+	for i := 0; i < 50; i++ {
+		p.Observe(q, 4, 1, 2)
+		for _, r := range []int{0, 1, 2, RSlow} {
+			p.Observe(q, r, 500, 5000)
+		}
+	}
+	if d := p.Choose(q); d.R != 4 {
+		t.Fatalf("after convergent feedback planner chose r=%d, want 4", d.R)
+	}
+}
+
+// TestDeterministicExploration: the same decision sequence replays the same
+// exploration picks, and exploration actually visits non-best arms.
+func TestDeterministicExploration(t *testing.T) {
+	run := func() []Decision {
+		p := New(Options{ExploreEvery: 4})
+		q := topkQuery(256)
+		out := make([]Decision, 0, 40)
+		for i := 0; i < 40; i++ {
+			out = append(out, p.Choose(q))
+		}
+		return out
+	}
+	a, b := run(), run()
+	explored := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged between identical replays: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Explored {
+			explored++
+		}
+	}
+	if explored != 10 { // every 4th of 40 decisions
+		t.Fatalf("explored %d of 40 decisions, want 10", explored)
+	}
+	seen := map[int]bool{}
+	for _, d := range a {
+		if d.Explored {
+			seen[d.R] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("exploration rotated through %d arms, want several: %v", len(seen), seen)
+	}
+}
+
+// TestExplain: the table covers every arm, priors are kept, and the greedy
+// pick is marked exactly once. Explain must not advance the exploration
+// schedule.
+func TestExplain(t *testing.T) {
+	p := New(Options{ExploreEvery: 2})
+	q := topkQuery(512)
+	for i := 0; i < 10; i++ {
+		p.Explain(q)
+	}
+	table := p.Explain(q)
+	if len(table) != 5 {
+		t.Fatalf("explain rows: got %d, want 5 default arms", len(table))
+	}
+	chosen := 0
+	for _, row := range table {
+		if row.Chosen {
+			chosen++
+		}
+		if row.Prior <= 0 {
+			t.Errorf("arm r=%d: prior %.3f not positive", row.R, row.Prior)
+		}
+	}
+	if chosen != 1 {
+		t.Fatalf("%d arms marked chosen, want 1", chosen)
+	}
+	// Ten Explains must not have consumed exploration slots: the first real
+	// decision is greedy (picks counter still at 1).
+	if d := p.Choose(q); d.Explored {
+		t.Fatal("Explain advanced the exploration schedule")
+	}
+}
+
+// TestObserveMapsOffArmParameters: static runs with r values between arms
+// still land on the nearest arm.
+func TestObserveMapsOffArmParameters(t *testing.T) {
+	p := New(Options{})
+	if got := p.armFor(3); p.opts.Arms[got] != 2 && p.opts.Arms[got] != 4 {
+		t.Fatalf("r=3 mapped to arm %d", p.opts.Arms[got])
+	}
+	if got := p.armFor(1 << 19); p.opts.Arms[got] != RSlow {
+		t.Fatalf("r=2^19 mapped to arm %d, want slow", p.opts.Arms[got])
+	}
+	if got := p.armFor(-5); p.opts.Arms[got] != 0 {
+		t.Fatalf("r=-5 mapped to arm %d, want 0", p.opts.Arms[got])
+	}
+}
+
+// TestPlanMetrics: decision, exploration and observation counters move.
+func TestPlanMetrics(t *testing.T) {
+	reg := metrics.New()
+	p := New(Options{Metrics: reg, ExploreEvery: 2})
+	q := topkQuery(256)
+	for i := 0; i < 4; i++ {
+		p.Observe(q, p.Choose(q).R, 5, 50)
+	}
+	if got := p.observations.Value(); got != 4 {
+		t.Fatalf("observations counter %d, want 4", got)
+	}
+	if got := p.explorations.Value(); got != 2 {
+		t.Fatalf("explorations counter %d, want 2", got)
+	}
+	var total int64
+	for _, c := range p.decisions {
+		total += c.Value()
+	}
+	if total != 4 {
+		t.Fatalf("decision counters sum %d, want 4", total)
+	}
+	if got := p.buckets.Value(); got != 1 {
+		t.Fatalf("bucket gauge %d, want 1", got)
+	}
+}

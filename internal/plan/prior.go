@@ -1,0 +1,113 @@
+package plan
+
+import (
+	"math"
+
+	"ripple/internal/storage"
+)
+
+// Closed-form cold-start priors, derived from the paper's §3.2 worst-case
+// analysis. The latency lemmas are reproduced here rather than imported from
+// internal/core so the import direction stays core → plan (the engine
+// consumes the planner, never the reverse).
+//
+//	Lemma 1 (fast):  L_f(δ) = ∆ − δ
+//	Lemma 2 (slow):  L_s(δ) = 2^(∆−δ) − 1
+//	Lemma 3 (ripple): L_r(δ, r) = 1 + L_r(δ+1, r) + L_r(δ+1, r−1),
+//	                 L_r(δ, 0) = ∆ − δ,  L_r(∆, r) = 0
+//
+// Messages have no closed form in the paper, so the prior uses the geometric
+// interpolation the ripple template implies: fast floods every peer (≈ 2N
+// messages: one query and one state/answer per peer), slow visits only the
+// fraction the family's bound pruning admits, and each unit of r halves the
+// gap (one extra sequential round doubles the state a peer can prune with).
+// The prior only has to make cold-start picks sane; Observe refines every
+// estimate with measured costs from the first completed query on.
+
+// priorLatency evaluates the worst-case hop latency of arm r for a tree of
+// depth deltaMax, from the lemmas above (δ = 0: the initiator plans for the
+// whole domain).
+func priorLatency(deltaMax, r int) int {
+	if deltaMax <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		return deltaMax // Lemma 1
+	}
+	if r >= deltaMax {
+		return (1 << uint(deltaMax)) - 1 // Lemma 2 (r ≥ ∆ degenerates to slow)
+	}
+	// Lemma 3 by dynamic programming: table[d][k] = L_r(d, k).
+	table := make([][]int, deltaMax+1)
+	for d := deltaMax; d >= 0; d-- {
+		table[d] = make([]int, r+1)
+		for k := 0; k <= r; k++ {
+			switch {
+			case d == deltaMax:
+				table[d][k] = 0
+			case k == 0:
+				table[d][k] = deltaMax - d
+			default:
+				table[d][k] = 1 + table[d+1][k] + table[d+1][k-1]
+			}
+		}
+	}
+	return table[0][r]
+}
+
+// selectivity estimates the fraction of peers a fully sequential (slow)
+// traversal still visits after bound pruning. Top-k-shaped families prune
+// aggressively once k tuples are held; skylines prune less and degrade with
+// dimensionality (higher-dimensional skylines are larger); diversification
+// re-examines candidates and prunes least. These are heuristics — the
+// feedback loop corrects them per bucket.
+func selectivity(q Query) float64 {
+	n := float64(q.peers())
+	var s float64
+	switch q.Family {
+	case "topk", "knn":
+		s = 0.15 + float64(q.K)/n
+	case "skyline":
+		s = 0.3 + 0.05*float64(q.Dims)
+	case "diversify":
+		s = 0.45 + float64(q.K)/n
+	default:
+		s = 0.5
+	}
+	return math.Min(1, math.Max(0.05, s))
+}
+
+// priorMessages interpolates the expected message count of arm r between the
+// fast flood (2N) and the pruned slow traversal (2N·selectivity).
+func priorMessages(q Query, r int) float64 {
+	n := float64(q.peers())
+	msgsFast := 2 * n
+	msgsSlow := 2 * n * selectivity(q)
+	if r <= 0 {
+		return msgsFast
+	}
+	if r >= 63 {
+		return msgsSlow
+	}
+	return msgsSlow + (msgsFast-msgsSlow)/float64(int64(1)<<uint(r))
+}
+
+// localUnit converts the initiator's storage statistics into a per-visited-
+// peer local-work charge in hop-equivalents: an indexed store descends its
+// tree (≈ height node visits), a flat store scans its share. The charge is a
+// tiebreaker — it grows the message term for stores where every extra
+// visited peer is expensive — not a primary driver.
+func localUnit(st storage.Stats) float64 {
+	if st.Height > 0 {
+		return float64(st.Height) / 64
+	}
+	return float64(st.Len) / 4096
+}
+
+// priorCost seeds one arm's composite cost estimate.
+func (p *Planner) priorCost(q Query, r int) float64 {
+	lat := float64(priorLatency(q.deltaMax(), r))
+	msgs := priorMessages(q, r)
+	visited := msgs / 2
+	return p.opts.Alpha*lat + p.opts.Beta*msgs + visited*localUnit(q.Local)
+}

@@ -15,6 +15,7 @@ import (
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
+	"ripple/internal/plan"
 	"ripple/internal/sim"
 	"ripple/internal/storage"
 )
@@ -122,6 +123,11 @@ type Processor struct {
 }
 
 var _ core.Processor = (*Processor)(nil)
+var _ plan.Hinter = (*Processor)(nil)
+
+// PlanHints implements plan.Hinter: skylines have no result-size parameter;
+// the planner's dimensionality bucket captures their growth instead.
+func (p *Processor) PlanHints() plan.Hints { return plan.Hints{Family: "skyline"} }
 
 type state []dataset.Tuple
 

@@ -14,6 +14,7 @@ import (
 	"ripple/internal/dataset"
 	"ripple/internal/geom"
 	"ripple/internal/overlay"
+	"ripple/internal/plan"
 	"ripple/internal/sim"
 	"ripple/internal/storage"
 )
@@ -103,6 +104,11 @@ type Processor struct {
 }
 
 var _ core.Processor = (*Processor)(nil)
+var _ plan.Hinter = (*Processor)(nil)
+
+// PlanHints implements plan.Hinter: the planner's cost model keys on the
+// query family and result size.
+func (p *Processor) PlanHints() plan.Hints { return plan.Hints{Family: "topk", K: p.K} }
 
 // InitialState implements core.Processor.
 func (p *Processor) InitialState() core.State { return state{m: 0, tau: math.Inf(1)} }

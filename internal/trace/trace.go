@@ -95,6 +95,12 @@ type Span struct {
 	// shipped upstream; AnswerTuples the tuples of its local answer.
 	StateTuples  int
 	AnswerTuples int
+	// Plan annotates the root span with the planner's decision ("fast",
+	// "ripple(2)", "slow", "+explore" suffixed for exploration picks) when
+	// the run's ripple parameter was chosen adaptively; empty for static
+	// runs. Canonical() excludes it, so a planned run's tree stays
+	// byte-identical to the equivalent static run's.
+	Plan string
 }
 
 // ChildID derives the span ID of the seq-th traversal attempted by the span

@@ -133,6 +133,14 @@ type Reply struct {
 	// decoded from canonical form; cost counters are then zero by
 	// construction — no propagation happened).
 	CacheHit bool
+	// Plan and PlanR report the serving peer's adaptive-planner decision when
+	// the call arrived with r = RAuto and the peer ran a planner: PlanR is the
+	// ripple parameter the query actually executed with and Plan its rendered
+	// decision ("fast", "ripple(2)", ...). Both are zero-valued for static
+	// calls, so — gob omitting zero fields — the reply encodes exactly as it
+	// did before the fields existed.
+	Plan  string
+	PlanR int
 	// Acks counts the peers that applied a mutation call: the owner plus
 	// each mirror that acknowledged the update.
 	Acks int

@@ -39,6 +39,7 @@ import (
 	"ripple/internal/midas"
 	"ripple/internal/netpeer"
 	"ripple/internal/overlay"
+	"ripple/internal/plan"
 	"ripple/internal/rangeq"
 	"ripple/internal/sim"
 	"ripple/internal/skyline"
@@ -400,6 +401,35 @@ func NewResultCache(opts ResultCacheOptions) *ResultCache { return cache.New(opt
 func CacheKey(queryType string, params []byte, dims, r int, scope Region) []byte {
 	return cache.Key(queryType, params, dims, r, scope)
 }
+
+// Adaptive query planning (DESIGN.md §16): a Planner picks the execution mode
+// — fast, slow, or ripple(r) — per query from a self-tuning cost model, and
+// every completed run (planned or static) feeds its observed cost back in.
+type (
+	// Planner is the per-process mode/r selector; safe for concurrent use.
+	Planner = plan.Planner
+	// PlannerOptions tunes the cost model (latency/message weights, EWMA
+	// smoothing, exploration cadence, candidate arms).
+	PlannerOptions = plan.Options
+	// PlanDecision is one resolved choice: the mode, the concrete r, the
+	// estimated cost, and whether the pick was an exploration.
+	PlanDecision = plan.Decision
+	// PlanQuery describes a query to the planner (family, k, dimensionality,
+	// overlay shape, local storage statistics).
+	PlanQuery = plan.Query
+)
+
+// RAuto is the ripple-parameter sentinel that asks the runtime's Planner to
+// choose the mode: pass it as r wherever a static value would go. Without a
+// configured planner it degrades to Fast.
+const RAuto = plan.RAuto
+
+// NewPlanner builds an adaptive planner; the zero PlannerOptions selects the
+// defaults (see plan.Options).
+func NewPlanner(opts PlannerOptions) *Planner { return plan.New(opts) }
+
+// DefaultPlanner is NewPlanner with default options.
+func DefaultPlanner() *Planner { return plan.Default() }
 
 // RunWithOptions executes a Processor with explicit run options (scope,
 // cache, tracing, storage override).
